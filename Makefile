@@ -1,0 +1,52 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every reproduced figure and extension table into results/.
+figures: build
+	$(GO) run ./cmd/lesslog-bench -trials 3 -outdir results
+	$(GO) run ./cmd/lesslog-bench -evict
+	$(GO) run ./cmd/lesslog-bench -hops
+	$(GO) run ./cmd/lesslog-bench -churn
+	$(GO) run ./cmd/lesslog-bench -sensitivity
+	$(GO) run ./cmd/lesslog-bench -pathlen
+	$(GO) run ./cmd/lesslog-bench -multifile
+	$(GO) run ./cmd/lesslog-bench -logcost
+	$(GO) run ./cmd/lesslog-bench -updatecost
+	$(GO) run ./cmd/lesslog-bench -flash
+	$(GO) run ./cmd/lesslog-bench -ftcost
+	$(GO) run ./cmd/lesslog-bench -latency
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...
+
+# Run every example end to end.
+examples: build
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/loadbalance
+	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/churn
+	$(GO) run ./examples/multifile
+	$(GO) run ./examples/network

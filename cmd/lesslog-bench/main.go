@@ -1,0 +1,180 @@
+// Command lesslog-bench regenerates the paper's evaluation figures
+// (Huang, Huang, Chou, "LessLog", IPDPS 2004, §6): the number of replicas
+// each replication method creates to reach a load-balanced state.
+//
+//	lesslog-bench                 # all four figures, text tables
+//	lesslog-bench -figure 5       # one figure
+//	lesslog-bench -format csv     # machine-readable output
+//	lesslog-bench -outdir results # also write figure<N>.csv files
+//	lesslog-bench -evict          # the §6 counter-based removal demo
+//	lesslog-bench -trials 5       # average more seeds per point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lesslog/internal/experiments"
+	"lesslog/internal/vis"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "figure to regenerate: 5, 6, 7, 8 or all")
+		format  = flag.String("format", "table", "output format: table, csv or markdown")
+		outdir  = flag.String("outdir", "", "directory to also write figure<N>.csv files into")
+		trials  = flag.Int("trials", 3, "seeds averaged per sweep point")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		rateMin = flag.Float64("rate-min", 1000, "sweep start, requests/second")
+		rateMax = flag.Float64("rate-max", 20000, "sweep end, requests/second")
+		step    = flag.Float64("rate-step", 1000, "sweep step, requests/second")
+		evict   = flag.Bool("evict", false, "run the counter-based eviction demonstration instead")
+		hops    = flag.Bool("hops", false, "run the LessLog/Chord/CAN lookup-hop comparison instead")
+		churn   = flag.Bool("churn", false, "run the availability-under-churn extension instead")
+		sens    = flag.Bool("sensitivity", false, "run the system-size sensitivity sweep instead")
+		plot    = flag.Bool("plot", false, "also draw each figure as an ASCII chart")
+		pathlen = flag.Bool("pathlen", false, "run the hops-vs-replicas extension instead")
+		multi   = flag.Bool("multifile", false, "run the multi-hot-file extension instead")
+		logcost = flag.Bool("logcost", false, "run the client-access-log footprint comparison instead")
+		upcost  = flag.Bool("updatecost", false, "run the update-broadcast cost sweep instead")
+		flash   = flag.Bool("flash", false, "run the flash-crowd time-to-balance dynamics instead")
+		ftcost  = flag.Bool("ftcost", false, "run the fault-tolerance-degree cost sweep instead")
+		latency = flag.Bool("latency", false, "run the queueing-latency comparison instead")
+	)
+	flag.Parse()
+
+	p := experiments.PaperParams()
+	p.Trials = *trials
+	p.Seed = *seed
+	p.RateMin, p.RateMax, p.RateStep = *rateMin, *rateMax, *step
+
+	switch {
+	case *evict:
+		runEviction(p)
+		return
+	case *hops:
+		stats := experiments.HopComparison(10, 5000, *seed)
+		fmt.Print(experiments.HopTable(stats, 10))
+		return
+	case *churn:
+		rows, err := experiments.ChurnTable([]int{0, 1, 2}, []float64{0.5, 1, 2, 4}, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.ChurnTableString(rows))
+		return
+	case *sens:
+		rows, err := experiments.SensitivityM([]int{6, 7, 8, 9, 10, 11, 12}, 10, 100, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.SensitivityTable(rows, 10, 100))
+		return
+	case *pathlen:
+		pts, err := experiments.HopsVsReplicas(p, 20000, 32)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.HopsVsReplicasTable(pts))
+		return
+	case *multi:
+		rows, err := experiments.MultiFile(p, 20000, []int{1, 2, 4, 8, 16, 32})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.MultiFileTable(rows, 20000))
+		return
+	case *logcost:
+		rows, err := experiments.LogOverhead(p, []int{1000, 5000, 20000, 100000}, 1<<22)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.LogOverheadTable(rows))
+		return
+	case *upcost:
+		rows, err := experiments.UpdateCost(p, 8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.UpdateCostTable(rows))
+		return
+	case *flash:
+		rows, err := experiments.FlashCrowd(p, 12, 4, 100)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FlashCrowdTable(rows, 100))
+		return
+	case *ftcost:
+		rows, err := experiments.FTCost(p, 20000, []int{0, 1, 2, 3, 4})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FTCostTable(rows, 20000))
+		return
+	case *latency:
+		rows, err := experiments.Latency(p, []float64{80, 150, 300, 600}, 0.001)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.LatencyTable(rows))
+		return
+	}
+
+	ids := []string{"5", "6", "7", "8"}
+	if *figure != "all" {
+		ids = []string{*figure}
+	}
+	for _, id := range ids {
+		fig, err := experiments.ByID(id, p)
+		if err != nil {
+			fatal(err)
+		}
+		switch *format {
+		case "table":
+			fmt.Println(experiments.Table(fig))
+		case "csv":
+			fmt.Println(experiments.CSV(fig))
+		case "markdown":
+			fmt.Println(experiments.Markdown(fig))
+		default:
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+		if *plot {
+			series := make([]vis.Series, len(fig.Series))
+			for i, s := range fig.Series {
+				series[i] = vis.Series{Label: s.Label, Ys: s.Replicas}
+			}
+			fmt.Println(vis.Plot(fig.Title+" (replicas vs req/s)", fig.Rates, series, 64, 16))
+		}
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outdir, fig.ID+".csv")
+			if err := os.WriteFile(path, []byte(experiments.CSV(fig)), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}
+
+func runEviction(p experiments.Params) {
+	pts, err := experiments.Eviction(p, []float64{5000, 10000, 20000}, 2000, 20)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("counter-based replica removal after a rate collapse to 2000 req/s (§6)")
+	fmt.Printf("%-14s%-16s%-10s%-14s\n", "balanced at", "holders before", "evicted", "holders after")
+	for _, pt := range pts {
+		fmt.Printf("%-14.0f%-16d%-10d%-14d\n", pt.HighRate, pt.HoldersAtHigh, pt.Removed, pt.HoldersAfter)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lesslog-bench:", err)
+	os.Exit(1)
+}

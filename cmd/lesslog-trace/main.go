@@ -1,0 +1,75 @@
+// Command lesslog-trace prints LessLog's lookup-tree structures and
+// routing paths — a textual rendering of the paper's Figures 1–4 and its
+// worked examples.
+//
+//	lesslog-trace -m 4 -virtual                  # Figure 1
+//	lesslog-trace -m 4 -root 4                   # Figure 2
+//	lesslog-trace -m 4 -root 4 -dead 0,5         # Figure 3
+//	lesslog-trace -m 4 -root 4 -route 8          # P(8) → P(0) → P(4)
+//	lesslog-trace -m 4 -root 4 -dead 0,5 -children 4
+//	lesslog-trace -m 4 -root 4 -conversions 16   # the PID↔VID table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/trace"
+)
+
+func main() {
+	var (
+		m        = flag.Int("m", 4, "identifier width")
+		b        = flag.Int("b", 0, "fault-tolerance bits")
+		root     = flag.Uint("root", 4, "root PID of the physical lookup tree")
+		deadList = flag.String("dead", "", "comma-separated dead PIDs, e.g. 0,5")
+		virtual  = flag.Bool("virtual", false, "print the virtual lookup tree instead")
+		route    = flag.Int("route", -1, "trace a get from this origin PID")
+		children = flag.Int("children", -1, "print the (expanded) children list of this PID")
+		conv     = flag.Int("conversions", 0, "print the PID↔VID table for the first N PIDs")
+		dot      = flag.Bool("dot", false, "emit the physical tree as Graphviz DOT")
+	)
+	flag.Parse()
+
+	if *virtual {
+		fmt.Print(trace.Virtual(*m))
+		return
+	}
+	live := liveness.NewAllLive(*m, bitops.Slots(*m))
+	if *deadList != "" {
+		for _, part := range strings.Split(*deadList, ",") {
+			pid, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || pid < 0 || pid >= bitops.Slots(*m) {
+				fmt.Fprintf(os.Stderr, "lesslog-trace: bad dead PID %q\n", part)
+				os.Exit(1)
+			}
+			live.SetDead(bitops.PID(pid))
+		}
+	}
+	did := false
+	if *dot {
+		fmt.Print(trace.DOT(bitops.PID(*root), *m, live))
+		did = true
+	}
+	if *route >= 0 {
+		fmt.Println(trace.Route(bitops.PID(*route), bitops.PID(*root), live, *b))
+		did = true
+	}
+	if *children >= 0 {
+		fmt.Printf("children list of P(%d) in the tree of P(%d): %s\n",
+			*children, *root, trace.ChildrenList(bitops.PID(*children), bitops.PID(*root), live, *b))
+		did = true
+	}
+	if *conv > 0 {
+		fmt.Print(trace.Conversions(bitops.PID(*root), *m, *conv))
+		did = true
+	}
+	if !did {
+		fmt.Print(trace.Physical(bitops.PID(*root), *m, live))
+	}
+}

@@ -1,0 +1,148 @@
+// Command lesslogd runs a networked LessLog node over TCP, or acts as a
+// client against one — the demonstration deployment of the paper's §8
+// future work.
+//
+// Server: every peer needs the full PID→address table (the networked
+// status word):
+//
+//	lesslogd -pid 0 -m 4 -listen 127.0.0.1:7100 -peers 0=127.0.0.1:7100,1=127.0.0.1:7101
+//	lesslogd -pid 1 -m 4 -listen 127.0.0.1:7101 -peers 0=127.0.0.1:7100,1=127.0.0.1:7101
+//
+// Client:
+//
+//	lesslogd -connect 127.0.0.1:7100 -op insert -name hello -data "world"
+//	lesslogd -connect 127.0.0.1:7101 -op get -name hello
+//	lesslogd -connect 127.0.0.1:7101 -op update -name hello -data "again"
+//	lesslogd -connect 127.0.0.1:7100 -op stat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/netnode"
+)
+
+func main() {
+	var (
+		pid       = flag.Uint("pid", 0, "server: this node's PID")
+		m         = flag.Int("m", 4, "server: identifier width")
+		b         = flag.Int("b", 0, "server: fault-tolerance bits")
+		listen    = flag.String("listen", "127.0.0.1:0", "server: listen address")
+		peers     = flag.String("peers", "", "server: PID=addr pairs, comma separated (include self)")
+		bootstrap = flag.String("bootstrap", "", "server: join an existing system via this peer instead of -peers")
+		maintain  = flag.Duration("maintain", 0, "server: overload/eviction maintenance interval (0 disables)")
+		dataDir   = flag.String("data", "", "server: directory for durable storage (restored on start, checkpointed on exit)")
+		threshold = flag.Uint64("threshold", 100, "server: per-window serve count that triggers replication")
+		evictLow  = flag.Uint64("evict-below", 1, "server: replicas serving fewer gets per window are dropped")
+		connect   = flag.String("connect", "", "client: peer address to contact")
+		op        = flag.String("op", "get", "client: insert, get, update, delete or stat")
+		name      = flag.String("name", "", "client: file name")
+		data      = flag.String("data", "", "client: file contents")
+	)
+	flag.Parse()
+
+	if *connect != "" {
+		runClient(*connect, *op, *name, *data)
+		return
+	}
+
+	peer, err := netnode.Listen(netnode.Config{
+		PID: bitops.PID(*pid), M: *m, B: *b, Addr: *listen, DataDir: *dataDir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *maintain > 0 {
+		peer.StartMaintenance(*maintain, *threshold, *evictLow)
+		fmt.Printf("lesslogd: maintenance every %v (threshold %d, evict below %d)\n",
+			*maintain, *threshold, *evictLow)
+	}
+	if *bootstrap != "" {
+		if err := peer.Join(*bootstrap); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lesslogd: P(%d) joined via %s, serving on %s\n", *pid, *bootstrap, peer.Addr())
+		waitForSignal(peer)
+		return
+	}
+	table := map[bitops.PID]string{bitops.PID(*pid): peer.Addr()}
+	if *peers != "" {
+		for _, pair := range strings.Split(*peers, ",") {
+			kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+			if len(kv) != 2 {
+				fatal(fmt.Errorf("bad peer entry %q", pair))
+			}
+			id, err := strconv.Atoi(kv[0])
+			if err != nil || id < 0 || id >= bitops.Slots(*m) {
+				fatal(fmt.Errorf("bad peer PID %q", kv[0]))
+			}
+			table[bitops.PID(id)] = kv[1]
+		}
+	}
+	peer.SetAddrs(table)
+	fmt.Printf("lesslogd: P(%d) serving on %s (m=%d b=%d, %d peers)\n",
+		*pid, peer.Addr(), *m, *b, len(table))
+	waitForSignal(peer)
+}
+
+// waitForSignal blocks until SIGINT/SIGTERM, then leaves gracefully —
+// handing inserted files to their new primaries — and shuts down.
+func waitForSignal(peer *netnode.Peer) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("lesslogd: leaving and shutting down")
+	if err := peer.Leave(); err != nil {
+		fmt.Fprintln(os.Stderr, "lesslogd: leave:", err)
+	}
+	peer.Close()
+}
+
+func runClient(addr, op, name, data string) {
+	cl := netnode.NewClient(addr)
+	switch op {
+	case "insert":
+		if err := cl.Insert(name, []byte(data)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("inserted %q\n", name)
+	case "get":
+		res, err := cl.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("served by P(%d) in %d hops (v%d): %s\n", res.ServedBy, res.Hops, res.Version, res.Data)
+	case "update":
+		n, err := cl.Update(name, []byte(data))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("updated %d copies of %q\n", n, name)
+	case "delete":
+		n, err := cl.Delete(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deleted %d copies of %q\n", n, name)
+	case "stat":
+		out, err := cl.Stat()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	default:
+		fatal(fmt.Errorf("unknown op %q", op))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lesslogd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+package lesslog_test
+
+import (
+	"fmt"
+	"log"
+
+	"lesslog"
+)
+
+// Example builds the paper's 16-node system, inserts a file and resolves
+// it from another node.
+func Example() {
+	sys, err := lesslog.New(lesslog.Options{M: 4, InitialNodes: 16, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Insert(9, "readme.txt", []byte("hello")); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Get(3, "readme.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s in <= %d hops\n", res.File.Data, sys.M())
+	// Output: hello in <= 4 hops
+}
+
+// ExampleSystem_ReplicateFile shows the logless load-shedding step: the
+// replica lands on the head of the overloaded node's children list,
+// chosen by bit arithmetic alone.
+func ExampleSystem_ReplicateFile() {
+	sys, _ := lesslog.New(lesslog.Options{M: 4, InitialNodes: 16, Seed: 1})
+	ins, _ := sys.Insert(0, "hot.bin", []byte("x"))
+	replica, err := sys.ReplicateFile(ins.Target, "hot.bin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(sys.HoldersOf("hot.bin")), "holders after replicating to", replica != ins.Target)
+	// Output: 2 holders after replicating to true
+}
+
+// ExampleSystem_Fail demonstrates the fault-tolerant model: with B = 2
+// every file has four copies, and the self-organized mechanism restores
+// a copy lost to a failure.
+func ExampleSystem_Fail() {
+	sys, _ := lesslog.New(lesslog.Options{M: 6, B: 2, InitialNodes: 64, Seed: 1})
+	ins, _ := sys.Insert(0, "ledger.db", []byte("state"))
+	fmt.Println("copies:", len(ins.Holders))
+	if err := sys.Fail(ins.Holders[0]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("degree after failure:", sys.FaultToleranceDegree("ledger.db"))
+	// Output:
+	// copies: 4
+	// degree after failure: 4
+}
+
+// ExampleSystem_Update shows top-down propagation: one update rewrites
+// the primary and every replica.
+func ExampleSystem_Update() {
+	sys, _ := lesslog.New(lesslog.Options{M: 4, InitialNodes: 16, Seed: 1})
+	ins, _ := sys.Insert(0, "cfg", []byte("v1"))
+	sys.ReplicateFile(ins.Target, "cfg")
+	res, _ := sys.Update(7, "cfg", []byte("v2"))
+	fmt.Println("copies updated:", res.CopiesUpdated)
+	// Output: copies updated: 2
+}

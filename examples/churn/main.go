@@ -1,0 +1,82 @@
+// Churn: the §5 self-organized mechanism under continuous membership
+// change. Nodes join, leave gracefully and fail abruptly while files are
+// inserted and read; the system migrates authoritative copies so that
+// every file stays exactly where the bitwise placement rule says it
+// should be.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lesslog"
+	"lesslog/internal/xrand"
+)
+
+func main() {
+	sys, err := lesslog.New(lesslog.Options{M: 7, B: 1, InitialNodes: 96, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := xrand.New(2024)
+
+	// Seed the system with content.
+	var names []string
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("shard/%03d", i)
+		if _, err := sys.Insert(lesslog.PID(i%96), name, []byte(name)); err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	fmt.Printf("seeded %d files on %d nodes\n", len(names), sys.NodeCount())
+
+	// 60 churn events: joins, voluntary leaves and abrupt failures.
+	joins, leaves, fails := 0, 0, 0
+	for event := 0; event < 60; event++ {
+		live := sys.Live()
+		switch rng.Intn(3) {
+		case 0: // join a free PID
+			for {
+				p := lesslog.PID(rng.Intn(128))
+				if !live.IsLive(p) {
+					if err := sys.Join(p); err != nil {
+						log.Fatal(err)
+					}
+					joins++
+					break
+				}
+			}
+		case 1: // graceful leave
+			pids := live.LivePIDs()
+			if err := sys.Leave(pids[rng.Intn(len(pids))]); err != nil {
+				log.Fatal(err)
+			}
+			leaves++
+		default: // abrupt failure (B=1 recovery kicks in)
+			pids := live.LivePIDs()
+			if err := sys.Fail(pids[rng.Intn(len(pids))]); err != nil {
+				log.Fatal(err)
+			}
+			fails++
+		}
+		if err := sys.CheckInvariants(); err != nil {
+			log.Fatalf("event %d broke an invariant: %v", event, err)
+		}
+	}
+	fmt.Printf("churn done: %d joins, %d leaves, %d failures; %d nodes remain\n",
+		joins, leaves, fails, sys.NodeCount())
+
+	// Every file is still served, from arbitrary origins.
+	origins := sys.Live().LivePIDs()
+	hops := 0
+	for i, name := range names {
+		res, err := sys.Get(origins[i%len(origins)], name)
+		if err != nil {
+			log.Fatalf("%s lost in churn: %v", name, err)
+		}
+		hops += res.Hops
+	}
+	fmt.Printf("all %d files survived; mean lookup %.2f hops; files migrated by the mechanism: %d\n",
+		len(names), float64(hops)/float64(len(names)), sys.Stats().FilesMigrated)
+}

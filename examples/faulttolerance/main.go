@@ -1,0 +1,60 @@
+// Faulttolerance: the §4 model. With b = 2 bits reserved, every lookup
+// tree splits into four independent subtrees and every file is stored
+// four times. Requests resolve inside the requester's own subtree and
+// migrate to a sibling subtree on a fault, so the system keeps answering
+// while any of the four copies survives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lesslog"
+)
+
+func main() {
+	// 64 nodes, m = 6, b = 2: four 16-position subtrees per lookup tree.
+	sys, err := lesslog.New(lesslog.Options{M: 6, B: 2, InitialNodes: 64, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const name = "ledger/balances.db"
+	ins, err := sys.Insert(0, name, []byte("critical state"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted with 2^b = %d copies at %v (degree %d)\n",
+		len(ins.Holders), ins.Holders, sys.FaultToleranceDegree(name))
+
+	// Kill holders one by one. After each failure the self-organized
+	// mechanism (§5.3) restores the lost copy from a sibling subtree, so
+	// the degree snaps back to 4 and every node keeps resolving.
+	for i, victim := range ins.Holders[:3] {
+		if err := sys.Fail(victim); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("failure %d: killed holder P(%d); degree now %d, holders %v\n",
+			i+1, victim, sys.FaultToleranceDegree(name), sys.HoldersOf(name))
+		// Prove availability from a few scattered origins.
+		for _, origin := range []lesslog.PID{1, 22, 45} {
+			if !sys.Live().IsLive(origin) {
+				continue
+			}
+			res, err := sys.Get(origin, name)
+			if err != nil {
+				log.Fatalf("file unavailable after failure: %v", err)
+			}
+			suffix := ""
+			if res.Migrated {
+				suffix = " (migrated to a sibling subtree)"
+			}
+			fmt.Printf("   get from P(%2d): served by P(%2d) in %d hops%s\n",
+				origin, res.ServedBy, res.Hops, suffix)
+		}
+	}
+
+	if err := sys.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("invariants hold after three holder failures")
+}

@@ -1,0 +1,58 @@
+// Quickstart: a 16-node LessLog system — the paper's Figure 2 world —
+// exercising insert, lookup, replication and update through the public
+// API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lesslog"
+)
+
+func main() {
+	// A complete 16-node system (m = 4). Lookups take at most 4 hops.
+	sys, err := lesslog.New(lesslog.Options{M: 4, InitialNodes: 16, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert a file from node P(9). ψ picks the target node; the file's
+	// authoritative copy lands there.
+	name := "articles/lesslog.pdf"
+	ins, err := sys.Insert(9, name, []byte("a logless file replication algorithm"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted %q at its target P(%d)\n", name, ins.Target)
+
+	// Every node can resolve the file by routing up the target's lookup
+	// tree — O(log N) hops, no routing tables beyond the bitwise math.
+	for _, origin := range []lesslog.PID{0, 7, 13} {
+		res, err := sys.Get(origin, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("get from P(%2d): served by P(%d) in %d hops\n", origin, res.ServedBy, res.Hops)
+	}
+
+	// The target is getting popular: shed half its load with one logless
+	// replication. No access logs were consulted — the placement is pure
+	// bit arithmetic on the lookup tree.
+	rep, err := sys.ReplicateFile(ins.Target, name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replicated %q to P(%d), the head of the children list\n", name, rep)
+	fmt.Printf("holders are now %v\n", sys.HoldersOf(name))
+
+	// Updates propagate top-down through the children lists, so both
+	// copies change together.
+	if _, err := sys.Update(2, name, []byte("v2 of the paper")); err != nil {
+		log.Fatal(err)
+	}
+	res, _ := sys.Get(rep, name)
+	fmt.Printf("after update, replica serves: %q\n", res.File.Data)
+
+	fmt.Printf("traffic: %+v\n", sys.Stats())
+}

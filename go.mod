@@ -1,0 +1,3 @@
+module lesslog
+
+go 1.22

@@ -1,0 +1,171 @@
+// Package accesslog models the client-access logs that traditional
+// (log-based) replication systems keep and analyze — the resource cost
+// LessLog's whole design exists to avoid (paper §1: log-based approaches
+// "consume extra system resources such as disk storage and memory. In
+// addition, analyzing client-access logs is a both CPU-intensive and
+// I/O-intensive task").
+//
+// A Log is a bounded per-file ring of access records (origin, last
+// forwarder) as a system in the Plaxton/OceanStore mold would collect;
+// Analyze folds it into the per-child forwarded-request counts a
+// log-based method replicates by. The log-overhead experiment uses this
+// package to put numbers on the storage the paper's comparison charges to
+// the log-based baseline, and the tests prove Analyze agrees with the
+// analytic simulator's oracle ForwardedLoad — i.e. our log-based baseline
+// is exactly "perfect log analysis".
+package accesslog
+
+import (
+	"fmt"
+	"sort"
+
+	"lesslog/internal/bitops"
+)
+
+// Entry is one recorded access: who originated the request and which
+// child forwarded it into the logging node (equal when served directly).
+type Entry struct {
+	Origin    bitops.PID
+	Forwarder bitops.PID
+}
+
+// entrySize is the in-memory footprint of one Entry in bytes.
+const entrySize = 8
+
+// Log is a bounded ring of entries for one file on one node. Storage
+// grows with the recorded traffic (so Bytes reflects what the node really
+// pays) up to the configured capacity, after which the oldest entries are
+// overwritten.
+type Log struct {
+	capacity int
+	entries  []Entry
+	next     int
+	full     bool
+	total    uint64
+}
+
+// NewLog returns a log retaining up to capacity entries.
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		panic("accesslog: capacity must be positive")
+	}
+	return &Log{capacity: capacity}
+}
+
+// Append records one access, evicting the oldest entry when full.
+func (l *Log) Append(e Entry) {
+	l.total++
+	if len(l.entries) < l.capacity {
+		l.entries = append(l.entries, e)
+		return
+	}
+	l.full = true
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % l.capacity
+}
+
+// Len returns the retained entry count.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Total returns the number of accesses ever recorded, including evicted
+// ones.
+func (l *Log) Total() uint64 { return l.total }
+
+// Bytes returns the log's in-memory footprint.
+func (l *Log) Bytes() int { return cap(l.entries) * entrySize }
+
+// Reset discards all entries, releasing their storage but keeping the
+// capacity limit.
+func (l *Log) Reset() {
+	l.entries = nil
+	l.next = 0
+	l.full = false
+}
+
+// Analyze folds the retained entries into per-forwarder request counts —
+// the table a log-based method consults to pick the child forwarding the
+// most requests.
+func (l *Log) Analyze() map[bitops.PID]int {
+	counts := make(map[bitops.PID]int)
+	for _, e := range l.entries {
+		counts[e.Forwarder]++
+	}
+	return counts
+}
+
+// HottestForwarder returns the forwarder with the most retained entries,
+// ties broken toward the lowest PID, and false when the log is empty.
+func (l *Log) HottestForwarder() (bitops.PID, bool) {
+	counts := l.Analyze()
+	var best bitops.PID
+	bestN := 0
+	for p, n := range counts {
+		if n > bestN || (n == bestN && bestN > 0 && p < best) {
+			best, bestN = p, n
+		}
+	}
+	return best, bestN > 0
+}
+
+// Recorder aggregates per-node, per-file logs and their total footprint —
+// the system-wide bookkeeping a log-based deployment carries.
+type Recorder struct {
+	capacity int
+	logs     map[bitops.PID]map[string]*Log
+}
+
+// NewRecorder returns a recorder creating per-file logs of the given
+// capacity.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		panic("accesslog: capacity must be positive")
+	}
+	return &Recorder{capacity: capacity, logs: map[bitops.PID]map[string]*Log{}}
+}
+
+// Record appends an access at the serving node's log for name.
+func (r *Recorder) Record(server bitops.PID, name string, e Entry) {
+	byFile := r.logs[server]
+	if byFile == nil {
+		byFile = map[string]*Log{}
+		r.logs[server] = byFile
+	}
+	l := byFile[name]
+	if l == nil {
+		l = NewLog(r.capacity)
+		byFile[name] = l
+	}
+	l.Append(e)
+}
+
+// Log returns the log at server for name, or nil.
+func (r *Recorder) Log(server bitops.PID, name string) *Log {
+	return r.logs[server][name]
+}
+
+// Footprint sums the retained entries and bytes across every node.
+func (r *Recorder) Footprint() (entries int, bytes int) {
+	for _, byFile := range r.logs {
+		for _, l := range byFile {
+			entries += l.Len()
+			bytes += l.Bytes()
+		}
+	}
+	return entries, bytes
+}
+
+// Nodes returns the PIDs carrying at least one log, ascending.
+func (r *Recorder) Nodes() []bitops.PID {
+	out := make([]bitops.PID, 0, len(r.logs))
+	for p := range r.logs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String summarizes the recorder.
+func (r *Recorder) String() string {
+	e, b := r.Footprint()
+	return fmt.Sprintf("accesslog{nodes=%d entries=%d bytes=%d}", len(r.logs), e, b)
+}

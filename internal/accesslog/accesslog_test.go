@@ -1,0 +1,122 @@
+package accesslog
+
+import (
+	"strings"
+	"testing"
+
+	"lesslog/internal/bitops"
+)
+
+func TestAppendAndAnalyze(t *testing.T) {
+	l := NewLog(10)
+	for i := 0; i < 6; i++ {
+		l.Append(Entry{Origin: bitops.PID(i), Forwarder: bitops.PID(i % 2)})
+	}
+	if l.Len() != 6 || l.Total() != 6 {
+		t.Fatalf("len=%d total=%d", l.Len(), l.Total())
+	}
+	counts := l.Analyze()
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Entry{Forwarder: bitops.PID(i)})
+	}
+	if l.Len() != 4 || l.Total() != 10 {
+		t.Fatalf("len=%d total=%d", l.Len(), l.Total())
+	}
+	counts := l.Analyze()
+	// Only the last four (6,7,8,9) are retained.
+	for _, old := range []bitops.PID{0, 5} {
+		if counts[old] != 0 {
+			t.Fatalf("evicted entry retained: %v", counts)
+		}
+	}
+	for _, recent := range []bitops.PID{6, 9} {
+		if counts[recent] != 1 {
+			t.Fatalf("recent entry missing: %v", counts)
+		}
+	}
+	if l.Bytes() != 4*entrySize {
+		t.Fatalf("Bytes = %d", l.Bytes())
+	}
+}
+
+func TestHottestForwarder(t *testing.T) {
+	l := NewLog(16)
+	if _, ok := l.HottestForwarder(); ok {
+		t.Fatal("empty log reported a forwarder")
+	}
+	for i := 0; i < 5; i++ {
+		l.Append(Entry{Forwarder: 7})
+	}
+	for i := 0; i < 3; i++ {
+		l.Append(Entry{Forwarder: 2})
+	}
+	if p, ok := l.HottestForwarder(); !ok || p != 7 {
+		t.Fatalf("hottest = %d, %v", p, ok)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLog(4)
+	l.Append(Entry{Forwarder: 1})
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("Reset kept entries")
+	}
+	l.Append(Entry{Forwarder: 2})
+	if l.Len() != 1 {
+		t.Fatal("append after reset broken")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(4, "f", Entry{Origin: 1, Forwarder: 5})
+	r.Record(4, "f", Entry{Origin: 2, Forwarder: 5})
+	r.Record(4, "g", Entry{Origin: 3, Forwarder: 6})
+	r.Record(9, "f", Entry{Origin: 4, Forwarder: 9})
+	entries, bytes := r.Footprint()
+	if entries != 4 {
+		t.Fatalf("footprint = %d entries", entries)
+	}
+	// Storage grows with traffic: at least one slot per retained entry,
+	// never more than the three logs' full capacity.
+	if bytes < entries*entrySize || bytes > 3*8*entrySize {
+		t.Fatalf("bytes = %d outside [%d, %d]", bytes, entries*entrySize, 3*8*entrySize)
+	}
+	if l := r.Log(4, "f"); l == nil || l.Len() != 2 {
+		t.Fatalf("log(4,f) = %+v", l)
+	}
+	if r.Log(4, "zzz") != nil || r.Log(99, "f") != nil {
+		t.Fatal("missing logs should be nil")
+	}
+	nodes := r.Nodes()
+	if len(nodes) != 2 || nodes[0] != 4 || nodes[1] != 9 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	if !strings.Contains(r.String(), "entries=4") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestCapacityPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"NewLog":      func() { NewLog(0) },
+		"NewRecorder": func() { NewRecorder(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s(0) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

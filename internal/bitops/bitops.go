@@ -1,0 +1,266 @@
+// Package bitops implements the m-bit identifier arithmetic underlying the
+// LessLog lookup trees (paper §2.1, Properties 1–4, and the §4 subtree
+// split).
+//
+// A LessLog system is parameterized by m, the identifier width in bits.
+// Every node has a physical identifier (PID) in [0, 2^m); every lookup tree
+// position has a virtual identifier (VID) in the same range. The unique
+// virtual binomial lookup tree is defined over VIDs:
+//
+//   - the root is the all-ones VID (Property 1's "m continuous 1's bits");
+//   - a node whose VID has i leading 1 bits has exactly i children, each
+//     obtained by clearing one bit of that leading run (Property 1);
+//   - the parent of a non-root VID is obtained by setting its leftmost 0
+//     bit (Property 2);
+//   - a node's offspring count is monotone in its VID value (Property 3).
+//
+// The physical lookup tree rooted at node r is the image of the virtual
+// tree under XOR with Complement(r): PID = Complement(r) XOR VID, which is
+// an involution, so the PID/VID conversion of Property 4 is the same
+// operation in both directions.
+//
+// For the fault-tolerant model (paper §4) the last b bits of a VID are the
+// subtree identifier and the remaining m-b bits form the subtree VID; each
+// of the 2^b subtrees is itself a binomial lookup tree over its subtree
+// VIDs, which this package exposes through the Subtree* functions.
+//
+// All functions are pure, allocation-free (except the *VIDs slice helpers,
+// which have Append variants), and panic only on out-of-range m, which is a
+// programmer error, not an input error.
+package bitops
+
+import "math/bits"
+
+// VID is a virtual identifier: a position in a lookup tree.
+type VID uint32
+
+// PID is a physical identifier: a concrete node.
+type PID uint32
+
+// MaxWidth is the largest supported identifier width. 2^30 tree slots is
+// far beyond anything the in-memory simulators can hold, and keeping VIDs
+// in uint32 keeps the hot routing arithmetic in a single register.
+const MaxWidth = 30
+
+// CheckWidth panics unless 1 <= m <= MaxWidth.
+func CheckWidth(m int) {
+	if m < 1 || m > MaxWidth {
+		panic("bitops: identifier width m out of range [1,30]")
+	}
+}
+
+// Mask returns the m-bit mask 2^m - 1, which is also the root VID.
+func Mask(m int) VID {
+	CheckWidth(m)
+	return VID(1)<<uint(m) - 1
+}
+
+// Slots returns the number of identifier slots, 2^m.
+func Slots(m int) int {
+	CheckWidth(m)
+	return 1 << uint(m)
+}
+
+// RootVID returns the VID of the lookup-tree root: m continuous 1 bits.
+func RootVID(m int) VID { return Mask(m) }
+
+// IsRoot reports whether v is the root VID of an m-bit tree.
+func IsRoot(v VID, m int) bool { return v == Mask(m) }
+
+// Complement returns the m-bit complement of p, written p̄ in the paper.
+// The physical lookup tree of node r maps VIDs to PIDs by XOR with
+// Complement(r).
+func Complement(p PID, m int) VID { return VID(p) ^ Mask(m) }
+
+// PIDOf converts a VID in the lookup tree rooted at root to the PID of the
+// node occupying that position (Property 4).
+func PIDOf(v VID, root PID, m int) PID { return PID(v ^ Complement(root, m)) }
+
+// VIDOf converts a PID to its VID in the lookup tree rooted at root
+// (Property 4). It is the inverse of PIDOf; XOR makes the two identical.
+func VIDOf(p PID, root PID, m int) VID { return VID(p) ^ Complement(root, m) }
+
+// LeadingOnes returns the length of the run of 1 bits starting at the most
+// significant of the m bits of v. By Property 1 this is v's child count; by
+// the binomial-tree recurrence its subtree holds exactly 2^LeadingOnes
+// positions.
+func LeadingOnes(v VID, m int) int {
+	x := ^uint32(v) & uint32(Mask(m)) // 1s exactly where v has 0s
+	if x == 0 {
+		return m
+	}
+	highestZero := 31 - bits.LeadingZeros32(x)
+	return m - 1 - highestZero
+}
+
+// ChildCount returns the number of children of v (Property 1).
+func ChildCount(v VID, m int) int { return LeadingOnes(v, m) }
+
+// OffspringCount returns the number of proper descendants of v in the
+// virtual lookup tree: 2^LeadingOnes(v) - 1. This yields Property 3 —
+// offspring count is monotone non-decreasing in VID value — because
+// LeadingOnes(v) >= k holds exactly for v >= (2^k - 1) << (m - k), so the
+// VID range is partitioned into ascending bands of non-decreasing leading
+// runs (property-tested in this package).
+func OffspringCount(v VID, m int) int { return 1<<uint(LeadingOnes(v, m)) - 1 }
+
+// SubtreeSize returns the number of positions in the subtree rooted at v,
+// including v itself: 2^LeadingOnes(v).
+func SubtreeSize(v VID, m int) int { return 1 << uint(LeadingOnes(v, m)) }
+
+// ParentVID returns the parent of v (Property 2: set the leftmost 0 bit)
+// and reports whether v has a parent. The root has none.
+func ParentVID(v VID, m int) (VID, bool) {
+	x := ^uint32(v) & uint32(Mask(m))
+	if x == 0 {
+		return v, false // root
+	}
+	highestZero := 31 - bits.LeadingZeros32(x)
+	return v | VID(1)<<uint(highestZero), true
+}
+
+// Depth returns the number of edges between v and the root. Each step to
+// the parent fills exactly one 0 bit, so the depth is the number of 0 bits
+// among the m bits of v. Lookup paths therefore never exceed m = O(log N)
+// hops, the bound claimed in the paper's introduction.
+func Depth(v VID, m int) int {
+	return m - bits.OnesCount32(uint32(v)&uint32(Mask(m)))
+}
+
+// AppendChildrenVIDs appends the children of v in descending VID order —
+// which by Property 3 is descending offspring count, the "children list"
+// order of §2.2 — and returns the extended slice.
+//
+// The leading run of ones occupies bit positions m-1 down to m-lo; clearing
+// the least significant bit of the run yields the largest child, so the
+// descending order clears positions m-lo, m-lo+1, ..., m-1 in turn.
+func AppendChildrenVIDs(dst []VID, v VID, m int) []VID {
+	lo := LeadingOnes(v, m)
+	for j := m - lo; j < m; j++ {
+		dst = append(dst, v&^(VID(1)<<uint(j)))
+	}
+	return dst
+}
+
+// ChildrenVIDs returns the children of v in descending VID order.
+func ChildrenVIDs(v VID, m int) []VID {
+	lo := LeadingOnes(v, m)
+	if lo == 0 {
+		return nil
+	}
+	return AppendChildrenVIDs(make([]VID, 0, lo), v, m)
+}
+
+// IsAncestor reports whether a is a proper ancestor of v in the m-bit
+// virtual tree. Ancestors are produced by repeatedly filling the leftmost
+// 0 bit, so the test walks at most Depth(v) <= m steps.
+func IsAncestor(a, v VID, m int) bool {
+	if a == v {
+		return false
+	}
+	for {
+		p, ok := ParentVID(v, m)
+		if !ok {
+			return false
+		}
+		if p == a {
+			return true
+		}
+		v = p
+	}
+}
+
+// AppendAncestorVIDs appends v's proper ancestors in order (parent first,
+// root last) and returns the extended slice.
+func AppendAncestorVIDs(dst []VID, v VID, m int) []VID {
+	for {
+		p, ok := ParentVID(v, m)
+		if !ok {
+			return dst
+		}
+		dst = append(dst, p)
+		v = p
+	}
+}
+
+// InSubtreeOf reports whether v lies in the subtree rooted at a (inclusive:
+// InSubtreeOf(a, a, m) is true).
+func InSubtreeOf(v, a VID, m int) bool {
+	return v == a || IsAncestor(a, v, m)
+}
+
+// --- Fault-tolerant subtree split (paper §4) ---
+//
+// With b of the m bits set aside, a VID v splits into
+//
+//	subtree VID  = v >> b   (the upper m-b bits)
+//	subtree ID   = v & (2^b - 1)  (the lower b bits)
+//
+// and each of the 2^b fixed-ID slices of the tree is itself a binomial
+// lookup tree over its (m-b)-bit subtree VIDs.
+
+// CheckSplit panics unless 0 <= b < m and m is a valid width.
+func CheckSplit(m, b int) {
+	CheckWidth(m)
+	if b < 0 || b >= m {
+		panic("bitops: fault-tolerance bits b out of range [0,m)")
+	}
+}
+
+// SubtreeCount returns the number of independent subtrees, 2^b.
+func SubtreeCount(b int) int { return 1 << uint(b) }
+
+// SubtreeID returns the subtree identifier of v: its last b bits.
+func SubtreeID(v VID, b int) VID { return v & (VID(1)<<uint(b) - 1) }
+
+// SubtreeVID returns the position of v within its subtree: the upper
+// m-b bits of v.
+func SubtreeVID(v VID, b int) VID { return v >> uint(b) }
+
+// ComposeVID rebuilds a full VID from a subtree VID and a subtree ID.
+func ComposeVID(svid, sid VID, b int) VID { return svid<<uint(b) | sid }
+
+// SubtreeRootVID returns the root VID of subtree sid: all-ones subtree VID
+// with the given identifier bits.
+func SubtreeRootVID(sid VID, m, b int) VID {
+	CheckSplit(m, b)
+	return ComposeVID(Mask(m-b), sid, b)
+}
+
+// SubtreeParentVID returns the parent of v within its own subtree
+// (Property 2 applied to the subtree VID) and whether v has one. The
+// subtree identifier bits are preserved.
+func SubtreeParentVID(v VID, m, b int) (VID, bool) {
+	CheckSplit(m, b)
+	sp, ok := ParentVID(SubtreeVID(v, b), m-b)
+	if !ok {
+		return v, false
+	}
+	return ComposeVID(sp, SubtreeID(v, b), b), true
+}
+
+// AppendSubtreeChildrenVIDs appends v's children within its own subtree in
+// descending subtree-VID order, as full m-bit VIDs.
+func AppendSubtreeChildrenVIDs(dst []VID, v VID, m, b int) []VID {
+	CheckSplit(m, b)
+	sid := SubtreeID(v, b)
+	sv := SubtreeVID(v, b)
+	lo := LeadingOnes(sv, m-b)
+	for j := m - b - lo; j < m-b; j++ {
+		dst = append(dst, ComposeVID(sv&^(VID(1)<<uint(j)), sid, b))
+	}
+	return dst
+}
+
+// SubtreeLeadingOnes returns the leading-ones count of v's subtree VID,
+// i.e. its child count within its subtree.
+func SubtreeLeadingOnes(v VID, m, b int) int {
+	CheckSplit(m, b)
+	return LeadingOnes(SubtreeVID(v, b), m-b)
+}
+
+// SubtreeOffspringCount returns v's proper-descendant count within its own
+// subtree.
+func SubtreeOffspringCount(v VID, m, b int) int {
+	return 1<<uint(SubtreeLeadingOnes(v, m, b)) - 1
+}

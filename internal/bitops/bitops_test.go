@@ -1,0 +1,443 @@
+package bitops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		m    int
+		want VID
+	}{{1, 1}, {2, 3}, {4, 15}, {10, 1023}, {16, 65535}, {30, 1<<30 - 1}}
+	for _, c := range cases {
+		if got := Mask(c.m); got != c.want {
+			t.Errorf("Mask(%d) = %d, want %d", c.m, got, c.want)
+		}
+		if got := RootVID(c.m); got != c.want {
+			t.Errorf("RootVID(%d) = %d, want %d", c.m, got, c.want)
+		}
+		if got := Slots(c.m); got != int(c.want)+1 {
+			t.Errorf("Slots(%d) = %d, want %d", c.m, got, int(c.want)+1)
+		}
+	}
+}
+
+func TestCheckWidthPanics(t *testing.T) {
+	for _, m := range []int{0, -1, 31, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CheckWidth(%d) did not panic", m)
+				}
+			}()
+			CheckWidth(m)
+		}()
+	}
+}
+
+func TestComplement(t *testing.T) {
+	// Paper §2.1: complement of 4 in a 16-node system is 1011.
+	if got := Complement(4, 4); got != 0b1011 {
+		t.Fatalf("Complement(4, m=4) = %04b, want 1011", got)
+	}
+	// Complement is an involution.
+	for m := 1; m <= 12; m++ {
+		for p := PID(0); p < PID(Slots(m)); p++ {
+			if back := PID(Complement(PID(Complement(p, m)), m)); back != p {
+				t.Fatalf("m=%d complement not involutive at %d", m, p)
+			}
+		}
+	}
+}
+
+func TestPaperFigure2Conversions(t *testing.T) {
+	// The lookup tree of P(4) in a 16-node system (paper Figure 2).
+	const m, root = 4, PID(4)
+	// Root position: VID 1111 maps to PID 4.
+	if got := PIDOf(RootVID(m), root, m); got != root {
+		t.Fatalf("root PID = %d, want %d", got, root)
+	}
+	// P(8) has VID 0011 in the tree of P(4).
+	if got := VIDOf(8, root, m); got != 0b0011 {
+		t.Fatalf("VIDOf(8) = %04b, want 0011", got)
+	}
+	// Routing P(8) -> parent: VID 0011 -> 1011 -> PID 0.
+	p, ok := ParentVID(0b0011, m)
+	if !ok || p != 0b1011 {
+		t.Fatalf("ParentVID(0011) = %04b, %v; want 1011, true", p, ok)
+	}
+	if got := PIDOf(p, root, m); got != 0 {
+		t.Fatalf("parent of P(8) in tree of P(4) = P(%d), want P(0)", got)
+	}
+	// And P(0) -> parent -> P(4): the paper's forwarding chain.
+	p2, ok := ParentVID(0b1011, m)
+	if !ok || p2 != RootVID(m) {
+		t.Fatalf("ParentVID(1011) = %04b, %v; want 1111, true", p2, ok)
+	}
+	if got := PIDOf(p2, root, m); got != 4 {
+		t.Fatalf("grandparent of P(8) = P(%d), want P(4)", got)
+	}
+}
+
+func TestPaperFigure1Children(t *testing.T) {
+	// Paper §2.1 worked example, m = 4: the node of VID 1110 has 3
+	// children: 0110, 1010, 1100 (here listed descending: 1100, 1010,
+	// 0110). The node of VID 0111 has 0 children.
+	got := ChildrenVIDs(0b1110, 4)
+	want := []VID{0b1100, 0b1010, 0b0110}
+	if len(got) != len(want) {
+		t.Fatalf("children of 1110: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("children of 1110: got %v, want %v", got, want)
+		}
+	}
+	if kids := ChildrenVIDs(0b0111, 4); kids != nil {
+		t.Fatalf("children of 0111 = %v, want none", kids)
+	}
+	// "the nodes of VID 1110 and 1100 have 7 and 3 offspring nodes".
+	if got := OffspringCount(0b1110, 4); got != 7 {
+		t.Fatalf("OffspringCount(1110) = %d, want 7", got)
+	}
+	if got := OffspringCount(0b1100, 4); got != 3 {
+		t.Fatalf("OffspringCount(1100) = %d, want 3", got)
+	}
+}
+
+func TestParentVIDProperty2(t *testing.T) {
+	// Paper §2.1: parent of 0110 is 1110 (convert leftmost 0 bit to 1).
+	p, ok := ParentVID(0b0110, 4)
+	if !ok || p != 0b1110 {
+		t.Fatalf("ParentVID(0110) = %04b, want 1110", p)
+	}
+	if _, ok := ParentVID(RootVID(4), 4); ok {
+		t.Fatal("root must have no parent")
+	}
+}
+
+func TestLeadingOnesExhaustive(t *testing.T) {
+	// Cross-check LeadingOnes against a naive bit loop for every VID at
+	// several widths.
+	naive := func(v VID, m int) int {
+		n := 0
+		for i := m - 1; i >= 0; i-- {
+			if v&(1<<uint(i)) == 0 {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	for _, m := range []int{1, 2, 3, 4, 7, 10, 12} {
+		for v := VID(0); v < VID(Slots(m)); v++ {
+			if got, want := LeadingOnes(v, m), naive(v, m); got != want {
+				t.Fatalf("m=%d LeadingOnes(%b) = %d, want %d", m, v, got, want)
+			}
+		}
+	}
+}
+
+func TestChildParentConsistency(t *testing.T) {
+	// Every child's parent is the node itself, for every node.
+	for _, m := range []int{1, 2, 4, 8, 10} {
+		for v := VID(0); v < VID(Slots(m)); v++ {
+			for _, c := range ChildrenVIDs(v, m) {
+				p, ok := ParentVID(c, m)
+				if !ok || p != v {
+					t.Fatalf("m=%d parent(child %b of %b) = %b", m, c, v, p)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeCoversAllSlots(t *testing.T) {
+	// Walking children from the root reaches every VID exactly once, and
+	// the subtree sizes agree with SubtreeSize.
+	for _, m := range []int{1, 3, 6, 10} {
+		seen := make(map[VID]bool)
+		var walk func(v VID) int
+		walk = func(v VID) int {
+			if seen[v] {
+				t.Fatalf("m=%d VID %b reached twice", m, v)
+			}
+			seen[v] = true
+			size := 1
+			for _, c := range ChildrenVIDs(v, m) {
+				size += walk(c)
+			}
+			if size != SubtreeSize(v, m) {
+				t.Fatalf("m=%d subtree of %b has %d nodes, SubtreeSize says %d",
+					m, v, size, SubtreeSize(v, m))
+			}
+			return size
+		}
+		if total := walk(RootVID(m)); total != Slots(m) {
+			t.Fatalf("m=%d tree covers %d of %d slots", m, total, Slots(m))
+		}
+	}
+}
+
+func TestProperty3Monotonicity(t *testing.T) {
+	for _, m := range []int{1, 4, 10} {
+		prev := -1
+		for v := VID(0); v < VID(Slots(m)); v++ {
+			oc := OffspringCount(v, m)
+			if oc < prev {
+				t.Fatalf("m=%d offspring count decreased at VID %b: %d < %d",
+					m, v, oc, prev)
+			}
+			prev = oc
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	for _, m := range []int{1, 4, 10} {
+		for v := VID(0); v < VID(Slots(m)); v++ {
+			// Depth equals the number of parent steps to the root.
+			d, x := 0, v
+			for {
+				p, ok := ParentVID(x, m)
+				if !ok {
+					break
+				}
+				x = p
+				d++
+			}
+			if got := Depth(v, m); got != d {
+				t.Fatalf("m=%d Depth(%b) = %d, want %d", m, v, got, d)
+			}
+			if d > m {
+				t.Fatalf("m=%d depth %d exceeds O(log N) bound m", m, d)
+			}
+		}
+	}
+}
+
+func TestChildrenDescendingOrder(t *testing.T) {
+	for _, m := range []int{2, 4, 10} {
+		for v := VID(0); v < VID(Slots(m)); v++ {
+			kids := ChildrenVIDs(v, m)
+			for i := 1; i < len(kids); i++ {
+				if kids[i-1] <= kids[i] {
+					t.Fatalf("m=%d children of %b not descending: %v", m, v, kids)
+				}
+			}
+			// Descending VID must equal descending offspring count
+			// (the §2.2 children-list order).
+			for i := 1; i < len(kids); i++ {
+				if OffspringCount(kids[i-1], m) < OffspringCount(kids[i], m) {
+					t.Fatalf("m=%d children of %b not offspring-sorted", m, v)
+				}
+			}
+		}
+	}
+}
+
+func TestIsAncestorAndInSubtree(t *testing.T) {
+	const m = 5
+	root := RootVID(m)
+	for v := VID(0); v < VID(Slots(m)); v++ {
+		if v != root && !IsAncestor(root, v, m) {
+			t.Fatalf("root must be ancestor of %b", v)
+		}
+		if IsAncestor(v, v, m) {
+			t.Fatalf("IsAncestor(%b, itself) must be false", v)
+		}
+		if !InSubtreeOf(v, v, m) {
+			t.Fatalf("InSubtreeOf(%b, itself) must be true", v)
+		}
+	}
+	// Brute-force cross-check on a smaller width.
+	const m2 = 4
+	desc := make(map[VID]map[VID]bool)
+	var collect func(v VID) map[VID]bool
+	collect = func(v VID) map[VID]bool {
+		s := map[VID]bool{}
+		for _, c := range ChildrenVIDs(v, m2) {
+			s[c] = true
+			for d := range collect(c) {
+				s[d] = true
+			}
+		}
+		desc[v] = s
+		return s
+	}
+	collect(RootVID(m2))
+	for a := VID(0); a < VID(Slots(m2)); a++ {
+		for v := VID(0); v < VID(Slots(m2)); v++ {
+			want := desc[a][v]
+			if got := IsAncestor(a, v, m2); got != want {
+				t.Fatalf("IsAncestor(%b, %b) = %v, want %v", a, v, got, want)
+			}
+		}
+	}
+}
+
+func TestAncestorVIDs(t *testing.T) {
+	const m = 4
+	anc := AppendAncestorVIDs(nil, 0b0000, m)
+	want := []VID{0b1000, 0b1100, 0b1110, 0b1111}
+	if len(anc) != len(want) {
+		t.Fatalf("ancestors of 0000 = %v, want %v", anc, want)
+	}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Fatalf("ancestors of 0000 = %v, want %v", anc, want)
+		}
+	}
+}
+
+func TestQuickVIDPIDRoundTrip(t *testing.T) {
+	f := func(rawRoot, rawPID uint32, rawM uint8) bool {
+		m := int(rawM)%MaxWidth + 1
+		root := PID(rawRoot) & PID(Mask(m))
+		p := PID(rawPID) & PID(Mask(m))
+		v := VIDOf(p, root, m)
+		return PIDOf(v, root, m) == p && v <= Mask(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParentIncreasesVID(t *testing.T) {
+	// Setting a 0 bit strictly increases the VID: ancestors always have
+	// larger VIDs, the fact behind the max-VID placement invariant.
+	f := func(rawV uint32, rawM uint8) bool {
+		m := int(rawM)%MaxWidth + 1
+		v := VID(rawV) & Mask(m)
+		p, ok := ParentVID(v, m)
+		if !ok {
+			return v == RootVID(m)
+		}
+		return p > v && LeadingOnes(p, m) >= LeadingOnes(v, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreeSplit(t *testing.T) {
+	// Paper Figure 4: m=4, b=2 gives 4 subtrees; the subtree VID of the
+	// root of each subtree is 11 (all ones in m-b bits).
+	const m, b = 4, 2
+	if got := SubtreeCount(b); got != 4 {
+		t.Fatalf("SubtreeCount(2) = %d, want 4", got)
+	}
+	for sid := VID(0); sid < 4; sid++ {
+		r := SubtreeRootVID(sid, m, b)
+		if SubtreeVID(r, b) != Mask(m-b) {
+			t.Fatalf("subtree %02b root svid = %b, want 11", sid, SubtreeVID(r, b))
+		}
+		if SubtreeID(r, b) != sid {
+			t.Fatalf("subtree root id mismatch")
+		}
+		if _, ok := SubtreeParentVID(r, m, b); ok {
+			t.Fatalf("subtree root %04b must have no subtree parent", r)
+		}
+	}
+	// Compose/decompose round trip.
+	for v := VID(0); v < VID(Slots(m)); v++ {
+		if ComposeVID(SubtreeVID(v, b), SubtreeID(v, b), b) != v {
+			t.Fatalf("compose/decompose failed at %04b", v)
+		}
+	}
+}
+
+func TestSubtreeIsBinomialTree(t *testing.T) {
+	// Each subtree must itself cover exactly its 2^(m-b) members and obey
+	// the child/parent relations.
+	for _, cfg := range []struct{ m, b int }{{4, 2}, {6, 1}, {8, 3}, {10, 2}} {
+		m, b := cfg.m, cfg.b
+		for sid := VID(0); sid < VID(SubtreeCount(b)); sid++ {
+			seen := make(map[VID]bool)
+			var walk func(v VID) int
+			walk = func(v VID) int {
+				if SubtreeID(v, b) != sid {
+					t.Fatalf("m=%d b=%d node %b escaped subtree %b", m, b, v, sid)
+				}
+				seen[v] = true
+				n := 1
+				for _, c := range AppendSubtreeChildrenVIDs(nil, v, m, b) {
+					p, ok := SubtreeParentVID(c, m, b)
+					if !ok || p != v {
+						t.Fatalf("m=%d b=%d subtree parent(%b) = %b, want %b", m, b, c, p, v)
+					}
+					n += walk(c)
+				}
+				return n
+			}
+			if total := walk(SubtreeRootVID(sid, m, b)); total != 1<<uint(m-b) {
+				t.Fatalf("m=%d b=%d subtree %b covers %d of %d", m, b, sid, total, 1<<uint(m-b))
+			}
+		}
+	}
+}
+
+func TestSubtreeOffspringCount(t *testing.T) {
+	const m, b = 6, 2
+	for v := VID(0); v < VID(Slots(m)); v++ {
+		want := 1<<uint(LeadingOnes(SubtreeVID(v, b), m-b)) - 1
+		if got := SubtreeOffspringCount(v, m, b); got != want {
+			t.Fatalf("SubtreeOffspringCount(%b) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestCheckSplitPanics(t *testing.T) {
+	for _, c := range []struct{ m, b int }{{4, 4}, {4, -1}, {4, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CheckSplit(%d,%d) did not panic", c.m, c.b)
+				}
+			}()
+			CheckSplit(c.m, c.b)
+		}()
+	}
+}
+
+func TestAppendChildrenReuse(t *testing.T) {
+	// Append variants must honor existing contents.
+	buf := []VID{99}
+	buf = AppendChildrenVIDs(buf, RootVID(3), 3)
+	if buf[0] != 99 || len(buf) != 4 {
+		t.Fatalf("AppendChildrenVIDs clobbered prefix: %v", buf)
+	}
+}
+
+func BenchmarkLeadingOnes(b *testing.B) {
+	const m = 20
+	r := rand.New(rand.NewSource(1))
+	vs := make([]VID, 1024)
+	for i := range vs {
+		vs[i] = VID(r.Uint32()) & Mask(m)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += LeadingOnes(vs[i&1023], m)
+	}
+	_ = sink
+}
+
+func BenchmarkParentVID(b *testing.B) {
+	const m = 20
+	r := rand.New(rand.NewSource(2))
+	vs := make([]VID, 1024)
+	for i := range vs {
+		vs[i] = VID(r.Uint32()) & Mask(m)
+	}
+	b.ResetTimer()
+	var sink VID
+	for i := 0; i < b.N; i++ {
+		p, _ := ParentVID(vs[i&1023], m)
+		sink ^= p
+	}
+	_ = sink
+}

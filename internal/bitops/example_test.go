@@ -1,0 +1,56 @@
+package bitops_test
+
+import (
+	"fmt"
+
+	"lesslog/internal/bitops"
+)
+
+// Property 4: the physical lookup tree of P(4) in a 16-node system maps
+// VIDs to PIDs by XOR with the complement of 4 (1011). The root position
+// (VID 1111) is P(4) itself.
+func ExamplePIDOf() {
+	const m = 4
+	root := bitops.PID(4)
+	fmt.Printf("complement(4) = %04b\n", bitops.Complement(root, m))
+	fmt.Printf("root position holds P(%d)\n", bitops.PIDOf(bitops.RootVID(m), root, m))
+	fmt.Printf("P(8) occupies VID %04b\n", bitops.VIDOf(8, root, m))
+	// Output:
+	// complement(4) = 1011
+	// root position holds P(4)
+	// P(8) occupies VID 0011
+}
+
+// Property 2: the parent of a VID is obtained by setting its leftmost 0
+// bit — the step a get request takes toward the target.
+func ExampleParentVID() {
+	const m = 4
+	v := bitops.VID(0b0011)
+	for {
+		p, ok := bitops.ParentVID(v, m)
+		if !ok {
+			break
+		}
+		fmt.Printf("%04b -> %04b\n", v, p)
+		v = p
+	}
+	// Output:
+	// 0011 -> 1011
+	// 1011 -> 1111
+}
+
+// Property 1: a node with i leading ones has i children, produced by
+// clearing one bit of the run; they come out in descending-VID order,
+// which by Property 3 is descending offspring count — the children-list
+// order REPLICATEFILE uses.
+func ExampleChildrenVIDs() {
+	const m = 4
+	for _, c := range bitops.ChildrenVIDs(bitops.RootVID(m), m) {
+		fmt.Printf("%04b has %d offspring\n", c, bitops.OffspringCount(c, m))
+	}
+	// Output:
+	// 1110 has 7 offspring
+	// 1101 has 3 offspring
+	// 1011 has 1 offspring
+	// 0111 has 0 offspring
+}

@@ -1,0 +1,207 @@
+// Package can implements the lookup layer of CAN, the Content-Addressable
+// Network (Ratnasamy et al., SIGCOMM 2001) — the second related-work
+// baseline the paper cites (§7): "CAN assigns nodes and files into a
+// d-dimension space, and each node is responsible for files stored in a
+// particular region." Like Chord, CAN has no replication mechanism; the
+// reproduction uses it only for lookup hop-count comparisons, where CAN's
+// O(d·N^(1/d)) routing contrasts with the O(log N) of LessLog's binomial
+// trees.
+//
+// Construction follows the CAN join procedure: each arriving node picks a
+// random point in the d-torus [0,1)^d and splits the zone owning it in
+// half along its longest side. Routing is greedy: forward to the neighbor
+// zone closest (in torus distance) to the target point.
+package can
+
+import (
+	"fmt"
+
+	"lesslog/internal/xrand"
+)
+
+// Zone is an axis-aligned box in the d-torus owned by one node.
+type Zone struct {
+	Lo, Hi []float64 // per-dimension bounds, Lo[i] < Hi[i]
+	id     int
+}
+
+// ID returns the zone's index (its owning node).
+func (z *Zone) ID() int { return z.id }
+
+// Contains reports whether point p lies in the zone.
+func (z *Zone) Contains(p []float64) bool {
+	for i := range p {
+		if p[i] < z.Lo[i] || p[i] >= z.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Network is a fully built CAN over n zones.
+type Network struct {
+	d         int
+	zones     []*Zone
+	neighbors [][]int
+}
+
+// New builds a d-dimensional CAN with n nodes using the random-point join
+// procedure, then wires the neighbor sets.
+func New(d, n int, seed uint64) *Network {
+	if d < 1 || n < 1 {
+		panic("can: need d >= 1 and n >= 1")
+	}
+	rng := xrand.New(seed)
+	first := &Zone{Lo: make([]float64, d), Hi: make([]float64, d)}
+	for i := 0; i < d; i++ {
+		first.Hi[i] = 1
+	}
+	nw := &Network{d: d, zones: []*Zone{first}}
+	for len(nw.zones) < n {
+		p := nw.randomPoint(rng)
+		owner := nw.owner(p)
+		nw.split(owner)
+	}
+	nw.buildNeighbors()
+	return nw
+}
+
+// Len returns the number of zones (nodes).
+func (nw *Network) Len() int { return len(nw.zones) }
+
+// D returns the dimensionality.
+func (nw *Network) D() int { return nw.d }
+
+// Zone returns zone i.
+func (nw *Network) Zone(i int) *Zone { return nw.zones[i] }
+
+func (nw *Network) randomPoint(rng *xrand.Rand) []float64 {
+	p := make([]float64, nw.d)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+// owner returns the zone containing p by linear scan; construction-time
+// only.
+func (nw *Network) owner(p []float64) *Zone {
+	for _, z := range nw.zones {
+		if z.Contains(p) {
+			return z
+		}
+	}
+	panic(fmt.Sprintf("can: point %v owned by no zone", p))
+}
+
+// split halves z along its longest side; the upper half becomes a new
+// zone (the joining node).
+func (nw *Network) split(z *Zone) {
+	dim, width := 0, z.Hi[0]-z.Lo[0]
+	for i := 1; i < nw.d; i++ {
+		if w := z.Hi[i] - z.Lo[i]; w > width {
+			dim, width = i, w
+		}
+	}
+	mid := z.Lo[dim] + width/2
+	upper := &Zone{
+		Lo: append([]float64(nil), z.Lo...),
+		Hi: append([]float64(nil), z.Hi...),
+		id: len(nw.zones),
+	}
+	upper.Lo[dim] = mid
+	z.Hi[dim] = mid
+	nw.zones = append(nw.zones, upper)
+}
+
+// buildNeighbors wires zones that abut: touching along exactly one
+// dimension (with torus wrap) and overlapping in every other.
+func (nw *Network) buildNeighbors() {
+	nw.neighbors = make([][]int, len(nw.zones))
+	for i := range nw.zones {
+		for j := i + 1; j < len(nw.zones); j++ {
+			if nw.abut(nw.zones[i], nw.zones[j]) {
+				nw.neighbors[i] = append(nw.neighbors[i], j)
+				nw.neighbors[j] = append(nw.neighbors[j], i)
+			}
+		}
+	}
+}
+
+// abut reports whether zones a and b share a (d-1)-dimensional face.
+func (nw *Network) abut(a, b *Zone) bool {
+	touch := 0
+	for i := 0; i < nw.d; i++ {
+		switch {
+		case a.Hi[i] == b.Lo[i] || b.Hi[i] == a.Lo[i]:
+			touch++
+		case a.Hi[i] == 1 && b.Lo[i] == 0 && a.Lo[i] != 0:
+			touch++ // torus wrap a→b
+		case b.Hi[i] == 1 && a.Lo[i] == 0 && b.Lo[i] != 0:
+			touch++ // torus wrap b→a
+		case a.Lo[i] < b.Hi[i] && b.Lo[i] < a.Hi[i]:
+			// open-interval overlap: fine, not a touch
+		default:
+			return false // disjoint in this dimension with a gap
+		}
+	}
+	return touch == 1
+}
+
+// torusAxisDist returns the wraparound distance between coordinates.
+func torusAxisDist(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// distToPoint returns the torus distance from zone z to point p: zero if
+// contained, else the per-dimension clamp distance.
+func (nw *Network) distToPoint(z *Zone, p []float64) float64 {
+	total := 0.0
+	for i := 0; i < nw.d; i++ {
+		if p[i] >= z.Lo[i] && p[i] < z.Hi[i] {
+			continue
+		}
+		dLo := torusAxisDist(p[i], z.Lo[i])
+		dHi := torusAxisDist(p[i], z.Hi[i])
+		if dLo < dHi {
+			total += dLo
+		} else {
+			total += dHi
+		}
+	}
+	return total
+}
+
+// Lookup greedily routes from zone `from` to the zone owning point p,
+// returning the owner and the hop count. It panics on malformed points.
+func (nw *Network) Lookup(from int, p []float64) (owner, hops int) {
+	if len(p) != nw.d {
+		panic("can: point dimensionality mismatch")
+	}
+	cur := nw.zones[from]
+	for !cur.Contains(p) {
+		best, bestDist := -1, nw.distToPoint(cur, p)
+		for _, ni := range nw.neighbors[cur.id] {
+			if d := nw.distToPoint(nw.zones[ni], p); d < bestDist {
+				best, bestDist = ni, d
+			}
+		}
+		if best < 0 {
+			// No strictly closer neighbor: step to any neighbor
+			// containing-side tie-break would complicate the greedy
+			// model; in a well-formed CAN this cannot occur because some
+			// abutting zone always reduces the clamp distance.
+			panic("can: greedy routing stuck")
+		}
+		cur = nw.zones[best]
+		hops++
+	}
+	return cur.id, hops
+}

@@ -1,0 +1,138 @@
+package can
+
+import (
+	"math"
+	"testing"
+
+	"lesslog/internal/xrand"
+)
+
+func TestZonesPartitionSpace(t *testing.T) {
+	for _, cfg := range []struct{ d, n int }{{1, 16}, {2, 64}, {2, 100}, {3, 128}} {
+		nw := New(cfg.d, cfg.n, 7)
+		if nw.Len() != cfg.n {
+			t.Fatalf("d=%d n=%d: built %d zones", cfg.d, cfg.n, nw.Len())
+		}
+		// Volumes sum to 1.
+		vol := 0.0
+		for i := 0; i < nw.Len(); i++ {
+			z := nw.Zone(i)
+			v := 1.0
+			for k := 0; k < cfg.d; k++ {
+				if z.Lo[k] >= z.Hi[k] {
+					t.Fatalf("degenerate zone %d: %v", i, z)
+				}
+				v *= z.Hi[k] - z.Lo[k]
+			}
+			vol += v
+		}
+		if math.Abs(vol-1) > 1e-9 {
+			t.Fatalf("d=%d n=%d: total volume %v", cfg.d, cfg.n, vol)
+		}
+		// Every random point has exactly one owner.
+		rng := xrand.New(3)
+		for trial := 0; trial < 200; trial++ {
+			p := nw.randomPoint(rng)
+			owners := 0
+			for i := 0; i < nw.Len(); i++ {
+				if nw.Zone(i).Contains(p) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("point %v has %d owners", p, owners)
+			}
+		}
+	}
+}
+
+func TestNeighborsSymmetricAndNonEmpty(t *testing.T) {
+	nw := New(2, 64, 1)
+	for i := range nw.neighbors {
+		if len(nw.neighbors[i]) == 0 {
+			t.Fatalf("zone %d has no neighbors", i)
+		}
+		for _, j := range nw.neighbors[i] {
+			found := false
+			for _, k := range nw.neighbors[j] {
+				if k == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation %d-%d not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	rng := xrand.New(5)
+	for _, cfg := range []struct{ d, n int }{{2, 64}, {2, 256}, {3, 200}} {
+		nw := New(cfg.d, cfg.n, 11)
+		for trial := 0; trial < 300; trial++ {
+			p := nw.randomPoint(rng)
+			from := rng.Intn(nw.Len())
+			owner, hops := nw.Lookup(from, p)
+			if !nw.Zone(owner).Contains(p) {
+				t.Fatalf("d=%d n=%d: lookup returned non-owner", cfg.d, cfg.n)
+			}
+			if hops > 6*cfg.n {
+				t.Fatalf("hops %d absurd", hops)
+			}
+		}
+	}
+}
+
+func TestLookupFromOwnerZeroHops(t *testing.T) {
+	nw := New(2, 32, 2)
+	p := []float64{0.3, 0.7}
+	owner, _ := nw.Lookup(0, p)
+	o2, hops := nw.Lookup(owner, p)
+	if o2 != owner || hops != 0 {
+		t.Fatalf("self lookup = (%d, %d)", o2, hops)
+	}
+}
+
+func TestHopScalingMatchesTheory(t *testing.T) {
+	// CAN's expected path length is Θ(d·N^(1/d)); at d=2, N=1024 that is
+	// ~16 hops — an order of magnitude above the log₂N of LessLog and
+	// Chord, which is the §7 comparison we reproduce.
+	nw := New(2, 1024, 9)
+	rng := xrand.New(13)
+	total, trials := 0, 2000
+	for i := 0; i < trials; i++ {
+		_, hops := nw.Lookup(rng.Intn(1024), nw.randomPoint(rng))
+		total += hops
+	}
+	avg := float64(total) / float64(trials)
+	if avg < 8 || avg > 32 {
+		t.Fatalf("d=2 N=1024 average hops %.1f outside the N^(1/2) band", avg)
+	}
+	t.Logf("CAN d=2 N=1024 average hops: %.2f", avg)
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch not caught")
+		}
+	}()
+	New(2, 8, 1).Lookup(0, []float64{0.5})
+}
+
+func BenchmarkCANLookup(b *testing.B) {
+	nw := New(2, 1024, 9)
+	rng := xrand.New(1)
+	points := make([][]float64, 256)
+	froms := make([]int, 256)
+	for i := range points {
+		points[i] = nw.randomPoint(rng)
+		froms[i] = rng.Intn(1024)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Lookup(froms[i&255], points[i&255])
+	}
+}

@@ -1,0 +1,136 @@
+// Package chord implements the lookup layer of Chord (Stoica et al.,
+// SIGCOMM 2001) — successor rings with finger tables — as the related-work
+// baseline the paper cites for its O(log N) lookup-bound comparison (§7).
+// As the paper notes, Chord itself has no file replication mechanism; the
+// reproduction uses this package only to compare lookup hop counts against
+// the LessLog binomial trees (BenchmarkLookupHops* and the trace tool).
+package chord
+
+import (
+	"sort"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+)
+
+// Ring is an m-bit Chord ring over the live nodes of a status word, with
+// fully built finger tables.
+type Ring struct {
+	m       int
+	nodes   []bitops.PID                // live nodes, ascending
+	index   map[bitops.PID]int          // PID -> position in nodes
+	fingers map[bitops.PID][]bitops.PID // finger[i] = successor(n + 2^i)
+}
+
+// New builds the ring and every node's finger table.
+func New(m int, live *liveness.Set) *Ring {
+	bitops.CheckWidth(m)
+	r := &Ring{
+		m:       m,
+		nodes:   live.LivePIDs(),
+		index:   map[bitops.PID]int{},
+		fingers: map[bitops.PID][]bitops.PID{},
+	}
+	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i] < r.nodes[j] })
+	for i, n := range r.nodes {
+		r.index[n] = i
+	}
+	size := uint32(bitops.Slots(m))
+	for _, n := range r.nodes {
+		f := make([]bitops.PID, m)
+		for i := 0; i < m; i++ {
+			start := (uint32(n) + 1<<uint(i)) % size
+			f[i] = r.Successor(start)
+		}
+		r.fingers[n] = f
+	}
+	return r
+}
+
+// Len returns the number of live nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Successor returns the first live node at or clockwise after id.
+func (r *Ring) Successor(id uint32) bitops.PID {
+	i := sort.Search(len(r.nodes), func(i int) bool { return uint32(r.nodes[i]) >= id })
+	if i == len(r.nodes) {
+		i = 0 // wrap around
+	}
+	return r.nodes[i]
+}
+
+// between reports whether x lies in the half-open ring interval (a, b].
+func between(x, a, b uint32) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b // wrapped interval
+}
+
+// Lookup routes a query for key from node `from` using finger tables,
+// returning the owning node (successor of key) and the number of
+// forwarding hops. The hop count is O(log N) with high probability, the
+// bound LessLog's binomial trees guarantee deterministically.
+func (r *Ring) Lookup(from bitops.PID, key uint32) (owner bitops.PID, hops int) {
+	if len(r.nodes) == 0 {
+		panic("chord: empty ring")
+	}
+	n := from
+	for {
+		// A node owns the keys in (predecessor, self]; answer locally.
+		if between(key, uint32(r.predecessorOf(n)), uint32(n)) || len(r.nodes) == 1 {
+			return n, hops
+		}
+		succ := r.successorOf(n)
+		if between(key, uint32(n), uint32(succ)) {
+			if succ == n {
+				return succ, hops
+			}
+			return succ, hops + 1
+		}
+		next := r.closestPreceding(n, key)
+		if next == n {
+			return succ, hops + 1
+		}
+		n = next
+		hops++
+	}
+}
+
+// predecessorOf returns the live node preceding n on the ring.
+func (r *Ring) predecessorOf(n bitops.PID) bitops.PID {
+	i, ok := r.index[n]
+	if !ok {
+		panic("chord: node not on ring")
+	}
+	return r.nodes[(i+len(r.nodes)-1)%len(r.nodes)]
+}
+
+// successorOf returns the live node following n on the ring.
+func (r *Ring) successorOf(n bitops.PID) bitops.PID {
+	i, ok := r.index[n]
+	if !ok {
+		panic("chord: node not on ring")
+	}
+	return r.nodes[(i+1)%len(r.nodes)]
+}
+
+// closestPreceding returns the finger of n closest to, but preceding, key.
+func (r *Ring) closestPreceding(n bitops.PID, key uint32) bitops.PID {
+	f := r.fingers[n]
+	for i := len(f) - 1; i >= 0; i-- {
+		x := uint32(f[i])
+		if x != uint32(n) && betweenOpen(x, uint32(n), key) {
+			return f[i]
+		}
+	}
+	return n
+}
+
+// betweenOpen reports whether x lies in the open ring interval (a, b).
+func betweenOpen(x, a, b uint32) bool {
+	if a < b {
+		return x > a && x < b
+	}
+	return x > a || x < b
+}

@@ -1,0 +1,117 @@
+package chord
+
+import (
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/workload"
+	"lesslog/internal/xrand"
+)
+
+func TestSuccessor(t *testing.T) {
+	live := liveness.New(4)
+	for _, p := range []bitops.PID{2, 5, 11} {
+		live.SetLive(p)
+	}
+	r := New(4, live)
+	cases := []struct {
+		id   uint32
+		want bitops.PID
+	}{{0, 2}, {2, 2}, {3, 5}, {5, 5}, {6, 11}, {11, 11}, {12, 2}, {15, 2}}
+	for _, c := range cases {
+		if got := r.Successor(c.id); got != c.want {
+			t.Fatalf("Successor(%d) = %d, want %d", c.id, got, c.want)
+		}
+	}
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	rng := xrand.New(3)
+	for _, m := range []int{4, 8, 10} {
+		live := liveness.NewAllLive(m, bitops.Slots(m))
+		workload.KillRandom(live, 0.4, bitops.PID(^uint32(0)), rng.Fork())
+		r := New(m, live)
+		pids := live.LivePIDs()
+		for trial := 0; trial < 200; trial++ {
+			from := pids[rng.Intn(len(pids))]
+			key := uint32(rng.Intn(bitops.Slots(m)))
+			owner, hops := r.Lookup(from, key)
+			if want := r.Successor(key); owner != want {
+				t.Fatalf("m=%d Lookup(%d from %d) = %d, want %d", m, key, from, owner, want)
+			}
+			if hops > 2*m {
+				t.Fatalf("m=%d lookup took %d hops", m, hops)
+			}
+		}
+	}
+}
+
+func TestLookupSelfOwned(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	r := New(4, live)
+	// With every slot live, node n owns exactly key n.
+	owner, hops := r.Lookup(7, 7)
+	if owner != 7 || hops != 0 {
+		t.Fatalf("Lookup(7 from 7) = %d in %d hops", owner, hops)
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	live := liveness.NewAllLive(10, 1024)
+	r := New(10, live)
+	rng := xrand.New(9)
+	total := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		from := bitops.PID(rng.Intn(1024))
+		key := uint32(rng.Intn(1024))
+		_, hops := r.Lookup(from, key)
+		total += hops
+	}
+	avg := float64(total) / trials
+	// Chord's expected path length is ~ (1/2) log2 N = 5 for N=1024.
+	if avg < 2 || avg > 8 {
+		t.Fatalf("average hops %v outside the expected logarithmic band", avg)
+	}
+	t.Logf("chord average hops over %d lookups: %.2f", trials, avg)
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	live := liveness.New(4)
+	live.SetLive(9)
+	r := New(4, live)
+	owner, hops := r.Lookup(9, 3)
+	if owner != 9 || hops > 1 {
+		t.Fatalf("single-node lookup = %d in %d hops", owner, hops)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestEmptyRingPanics(t *testing.T) {
+	r := New(4, liveness.New(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty ring lookup did not panic")
+		}
+	}()
+	r.Lookup(0, 0)
+}
+
+func BenchmarkChordLookup(b *testing.B) {
+	live := liveness.NewAllLive(10, 1024)
+	r := New(10, live)
+	rng := xrand.New(1)
+	froms := make([]bitops.PID, 256)
+	keys := make([]uint32, 256)
+	for i := range froms {
+		froms[i] = bitops.PID(rng.Intn(1024))
+		keys[i] = uint32(rng.Intn(1024))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(froms[i&255], keys[i&255])
+	}
+}

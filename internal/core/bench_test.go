@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+	"lesslog/internal/xrand"
+)
+
+// benchCluster builds the paper-scale system with one hot file and n
+// replicas along the children lists.
+func benchCluster(b *testing.B, replicas int) *Cluster {
+	b.Helper()
+	c, err := New(Config{M: 10, InitialNodes: 1024, Hasher: hashring.Fixed(4), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Insert(0, "hot", []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	holders := []bitops.PID{4}
+	for len(holders) < replicas+1 {
+		placed := false
+		for _, h := range holders {
+			rep, err := c.ReplicateFile(h, "hot")
+			if err != nil {
+				continue // this holder's children list is saturated
+			}
+			holders = append(holders, rep)
+			placed = true
+			break
+		}
+		if !placed {
+			b.Fatalf("could not grow past %d holders", len(holders))
+		}
+	}
+	return c
+}
+
+// BenchmarkUpdatePropagation measures the §2.2 top-down broadcast with 64
+// replicas in the 1024-node system.
+func BenchmarkUpdatePropagation(b *testing.B) {
+	c := benchCluster(b, 64)
+	payload := []byte("new contents")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Update(bitops.PID(i&1023), "hot", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoin measures node admission including the §5.1 file handoff
+// scan over 512 stored files.
+func BenchmarkJoin(b *testing.B) {
+	c, err := New(Config{M: 10, InitialNodes: 1023, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		if _, err := c.Insert(bitops.PID(i), fmt.Sprintf("f%d", i), []byte("x")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Join(1023); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := c.Leave(1023); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFailRecovery measures §5.3 recovery with B=2 over 256 files.
+func BenchmarkFailRecovery(b *testing.B) {
+	rng := xrand.New(5)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := New(Config{M: 8, B: 2, InitialNodes: 256, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 256; j++ {
+			if _, err := c.Insert(bitops.PID(j), fmt.Sprintf("f%d", j), []byte("x")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		victim := c.Live().LivePIDs()[rng.Intn(256)]
+		b.StartTimer()
+		if err := c.Fail(victim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package core implements the operational LessLog cluster engine: the
+// paper's file operations (§2.2), the advanced dead-node model (§3), the
+// 2^b-way fault-tolerant model (§4) and the self-organized join / leave /
+// fail mechanism (§5), at the level of individual requests between nodes.
+//
+// The engine simulates the peer-to-peer system in process: each node owns
+// a local store and its own copy of the status word, and operations hop
+// between nodes exactly as the paper's algorithms forward requests, with
+// every hop and broadcast message counted. The analytic rate-level
+// simulator used by the evaluation figures lives in internal/loadsim; the
+// two are cross-checked in the tests. A wire-protocol deployment of the
+// same node logic lives in internal/netnode.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+	"lesslog/internal/liveness"
+	"lesslog/internal/ptree"
+	"lesslog/internal/store"
+	"lesslog/internal/xrand"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// M is the identifier width; the system has 2^M identifier slots.
+	M int
+	// B is the number of fault-tolerance bits (§4): every file is stored
+	// in 2^B subtrees. 0 reproduces the basic/advanced models.
+	B int
+	// InitialNodes bootstraps PIDs 0..InitialNodes-1 as live.
+	InitialNodes int
+	// Hasher is ψ; nil selects hashring.Default.
+	Hasher hashring.Hasher
+	// Seed drives the proportional children-list choice (§3).
+	Seed uint64
+}
+
+// Node is one peer: its local store and its own status word (§5.1).
+type Node struct {
+	pid    bitops.PID
+	store  *store.Store
+	status *liveness.Set
+}
+
+// PID returns the node's physical identifier.
+func (n *Node) PID() bitops.PID { return n.pid }
+
+// Store exposes the node's local store (read-mostly; the cluster engine
+// owns mutation during operations).
+func (n *Node) Store() *store.Store { return n.store }
+
+// StatusWord returns the node's own copy of the status word.
+func (n *Node) StatusWord() *liveness.Set { return n.status }
+
+// Cluster is an in-process LessLog system.
+type Cluster struct {
+	cfg    Config
+	hasher hashring.Hasher
+	live   *liveness.Set // the ground-truth status word
+	nodes  map[bitops.PID]*Node
+	rng    *xrand.Rand
+
+	version uint64 // logical clock for update propagation
+	stats   Stats
+}
+
+// Stats counts the engine's traffic and outcomes.
+type Stats struct {
+	Gets            uint64 // get requests issued
+	GetHops         uint64 // forwarding hops across all gets
+	GetFallbacks    uint64 // §3 step-2 jumps to the FINDLIVENODE primary
+	GetMigrations   uint64 // §4 cross-subtree migrations
+	Faults          uint64 // gets that found no copy
+	Inserts         uint64 // files inserted (counting one per file)
+	InsertCopies    uint64 // primary copies created (2^B per insert)
+	Updates         uint64 // update operations
+	UpdateMessages  uint64 // update broadcast messages
+	ReplicasCreated uint64 // copies placed by REPLICATEFILE
+	ReplicasEvicted uint64 // cold replicas removed
+	StatusMessages  uint64 // join/leave/fail status-word broadcasts
+	FilesMigrated   uint64 // files moved by the §5 mechanism
+}
+
+// Common errors.
+var (
+	ErrNotFound   = errors.New("core: file not found (fault)")
+	ErrDeadOrigin = errors.New("core: origin node is not live")
+	ErrNoLiveNode = errors.New("core: no live node available")
+	ErrPIDInUse   = errors.New("core: PID already in use")
+	ErrPIDRange   = errors.New("core: PID outside the identifier space")
+	ErrNotLive    = errors.New("core: node is not live")
+)
+
+// New builds a cluster with cfg.InitialNodes live nodes at PIDs
+// 0..InitialNodes-1.
+func New(cfg Config) (*Cluster, error) {
+	bitops.CheckSplit(cfg.M, cfg.B)
+	if cfg.InitialNodes < 1 || cfg.InitialNodes > bitops.Slots(cfg.M) {
+		return nil, fmt.Errorf("core: initial node count %d outside [1, 2^m]", cfg.InitialNodes)
+	}
+	h := cfg.Hasher
+	if h == nil {
+		h = hashring.Default
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		hasher: h,
+		live:   liveness.NewAllLive(cfg.M, cfg.InitialNodes),
+		nodes:  make(map[bitops.PID]*Node, cfg.InitialNodes),
+		rng:    xrand.New(cfg.Seed),
+	}
+	for p := 0; p < cfg.InitialNodes; p++ {
+		c.nodes[bitops.PID(p)] = &Node{
+			pid:    bitops.PID(p),
+			store:  store.New(),
+			status: c.live.Clone(),
+		}
+	}
+	return c, nil
+}
+
+// M returns the identifier width.
+func (c *Cluster) M() int { return c.cfg.M }
+
+// B returns the fault-tolerance bits.
+func (c *Cluster) B() int { return c.cfg.B }
+
+// Slots returns the identifier-space size 2^M.
+func (c *Cluster) Slots() int { return bitops.Slots(c.cfg.M) }
+
+// NodeCount returns the number of live nodes.
+func (c *Cluster) NodeCount() int { return c.live.LiveCount() }
+
+// Node returns the live node with the given PID.
+func (c *Cluster) Node(p bitops.PID) (*Node, bool) {
+	n, ok := c.nodes[p]
+	return n, ok
+}
+
+// Live returns a snapshot of the ground-truth status word.
+func (c *Cluster) Live() *liveness.Set { return c.live.Clone() }
+
+// Stats returns a copy of the traffic counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the traffic counters.
+func (c *Cluster) ResetStats() { c.stats = Stats{} }
+
+// Target returns ψ(name), the file's target node.
+func (c *Cluster) Target(name string) bitops.PID {
+	return c.hasher.Target(name, c.cfg.M)
+}
+
+// view returns the lookup-tree view for the given target.
+func (c *Cluster) view(target bitops.PID) ptree.View {
+	return ptree.NewView(target, c.live, c.cfg.B)
+}
+
+// HoldersOf returns the live PIDs currently holding a copy of name,
+// ascending — an introspection helper for tests, examples and tools.
+func (c *Cluster) HoldersOf(name string) []bitops.PID {
+	var out []bitops.PID
+	c.live.ForEachLive(func(p bitops.PID) {
+		if c.nodes[p].store.Has(name) {
+			out = append(out, p)
+		}
+	})
+	return out
+}
+
+// broadcastStatus applies fn to every live node's status word, modeling
+// the §5.1 register broadcasts, and counts one message per recipient.
+func (c *Cluster) broadcastStatus(fn func(s *liveness.Set)) {
+	c.live.ForEachLive(func(p bitops.PID) {
+		fn(c.nodes[p].status)
+		c.stats.StatusMessages++
+	})
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+	"lesslog/internal/xrand"
+)
+
+// ftCluster builds an m=6, b=2, 64-node cluster with ψ pinned at target.
+func ftCluster(t *testing.T, target bitops.PID) *Cluster {
+	t.Helper()
+	c, err := New(Config{M: 6, B: 2, InitialNodes: 64, Hasher: hashring.Fixed(target), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFTUpdateReachesAllSubtrees(t *testing.T) {
+	c := ftCluster(t, 21)
+	ins, err := c.Insert(0, "f", []byte("v1"))
+	if err != nil || len(ins.Holders) != 4 {
+		t.Fatalf("insert = %+v, %v", ins, err)
+	}
+	// Replicate inside two different subtrees, then update.
+	c.ReplicateFile(ins.Holders[0], "f")
+	c.ReplicateFile(ins.Holders[2], "f")
+	res, err := c.Update(9, "f", []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CopiesUpdated != 6 {
+		t.Fatalf("updated %d of 6 copies", res.CopiesUpdated)
+	}
+	for _, h := range c.HoldersOf("f") {
+		n, _ := c.Node(h)
+		f, _ := n.Store().Peek("f")
+		if !bytes.Equal(f.Data, []byte("v2")) {
+			t.Fatalf("stale copy at P(%d)", h)
+		}
+	}
+}
+
+func TestFTUpdateWithDeadSubtreeRoots(t *testing.T) {
+	c := ftCluster(t, 21)
+	ins, _ := c.Insert(0, "f", []byte("v1"))
+	// Kill every subtree's root position so all broadcasts start from
+	// expanded children lists.
+	v := c.view(21)
+	for sid := bitops.VID(0); sid < 4; sid++ {
+		rootPos := v.SubtreeRoot(sid)
+		if c.live.IsLive(rootPos) {
+			if err := c.Fail(rootPos); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Update(c.Live().LivePIDs()[0], "f", []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CopiesUpdated != c.FaultToleranceDegreeOf("f") {
+		t.Fatalf("updated %d copies, degree %d", res.CopiesUpdated, c.FaultToleranceDegreeOf("f"))
+	}
+	_ = ins
+}
+
+func TestFTGetCombinesFallbackAndMigration(t *testing.T) {
+	// Empty one subtree of its copy AND kill the subtree root: a get
+	// from inside must take the fallback, miss, migrate, and succeed.
+	c := ftCluster(t, 21)
+	ins, _ := c.Insert(0, "f", []byte("x"))
+	v := c.view(21)
+	victim := ins.Holders[0]
+	sid := v.SubtreeID(victim)
+	n, _ := c.Node(victim)
+	n.Store().Delete("f") // lose the copy silently (bypasses recovery)
+	// Also kill the subtree's root position when distinct and live.
+	rootPos := v.SubtreeRoot(sid)
+	if rootPos != victim && c.live.IsLive(rootPos) {
+		c.Fail(rootPos)
+	}
+	var origin bitops.PID
+	found := false
+	c.live.ForEachLive(func(p bitops.PID) {
+		if !found && c.view(21).SubtreeID(p) == sid {
+			origin, found = p, true
+		}
+	})
+	if !found {
+		t.Skip("subtree emptied entirely")
+	}
+	g, err := c.Get(origin, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Migrated {
+		t.Fatalf("get did not migrate: %+v", g)
+	}
+}
+
+func TestFTChurnedDegreeNeverExceeds2B(t *testing.T) {
+	c := ftCluster(t, 21)
+	rng := xrand.New(8)
+	for i := 0; i < 30; i++ {
+		c.Insert(bitops.PID(rng.Intn(64)), fmt.Sprintf("f%d", i), []byte("x"))
+	}
+	for step := 0; step < 60; step++ {
+		pids := c.Live().LivePIDs()
+		switch {
+		case c.NodeCount() > 24 && rng.Bool(0.5):
+			c.Fail(pids[rng.Intn(len(pids))])
+		case c.NodeCount() > 24 && rng.Bool(0.5):
+			c.Leave(pids[rng.Intn(len(pids))])
+		default:
+			for probe := 0; probe < 10; probe++ {
+				p := bitops.PID(rng.Intn(64))
+				if !c.Live().IsLive(p) {
+					c.Join(p)
+					break
+				}
+			}
+		}
+		for i := 0; i < 30; i += 7 {
+			if d := c.FaultToleranceDegreeOf(fmt.Sprintf("f%d", i)); d > 4 {
+				t.Fatalf("step %d: degree %d exceeds 2^b", step, d)
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	// All files still retrievable.
+	pids := c.Live().LivePIDs()
+	for i := 0; i < 30; i++ {
+		if _, err := c.Get(pids[rng.Intn(len(pids))], fmt.Sprintf("f%d", i)); err != nil {
+			t.Fatalf("f%d lost: %v", i, err)
+		}
+	}
+}
+
+func TestGetAfterDeleteFaultsEverywhere(t *testing.T) {
+	c := ftCluster(t, 21)
+	c.Insert(0, "f", []byte("x"))
+	if _, err := c.Delete(5, "f"); err != nil {
+		t.Fatal(err)
+	}
+	for _, origin := range []bitops.PID{0, 17, 42, 63} {
+		if _, err := c.Get(origin, "f"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("get from P(%d) after delete: %v", origin, err)
+		}
+	}
+}

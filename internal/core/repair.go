@@ -1,0 +1,82 @@
+package core
+
+// Anti-entropy repair. The paper's top-down update broadcast reaches every
+// replica that is connected to the root position through holders (§2.2),
+// and our engine preserves that invariant under its own operations. Churn
+// can still orphan a replica: if the holders between it and the root
+// leave or fail, later updates no longer reach it. The paper leaves this
+// open; Repair closes it with a sweep any deployment would run
+// periodically — synchronize every copy of a file to the newest version
+// and drop replicas whose file no longer exists.
+
+import (
+	"lesslog/internal/bitops"
+	"lesslog/internal/store"
+)
+
+// RepairResult reports one repair sweep.
+type RepairResult struct {
+	FilesChecked    int
+	StaleRewritten  int // replicas brought to the newest version
+	OrphansDeleted  int // replicas of files with no authoritative copy
+	MessagesRoughly int // one per holder visited
+}
+
+// Repair synchronizes all copies of name to the newest version present in
+// the system. If no authoritative (inserted) copy survives anywhere, all
+// replicas are dropped — the file is gone and serving stale bytes would
+// be worse than faulting.
+func (c *Cluster) Repair(name string) RepairResult {
+	var res RepairResult
+	res.FilesChecked = 1
+	var newest store.File
+	hasAuthority := false
+	holders := c.HoldersOf(name)
+	res.MessagesRoughly = len(holders)
+	for _, h := range holders {
+		st := c.nodes[h].store
+		f, _ := st.Peek(name)
+		if k, _ := st.KindOf(name); k == store.Inserted {
+			hasAuthority = true
+		}
+		if f.Version > newest.Version {
+			newest = f
+		}
+	}
+	for _, h := range holders {
+		st := c.nodes[h].store
+		if !hasAuthority {
+			if st.Delete(name) {
+				res.OrphansDeleted++
+			}
+			continue
+		}
+		if st.Update(name, newest.Data, newest.Version) {
+			res.StaleRewritten++
+		}
+	}
+	return res
+}
+
+// RepairAll sweeps every file in the system.
+func (c *Cluster) RepairAll() RepairResult {
+	seen := map[string]bool{}
+	var names []string
+	c.live.ForEachLive(func(p bitops.PID) {
+		for _, name := range c.nodes[p].store.AllNames() {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	})
+	var total RepairResult
+	for _, name := range names {
+		r := c.Repair(name)
+		total.FilesChecked += r.FilesChecked
+		total.StaleRewritten += r.StaleRewritten
+		total.OrphansDeleted += r.OrphansDeleted
+		total.MessagesRoughly += r.MessagesRoughly
+	}
+	return total
+}

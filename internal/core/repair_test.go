@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lesslog/internal/hashring"
+	"lesslog/internal/store"
+)
+
+// orphanReplica builds the churn pattern that strands a replica: a chain
+// root -> P(5) -> P(7) of copies, then P(5) (the link) leaves, so updates
+// starting at the root no longer pass through a holder to reach P(7).
+func orphanReplica(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Config{M: 4, InitialNodes: 16, Hasher: hashring.Fixed(4), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(0, "f", []byte("v1"))
+	if rep, err := c.ReplicateFile(4, "f"); err != nil || rep != 5 {
+		t.Fatalf("replica 1 at P(%d), %v", rep, err)
+	}
+	if rep, err := c.ReplicateFile(5, "f"); err != nil || rep != 7 {
+		t.Fatalf("replica 2 at P(%d), %v", rep, err)
+	}
+	if err := c.Leave(5); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOrphanedReplicaGoesStaleWithoutRepair(t *testing.T) {
+	c := orphanReplica(t)
+	// P(7) now sits below the departed P(5); updates from the root reach
+	// it only if the expanded children list re-connects it. P(5)'s death
+	// promotes P(7) into P(4)'s expanded list, so in THIS pattern the
+	// update still reaches it — the paper's structure is self-healing
+	// for single departures. Verify that, then build a genuinely
+	// disconnected case below.
+	c.Update(0, "f", []byte("v2"))
+	n7, _ := c.Node(7)
+	f, _ := n7.Store().Peek("f")
+	if !bytes.Equal(f.Data, []byte("v2")) {
+		t.Fatalf("single departure broke propagation: %q", f.Data)
+	}
+}
+
+func TestRepairFixesManuallyStrandedReplica(t *testing.T) {
+	c, err := New(Config{M: 4, InitialNodes: 16, Hasher: hashring.Fixed(4), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(0, "f", []byte("v1"))
+	// Place a replica somewhere no broadcast will visit: P(15) is a leaf
+	// of P(12)'s subtree; with no holder chain to it, updates discard at
+	// P(12).
+	n15, _ := c.Node(15)
+	n15.Store().Put(store.File{Name: "f", Data: []byte("v1"), Version: 1}, store.Replica)
+	c.Update(0, "f", []byte("v2"))
+	f, _ := n15.Store().Peek("f")
+	if !bytes.Equal(f.Data, []byte("v1")) {
+		t.Fatalf("expected the stranded replica to be stale, got %q", f.Data)
+	}
+	res := c.Repair("f")
+	if res.StaleRewritten != 1 {
+		t.Fatalf("repair = %+v", res)
+	}
+	f, _ = n15.Store().Peek("f")
+	if !bytes.Equal(f.Data, []byte("v2")) {
+		t.Fatalf("replica still stale after repair: %q", f.Data)
+	}
+}
+
+func TestRepairDropsOrphansWithoutAuthority(t *testing.T) {
+	c, err := New(Config{M: 4, B: 0, InitialNodes: 16, Hasher: hashring.Fixed(4), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(0, "f", []byte("v1"))
+	c.ReplicateFile(4, "f") // replica at P(5)
+	// The authoritative holder fails with B=0: the file is gone, but the
+	// replica at P(5) lingers and keeps serving.
+	if err := c.Fail(4); err != nil {
+		t.Fatal(err)
+	}
+	if g, err := c.Get(5, "f"); err != nil || g.ServedBy != 5 {
+		t.Fatalf("lingering replica should still serve: %+v, %v", g, err)
+	}
+	res := c.RepairAll()
+	if res.OrphansDeleted != 1 {
+		t.Fatalf("repair = %+v", res)
+	}
+	if len(c.HoldersOf("f")) != 0 {
+		t.Fatal("orphan survived repair")
+	}
+}
+
+func TestRepairAllCountsFiles(t *testing.T) {
+	c, _ := New(Config{M: 6, InitialNodes: 64, Seed: 1})
+	for _, name := range []string{"a", "b", "c"} {
+		c.Insert(0, name, []byte("x"))
+	}
+	res := c.RepairAll()
+	if res.FilesChecked != 3 || res.StaleRewritten != 0 || res.OrphansDeleted != 0 {
+		t.Fatalf("repair = %+v", res)
+	}
+}

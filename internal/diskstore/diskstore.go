@@ -1,0 +1,171 @@
+// Package diskstore persists a node's file store to a directory and
+// restores it, so a networked LessLog peer survives restarts — the
+// durability a real deployment of the paper's file system needs and the
+// in-memory simulators deliberately skip.
+//
+// The model is checkpoint-based: Save writes every stored object to its
+// own file (named by a 64-bit FNV of the object name, with the real name
+// kept inside the record and verified on load) and removes files for
+// objects that no longer exist; Load rebuilds a store.Store. Access
+// counters are ephemeral window state and are not persisted.
+//
+// Record layout (big endian):
+//
+//	magic   [4]byte "LLG1"
+//	kind    uint8   (store.Inserted / store.Replica)
+//	version uint64
+//	nameLen uint32, name bytes
+//	dataLen uint32, data bytes
+package diskstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lesslog/internal/store"
+)
+
+var magic = [4]byte{'L', 'L', 'G', '1'}
+
+// ErrCorrupt marks an unreadable record.
+var ErrCorrupt = errors.New("diskstore: corrupt record")
+
+// limits mirror the wire protocol's.
+const (
+	maxName = 4 << 10
+	maxData = 16 << 20
+)
+
+// fileFor returns the record path for an object name.
+func fileFor(dir, name string) string {
+	h := fnv.New64a()
+	h.Write([]byte(name)) // never fails
+	return filepath.Join(dir, fmt.Sprintf("%016x.obj", h.Sum64()))
+}
+
+// encode builds one record.
+func encode(f store.File, kind store.Kind) ([]byte, error) {
+	if len(f.Name) > maxName || len(f.Data) > maxData {
+		return nil, fmt.Errorf("diskstore: object %q exceeds size limits", f.Name)
+	}
+	b := make([]byte, 0, 4+1+8+4+len(f.Name)+4+len(f.Data))
+	b = append(b, magic[:]...)
+	b = append(b, byte(kind))
+	b = binary.BigEndian.AppendUint64(b, f.Version)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(f.Name)))
+	b = append(b, f.Name...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(f.Data)))
+	b = append(b, f.Data...)
+	return b, nil
+}
+
+// decode parses one record.
+func decode(b []byte) (store.File, store.Kind, error) {
+	if len(b) < 4+1+8+4 || string(b[:4]) != string(magic[:]) {
+		return store.File{}, 0, ErrCorrupt
+	}
+	kind := store.Kind(b[4])
+	if kind != store.Inserted && kind != store.Replica {
+		return store.File{}, 0, ErrCorrupt
+	}
+	version := binary.BigEndian.Uint64(b[5:13])
+	b = b[13:]
+	nameLen := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if int(nameLen) > maxName || int(nameLen) > len(b) {
+		return store.File{}, 0, ErrCorrupt
+	}
+	name := string(b[:nameLen])
+	b = b[nameLen:]
+	if len(b) < 4 {
+		return store.File{}, 0, ErrCorrupt
+	}
+	dataLen := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if int(dataLen) > maxData || int(dataLen) != len(b) {
+		return store.File{}, 0, ErrCorrupt
+	}
+	data := make([]byte, dataLen)
+	copy(data, b)
+	return store.File{Name: name, Data: data, Version: version}, kind, nil
+}
+
+// Save checkpoints s into dir (created if missing): every object gets a
+// record file, and record files for objects no longer in s are removed.
+// Writes go through a temp file + rename, so a crash mid-save leaves
+// every record either old or new, never torn.
+func Save(dir string, s *store.Store) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, name := range s.AllNames() {
+		f, _ := s.Peek(name)
+		kind, _ := s.KindOf(name)
+		rec, err := encode(f, kind)
+		if err != nil {
+			return err
+		}
+		path := fileFor(dir, name)
+		want[filepath.Base(path)] = true
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, rec, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+	}
+	// Prune records for deleted objects.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".obj") || want[name] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load rebuilds a store from dir. A missing directory yields an empty
+// store; a corrupt record fails loudly rather than silently dropping
+// data.
+func Load(dir string) (*store.Store, error) {
+	s := store.New()
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".obj") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		f, kind, err := decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("diskstore: %s: %w", e.Name(), err)
+		}
+		if fileFor(dir, f.Name) != filepath.Join(dir, e.Name()) {
+			return nil, fmt.Errorf("diskstore: %s: name %q does not match its record file", e.Name(), f.Name)
+		}
+		s.Put(f, kind)
+	}
+	return s, nil
+}

@@ -1,0 +1,138 @@
+package diskstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lesslog/internal/store"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := store.New()
+	s.Put(store.File{Name: "a/b.txt", Data: []byte("alpha"), Version: 3}, store.Inserted)
+	s.Put(store.File{Name: "c", Data: []byte("gamma"), Version: 1}, store.Replica)
+	s.Put(store.File{Name: "empty", Data: nil, Version: 9}, store.Replica)
+	if err := Save(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.AllNames(), s.AllNames()) {
+		t.Fatalf("names = %v, want %v", loaded.AllNames(), s.AllNames())
+	}
+	for _, name := range s.AllNames() {
+		want, _ := s.Peek(name)
+		got, ok := loaded.Peek(name)
+		if !ok || !bytes.Equal(got.Data, want.Data) || got.Version != want.Version {
+			t.Fatalf("%s: got %+v, want %+v", name, got, want)
+		}
+		wk, _ := s.KindOf(name)
+		gk, _ := loaded.KindOf(name)
+		if wk != gk {
+			t.Fatalf("%s: kind %v, want %v", name, gk, wk)
+		}
+	}
+}
+
+func TestSavePrunesDeleted(t *testing.T) {
+	dir := t.TempDir()
+	s := store.New()
+	s.Put(store.File{Name: "keep", Data: []byte("1"), Version: 1}, store.Inserted)
+	s.Put(store.File{Name: "drop", Data: []byte("2"), Version: 1}, store.Inserted)
+	if err := Save(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete("drop")
+	if err := Save(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 || !loaded.Has("keep") || loaded.Has("drop") {
+		t.Fatalf("loaded = %v", loaded.AllNames())
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	s, err := Load(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("missing dir: %v, %v", s, err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := store.New()
+	s.Put(store.File{Name: "x", Data: []byte("1"), Version: 1}, store.Inserted)
+	if err := Save(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	path := filepath.Join(dir, entries[0].Name())
+	// Truncate the record.
+	b, _ := os.ReadFile(path)
+	os.WriteFile(path, b[:len(b)-1], 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	// Clobber the magic.
+	bad := append([]byte("XXXX"), b[4:]...)
+	os.WriteFile(path, bad, 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Record under the wrong filename.
+	os.WriteFile(path, b, 0o644)
+	os.WriteFile(filepath.Join(dir, "0000000000000000.obj"), b, 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("misfiled record accepted")
+	}
+}
+
+func TestLoadIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o644)
+	os.WriteFile(filepath.Join(dir, "junk.tmp"), []byte("hi"), 0o644)
+	s, err := Load(dir)
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("foreign files broke load: %v", err)
+	}
+}
+
+func TestSaveRejectsOversize(t *testing.T) {
+	dir := t.TempDir()
+	s := store.New()
+	big := make([]byte, maxData+1)
+	s.Put(store.File{Name: "big", Data: big, Version: 1}, store.Inserted)
+	if err := Save(dir, s); err == nil {
+		t.Fatal("oversize object saved")
+	}
+}
+
+func TestCheckpointCycleSurvivesRestarts(t *testing.T) {
+	dir := t.TempDir()
+	s := store.New()
+	for round := 0; round < 5; round++ {
+		s.Put(store.File{Name: "counter", Data: []byte{byte(round)}, Version: uint64(round + 1)}, store.Inserted)
+		if err := Save(dir, s); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := loaded.Peek("counter")
+		if f.Version != uint64(round+1) || f.Data[0] != byte(round) {
+			t.Fatalf("round %d: %+v", round, f)
+		}
+		s = loaded // next round continues from the restored state
+	}
+}

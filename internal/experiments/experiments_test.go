@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/replication"
+)
+
+// quickParams shrinks the sweep so figure tests stay fast while keeping
+// the paper's m=10 system.
+func quickParams() Params {
+	p := PaperParams()
+	p.RateMin = 4000
+	p.RateMax = 16000
+	p.RateStep = 4000
+	p.Trials = 1
+	return p
+}
+
+func TestPaperParams(t *testing.T) {
+	p := PaperParams()
+	if p.M != 10 || p.Cap != 100 || p.RateMin != 1000 || p.RateMax != 20000 {
+		t.Fatalf("paper params drifted: %+v", p)
+	}
+	rates := p.Rates()
+	if len(rates) != 20 || rates[0] != 1000 || rates[19] != 20000 {
+		t.Fatalf("rates = %v", rates)
+	}
+}
+
+func TestRunPointDeterministicBySeed(t *testing.T) {
+	p := quickParams()
+	a, err := RunPoint(p, replication.Random{}, 8000, 0.2, true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPoint(p, replication.Random{}, 8000, 0.2, true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave %d and %d replicas", a, b)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	fig, err := Figure5(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckShape(fig, 0.35); err != nil {
+		t.Fatal(err)
+	}
+	// Replica counts grow with the request rate for every method.
+	for _, s := range fig.Series {
+		for i := 1; i < len(s.Replicas); i++ {
+			if s.Replicas[i] < s.Replicas[i-1]*0.7 {
+				t.Fatalf("series %s not increasing: %v", s.Label, s.Replicas)
+			}
+		}
+	}
+	// Random should be *far* worse at the top rate (the paper's
+	// "significantly fewer replicas" claim): at least 1.5x LessLog.
+	var ll, rnd float64
+	for _, s := range fig.Series {
+		last := s.Replicas[len(s.Replicas)-1]
+		switch s.Label {
+		case "lesslog":
+			ll = last
+		case "random":
+			rnd = last
+		}
+	}
+	if rnd < 1.5*ll {
+		t.Fatalf("random (%v) not significantly above lesslog (%v)", rnd, ll)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	fig, err := Figure6(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// "A similar number of replicas are created in all three
+	// configurations": pairwise gaps bounded.
+	for _, pair := range [][2]string{{"10% dead", "20% dead"}, {"10% dead", "30% dead"}} {
+		gap, err := MaxSeriesGap(fig, pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap > 0.5 {
+			t.Fatalf("gap between %s and %s = %.2f, not 'similar'", pair[0], pair[1], gap)
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	fig, err := Figure7(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckShape(fig, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	fig, err := Figure8(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if len(s.Replicas) != len(fig.Rates) {
+			t.Fatalf("series %s length mismatch", s.Label)
+		}
+		for _, v := range s.Replicas {
+			if v <= 0 {
+				t.Fatalf("series %s has nonpositive point %v", s.Label, v)
+			}
+		}
+	}
+}
+
+func TestSweepParallelismInvariant(t *testing.T) {
+	// The same figure at parallelism 1 and 8 must be bit-identical:
+	// every sweep point is independently seeded.
+	p := quickParams()
+	p.Parallelism = 1
+	serial, err := Figure5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Parallelism = 8
+	parallel, err := Figure5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Series {
+		for j := range serial.Series[i].Replicas {
+			if serial.Series[i].Replicas[j] != parallel.Series[i].Replicas[j] {
+				t.Fatalf("series %s point %d differs: %v vs %v",
+					serial.Series[i].Label, j,
+					serial.Series[i].Replicas[j], parallel.Series[i].Replicas[j])
+			}
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	// A broken strategy (places duplicate copies) makes Balance fail;
+	// the worker pool must surface that error.
+	p := quickParams()
+	if _, err := sweep(p, "dup", duplicateStrategy{}, 0, false); err == nil {
+		t.Fatal("sweep swallowed the strategy error")
+	}
+}
+
+// duplicateStrategy always proposes the target node itself, which already
+// holds the primary copy — an invalid placement Balance must reject.
+type duplicateStrategy struct{}
+
+func (duplicateStrategy) Name() string { return "dup" }
+func (duplicateStrategy) Place(ctx replication.Context, k bitops.PID) (bitops.PID, bool) {
+	return k, true
+}
+
+func TestByID(t *testing.T) {
+	p := quickParams()
+	p.RateMax = p.RateMin // single point, keep it quick
+	for _, id := range []string{"5", "figure6", "7", "figure8"} {
+		fig, err := ByID(id, p)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(fig.Series) == 0 {
+			t.Fatalf("%s: empty figure", id)
+		}
+	}
+	if _, err := ByID("9", p); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	fig := Figure{
+		ID: "figure5", Title: "t", XLabel: "x",
+		Rates: []float64{1000, 2000},
+		Series: []Series{
+			{Label: "lesslog", Replicas: []float64{3, 6}},
+			{Label: "random", Replicas: []float64{9, 18}},
+		},
+	}
+	tab := Table(fig)
+	if !strings.Contains(tab, "lesslog") || !strings.Contains(tab, "1000") {
+		t.Fatalf("table:\n%s", tab)
+	}
+	csv := CSV(fig)
+	if !strings.HasPrefix(csv, "rate,lesslog,random\n1000,3.00,9.00\n") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+	md := Markdown(fig)
+	if !strings.Contains(md, "| 1000 | 3.0 | 9.0 |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+}
+
+func TestCheckShapeRejects(t *testing.T) {
+	bad := Figure{
+		ID:    "x",
+		Rates: []float64{1},
+		Series: []Series{
+			{Label: "log-based", Replicas: []float64{10}},
+			{Label: "lesslog", Replicas: []float64{5}},
+			{Label: "random", Replicas: []float64{2}},
+		},
+	}
+	if err := CheckShape(bad, 0.2); err == nil {
+		t.Fatal("shape violation not detected")
+	}
+	if err := CheckShape(Figure{ID: "y"}, 0.2); err == nil {
+		t.Fatal("missing series not detected")
+	}
+}
+
+func TestEviction(t *testing.T) {
+	p := quickParams()
+	pts, err := Eviction(p, []float64{8000}, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("points = %v", pts)
+	}
+	pt := pts[0]
+	if pt.Removed == 0 {
+		t.Fatal("eviction removed nothing after an 8x rate collapse")
+	}
+	if pt.HoldersAfter != pt.HoldersAtHigh-pt.Removed {
+		t.Fatalf("holder accounting wrong: %+v", pt)
+	}
+}
+
+func TestMaxSeriesGapErrors(t *testing.T) {
+	if _, err := MaxSeriesGap(Figure{}, "a", "b"); err == nil {
+		t.Fatal("missing series not reported")
+	}
+}

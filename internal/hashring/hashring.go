@@ -1,0 +1,75 @@
+// Package hashring implements ψ, the hash function of paper §2.1: it maps
+// the unique information of a file (its name or URL) to a target PID in
+// [0, 2^m). The default is 64-bit FNV-1a folded to m bits; any Hasher can
+// be substituted, and tests use fixed-target hashers to steer files at
+// specific nodes.
+package hashring
+
+import (
+	"hash/fnv"
+
+	"lesslog/internal/bitops"
+)
+
+// Hasher maps file names to target PIDs for a given identifier width.
+type Hasher interface {
+	// Target returns ψ(name) in [0, 2^m).
+	Target(name string, m int) bitops.PID
+}
+
+// FNV is the default Hasher: FNV-1a(name) XOR-folded down to m bits, which
+// spreads the 64-bit avalanche across the short identifier space instead of
+// just truncating it.
+type FNV struct{}
+
+// Target implements Hasher.
+func (FNV) Target(name string, m int) bitops.PID {
+	h := fnv.New64a()
+	h.Write([]byte(name)) // never fails
+	x := h.Sum64()
+	x ^= x >> 32
+	x ^= x >> 16
+	return bitops.PID(bitops.VID(x) & bitops.Mask(m))
+}
+
+// Default is the hasher used when none is configured.
+var Default Hasher = FNV{}
+
+// Fixed is a Hasher that sends every name to the same target; experiments
+// use it to recreate the paper's single-popular-file workload with a chosen
+// target node.
+type Fixed bitops.PID
+
+// Target implements Hasher.
+func (f Fixed) Target(string, int) bitops.PID { return bitops.PID(f) }
+
+// Preimage searches names of the form prefix#<i> until one hashes to
+// target under h, and returns it. It lets examples place a *real* hashed
+// name at a chosen node. It panics if no preimage is found within 2^m * 64
+// attempts, which for a uniform hash is vanishingly unlikely.
+func Preimage(h Hasher, target bitops.PID, m int, prefix string) string {
+	limit := bitops.Slots(m) * 64
+	for i := 0; i < limit; i++ {
+		name := prefix + "#" + itoa(i)
+		if h.Target(name, m) == target {
+			return name
+		}
+	}
+	panic("hashring: no preimage found; hasher is not close to uniform")
+}
+
+// itoa is a tiny strconv.Itoa replacement for non-negative ints, keeping
+// the package dependency-light.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

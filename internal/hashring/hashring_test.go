@@ -1,0 +1,73 @@
+package hashring
+
+import (
+	"testing"
+
+	"lesslog/internal/bitops"
+)
+
+func TestFNVInRange(t *testing.T) {
+	for _, m := range []int{1, 4, 10, 20} {
+		for i := 0; i < 1000; i++ {
+			p := FNV{}.Target("file-"+itoa(i), m)
+			if p >= bitops.PID(bitops.Slots(m)) {
+				t.Fatalf("m=%d target %d out of range", m, p)
+			}
+		}
+	}
+}
+
+func TestFNVDeterministic(t *testing.T) {
+	a := FNV{}.Target("hello", 10)
+	b := FNV{}.Target("hello", 10)
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestFNVSpread(t *testing.T) {
+	// At m=10, 10k distinct names must hit a large fraction of the 1024
+	// slots: a collapsed fold would fail this immediately.
+	const m = 10
+	hit := map[bitops.PID]bool{}
+	for i := 0; i < 10000; i++ {
+		hit[FNV{}.Target("object/"+itoa(i), m)] = true
+	}
+	if len(hit) < 1000 {
+		t.Fatalf("only %d of 1024 slots hit", len(hit))
+	}
+}
+
+func TestFixed(t *testing.T) {
+	h := Fixed(42)
+	if h.Target("anything", 10) != 42 || h.Target("else", 4) != 42 {
+		t.Fatal("Fixed hasher not fixed")
+	}
+}
+
+func TestPreimage(t *testing.T) {
+	const m = 6
+	for target := bitops.PID(0); target < 64; target += 13 {
+		name := Preimage(FNV{}, target, m, "probe")
+		if got := (FNV{}).Target(name, m); got != target {
+			t.Fatalf("Preimage(%d) hashes to %d", target, got)
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		v    int
+		want string
+	}{{0, "0"}, {7, "7"}, {10, "10"}, {987654, "987654"}} {
+		if got := itoa(c.v); got != c.want {
+			t.Fatalf("itoa(%d) = %q", c.v, got)
+		}
+	}
+}
+
+func BenchmarkFNV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		FNV{}.Target("some/shared/file/name.bin", 10)
+	}
+}

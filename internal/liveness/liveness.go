@@ -1,0 +1,209 @@
+// Package liveness implements the status word of paper §5.1: a bitmap with
+// one bit per identifier slot indicating whether the corresponding node is
+// live. Every live node maintains a copy and updates it from the
+// register-live / register-dead broadcasts.
+//
+// The package also hosts the liveness-dependent query at the heart of
+// FINDLIVENODE (paper §3): the largest VID at or below a bound whose node
+// is alive, in the lookup tree identified by a complement value. Because
+// offspring count is monotone in VID (Property 3), that node is exactly
+// "the live node with the most offspring nodes" the algorithm asks for.
+// Two implementations are provided — a straightforward descending scan and
+// a word-at-a-time scan exploiting the fact that XOR by a constant permutes
+// bits *within* 64-bit words once the high bits are handled per-block — and
+// the tests prove them equivalent. The word scan is what makes join/leave
+// recovery cheap at large m.
+package liveness
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lesslog/internal/bitops"
+)
+
+// Set is a status word over the 2^m identifier slots. The zero Set is
+// unusable; construct with New.
+type Set struct {
+	m     int
+	words []uint64
+	count int
+}
+
+// New returns a status word for width m with every slot dead.
+func New(m int) *Set {
+	bitops.CheckWidth(m)
+	n := bitops.Slots(m)
+	return &Set{m: m, words: make([]uint64, (n+63)/64)}
+}
+
+// NewAllLive returns a status word with slots 0..n-1 live, the usual
+// bootstrap for an n-node system (n <= 2^m).
+func NewAllLive(m, n int) *Set {
+	s := New(m)
+	if n < 0 || n > bitops.Slots(m) {
+		panic("liveness: node count out of range")
+	}
+	for p := 0; p < n; p++ {
+		s.SetLive(bitops.PID(p))
+	}
+	return s
+}
+
+// M returns the identifier width.
+func (s *Set) M() int { return s.m }
+
+// Slots returns the number of identifier slots.
+func (s *Set) Slots() int { return bitops.Slots(s.m) }
+
+// SetLive marks p live. Idempotent.
+func (s *Set) SetLive(p bitops.PID) {
+	w, b := int(p)>>6, uint(p)&63
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		s.count++
+	}
+}
+
+// SetDead marks p dead. Idempotent.
+func (s *Set) SetDead(p bitops.PID) {
+	w, b := int(p)>>6, uint(p)&63
+	if s.words[w]&(1<<b) != 0 {
+		s.words[w] &^= 1 << b
+		s.count--
+	}
+}
+
+// IsLive reports whether p is live.
+func (s *Set) IsLive(p bitops.PID) bool {
+	return s.words[int(p)>>6]&(1<<(uint(p)&63)) != 0
+}
+
+// LiveCount returns the number of live slots.
+func (s *Set) LiveCount() int { return s.count }
+
+// Clone returns an independent copy, as exchanged when a joining node
+// fetches the status word from a neighbor (§5.1).
+func (s *Set) Clone() *Set {
+	return &Set{m: s.m, words: append([]uint64(nil), s.words...), count: s.count}
+}
+
+// Equal reports whether two status words agree slot-for-slot.
+func (s *Set) Equal(o *Set) bool {
+	if s.m != o.m {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachLive calls fn for every live PID in ascending order.
+func (s *Set) ForEachLive(fn func(p bitops.PID)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(bitops.PID(wi<<6 + b))
+			w &= w - 1
+		}
+	}
+}
+
+// LivePIDs returns all live PIDs ascending.
+func (s *Set) LivePIDs() []bitops.PID {
+	out := make([]bitops.PID, 0, s.count)
+	s.ForEachLive(func(p bitops.PID) { out = append(out, p) })
+	return out
+}
+
+// String summarizes the set for debugging.
+func (s *Set) String() string {
+	return fmt.Sprintf("liveness{m=%d live=%d/%d}", s.m, s.count, s.Slots())
+}
+
+// MaxLiveVIDScan returns the largest VID v <= atMost whose node
+// PID = v XOR comp is live, by a plain descending scan. It reports false
+// when no live node exists at or below the bound. This is the reference
+// implementation of the FINDLIVENODE loop (paper §3).
+func (s *Set) MaxLiveVIDScan(comp bitops.VID, atMost bitops.VID) (bitops.VID, bool) {
+	for v := int64(atMost); v >= 0; v-- {
+		if s.IsLive(bitops.PID(bitops.VID(v) ^ comp)) {
+			return bitops.VID(v), true
+		}
+	}
+	return 0, false
+}
+
+// MaxLiveVID is the word-at-a-time equivalent of MaxLiveVIDScan.
+//
+// Split a VID into a block index (bits 6..m-1) and a 6-bit offset. Within
+// one block, PID = (block XOR compHigh) || (offset XOR compLow): the block
+// maps to a single status-word word whose bits are permuted by XOR with the
+// low 6 complement bits. xorPermute applies that permutation with masked
+// shifts, after which the maximum live offset is a leading-zeros count.
+func (s *Set) MaxLiveVID(comp bitops.VID, atMost bitops.VID) (bitops.VID, bool) {
+	compLow := uint(comp) & 63
+	compHigh := int(comp) >> 6
+	topBlock := int(atMost) >> 6
+	for block := topBlock; block >= 0; block-- {
+		w := s.words[block^compHigh]
+		if w == 0 {
+			continue
+		}
+		w = xorPermute(w, compLow)
+		if block == topBlock {
+			keep := uint(atMost) & 63
+			if keep != 63 {
+				w &= 1<<(keep+1) - 1
+			}
+			if w == 0 {
+				continue
+			}
+		}
+		off := 63 - bits.LeadingZeros64(w)
+		return bitops.VID(block<<6 + off), true
+	}
+	return 0, false
+}
+
+// xorPermute returns w' with bit i of w' equal to bit (i XOR k) of w, for
+// k < 64, using a butterfly of masked swaps — one level per set bit of k.
+func xorPermute(w uint64, k uint) uint64 {
+	if k&1 != 0 {
+		w = (w&0x5555555555555555)<<1 | (w&0xAAAAAAAAAAAAAAAA)>>1
+	}
+	if k&2 != 0 {
+		w = (w&0x3333333333333333)<<2 | (w&0xCCCCCCCCCCCCCCCC)>>2
+	}
+	if k&4 != 0 {
+		w = (w&0x0F0F0F0F0F0F0F0F)<<4 | (w&0xF0F0F0F0F0F0F0F0)>>4
+	}
+	if k&8 != 0 {
+		w = (w&0x00FF00FF00FF00FF)<<8 | (w&0xFF00FF00FF00FF00)>>8
+	}
+	if k&16 != 0 {
+		w = (w&0x0000FFFF0000FFFF)<<16 | (w&0xFFFF0000FFFF0000)>>16
+	}
+	if k&32 != 0 {
+		w = w<<32 | w>>32
+	}
+	return w
+}
+
+// MaxLiveSubtreeVID returns, within the 2^b-way subtree split of §4, the
+// largest subtree VID sv <= atMost in subtree sid whose node is live, in
+// the tree with the given complement. It reports false when the subtree
+// has no live node at or below the bound.
+func (s *Set) MaxLiveSubtreeVID(comp bitops.VID, sid bitops.VID, atMost bitops.VID, b int) (bitops.VID, bool) {
+	bitops.CheckSplit(s.m, b)
+	for sv := int64(atMost); sv >= 0; sv-- {
+		v := bitops.ComposeVID(bitops.VID(sv), sid, b)
+		if s.IsLive(bitops.PID(v ^ comp)) {
+			return bitops.VID(sv), true
+		}
+	}
+	return 0, false
+}

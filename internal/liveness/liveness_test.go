@@ -1,0 +1,201 @@
+package liveness
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/xrand"
+)
+
+func TestSetClearCount(t *testing.T) {
+	s := New(10)
+	if s.LiveCount() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	s.SetLive(5)
+	s.SetLive(5) // idempotent
+	s.SetLive(1000)
+	if s.LiveCount() != 2 || !s.IsLive(5) || !s.IsLive(1000) || s.IsLive(6) {
+		t.Fatalf("unexpected state: %v", s)
+	}
+	s.SetDead(5)
+	s.SetDead(5)
+	if s.LiveCount() != 1 || s.IsLive(5) {
+		t.Fatalf("clear failed: %v", s)
+	}
+}
+
+func TestNewAllLive(t *testing.T) {
+	s := NewAllLive(4, 14)
+	if s.LiveCount() != 14 {
+		t.Fatalf("LiveCount = %d", s.LiveCount())
+	}
+	for p := bitops.PID(0); p < 14; p++ {
+		if !s.IsLive(p) {
+			t.Fatalf("P(%d) should be live", p)
+		}
+	}
+	if s.IsLive(14) || s.IsLive(15) {
+		t.Fatal("P(14)/P(15) should be dead")
+	}
+}
+
+func TestNewAllLivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAllLive(4, 17) did not panic")
+		}
+	}()
+	NewAllLive(4, 17)
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	s := NewAllLive(6, 40)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.SetDead(3)
+	if s.Equal(c) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if !s.IsLive(3) {
+		t.Fatal("mutating clone mutated original")
+	}
+}
+
+func TestForEachLiveAscending(t *testing.T) {
+	s := New(8)
+	want := []bitops.PID{0, 7, 63, 64, 65, 200, 255}
+	for _, p := range want {
+		s.SetLive(p)
+	}
+	got := s.LivePIDs()
+	if len(got) != len(want) {
+		t.Fatalf("LivePIDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LivePIDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaxLiveVIDAgainstScan(t *testing.T) {
+	r := xrand.New(99)
+	for _, m := range []int{1, 3, 6, 7, 10} {
+		for trial := 0; trial < 50; trial++ {
+			s := New(m)
+			for p := 0; p < bitops.Slots(m); p++ {
+				if r.Bool(0.4) {
+					s.SetLive(bitops.PID(p))
+				}
+			}
+			comp := bitops.VID(r.Intn(bitops.Slots(m)))
+			for probe := 0; probe < 20; probe++ {
+				atMost := bitops.VID(r.Intn(bitops.Slots(m)))
+				v1, ok1 := s.MaxLiveVIDScan(comp, atMost)
+				v2, ok2 := s.MaxLiveVID(comp, atMost)
+				if ok1 != ok2 || v1 != v2 {
+					t.Fatalf("m=%d comp=%b atMost=%b: scan (%b,%v) vs word (%b,%v)",
+						m, comp, atMost, v1, ok1, v2, ok2)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxLiveVIDEmptyAndFull(t *testing.T) {
+	s := New(6)
+	if _, ok := s.MaxLiveVID(13, bitops.Mask(6)); ok {
+		t.Fatal("empty set reported a live VID")
+	}
+	full := NewAllLive(6, 64)
+	v, ok := full.MaxLiveVID(13, bitops.Mask(6))
+	if !ok || v != bitops.Mask(6) {
+		t.Fatalf("full set max VID = %b, %v", v, ok)
+	}
+	v, ok = full.MaxLiveVID(13, 17)
+	if !ok || v != 17 {
+		t.Fatalf("bounded max VID = %b, want 17", v)
+	}
+}
+
+func TestXorPermute(t *testing.T) {
+	f := func(w uint64, rawK uint8) bool {
+		k := uint(rawK) & 63
+		got := xorPermute(w, k)
+		for i := uint(0); i < 64; i++ {
+			bit := (w >> (i ^ k)) & 1
+			if (got>>i)&1 != bit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxLiveSubtreeVID(t *testing.T) {
+	// m=4, b=2: subtree sid holds VIDs {sv<<2 | sid}. Verify against a
+	// brute-force search for random liveness patterns.
+	const m, b = 4, 2
+	r := xrand.New(5)
+	for trial := 0; trial < 200; trial++ {
+		s := New(m)
+		for p := 0; p < bitops.Slots(m); p++ {
+			if r.Bool(0.5) {
+				s.SetLive(bitops.PID(p))
+			}
+		}
+		comp := bitops.VID(r.Intn(bitops.Slots(m)))
+		sid := bitops.VID(r.Intn(4))
+		atMost := bitops.VID(r.Intn(4))
+		wantOK := false
+		var want bitops.VID
+		for sv := int(atMost); sv >= 0; sv-- {
+			v := bitops.ComposeVID(bitops.VID(sv), sid, b)
+			if s.IsLive(bitops.PID(v ^ comp)) {
+				want, wantOK = bitops.VID(sv), true
+				break
+			}
+		}
+		got, ok := s.MaxLiveSubtreeVID(comp, sid, atMost, b)
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("trial %d: got (%b,%v), want (%b,%v)", trial, got, ok, want, wantOK)
+		}
+	}
+}
+
+func BenchmarkMaxLiveVIDScan(b *testing.B) {
+	benchMaxLive(b, func(s *Set, comp, atMost bitops.VID) (bitops.VID, bool) {
+		return s.MaxLiveVIDScan(comp, atMost)
+	})
+}
+
+func BenchmarkMaxLiveVIDWord(b *testing.B) {
+	benchMaxLive(b, func(s *Set, comp, atMost bitops.VID) (bitops.VID, bool) {
+		return s.MaxLiveVID(comp, atMost)
+	})
+}
+
+func benchMaxLive(b *testing.B, fn func(*Set, bitops.VID, bitops.VID) (bitops.VID, bool)) {
+	const m = 16
+	r := xrand.New(1)
+	s := New(m)
+	// Sparse liveness makes the search walk far: 1/1024 slots live.
+	for p := 0; p < bitops.Slots(m); p += 1024 {
+		s.SetLive(bitops.PID(p))
+	}
+	comps := make([]bitops.VID, 256)
+	for i := range comps {
+		comps[i] = bitops.VID(r.Intn(bitops.Slots(m)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(s, comps[i&255], bitops.Mask(m))
+	}
+}

@@ -1,0 +1,71 @@
+package liveness
+
+// Model-based property test: the bitmap must track a reference
+// map[PID]bool through arbitrary set/clear sequences, and its queries
+// must agree with brute-force scans of the model.
+
+import (
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/xrand"
+)
+
+func TestSetMatchesModel(t *testing.T) {
+	rng := xrand.New(41)
+	for trial := 0; trial < 30; trial++ {
+		m := 3 + rng.Intn(6)
+		n := bitops.Slots(m)
+		s := New(m)
+		model := map[bitops.PID]bool{}
+		for step := 0; step < 500; step++ {
+			p := bitops.PID(rng.Intn(n))
+			switch rng.Intn(3) {
+			case 0:
+				s.SetLive(p)
+				model[p] = true
+			case 1:
+				s.SetDead(p)
+				delete(model, p)
+			case 2:
+				if s.IsLive(p) != model[p] {
+					t.Fatalf("IsLive(%d) mismatch", p)
+				}
+			}
+			if s.LiveCount() != len(model) {
+				t.Fatalf("step %d: LiveCount=%d model=%d", step, s.LiveCount(), len(model))
+			}
+			if step%29 == 0 {
+				// Full agreement including iteration order.
+				var got []bitops.PID
+				s.ForEachLive(func(q bitops.PID) { got = append(got, q) })
+				if len(got) != len(model) {
+					t.Fatalf("iteration covers %d of %d", len(got), len(model))
+				}
+				for i, q := range got {
+					if !model[q] {
+						t.Fatalf("iterated dead PID %d", q)
+					}
+					if i > 0 && got[i-1] >= q {
+						t.Fatal("iteration not ascending")
+					}
+				}
+				// Max-live-VID agrees with a model scan.
+				comp := bitops.VID(rng.Intn(n))
+				atMost := bitops.VID(rng.Intn(n))
+				wantOK := false
+				var want bitops.VID
+				for v := int(atMost); v >= 0; v-- {
+					if model[bitops.PID(bitops.VID(v)^comp)] {
+						want, wantOK = bitops.VID(v), true
+						break
+					}
+				}
+				got2, ok2 := s.MaxLiveVID(comp, atMost)
+				if ok2 != wantOK || (ok2 && got2 != want) {
+					t.Fatalf("MaxLiveVID=(%v,%v) model=(%v,%v)", got2, ok2, want, wantOK)
+				}
+			}
+		}
+	}
+}

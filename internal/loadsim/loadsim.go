@@ -1,0 +1,387 @@
+// Package loadsim is the analytic load-balance simulator behind the
+// paper's evaluation (§6). It models the steady state of a LessLog system
+// serving one popular file: every live node originates get requests at a
+// fixed rate, each request walks the file's lookup tree toward the target
+// along live ancestors and is served by the first node holding a copy
+// (falling back to the FINDLIVENODE primary when the walk ends at a dead
+// root, §3), and a node serving more than the load cap is overloaded.
+//
+// Balance repeatedly lets the most-overloaded holder place one replica via
+// a replication.Strategy until no holder exceeds the cap, counting the
+// replicas created — exactly the quantity Figures 5–8 plot.
+package loadsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/metrics"
+	"lesslog/internal/ptree"
+	"lesslog/internal/replication"
+	"lesslog/internal/workload"
+	"lesslog/internal/xrand"
+)
+
+// Config parameterizes one simulation.
+type Config struct {
+	M      int            // identifier width; 2^M slots
+	B      int            // fault-tolerance bits (0 in the paper's figures)
+	Target bitops.PID     // ψ(f), the popular file's target node
+	Cap    float64        // overload threshold in req/s (paper: 100)
+	Live   *liveness.Set  // node liveness; not modified
+	Rates  workload.Rates // per-origin request rates
+	Seed   uint64         // randomness for strategies
+}
+
+// Sim is the mutable simulation state. It implements replication.Context.
+type Sim struct {
+	cfg  Config
+	view ptree.View
+	rng  *xrand.Rand
+
+	copies    map[bitops.PID]bool
+	primaries []bitops.PID // one per subtree that has any live node
+
+	loads     map[bitops.PID]float64
+	forwarded map[bitops.PID]map[bitops.PID]float64
+	hopRate   float64 // sum over origins of rate × hops to the server
+	dirty     bool
+}
+
+// New builds a simulation with the primary copies already inserted by
+// ADVANCEDINSERTFILE: in each of the 2^B subtrees, the live node
+// FINDLIVENODE selects. Subtrees with no live node hold no copy.
+func New(cfg Config) *Sim {
+	bitops.CheckSplit(cfg.M, cfg.B)
+	if cfg.Live.M() != cfg.M {
+		panic("loadsim: liveness width mismatch")
+	}
+	if len(cfg.Rates) != bitops.Slots(cfg.M) {
+		panic("loadsim: rates length mismatch")
+	}
+	s := &Sim{
+		cfg:    cfg,
+		view:   ptree.NewView(cfg.Target, cfg.Live, cfg.B),
+		rng:    xrand.New(cfg.Seed),
+		copies: make(map[bitops.PID]bool),
+		dirty:  true,
+	}
+	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(cfg.B)); sid++ {
+		if p, ok := s.view.PrimaryHolder(sid); ok {
+			s.copies[p] = true
+			s.primaries = append(s.primaries, p)
+		}
+	}
+	return s
+}
+
+// View implements replication.Context.
+func (s *Sim) View() ptree.View { return s.view }
+
+// HasCopy implements replication.Context.
+func (s *Sim) HasCopy(p bitops.PID) bool { return s.copies[p] }
+
+// Rand implements replication.Context.
+func (s *Sim) Rand() *xrand.Rand { return s.rng }
+
+// ForwardedLoad implements replication.Context: the request rate entering
+// holder through child as the last live hop before holder.
+func (s *Sim) ForwardedLoad(holder, child bitops.PID) float64 {
+	s.recompute()
+	return s.forwarded[holder][child]
+}
+
+// Primaries returns the nodes holding the initially inserted copies.
+func (s *Sim) Primaries() []bitops.PID { return append([]bitops.PID(nil), s.primaries...) }
+
+// Holders returns the current copy holders (primaries plus replicas).
+func (s *Sim) Holders() []bitops.PID {
+	out := make([]bitops.PID, 0, len(s.copies))
+	for p := range s.copies {
+		out = append(out, p)
+	}
+	return out
+}
+
+// AddReplica places a copy at p. It panics if p is dead — replicas only
+// ever land on live nodes.
+func (s *Sim) AddReplica(p bitops.PID) {
+	if !s.cfg.Live.IsLive(p) {
+		panic(fmt.Sprintf("loadsim: replica on dead node P(%d)", p))
+	}
+	s.copies[p] = true
+	s.dirty = true
+}
+
+// RemoveReplica drops the copy at p unless p holds a primary. It reports
+// whether a copy was removed.
+func (s *Sim) RemoveReplica(p bitops.PID) bool {
+	for _, pr := range s.primaries {
+		if pr == p {
+			return false
+		}
+	}
+	if !s.copies[p] {
+		return false
+	}
+	delete(s.copies, p)
+	s.dirty = true
+	return true
+}
+
+// SetRates swaps the per-origin request rates, modeling a workload shift
+// (the eviction experiment's rate collapse). The slice length must match
+// the identifier space.
+func (s *Sim) SetRates(r workload.Rates) {
+	if len(r) != bitops.Slots(s.cfg.M) {
+		panic("loadsim: rates length mismatch")
+	}
+	s.cfg.Rates = r
+	s.dirty = true
+}
+
+// Loads returns the per-holder serve rates. The map is shared; callers
+// must not modify it.
+func (s *Sim) Loads() map[bitops.PID]float64 {
+	s.recompute()
+	return s.loads
+}
+
+// LoadOf returns one holder's serve rate.
+func (s *Sim) LoadOf(p bitops.PID) float64 {
+	s.recompute()
+	return s.loads[p]
+}
+
+// Summary returns the current load summary.
+func (s *Sim) Summary() metrics.LoadSummary {
+	s.recompute()
+	l := make(map[uint32]float64, len(s.loads))
+	for p, v := range s.loads {
+		l[uint32(p)] = v
+	}
+	return metrics.SummarizeLoads(l, s.cfg.Cap)
+}
+
+// recompute routes every origin's rate to its serving holder, rebuilding
+// the load and forwarded-rate tables. Cost O(live · depth).
+func (s *Sim) recompute() {
+	if !s.dirty {
+		return
+	}
+	s.loads = make(map[bitops.PID]float64, len(s.copies))
+	s.forwarded = make(map[bitops.PID]map[bitops.PID]float64)
+	s.hopRate = 0
+	for p := range s.copies {
+		s.loads[p] = 0
+	}
+	s.cfg.Live.ForEachLive(func(origin bitops.PID) {
+		rate := s.cfg.Rates[origin]
+		if rate == 0 {
+			return
+		}
+		server, prev, hops := s.route(origin)
+		s.loads[server] += rate
+		s.hopRate += rate * float64(hops)
+		if prev != server {
+			m := s.forwarded[server]
+			if m == nil {
+				m = make(map[bitops.PID]float64)
+				s.forwarded[server] = m
+			}
+			m[prev] += rate
+		}
+	})
+	s.dirty = false
+}
+
+// route returns the holder serving a request from origin, the last live
+// node visited before it (== server when the origin itself is served
+// directly or the request arrived via the FINDLIVENODE fallback), and the
+// number of forwarding hops taken.
+func (s *Sim) route(origin bitops.PID) (server, prev bitops.PID, hops int) {
+	prev = origin
+	cur := origin
+	if s.copies[cur] {
+		return cur, cur, 0
+	}
+	for {
+		next, ok := s.view.AliveAncestor(cur)
+		if !ok {
+			// Walk ended at a dead subtree root: §3's second step jumps
+			// to the FINDLIVENODE primary directly.
+			p, ok := s.view.PrimaryHolder(s.view.SubtreeID(origin))
+			if !ok {
+				// No live node in the subtree at all; unreachable for
+				// origins, which are live by construction.
+				panic("loadsim: origin in a dead subtree")
+			}
+			return p, p, hops + 1
+		}
+		hops++
+		if s.copies[next] {
+			return next, cur, hops
+		}
+		prev = cur
+		cur = next
+	}
+}
+
+// MeanHops returns the rate-weighted mean number of forwarding hops a
+// request takes to reach its serving holder under the current replica
+// placement. Replication shortens paths as a side effect of shedding
+// load; the HopsVsReplicas extension experiment plots this.
+func (s *Sim) MeanHops() float64 {
+	s.recompute()
+	total := s.cfg.Rates.Total()
+	if total == 0 {
+		return 0
+	}
+	return s.hopRate / total
+}
+
+// Result reports the outcome of Balance.
+type Result struct {
+	Strategy        string
+	ReplicasCreated int
+	Rounds          int
+	Balanced        bool
+	Summary         metrics.LoadSummary
+}
+
+// ErrStuck is returned when the strategy cannot place a replica while a
+// holder is still overloaded.
+var ErrStuck = errors.New("loadsim: strategy has no candidate but system is overloaded")
+
+// ErrBudget is returned when maxReplicas placements did not balance the
+// system.
+var ErrBudget = errors.New("loadsim: replica budget exhausted before balance")
+
+// Balance drives the system to a load-balanced state: while some holder
+// serves more than the cap, the most-overloaded holder places one replica
+// chosen by the strategy. It returns the number of replicas created.
+// maxReplicas <= 0 means one per identifier slot, the natural ceiling.
+//
+// A holder whose strategy has no candidate left (its children list is
+// saturated) is set aside and the next overloaded holder acts, exactly as
+// the paper's REPLICATEFILE stops "until P(r) is not overloaded" runs out
+// of list entries. When every overloaded holder is saturated — possible
+// only when some node's own request origination exceeds the cap — Balance
+// returns the replicas created so far together with ErrStuck and
+// Balanced=false: the system is as balanced as replication can make it.
+func (s *Sim) Balance(strategy replication.Strategy, maxReplicas int) (Result, error) {
+	if maxReplicas <= 0 {
+		maxReplicas = bitops.Slots(s.cfg.M)
+	}
+	res := Result{Strategy: strategy.Name()}
+	saturated := make(map[bitops.PID]bool)
+	for {
+		s.recompute()
+		over, ok := s.mostOverloadedExcept(saturated)
+		if !ok {
+			if _, stillOver := s.mostOverloadedExcept(nil); stillOver {
+				res.Summary = s.Summary()
+				return res, ErrStuck
+			}
+			res.Balanced = true
+			res.Summary = s.Summary()
+			return res, nil
+		}
+		if res.ReplicasCreated >= maxReplicas {
+			res.Summary = s.Summary()
+			return res, ErrBudget
+		}
+		target, ok := strategy.Place(s, over)
+		if !ok {
+			saturated[over] = true
+			continue
+		}
+		if s.copies[target] {
+			res.Summary = s.Summary()
+			return res, fmt.Errorf("loadsim: %s placed a duplicate copy at P(%d)", strategy.Name(), target)
+		}
+		s.AddReplica(target)
+		res.ReplicasCreated++
+		res.Rounds++
+		// A new copy can relieve a saturated holder's load; re-examine.
+		clear(saturated)
+	}
+}
+
+// mostOverloadedExcept returns the holder with the highest load above the
+// cap that is not in skip, ties broken toward the lowest PID.
+func (s *Sim) mostOverloadedExcept(skip map[bitops.PID]bool) (bitops.PID, bool) {
+	s.recompute()
+	var best bitops.PID
+	var bestLoad float64
+	found := false
+	for p, l := range s.loads {
+		if l <= s.cfg.Cap || skip[p] {
+			continue
+		}
+		if !found || l > bestLoad || (l == bestLoad && p < best) {
+			best, bestLoad, found = p, l, true
+		}
+	}
+	return best, found
+}
+
+// mostOverloaded returns the holder with the highest load above the cap.
+func (s *Sim) mostOverloaded() (bitops.PID, bool) {
+	return s.mostOverloadedExcept(nil)
+}
+
+// EvictCold implements the §6 counter-based removal mechanism at the rate
+// level: replicas serving strictly less than minRate are removed, coldest
+// first, as long as removing them keeps every holder at or below the cap.
+// It returns the number of replicas removed.
+func (s *Sim) EvictCold(minRate float64) int {
+	removed := 0
+	for {
+		s.recompute()
+		// Candidates this pass: non-primary holders below the rate
+		// threshold, coldest first (ties toward lower PID).
+		var cands []bitops.PID
+		for p, l := range s.loads {
+			if !s.isPrimary(p) && l < minRate {
+				cands = append(cands, p)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			li, lj := s.loads[cands[i]], s.loads[cands[j]]
+			if li != lj {
+				return li < lj
+			}
+			return cands[i] < cands[j]
+		})
+		progressed := false
+		for _, p := range cands {
+			if s.LoadOf(p) >= minRate { // may have warmed up after removals
+				continue
+			}
+			s.RemoveReplica(p)
+			s.recompute()
+			if _, over := s.mostOverloaded(); over {
+				s.AddReplica(p) // roll back: removal would overload
+				continue
+			}
+			removed++
+			progressed = true
+		}
+		if !progressed {
+			return removed
+		}
+	}
+}
+
+func (s *Sim) isPrimary(p bitops.PID) bool {
+	for _, pr := range s.primaries {
+		if pr == p {
+			return true
+		}
+	}
+	return false
+}

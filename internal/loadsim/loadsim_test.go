@@ -1,0 +1,342 @@
+package loadsim
+
+import (
+	"math"
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/replication"
+	"lesslog/internal/workload"
+	"lesslog/internal/xrand"
+)
+
+func evenSim(m int, target bitops.PID, total, cap float64) *Sim {
+	live := liveness.NewAllLive(m, bitops.Slots(m))
+	return New(Config{
+		M: m, B: 0, Target: target, Cap: cap,
+		Live:  live,
+		Rates: workload.Even(total, live),
+		Seed:  1,
+	})
+}
+
+func TestInitialLoadAllAtTarget(t *testing.T) {
+	s := evenSim(4, 4, 1600, 100)
+	loads := s.Loads()
+	if len(loads) != 1 || math.Abs(loads[4]-1600) > 1e-6 {
+		t.Fatalf("initial loads = %v, want all 1600 at P(4)", loads)
+	}
+	if p := s.Primaries(); len(p) != 1 || p[0] != 4 {
+		t.Fatalf("primaries = %v", p)
+	}
+}
+
+func TestLoadConservation(t *testing.T) {
+	s := evenSim(6, 13, 6400, 100)
+	for i := 0; i < 10; i++ {
+		total := 0.0
+		for _, l := range s.Loads() {
+			total += l
+		}
+		if math.Abs(total-6400) > 1e-6 {
+			t.Fatalf("step %d: total load %v, want 6400", i, total)
+		}
+		p, ok := replication.LessLog{}.Place(s, mustOverloaded(t, s))
+		if !ok {
+			break
+		}
+		s.AddReplica(p)
+	}
+}
+
+func mustOverloaded(t *testing.T, s *Sim) bitops.PID {
+	t.Helper()
+	p, ok := s.mostOverloaded()
+	if !ok {
+		t.Fatal("expected an overloaded holder")
+	}
+	return p
+}
+
+func TestReplicationHalvesLoad(t *testing.T) {
+	// §2.2's guarantee: with evenly distributed requests, replicating to
+	// the first node of the children list halves the root's load (up to
+	// the one request-source granularity).
+	s := evenSim(10, 4, 20000, 100)
+	before := s.LoadOf(4)
+	p, ok := replication.LessLog{}.Place(s, 4)
+	if !ok {
+		t.Fatal("no placement")
+	}
+	s.AddReplica(p)
+	after := s.LoadOf(4)
+	perNode := 20000.0 / 1024
+	if math.Abs(after-before/2) > perNode+1e-9 {
+		t.Fatalf("load after one replication = %v, want ~%v", after, before/2)
+	}
+	// The replica carries the other half.
+	if math.Abs(s.LoadOf(p)-before/2) > perNode+1e-9 {
+		t.Fatalf("replica load = %v, want ~%v", s.LoadOf(p), before/2)
+	}
+}
+
+func TestBalanceLessLogEven(t *testing.T) {
+	s := evenSim(10, 4, 20000, 100)
+	res, err := s.Balance(replication.LessLog{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Balanced || res.Summary.Overloaded != 0 {
+		t.Fatalf("not balanced: %+v", res)
+	}
+	// 20000 req/s at <=100 per holder needs at least 200 holders; the
+	// binomial splitting should not need more than ~2.5x the lower bound.
+	if res.ReplicasCreated < 199 || res.ReplicasCreated > 520 {
+		t.Fatalf("lesslog replicas = %d, outside sane band", res.ReplicasCreated)
+	}
+	if res.Summary.MaxLoad > 100 {
+		t.Fatalf("max load %v above cap", res.Summary.MaxLoad)
+	}
+}
+
+func TestStrategyOrderingMatchesPaper(t *testing.T) {
+	// Figure 5's qualitative result at one sweep point: random needs far
+	// more replicas than LessLog; log-based needs no more than LessLog
+	// (up to a small slack since our log-based is an oracle).
+	run := func(strat replication.Strategy, seed uint64) int {
+		live := liveness.NewAllLive(10, 1024)
+		s := New(Config{
+			M: 10, Target: 4, Cap: 100,
+			Live:  live,
+			Rates: workload.Even(10000, live),
+			Seed:  seed,
+		})
+		res, err := s.Balance(strat, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		return res.ReplicasCreated
+	}
+	ll := run(replication.LessLog{}, 1)
+	rnd := run(replication.Random{}, 1)
+	lb := run(replication.LogBased{}, 1)
+	if !(rnd > ll) {
+		t.Fatalf("random (%d) should need more replicas than lesslog (%d)", rnd, ll)
+	}
+	if lb > ll {
+		t.Fatalf("oracle log-based (%d) should need at most lesslog's replicas (%d)", lb, ll)
+	}
+	t.Logf("replicas: log-based=%d lesslog=%d random=%d", lb, ll, rnd)
+}
+
+func TestDeadRootFallback(t *testing.T) {
+	// §3 worked example: P(4), P(5) dead, target 4. Every request lands
+	// on the primary P(6).
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(4)
+	live.SetDead(5)
+	s := New(Config{
+		M: 4, Target: 4, Cap: 100,
+		Live:  live,
+		Rates: workload.Even(1400, live),
+		Seed:  1,
+	})
+	loads := s.Loads()
+	if len(loads) != 1 || math.Abs(loads[6]-1400) > 1e-6 {
+		t.Fatalf("loads = %v, want 1400 at P(6)", loads)
+	}
+}
+
+func TestBalanceWithDeadNodes(t *testing.T) {
+	for _, frac := range []float64{0.1, 0.2, 0.3} {
+		live := liveness.NewAllLive(10, 1024)
+		workload.KillRandom(live, frac, bitops.PID(^uint32(0)), xrand.New(7))
+		s := New(Config{
+			M: 10, Target: 4, Cap: 100,
+			Live:  live,
+			Rates: workload.Even(15000, live),
+			Seed:  2,
+		})
+		res, err := s.Balance(replication.LessLog{}, 0)
+		if err != nil {
+			t.Fatalf("frac=%v: %v", frac, err)
+		}
+		if !res.Balanced {
+			t.Fatalf("frac=%v not balanced", frac)
+		}
+		// Replicas only on live nodes.
+		for _, h := range s.Holders() {
+			if !live.IsLive(h) {
+				t.Fatalf("holder P(%d) is dead", h)
+			}
+		}
+	}
+}
+
+func TestLocalityBalance(t *testing.T) {
+	live := liveness.NewAllLive(10, 1024)
+	rates := workload.Locality(20000, 0.8, 0.2, live, xrand.New(3))
+	s := New(Config{M: 10, Target: 4, Cap: 100, Live: live, Rates: rates, Seed: 3})
+	res, err := s.Balance(replication.LessLog{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Balanced {
+		t.Fatal("locality workload not balanced")
+	}
+}
+
+func TestFaultTolerantSubtreeRouting(t *testing.T) {
+	// b=2: four independent subtrees, each with its own primary. Loads
+	// must stay inside the origin's subtree.
+	live := liveness.NewAllLive(6, 64)
+	s := New(Config{
+		M: 6, B: 2, Target: 9, Cap: 1000,
+		Live:  live,
+		Rates: workload.Even(6400, live),
+		Seed:  1,
+	})
+	prims := s.Primaries()
+	if len(prims) != 4 {
+		t.Fatalf("primaries = %v, want 4", prims)
+	}
+	loads := s.Loads()
+	if len(loads) != 4 {
+		t.Fatalf("loads on %d holders, want 4", len(loads))
+	}
+	for _, l := range loads {
+		if math.Abs(l-1600) > 1e-6 {
+			t.Fatalf("subtree load %v, want 1600", l)
+		}
+	}
+}
+
+func TestFaultTolerantBalance(t *testing.T) {
+	live := liveness.NewAllLive(8, 256)
+	s := New(Config{
+		M: 8, B: 2, Target: 77, Cap: 50,
+		Live:  live,
+		Rates: workload.Even(2560, live),
+		Seed:  5,
+	})
+	res, err := s.Balance(replication.LessLog{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Balanced {
+		t.Fatal("b=2 system not balanced")
+	}
+}
+
+func TestEvictCold(t *testing.T) {
+	// Balance at a high rate, then drop the rate tenfold: most replicas
+	// go cold and the counter-based mechanism removes them without
+	// re-overloading anyone.
+	live := liveness.NewAllLive(10, 1024)
+	s := New(Config{M: 10, Target: 4, Cap: 100, Live: live,
+		Rates: workload.Even(20000, live), Seed: 9})
+	if _, err := s.Balance(replication.LessLog{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	holdersBefore := len(s.Holders())
+	// Rate collapse.
+	s.SetRates(workload.Even(2000, live))
+	removed := s.EvictCold(20)
+	if removed == 0 {
+		t.Fatal("no cold replicas removed")
+	}
+	if _, over := s.mostOverloaded(); over {
+		t.Fatal("eviction overloaded the system")
+	}
+	if len(s.Holders()) != holdersBefore-removed {
+		t.Fatalf("holder bookkeeping wrong: %d -> %d after %d removals",
+			holdersBefore, len(s.Holders()), removed)
+	}
+	t.Logf("evicted %d of %d holders after rate collapse", removed, holdersBefore)
+}
+
+func TestMeanHops(t *testing.T) {
+	// Complete m=4 tree, single primary at the root: the mean path is
+	// the mean VID depth, which is m/2 = 2 (half the 4 bits of a uniform
+	// random VID are zeros).
+	s := evenSim(4, 4, 1600, 1e9)
+	if got := s.MeanHops(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("MeanHops = %v, want 2.0", got)
+	}
+	// A replica at the root's first child (subtree of 8) saves one hop
+	// for its 8 members... except itself saves its full depth. Easier
+	// invariant: adding any replica never lengthens the mean path.
+	before := s.MeanHops()
+	p, _ := (replication.LessLog{}).Place(s, 4)
+	s.AddReplica(p)
+	if after := s.MeanHops(); after > before {
+		t.Fatalf("mean hops rose from %v to %v after replication", before, after)
+	}
+}
+
+func TestRemoveReplicaRefusesPrimary(t *testing.T) {
+	s := evenSim(4, 4, 100, 1000)
+	if s.RemoveReplica(4) {
+		t.Fatal("primary copy removed")
+	}
+	if s.RemoveReplica(7) {
+		t.Fatal("removed a copy that does not exist")
+	}
+	s.AddReplica(7)
+	if !s.RemoveReplica(7) {
+		t.Fatal("failed to remove a replica")
+	}
+}
+
+func TestAddReplicaPanicsOnDead(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(9)
+	s := New(Config{M: 4, Target: 4, Cap: 100, Live: live,
+		Rates: workload.Even(100, live), Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddReplica on dead node did not panic")
+		}
+	}()
+	s.AddReplica(9)
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	s := evenSim(10, 4, 20000, 100)
+	_, err := s.Balance(replication.LessLog{}, 3)
+	if err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestStuckWhenOwnRateExceedsCap(t *testing.T) {
+	// A single origin with rate above the cap can never be balanced:
+	// after every node holds a copy the origin still serves its own
+	// requests. The simulator must report ErrStuck, not loop.
+	live := liveness.NewAllLive(3, 8)
+	s := New(Config{M: 3, Target: 0, Cap: 10, Live: live,
+		Rates: workload.Point(500, 5, live), Seed: 1})
+	_, err := s.Balance(replication.LessLog{}, 0)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+}
+
+func TestSummaryAndForwarded(t *testing.T) {
+	s := evenSim(4, 4, 1600, 100)
+	sum := s.Summary()
+	if sum.Holders != 1 || sum.Overloaded != 1 || math.Abs(sum.TotalLoad-1600) > 1e-6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// The root's heaviest forwarder is its first child P(5) (subtree of
+	// 8 positions including itself).
+	f5 := s.ForwardedLoad(4, 5)
+	if math.Abs(f5-800) > 1e-6 {
+		t.Fatalf("forwarded via P(5) = %v, want 800", f5)
+	}
+	f6 := s.ForwardedLoad(4, 6)
+	if math.Abs(f6-400) > 1e-6 {
+		t.Fatalf("forwarded via P(6) = %v, want 400", f6)
+	}
+}

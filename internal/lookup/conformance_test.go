@@ -1,0 +1,110 @@
+package lookup
+
+// Conformance suite: every routing scheme must find the key's owner from
+// any live origin, within its declared hop bound, deterministically, and
+// with zero hops when the origin already owns the key.
+
+import (
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/workload"
+	"lesslog/internal/xrand"
+)
+
+// schemesFor builds every scheme over the same population. CAN manages
+// its own population, so it only joins the fully-live configurations.
+func schemesFor(m int, live *liveness.Set, full bool) []Scheme {
+	out := []Scheme{
+		NewLessLog(m, live),
+		NewChord(m, live),
+		NewPastry(m, live),
+	}
+	if full {
+		out = append(out, NewCAN(m, 7))
+	}
+	return out
+}
+
+func TestConformanceFullyLive(t *testing.T) {
+	const m = 8
+	live := liveness.NewAllLive(m, bitops.Slots(m))
+	rng := xrand.New(1)
+	for _, s := range schemesFor(m, live, true) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			for trial := 0; trial < 400; trial++ {
+				key := uint32(rng.Intn(bitops.Slots(m)))
+				from := bitops.PID(rng.Intn(bitops.Slots(m)))
+				owner, hops := s.Lookup(from, key)
+				if want := s.Owner(key); owner != want {
+					t.Fatalf("Lookup(%d from %d) = %d, want %d", key, from, owner, want)
+				}
+				if bound := s.MaxHops(); bound > 0 && hops > bound {
+					t.Fatalf("hops %d above declared bound %d", hops, bound)
+				}
+				// Repeatability.
+				o2, h2 := s.Lookup(from, key)
+				if o2 != owner || h2 != hops {
+					t.Fatalf("lookup not deterministic")
+				}
+			}
+			// Owner-origin lookups cost nothing.
+			for trial := 0; trial < 50; trial++ {
+				key := uint32(rng.Intn(bitops.Slots(m)))
+				owner := s.Owner(key)
+				o, hops := s.Lookup(owner, key)
+				if o != owner || hops != 0 {
+					t.Fatalf("self lookup = (%d,%d), want (%d,0)", o, hops, owner)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceSparsePopulation(t *testing.T) {
+	// Half the identifier slots dead: the identifier-space schemes must
+	// still agree with their own Owner everywhere.
+	const m = 8
+	rng := xrand.New(2)
+	live := liveness.NewAllLive(m, bitops.Slots(m))
+	workload.KillRandom(live, 0.5, bitops.PID(^uint32(0)), rng.Fork())
+	pids := live.LivePIDs()
+	for _, s := range schemesFor(m, live, false) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			for trial := 0; trial < 400; trial++ {
+				key := uint32(rng.Intn(bitops.Slots(m)))
+				from := pids[rng.Intn(len(pids))]
+				owner, hops := s.Lookup(from, key)
+				if want := s.Owner(key); owner != want {
+					t.Fatalf("Lookup(%d from %d) = %d, want %d", key, from, owner, want)
+				}
+				if !live.IsLive(owner) {
+					t.Fatalf("owner P(%d) is dead", owner)
+				}
+				if bound := s.MaxHops(); bound > 0 && hops > bound {
+					t.Fatalf("hops %d above bound %d", hops, bound)
+				}
+			}
+		})
+	}
+}
+
+func TestLessLogOwnerIsFindLiveNode(t *testing.T) {
+	// The LessLog adapter's notion of ownership must match the paper's
+	// placement rule exactly: the target when alive, else the live node
+	// with the most offspring in the target's tree.
+	const m = 6
+	rng := xrand.New(3)
+	live := liveness.NewAllLive(m, 64)
+	workload.KillRandom(live, 0.4, bitops.PID(^uint32(0)), rng.Fork())
+	s := NewLessLog(m, live)
+	for key := uint32(0); key < 64; key++ {
+		owner := s.Owner(key)
+		if live.IsLive(bitops.PID(key)) && owner != bitops.PID(key) {
+			t.Fatalf("live target %d not its own owner (got %d)", key, owner)
+		}
+	}
+}

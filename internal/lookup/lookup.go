@@ -1,0 +1,192 @@
+// Package lookup gives the four routing substrates of this repository —
+// LessLog's binomial trees, Chord's finger tables, the Pastry/Tapestry
+// prefix mesh and CAN's coordinate zones — one common interface, so the
+// hop-comparison experiments and the conformance test-suite can treat
+// them uniformly. Every scheme answers the same question: starting from
+// a live node, which node owns this key and how many forwarding hops does
+// reaching it take?
+package lookup
+
+import (
+	"lesslog/internal/bitops"
+	"lesslog/internal/can"
+	"lesslog/internal/chord"
+	"lesslog/internal/liveness"
+	"lesslog/internal/pastry"
+	"lesslog/internal/ptree"
+	"lesslog/internal/xrand"
+)
+
+// Scheme is a routed key-ownership structure over a fixed live set.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Owner returns the node responsible for key.
+	Owner(key uint32) bitops.PID
+	// Lookup routes from a live node toward key, returning the owner and
+	// the forwarding hop count.
+	Lookup(from bitops.PID, key uint32) (bitops.PID, int)
+	// MaxHops returns the scheme's worst-case hop bound for this
+	// population, for conformance checking (0 = unbounded/unknown).
+	MaxHops() int
+}
+
+// LessLog adapts the paper's lookup trees: the owner of key k is the
+// FINDLIVENODE placement in the tree of target k, and routing is the
+// live-ancestor walk with the §3 fallback.
+type LessLog struct {
+	m    int
+	live *liveness.Set
+}
+
+// NewLessLog builds the adapter.
+func NewLessLog(m int, live *liveness.Set) *LessLog {
+	return &LessLog{m: m, live: live}
+}
+
+// Name implements Scheme.
+func (l *LessLog) Name() string { return "lesslog" }
+
+// MaxHops implements Scheme: at most m live-ancestor hops plus the
+// fallback jump.
+func (l *LessLog) MaxHops() int { return l.m + 1 }
+
+// Owner implements Scheme.
+func (l *LessLog) Owner(key uint32) bitops.PID {
+	v := ptree.NewView(bitops.PID(key)&bitops.PID(bitops.Mask(l.m)), l.live, 0)
+	p, ok := v.PrimaryHolder(0)
+	if !ok {
+		panic("lookup: no live node")
+	}
+	return p
+}
+
+// Lookup implements Scheme.
+func (l *LessLog) Lookup(from bitops.PID, key uint32) (bitops.PID, int) {
+	target := bitops.PID(key) & bitops.PID(bitops.Mask(l.m))
+	v := ptree.NewView(target, l.live, 0)
+	stops := v.PathLiveStops(from)
+	if len(stops) > 0 {
+		last := stops[len(stops)-1]
+		if last == target {
+			return last, len(stops) - 1
+		}
+	}
+	// Dead target: §3 second step.
+	p, ok := v.PrimaryHolder(0)
+	if !ok {
+		panic("lookup: no live node")
+	}
+	hops := len(stops) // walk hops (len-1) plus the fallback jump
+	if len(stops) > 0 && stops[len(stops)-1] == p {
+		hops = len(stops) - 1 // the walk already ended at the primary
+	}
+	return p, hops
+}
+
+// Chord adapts the finger-table ring.
+type Chord struct {
+	m    int
+	ring *chord.Ring
+}
+
+// NewChord builds the adapter.
+func NewChord(m int, live *liveness.Set) *Chord {
+	return &Chord{m: m, ring: chord.New(m, live)}
+}
+
+// Name implements Scheme.
+func (c *Chord) Name() string { return "chord" }
+
+// MaxHops implements Scheme: the ring guarantee is O(log N) w.h.p.; the
+// deterministic bound used for conformance is 2m.
+func (c *Chord) MaxHops() int { return 2 * c.m }
+
+// Owner implements Scheme.
+func (c *Chord) Owner(key uint32) bitops.PID { return c.ring.Successor(key) }
+
+// Lookup implements Scheme.
+func (c *Chord) Lookup(from bitops.PID, key uint32) (bitops.PID, int) {
+	return c.ring.Lookup(from, key)
+}
+
+// Pastry adapts the prefix-routing mesh with base-16 digits.
+type Pastry struct {
+	m    int
+	mesh *pastry.Mesh
+}
+
+// NewPastry builds the adapter.
+func NewPastry(m int, live *liveness.Set) *Pastry {
+	bits := 4
+	if bits > m {
+		bits = m
+	}
+	return &Pastry{m: m, mesh: pastry.New(m, bits, live)}
+}
+
+// Name implements Scheme.
+func (p *Pastry) Name() string { return "pastry" }
+
+// MaxHops implements Scheme: digits plus the leaf walk margin.
+func (p *Pastry) MaxHops() int { return 3*p.m + 8 }
+
+// Owner implements Scheme.
+func (p *Pastry) Owner(key uint32) bitops.PID {
+	return p.mesh.Owner(bitops.PID(key) & bitops.PID(bitops.Mask(p.m)))
+}
+
+// Lookup implements Scheme.
+func (p *Pastry) Lookup(from bitops.PID, key uint32) (bitops.PID, int) {
+	return p.mesh.Lookup(from, bitops.PID(key)&bitops.PID(bitops.Mask(p.m)))
+}
+
+// CAN adapts the 2-d coordinate network: keys map to torus points by a
+// seeded hash, and node identifiers are zone indices (CAN has no PID
+// space of its own, so the adapter requires a dense population:
+// zone i == PID i).
+type CAN struct {
+	m  int
+	nw *can.Network
+}
+
+// NewCAN builds a CAN over 2^m zones. CAN constructs its own population,
+// so unlike the other adapters it ignores liveness patterns; use it only
+// with fully-live sets.
+func NewCAN(m int, seed uint64) *CAN {
+	return &CAN{m: m, nw: can.New(2, bitops.Slots(m), seed)}
+}
+
+// Name implements Scheme.
+func (c *CAN) Name() string { return "can-d2" }
+
+// MaxHops implements Scheme: the d·N^(1/d) scaling with generous slack
+// for the skewed zones random splits produce.
+func (c *CAN) MaxHops() int {
+	n := bitops.Slots(c.m)
+	root := 1
+	for root*root < n {
+		root++
+	}
+	return 16 * root
+}
+
+// point maps a key to a torus point deterministically.
+func (c *CAN) point(key uint32) []float64 {
+	r := xrand.New(uint64(key)*0x9e3779b97f4a7c15 + 1)
+	return []float64{r.Float64(), r.Float64()}
+}
+
+// Owner implements Scheme.
+func (c *CAN) Owner(key uint32) bitops.PID {
+	p := c.point(key)
+	// The zone containing the point; lookup from zone 0 finds it.
+	owner, _ := c.nw.Lookup(0, p)
+	return bitops.PID(owner)
+}
+
+// Lookup implements Scheme.
+func (c *CAN) Lookup(from bitops.PID, key uint32) (bitops.PID, int) {
+	owner, hops := c.nw.Lookup(int(from), c.point(key))
+	return bitops.PID(owner), hops
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Count() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 || s.Sum() != 14 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("summary: %s", s.String())
+	}
+	if math.Abs(s.Mean()-2.8) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+}
+
+func TestSummaryNegative(t *testing.T) {
+	var s Summary
+	s.Observe(-3)
+	s.Observe(-7)
+	if s.Min() != -7 || s.Max() != -3 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	samples := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5, 10}
+	qs := Quantiles(samples, 0, 0.5, 0.9, 1)
+	want := []float64{1, 5, 9, 10}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Fatalf("Quantiles = %v, want %v", qs, want)
+		}
+	}
+	if samples[0] != 9 {
+		t.Fatal("Quantiles mutated its input")
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Fatal("empty quantiles not zero")
+	}
+}
+
+func TestSummarizeLoads(t *testing.T) {
+	loads := map[uint32]float64{1: 50, 2: 150, 3: 100}
+	ls := SummarizeLoads(loads, 100)
+	if ls.Holders != 3 || ls.Overloaded != 1 || ls.MaxLoad != 150 || ls.TotalLoad != 300 {
+		t.Fatalf("summary: %s", ls)
+	}
+	if math.Abs(ls.MeanLoad-100) > 1e-12 {
+		t.Fatalf("MeanLoad = %v", ls.MeanLoad)
+	}
+	empty := SummarizeLoads(nil, 100)
+	if empty.Holders != 0 || empty.MeanLoad != 0 {
+		t.Fatal("empty summary wrong")
+	}
+}

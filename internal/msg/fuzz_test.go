@@ -1,0 +1,60 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest hammers the request decoder with arbitrary bytes: it
+// must never panic or over-allocate, and anything it accepts must
+// re-encode to an equivalent decode (decode∘encode∘decode fixpoint).
+func FuzzDecodeRequest(f *testing.F) {
+	seed, _ := AppendRequest(nil, &Request{
+		Kind: KindGet, Flags: FlagFallback, Origin: 7, Hops: 2,
+		Subtree: 1, Version: 99, Name: "file", Data: []byte("payload"),
+	})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("accepted request failed to re-encode: %v", err)
+		}
+		again, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v", err)
+		}
+		if again.Kind != req.Kind || again.Name != req.Name ||
+			!bytes.Equal(again.Data, req.Data) || again.Version != req.Version {
+			t.Fatalf("decode/encode not a fixpoint: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzDecodeResponse mirrors FuzzDecodeRequest for responses.
+func FuzzDecodeResponse(f *testing.F) {
+	seed, _ := AppendResponse(nil, &Response{
+		OK: true, ServedBy: 4, Hops: 3, Version: 7, Err: "", Data: []byte("x"),
+	})
+	f.Add(seed)
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendResponse(nil, resp)
+		if err != nil {
+			t.Fatalf("accepted response failed to re-encode: %v", err)
+		}
+		if _, err := DecodeResponse(re); err != nil {
+			t.Fatalf("re-encoded response failed to decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,337 @@
+// Package msg defines the wire protocol spoken by the networked LessLog
+// nodes (internal/netnode): a compact length-prefixed binary framing built
+// on encoding/binary, carrying the file operations of paper §2.2 plus the
+// flags the §3/§4 routing needs to terminate (the FINDLIVENODE fallback
+// and cross-subtree migration state travel with the request).
+//
+// Frame layout (big endian):
+//
+//	uint32  payload length
+//	payload (Request or Response encoding)
+//
+// Sizes are bounded (MaxName, MaxData) so a malicious or corrupt peer
+// cannot make a node allocate unboundedly.
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind enumerates request types.
+type Kind uint8
+
+// Request kinds. KindStore places a copy directly (insert placement and
+// replica creation); KindGet and KindUpdate are forwarded per the lookup
+// tree; KindStat asks a node for its status snapshot.
+const (
+	KindInsert Kind = iota + 1
+	KindGet
+	KindUpdate
+	KindStore
+	KindStat
+	// KindRegister announces a membership change (§5.1's register-live /
+	// register-dead broadcast): Origin carries the PID, Data its address
+	// for a live registration, FlagDead marks a departure.
+	KindRegister
+	// KindTable asks a peer for its PID→address table, the networked
+	// status word a joining node bootstraps from.
+	KindTable
+	// KindHas asks whether the peer holds a copy of Name — the probe the
+	// distributed REPLICATEFILE uses to find "the first node in the
+	// children list that does not have a replicated copy" (§2.2).
+	KindHas
+	// KindDelete erases a file everywhere via the same top-down
+	// children-list broadcast updates use (FlagPropagate marks the
+	// broadcast legs).
+	KindDelete
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindGet:
+		return "get"
+	case KindUpdate:
+		return "update"
+	case KindStore:
+		return "store"
+	case KindStat:
+		return "stat"
+	case KindRegister:
+		return "register"
+	case KindTable:
+		return "table"
+	case KindHas:
+		return "has"
+	case KindDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Limits protecting decoders.
+const (
+	MaxName  = 4 << 10  // 4 KiB file names
+	MaxData  = 16 << 20 // 16 MiB file payloads
+	MaxFrame = MaxData + MaxName + 64
+)
+
+// Flag bits carried by requests.
+const (
+	// FlagFallback marks a get that already took the §3 second step; the
+	// receiving primary answers instead of forwarding further.
+	FlagFallback uint8 = 1 << iota
+	// FlagReplica marks a KindStore carrying a replica rather than an
+	// inserted copy.
+	FlagReplica
+	// FlagPropagate marks a KindUpdate that is part of a top-down
+	// children-list broadcast rather than a client-initiated update, or a
+	// KindRegister relayed by the bootstrap peer (no further relaying).
+	FlagPropagate
+	// FlagDead marks a KindRegister announcing a departure or failure.
+	FlagDead
+)
+
+// Request is one node-to-node or client-to-node message.
+type Request struct {
+	Kind    Kind
+	Flags   uint8
+	Origin  uint32 // PID of the node the client first contacted
+	Hops    uint32 // forwarding hops so far
+	Subtree uint32 // §4: subtrees already tried (migration counter)
+	Version uint64 // update/store version
+	Name    string
+	Data    []byte
+}
+
+// Response answers a Request.
+type Response struct {
+	OK       bool
+	ServedBy uint32
+	Hops     uint32
+	Version  uint64
+	Err      string
+	Data     []byte
+}
+
+// Encoding errors.
+var (
+	ErrFrameTooLarge = errors.New("msg: frame exceeds limits")
+	ErrCorrupt       = errors.New("msg: corrupt frame")
+)
+
+// appendUvarint-style fixed encodings keep the format trivially seekable.
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b []byte, d []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(d)))
+	return append(b, d...)
+}
+
+func takeUint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, ErrCorrupt
+	}
+	return binary.BigEndian.Uint32(b), b[4:], nil
+}
+
+func takeUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrCorrupt
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
+
+func takeString(b []byte, max int) (string, []byte, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if int(n) > max || int(n) > len(b) {
+		return "", nil, ErrCorrupt
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func takeBytes(b []byte, max int) ([]byte, []byte, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int(n) > max || int(n) > len(b) {
+		return nil, nil, ErrCorrupt
+	}
+	out := make([]byte, n)
+	copy(out, b[:n])
+	return out, b[n:], nil
+}
+
+// AppendRequest encodes r onto b.
+func AppendRequest(b []byte, r *Request) ([]byte, error) {
+	if len(r.Name) > MaxName || len(r.Data) > MaxData {
+		return nil, ErrFrameTooLarge
+	}
+	b = append(b, byte(r.Kind), r.Flags)
+	b = binary.BigEndian.AppendUint32(b, r.Origin)
+	b = binary.BigEndian.AppendUint32(b, r.Hops)
+	b = binary.BigEndian.AppendUint32(b, r.Subtree)
+	b = binary.BigEndian.AppendUint64(b, r.Version)
+	b = appendString(b, r.Name)
+	b = appendBytes(b, r.Data)
+	return b, nil
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(b []byte) (*Request, error) {
+	if len(b) < 2 {
+		return nil, ErrCorrupt
+	}
+	r := &Request{Kind: Kind(b[0]), Flags: b[1]}
+	b = b[2:]
+	var err error
+	if r.Origin, b, err = takeUint32(b); err != nil {
+		return nil, err
+	}
+	if r.Hops, b, err = takeUint32(b); err != nil {
+		return nil, err
+	}
+	if r.Subtree, b, err = takeUint32(b); err != nil {
+		return nil, err
+	}
+	if r.Version, b, err = takeUint64(b); err != nil {
+		return nil, err
+	}
+	if r.Name, b, err = takeString(b, MaxName); err != nil {
+		return nil, err
+	}
+	if r.Data, b, err = takeBytes(b, MaxData); err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return r, nil
+}
+
+// AppendResponse encodes resp onto b.
+func AppendResponse(b []byte, resp *Response) ([]byte, error) {
+	if len(resp.Err) > MaxName || len(resp.Data) > MaxData {
+		return nil, ErrFrameTooLarge
+	}
+	ok := byte(0)
+	if resp.OK {
+		ok = 1
+	}
+	b = append(b, ok)
+	b = binary.BigEndian.AppendUint32(b, resp.ServedBy)
+	b = binary.BigEndian.AppendUint32(b, resp.Hops)
+	b = binary.BigEndian.AppendUint64(b, resp.Version)
+	b = appendString(b, resp.Err)
+	b = appendBytes(b, resp.Data)
+	return b, nil
+}
+
+// DecodeResponse parses a response payload.
+func DecodeResponse(b []byte) (*Response, error) {
+	if len(b) < 1 {
+		return nil, ErrCorrupt
+	}
+	resp := &Response{OK: b[0] == 1}
+	b = b[1:]
+	var err error
+	if resp.ServedBy, b, err = takeUint32(b); err != nil {
+		return nil, err
+	}
+	if resp.Hops, b, err = takeUint32(b); err != nil {
+		return nil, err
+	}
+	if resp.Version, b, err = takeUint64(b); err != nil {
+		return nil, err
+	}
+	if resp.Err, b, err = takeString(b, MaxName); err != nil {
+		return nil, err
+	}
+	if resp.Data, b, err = takeBytes(b, MaxData); err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return resp, nil
+}
+
+// WriteFrame writes one length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// WriteRequest frames and writes one request.
+func WriteRequest(w io.Writer, r *Request) error {
+	b, err := AppendRequest(nil, r)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, b)
+}
+
+// ReadRequest reads and decodes one request.
+func ReadRequest(r io.Reader) (*Request, error) {
+	b, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRequest(b)
+}
+
+// WriteResponse frames and writes one response.
+func WriteResponse(w io.Writer, resp *Response) error {
+	b, err := AppendResponse(nil, resp)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, b)
+}
+
+// ReadResponse reads and decodes one response.
+func ReadResponse(r io.Reader) (*Response, error) {
+	b, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(b)
+}

@@ -1,0 +1,184 @@
+package msg
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	f := func(kind uint8, flags uint8, origin, hops, subtree uint32, version uint64, name string, data []byte) bool {
+		if len(name) > MaxName || len(data) > MaxData {
+			return true // generator stays under limits anyway
+		}
+		in := &Request{
+			Kind: Kind(kind), Flags: flags, Origin: origin, Hops: hops,
+			Subtree: subtree, Version: version, Name: name, Data: data,
+		}
+		b, err := AppendRequest(nil, in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeRequest(b)
+		if err != nil {
+			return false
+		}
+		if len(in.Data) == 0 {
+			in.Data = out.Data // nil vs empty slice are both fine
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	f := func(ok bool, servedBy, hops uint32, version uint64, errStr string, data []byte) bool {
+		if len(errStr) > MaxName {
+			return true
+		}
+		in := &Response{OK: ok, ServedBy: servedBy, Hops: hops, Version: version, Err: errStr, Data: data}
+		b, err := AppendResponse(nil, in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeResponse(b)
+		if err != nil {
+			return false
+		}
+		if len(in.Data) == 0 {
+			in.Data = out.Data
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := &Request{Kind: KindGet, Origin: 7, Name: "file", Data: []byte("payload")}
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	resp := &Response{OK: true, ServedBy: 4, Hops: 2, Data: []byte("result")}
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	gotReq, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.Name != "file" || string(gotReq.Data) != "payload" || gotReq.Kind != KindGet {
+		t.Fatalf("request = %+v", gotReq)
+	}
+	gotResp, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotResp.OK || gotResp.ServedBy != 4 || string(gotResp.Data) != "result" {
+		t.Fatalf("response = %+v", gotResp)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	big := strings.Repeat("x", MaxName+1)
+	if _, err := AppendRequest(nil, &Request{Kind: KindGet, Name: big}); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+	// A frame header advertising an absurd size must be rejected before
+	// allocation.
+	r := bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(r); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCorruptRejected(t *testing.T) {
+	good, err := AppendRequest(nil, &Request{Kind: KindGet, Name: "n", Data: []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly.
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeRequest(good[:i]); err == nil {
+			t.Fatalf("prefix of length %d decoded", i)
+		}
+	}
+	// Trailing garbage must fail.
+	if _, err := DecodeRequest(append(append([]byte{}, good...), 0x00)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	// A length field pointing past the buffer must fail.
+	bad := append([]byte{}, good...)
+	bad[22] = 0xFF // high byte of the name-length prefix (after the 22-byte fixed header)
+	if _, err := DecodeRequest(bad); err == nil {
+		t.Fatal("oversized inner length accepted")
+	}
+}
+
+func TestCorruptResponse(t *testing.T) {
+	good, err := AppendResponse(nil, &Response{OK: true, Err: "e", Data: []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeResponse(good[:i]); err == nil {
+			t.Fatalf("prefix of length %d decoded", i)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindInsert: "insert", KindGet: "get", KindUpdate: "update",
+		KindStore: "store", KindStat: "stat", Kind(99): "kind(99)",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestReadFrameShortInput(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Fatal("short header accepted")
+	}
+	// Header promising more bytes than present.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 9, 1, 2})); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func BenchmarkRequestEncode(b *testing.B) {
+	req := &Request{Kind: KindGet, Origin: 7, Name: "some/file/name", Data: make([]byte, 1024)}
+	buf := make([]byte, 0, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		var err error
+		buf, err = AppendRequest(buf, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRequestDecode(b *testing.B) {
+	req := &Request{Kind: KindGet, Origin: 7, Name: "some/file/name", Data: make([]byte, 1024)}
+	buf, _ := AppendRequest(nil, req)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRequest(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

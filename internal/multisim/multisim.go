@@ -1,0 +1,200 @@
+// Package multisim generalizes the paper's single-popular-file evaluation
+// (§6, "There is only one file initially in the system") to many
+// concurrently hot files: a node's load is the sum of its serve rates
+// across files, and an overloaded node sheds its locally hottest file
+// first, using the same logless placement per file. It composes one
+// internal/loadsim simulator per file over a shared liveness set, so the
+// per-file routing semantics are exactly the validated single-file ones.
+package multisim
+
+import (
+	"errors"
+	"fmt"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/loadsim"
+	"lesslog/internal/metrics"
+	"lesslog/internal/replication"
+	"lesslog/internal/workload"
+)
+
+// FileSpec describes one popular file.
+type FileSpec struct {
+	Name   string
+	Target bitops.PID     // ψ(name)
+	Rates  workload.Rates // per-origin request rates for this file
+}
+
+// Config parameterizes a multi-file simulation.
+type Config struct {
+	M     int
+	B     int
+	Cap   float64 // aggregate per-node load cap
+	Live  *liveness.Set
+	Files []FileSpec
+	Seed  uint64
+}
+
+// Sim is the multi-file state.
+type Sim struct {
+	cfg  Config
+	sims []*loadsim.Sim
+}
+
+// New builds one per-file simulator per spec over the shared liveness.
+func New(cfg Config) *Sim {
+	if len(cfg.Files) == 0 {
+		panic("multisim: no files")
+	}
+	s := &Sim{cfg: cfg}
+	for i, f := range cfg.Files {
+		s.sims = append(s.sims, loadsim.New(loadsim.Config{
+			M: cfg.M, B: cfg.B, Target: f.Target, Cap: cfg.Cap,
+			Live: cfg.Live, Rates: f.Rates,
+			Seed: cfg.Seed + uint64(i)*0x9e37,
+		}))
+	}
+	return s
+}
+
+// FileSim exposes the per-file simulator (for inspection and tests).
+func (s *Sim) FileSim(i int) *loadsim.Sim { return s.sims[i] }
+
+// NodeLoads returns each node's aggregate serve rate across all files.
+func (s *Sim) NodeLoads() map[bitops.PID]float64 {
+	agg := map[bitops.PID]float64{}
+	for _, fs := range s.sims {
+		for p, l := range fs.Loads() {
+			agg[p] += l
+		}
+	}
+	return agg
+}
+
+// Summary summarizes the aggregate loads against the cap.
+func (s *Sim) Summary() metrics.LoadSummary {
+	agg := s.NodeLoads()
+	l := make(map[uint32]float64, len(agg))
+	for p, v := range agg {
+		l[uint32(p)] = v
+	}
+	return metrics.SummarizeLoads(l, s.cfg.Cap)
+}
+
+// Result reports a multi-file balance run.
+type Result struct {
+	Strategy        string
+	ReplicasCreated int
+	PerFile         []int // replicas per file, aligned with Config.Files
+	Balanced        bool
+	Summary         metrics.LoadSummary
+}
+
+// ErrStuck mirrors loadsim.ErrStuck for the aggregate system.
+var ErrStuck = errors.New("multisim: no placement can relieve the overloaded node")
+
+// Balance drives the aggregate system under the cap: the node with the
+// highest total load sheds one replica of its locally hottest file, the
+// file contributing the most to its load, placed by the per-file
+// strategy. Files whose placement is saturated at that node fall through
+// to the next-hottest file; a node with no options is set aside like in
+// loadsim.Balance.
+func (s *Sim) Balance(strategy replication.Strategy, maxReplicas int) (Result, error) {
+	if maxReplicas <= 0 {
+		maxReplicas = bitops.Slots(s.cfg.M) * len(s.sims)
+	}
+	res := Result{Strategy: strategy.Name(), PerFile: make([]int, len(s.sims))}
+	saturated := map[bitops.PID]bool{}
+	for {
+		over, ok := s.mostOverloaded(saturated)
+		if !ok {
+			if _, still := s.mostOverloaded(nil); still {
+				res.Summary = s.Summary()
+				return res, ErrStuck
+			}
+			res.Balanced = true
+			res.Summary = s.Summary()
+			return res, nil
+		}
+		if res.ReplicasCreated >= maxReplicas {
+			res.Summary = s.Summary()
+			return res, fmt.Errorf("multisim: budget of %d replicas exhausted", maxReplicas)
+		}
+		if !s.shedFrom(over, strategy, &res) {
+			saturated[over] = true
+			continue
+		}
+		clear(saturated)
+	}
+}
+
+// shedFrom tries the node's files hottest-first and places one replica.
+func (s *Sim) shedFrom(over bitops.PID, strategy replication.Strategy, res *Result) bool {
+	type cand struct {
+		idx  int
+		load float64
+	}
+	var cands []cand
+	for i, fs := range s.sims {
+		if l := fs.LoadOf(over); l > 0 && fs.HasCopy(over) {
+			cands = append(cands, cand{i, l})
+		}
+	}
+	// Hottest file first; ties by index for determinism.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && (cands[j].load > cands[j-1].load ||
+			(cands[j].load == cands[j-1].load && cands[j].idx < cands[j-1].idx)); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, c := range cands {
+		fs := s.sims[c.idx]
+		if target, ok := strategy.Place(fs, over); ok {
+			fs.AddReplica(target)
+			res.ReplicasCreated++
+			res.PerFile[c.idx]++
+			return true
+		}
+	}
+	return false
+}
+
+// mostOverloaded returns the node with the highest aggregate load above
+// the cap, skipping the given set; ties break toward the lowest PID.
+func (s *Sim) mostOverloaded(skip map[bitops.PID]bool) (bitops.PID, bool) {
+	var best bitops.PID
+	var bestLoad float64
+	found := false
+	for p, l := range s.NodeLoads() {
+		if l <= s.cfg.Cap || skip[p] {
+			continue
+		}
+		if !found || l > bestLoad || (l == bestLoad && p < best) {
+			best, bestLoad, found = p, l, true
+		}
+	}
+	return best, found
+}
+
+// EvenSplit builds K FileSpecs sharing a total request rate evenly, with
+// targets spread deterministically across the identifier space — the
+// standard workload for the multi-file experiment.
+func EvenSplit(k int, total float64, m int, live *liveness.Set) []FileSpec {
+	if k < 1 {
+		panic("multisim: need at least one file")
+	}
+	specs := make([]FileSpec, k)
+	stride := bitops.Slots(m) / k
+	if stride == 0 {
+		stride = 1
+	}
+	for i := range specs {
+		specs[i] = FileSpec{
+			Name:   fmt.Sprintf("hot-%d", i),
+			Target: bitops.PID((i*stride + 4) % bitops.Slots(m)),
+			Rates:  workload.Even(total/float64(k), live),
+		}
+	}
+	return specs
+}

@@ -1,0 +1,176 @@
+package multisim
+
+import (
+	"math"
+	"testing"
+
+	"lesslog/internal/liveness"
+	"lesslog/internal/replication"
+)
+
+func evenSim(t *testing.T, k int, total, cap float64) *Sim {
+	t.Helper()
+	live := liveness.NewAllLive(10, 1024)
+	return New(Config{
+		M: 10, Cap: cap, Live: live,
+		Files: EvenSplit(k, total, 10, live),
+		Seed:  1,
+	})
+}
+
+func TestAggregateLoadConservation(t *testing.T) {
+	s := evenSim(t, 4, 8000, 100)
+	total := 0.0
+	for _, l := range s.NodeLoads() {
+		total += l
+	}
+	if math.Abs(total-8000) > 1e-6 {
+		t.Fatalf("aggregate load %v, want 8000", total)
+	}
+	sum := s.Summary()
+	if sum.Holders < 4 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestBalanceMultipleFiles(t *testing.T) {
+	s := evenSim(t, 8, 16000, 100)
+	res, err := s.Balance(replication.LessLog{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Balanced || res.Summary.Overloaded != 0 {
+		t.Fatalf("not balanced: %+v", res)
+	}
+	// Every file participated.
+	for i, n := range res.PerFile {
+		if n < 0 {
+			t.Fatalf("file %d replicas %d", i, n)
+		}
+	}
+	perFileSum := 0
+	for _, n := range res.PerFile {
+		perFileSum += n
+	}
+	if perFileSum != res.ReplicasCreated {
+		t.Fatalf("per-file accounting %d != total %d", perFileSum, res.ReplicasCreated)
+	}
+	t.Logf("8 files, 16000 req/s: %d replicas (%v per file)", res.ReplicasCreated, res.PerFile)
+}
+
+func TestSpreadingFilesNeedsFewerReplicasPerFile(t *testing.T) {
+	// Fixed total rate: more hot files spread the load across more
+	// targets, so the total replica count should not explode; a single
+	// file needs the deepest splitting.
+	run := func(k int) int {
+		s := evenSim(t, k, 20000, 100)
+		res, err := s.Balance(replication.LessLog{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ReplicasCreated
+	}
+	one := run(1)
+	sixteen := run(16)
+	if sixteen > one {
+		t.Fatalf("16 files (%d replicas) needed more than 1 file (%d)", sixteen, one)
+	}
+	t.Logf("replicas to balance 20000 req/s: 1 file=%d, 16 files=%d", one, sixteen)
+}
+
+func TestOverlappingTargets(t *testing.T) {
+	// Two hot files anchored at the *same* target stack their load; the
+	// node sheds them file by file, hottest first.
+	live := liveness.NewAllLive(8, 256)
+	specs := EvenSplit(2, 4000, 8, live)
+	specs[1].Target = specs[0].Target
+	s := New(Config{M: 8, Cap: 100, Live: live, Files: specs, Seed: 1})
+	target := specs[0].Target
+	if got := s.NodeLoads()[target]; math.Abs(got-4000) > 1e-6 {
+		t.Fatalf("stacked load = %v", got)
+	}
+	res, err := s.Balance(replication.LessLog{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Balanced {
+		t.Fatal("not balanced")
+	}
+	if res.PerFile[0] == 0 || res.PerFile[1] == 0 {
+		t.Fatalf("both files must shed: %v", res.PerFile)
+	}
+}
+
+func TestBudgetError(t *testing.T) {
+	s := evenSim(t, 2, 20000, 100)
+	if _, err := s.Balance(replication.LessLog{}, 3); err == nil {
+		t.Fatal("budget exhaustion not reported")
+	}
+}
+
+func TestEvenSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 accepted")
+		}
+	}()
+	EvenSplit(0, 100, 4, liveness.NewAllLive(4, 16))
+}
+
+func TestNewPanicsWithoutFiles(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty file list accepted")
+		}
+	}()
+	New(Config{M: 4, Cap: 1, Live: liveness.NewAllLive(4, 16)})
+}
+
+func TestFileSimAccess(t *testing.T) {
+	s := evenSim(t, 3, 3000, 100)
+	for i := 0; i < 3; i++ {
+		if s.FileSim(i) == nil {
+			t.Fatalf("file sim %d missing", i)
+		}
+	}
+	if len(s.FileSim(0).Primaries()) != 1 {
+		t.Fatal("per-file primary missing")
+	}
+}
+
+func TestStuckAggregate(t *testing.T) {
+	// One file whose single origin pumps more than the cap can never be
+	// balanced — its requests chase the copy all the way back to the
+	// origin, which then serves its own load. A second, mild file keeps
+	// the scenario multi-file.
+	live := liveness.NewAllLive(4, 16)
+	hotRates := make([]float64, 16)
+	hotRates[9] = 160 // above the 100 req/s cap, single origin
+	mildRates := make([]float64, 16)
+	mildRates[2] = 10
+	s := New(Config{M: 4, Cap: 100, Live: live,
+		Files: []FileSpec{
+			{Name: "hot", Target: 4, Rates: hotRates},
+			{Name: "mild", Target: 4, Rates: mildRates},
+		}, Seed: 1})
+	_, err := s.Balance(replication.LessLog{}, 0)
+	if err != ErrStuck {
+		t.Fatalf("err = %v, want ErrStuck", err)
+	}
+	// Replication pushed the hot copy to the origin itself, which now
+	// serves its own 160 req/s; nothing can shed further.
+	if l := s.NodeLoads()[9]; math.Abs(l-160) > 1e-6 {
+		t.Fatalf("stuck node load = %v", l)
+	}
+}
+
+func BenchmarkMultiFileBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		live := liveness.NewAllLive(10, 1024)
+		s := New(Config{M: 10, Cap: 100, Live: live,
+			Files: EvenSplit(8, 16000, 10, live), Seed: 1})
+		if _, err := s.Balance(replication.LessLog{}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

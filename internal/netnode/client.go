@@ -1,0 +1,110 @@
+package netnode
+
+import (
+	"errors"
+	"fmt"
+
+	"lesslog/internal/msg"
+)
+
+// ErrFault is returned by Client operations when no copy of the file could
+// be located — the paper's "fault".
+var ErrFault = errors.New("netnode: file not found (fault)")
+
+// Client issues file operations against any peer of a networked LessLog
+// system. The zero value is unusable; construct with NewClient.
+type Client struct {
+	addr string
+}
+
+// NewClient returns a client that contacts the peer at addr.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Insert stores a file in the system.
+func (c *Client) Insert(name string, data []byte) error {
+	resp, err := Call(c.addr, &msg.Request{Kind: msg.KindInsert, Name: name, Data: data})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("netnode: insert %q: %s", name, resp.Err)
+	}
+	return nil
+}
+
+// GetResult reports how a networked get was served.
+type GetResult struct {
+	Data     []byte
+	Version  uint64
+	ServedBy uint32
+	Hops     int
+}
+
+// Get fetches a file, reporting which peer served it and the hop count.
+func (c *Client) Get(name string) (GetResult, error) {
+	resp, err := Call(c.addr, &msg.Request{Kind: msg.KindGet, Name: name})
+	if err != nil {
+		return GetResult{}, err
+	}
+	if !resp.OK {
+		return GetResult{}, fmt.Errorf("%w: %s", ErrFault, name)
+	}
+	return GetResult{
+		Data: resp.Data, Version: resp.Version,
+		ServedBy: resp.ServedBy, Hops: int(resp.Hops),
+	}, nil
+}
+
+// Update rewrites a file everywhere it is replicated. The returned count
+// is the number of copies rewritten.
+func (c *Client) Update(name string, data []byte) (int, error) {
+	resp, err := Call(c.addr, &msg.Request{Kind: msg.KindUpdate, Name: name, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, fmt.Errorf("netnode: update %q: %s", name, resp.Err)
+	}
+	return int(resp.Hops), nil
+}
+
+// Delete erases a file everywhere. The returned count is the number of
+// copies removed.
+func (c *Client) Delete(name string) (int, error) {
+	resp, err := Call(c.addr, &msg.Request{Kind: msg.KindDelete, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, fmt.Errorf("netnode: delete %q: %s", name, resp.Err)
+	}
+	return int(resp.Hops), nil
+}
+
+// Store places a copy directly on the contacted peer; test and tooling
+// hook for building replica layouts by hand.
+func (c *Client) Store(name string, data []byte, version uint64, replica bool) error {
+	var flags uint8
+	if replica {
+		flags |= msg.FlagReplica
+	}
+	resp, err := Call(c.addr, &msg.Request{
+		Kind: msg.KindStore, Flags: flags, Name: name, Data: data, Version: version,
+	})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("netnode: store %q: %s", name, resp.Err)
+	}
+	return nil
+}
+
+// Stat returns the contacted peer's one-line status summary.
+func (c *Client) Stat() (string, error) {
+	resp, err := Call(c.addr, &msg.Request{Kind: msg.KindStat})
+	if err != nil {
+		return "", err
+	}
+	return string(resp.Data), nil
+}

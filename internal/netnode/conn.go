@@ -1,0 +1,75 @@
+package netnode
+
+// Conn is a persistent client connection: unlike Client, which dials per
+// operation, a Conn pipelines every request over one TCP stream — the
+// shape a real client library would use against a home peer, and what the
+// throughput benchmark measures.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"lesslog/internal/msg"
+)
+
+// Conn is a persistent connection to one peer. Safe for concurrent use;
+// requests are serialized over the single stream.
+type Conn struct {
+	mu   sync.Mutex
+	tcp  net.Conn
+	addr string
+}
+
+// DialConn opens a persistent connection to the peer at addr.
+func DialConn(addr string) (*Conn, error) {
+	tcp, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{tcp: tcp, addr: addr}, nil
+}
+
+// Close shuts the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tcp.Close()
+}
+
+// Do performs one request/response exchange.
+func (c *Conn) Do(req *msg.Request) (*msg.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := msg.WriteRequest(c.tcp, req); err != nil {
+		return nil, err
+	}
+	return msg.ReadResponse(c.tcp)
+}
+
+// Get fetches a file over the persistent stream.
+func (c *Conn) Get(name string) (GetResult, error) {
+	resp, err := c.Do(&msg.Request{Kind: msg.KindGet, Name: name})
+	if err != nil {
+		return GetResult{}, err
+	}
+	if !resp.OK {
+		return GetResult{}, fmt.Errorf("%w: %s", ErrFault, name)
+	}
+	return GetResult{
+		Data: resp.Data, Version: resp.Version,
+		ServedBy: resp.ServedBy, Hops: int(resp.Hops),
+	}, nil
+}
+
+// Insert stores a file over the persistent stream.
+func (c *Conn) Insert(name string, data []byte) error {
+	resp, err := c.Do(&msg.Request{Kind: msg.KindInsert, Name: name, Data: data})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("netnode: insert %q: %s", name, resp.Err)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package netnode
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+)
+
+func TestConnPipelinesRequests(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	conn, err := DialConn(peers[8].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Insert("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		res, err := conn.Get("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Data, []byte("1")) || res.ServedBy != 4 {
+			t.Fatalf("get %d = %+v", i, res)
+		}
+	}
+	if _, err := conn.Get("missing"); !errors.Is(err, ErrFault) {
+		t.Fatalf("fault not surfaced: %v", err)
+	}
+	// The peer served everything over one accepted connection.
+	if got := peers[8].Stats().Requests.Load(); got < 52 {
+		t.Fatalf("requests = %d", got)
+	}
+}
+
+func TestConnConcurrentUse(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), nil)
+	conn, err := DialConn(peers[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 8; i++ {
+		if err := conn.Insert(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errc := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		w := w
+		go func() {
+			for i := 0; i < 25; i++ {
+				if _, err := conn.Get(fmt.Sprintf("k%d", (w+i)%8)); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConnClosedPeer(t *testing.T) {
+	peers := startSystem(t, 3, 0, allPIDs(8), nil)
+	conn, err := DialConn(peers[1].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers[1].Close()
+	if _, err := conn.Get("x"); err == nil {
+		t.Fatal("request over a dead peer's connection succeeded")
+	}
+	conn.Close()
+}
+
+// TestForwardFailureSurfaces injects a mid-path failure without a
+// registration: the forwarding peer must return an error response rather
+// than hang or crash.
+func TestForwardFailureSurfaces(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	if err := NewClient(peers[3].Addr()).Insert("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill P(0), the middle hop of P(8) -> P(0) -> P(4), silently.
+	peers[0].Close()
+	_, err := NewClient(peers[8].Addr()).Get("f")
+	if err == nil {
+		t.Fatal("get through a crashed hop succeeded without registration")
+	}
+	// After the failure is reported, routing bypasses the dead hop.
+	peers[8].ReportFailure(0)
+	res, err := NewClient(peers[8].Addr()).Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedBy != 4 {
+		t.Fatalf("served by P(%d)", res.ServedBy)
+	}
+}
+
+func BenchmarkConnGetThroughput(b *testing.B) {
+	var peers []*Peer
+	addrs := map[bitops.PID]string{}
+	for pid := bitops.PID(0); pid < 16; pid++ {
+		p, err := Listen(Config{PID: pid, M: 4, Hasher: hashring.Fixed(4)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		peers = append(peers, p)
+		addrs[pid] = p.Addr()
+	}
+	for _, p := range peers {
+		p.SetAddrs(addrs)
+	}
+	conn, err := DialConn(addrs[4])
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Insert("bench", []byte("payload")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Get("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

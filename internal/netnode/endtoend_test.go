@@ -1,0 +1,109 @@
+package netnode
+
+// Wire-level end-to-end scenario: a B=1 fault-tolerant system over real
+// sockets goes through content, load, maintenance, join, graceful leave
+// and an abrupt failure with recovery, and every file keeps serving.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+)
+
+func TestEndToEndWireScenario(t *testing.T) {
+	const m = 5 // 32 slots
+	var pids []bitops.PID
+	for i := 0; i < 28; i++ { // 4 slots free for the join phase
+		pids = append(pids, bitops.PID(i))
+	}
+	peers := startSystem(t, m, 1, pids, hashring.FNV{})
+
+	anyAddr := func() string {
+		for _, p := range peers {
+			return p.Addr()
+		}
+		t.Fatal("no peers")
+		return ""
+	}
+
+	// Phase 1: content through arbitrary peers, 2 copies each (B=1).
+	names := make([]string, 12)
+	for i := range names {
+		names[i] = fmt.Sprintf("wire/%02d", i)
+		if err := NewClient(peers[pids[i%len(pids)]].Addr()).Insert(names[i], []byte(names[i])); err != nil {
+			t.Fatalf("insert %s: %v", names[i], err)
+		}
+		holders := 0
+		for _, p := range peers {
+			if p.HasFile(names[i]) {
+				holders++
+			}
+		}
+		if holders != 2 {
+			t.Fatalf("%s has %d copies, want 2", names[i], holders)
+		}
+	}
+
+	// Phase 2: load one file and let its holder's maintenance replicate.
+	hot := names[3]
+	var hotHolder bitops.PID
+	for pid, p := range peers {
+		if p.HasFile(hot) {
+			hotHolder = pid
+			break
+		}
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := NewClient(peers[hotHolder].Addr()).Get(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := peers[hotHolder].MaintainOnce(10, 0); !ok {
+		t.Fatal("maintenance did not replicate the hot file")
+	}
+
+	// Phase 3: a node joins and inherits whatever now belongs to it.
+	joiner, err := Listen(Config{PID: 30, M: m, B: 1, Hasher: hashring.FNV{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { joiner.Close() })
+	if err := joiner.Join(anyAddr()); err != nil {
+		t.Fatal(err)
+	}
+	peers[30] = joiner
+
+	// Phase 4: a graceful leave hands copies over; an abrupt failure is
+	// recovered from the sibling subtree.
+	leaver := pids[5]
+	if err := peers[leaver].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	peers[leaver].Close()
+	delete(peers, leaver)
+
+	victim := pids[11]
+	peers[victim].Close()
+	delete(peers, victim)
+	for _, p := range peers {
+		p.ReportFailure(victim)
+		break
+	}
+
+	// Endgame: every file resolves from every surviving peer's viewpoint
+	// with correct contents.
+	for _, name := range names {
+		for pid := range peers {
+			res, err := NewClient(peers[pid].Addr()).Get(name)
+			if err != nil {
+				t.Fatalf("get %s via P(%d): %v", name, pid, err)
+			}
+			if !bytes.Equal(res.Data, []byte(name)) {
+				t.Fatalf("get %s via P(%d): wrong data %q", name, pid, res.Data)
+			}
+		}
+	}
+}

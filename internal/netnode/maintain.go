@@ -1,0 +1,140 @@
+package netnode
+
+// Distributed REPLICATEFILE (§2.2/§3) and the counter-based replica
+// removal (§6) over the wire: each peer watches its own serve counters
+// and, when a file exceeds the window threshold, places one replica on
+// the first node of its children list without a copy — discovering
+// "without a copy" through KindHas probes, and the list itself through
+// pure bit arithmetic on the status word. No access logs leave the node;
+// the only state consulted is the peer's own hit counters, which LessLog
+// needs anyway to notice it is overloaded.
+
+import (
+	"sync"
+	"time"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/msg"
+	"lesslog/internal/ptree"
+	"lesslog/internal/replication"
+	"lesslog/internal/xrand"
+)
+
+// netCtx adapts the networked copy-placement state to
+// replication.Context: copy existence at remote peers is answered by
+// KindHas probes.
+type netCtx struct {
+	p    *Peer
+	v    ptree.View
+	name string
+	rng  *xrand.Rand
+}
+
+func (c netCtx) View() ptree.View { return c.v }
+
+func (c netCtx) HasCopy(q bitops.PID) bool {
+	if q == c.p.cfg.PID {
+		c.p.mu.Lock()
+		defer c.p.mu.Unlock()
+		return c.p.store.Has(c.name)
+	}
+	resp, err := c.p.call(q, &msg.Request{Kind: msg.KindHas, Name: c.name})
+	return err == nil && resp.OK
+}
+
+func (c netCtx) ForwardedLoad(bitops.PID, bitops.PID) float64 { return 0 }
+func (c netCtx) Rand() *xrand.Rand                            { return c.rng }
+
+func (p *Peer) handleHas(req *msg.Request) *msg.Response {
+	p.mu.Lock()
+	has := p.store.Has(req.Name)
+	p.mu.Unlock()
+	return &msg.Response{OK: has, ServedBy: uint32(p.cfg.PID)}
+}
+
+// MaintainOnce runs one §2.2/§6 maintenance window on this peer: if its
+// hottest copy served more than threshold gets since the last window, one
+// replica is placed on its children list; replicas that served fewer than
+// evictBelow gets are dropped; then the counting window resets. It
+// returns where a replica was placed, if any.
+func (p *Peer) MaintainOnce(threshold, evictBelow uint64) (placed bitops.PID, ok bool) {
+	p.mu.Lock()
+	var hotName string
+	var hotHits uint64
+	for _, name := range p.store.AllNames() {
+		if h := p.store.Hits(name); h > hotHits {
+			hotName, hotHits = name, h
+		}
+	}
+	cold := p.store.ColdReplicas(evictBelow)
+	for _, name := range cold {
+		p.store.Delete(name)
+	}
+	var f fileSnapshot
+	if hotHits > threshold {
+		if file, have := p.store.Peek(hotName); have {
+			f = fileSnapshot{name: file.Name, data: file.Data, version: file.Version, valid: true}
+		}
+	}
+	p.store.ResetHits()
+	rng := p.maintRNG()
+	p.mu.Unlock()
+
+	if !f.valid {
+		return 0, false
+	}
+	v := p.view(p.hasher.Target(f.name, p.cfg.M))
+	target, found := (replication.LessLog{}).Place(netCtx{p: p, v: v, name: f.name, rng: rng}, p.cfg.PID)
+	if !found {
+		return 0, false
+	}
+	resp, err := p.call(target, &msg.Request{
+		Kind: msg.KindStore, Flags: msg.FlagReplica,
+		Name: f.name, Data: f.data, Version: f.version,
+	})
+	if err != nil || !resp.OK {
+		return 0, false
+	}
+	return target, true
+}
+
+type fileSnapshot struct {
+	name    string
+	data    []byte
+	version uint64
+	valid   bool
+}
+
+// maintRNG lazily creates the peer's placement randomness (the §3
+// proportional choice). Callers hold p.mu.
+func (p *Peer) maintRNG() *xrand.Rand {
+	if p.rng == nil {
+		p.rng = xrand.New(uint64(p.cfg.PID)*0x9e3779b9 + 1)
+	}
+	return p.rng
+}
+
+// StartMaintenance runs MaintainOnce every interval until the peer
+// closes. The returned stop function halts the loop early; calling it
+// more than once is safe.
+func (p *Peer) StartMaintenance(interval time.Duration, threshold, evictBelow uint64) (stop func()) {
+	done := make(chan struct{})
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-p.quit:
+				return
+			case <-ticker.C:
+				p.MaintainOnce(threshold, evictBelow)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,164 @@
+package netnode
+
+import (
+	"testing"
+	"time"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+	"lesslog/internal/msg"
+)
+
+func TestMaintainOnceReplicatesHotFile(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	if err := NewClient(peers[0].Addr()).Insert("hot", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the target from its own subtree so only P(4) counts hits.
+	for i := 0; i < 20; i++ {
+		if _, err := NewClient(peers[4].Addr()).Get("hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	placed, ok := peers[4].MaintainOnce(10, 0)
+	if !ok {
+		t.Fatal("overloaded peer did not replicate")
+	}
+	// §2.2: the first replica goes to the head of P(4)'s children list,
+	// P(5).
+	if placed != 5 {
+		t.Fatalf("replica at P(%d), want P(5)", placed)
+	}
+	if !peers[5].store.Has("hot") {
+		t.Fatal("replica not stored at P(5)")
+	}
+	// A second maintenance round places the next replica at P(6).
+	for i := 0; i < 20; i++ {
+		NewClient(peers[4].Addr()).Get("hot")
+	}
+	placed, ok = peers[4].MaintainOnce(10, 0)
+	if !ok || placed != 6 {
+		t.Fatalf("second replica at P(%d), %v; want P(6)", placed, ok)
+	}
+}
+
+func TestMaintainOnceBelowThresholdDoesNothing(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	NewClient(peers[0].Addr()).Insert("f", []byte("x"))
+	NewClient(peers[4].Addr()).Get("f")
+	if _, ok := peers[4].MaintainOnce(10, 0); ok {
+		t.Fatal("replicated below threshold")
+	}
+}
+
+func TestMaintainEvictsColdReplicas(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	NewClient(peers[0].Addr()).Insert("f", []byte("x"))
+	NewClient(peers[5].Addr()).Store("f", []byte("x"), 1, true)
+	if !peers[5].store.Has("f") {
+		t.Fatal("setup failed")
+	}
+	// The replica served nothing this window: evicted.
+	peers[5].MaintainOnce(1000, 1)
+	if peers[5].store.Has("f") {
+		t.Fatal("cold replica survived maintenance")
+	}
+	// Inserted copies are never evicted.
+	peers[4].MaintainOnce(1000, 1000)
+	if !peers[4].store.Has("f") {
+		t.Fatal("inserted copy evicted")
+	}
+}
+
+func TestKindHasProbe(t *testing.T) {
+	peers := startSystem(t, 3, 0, allPIDs(8), nil)
+	NewClient(peers[0].Addr()).Store("x", []byte("1"), 1, false)
+	resp, err := Call(peers[0].Addr(), &msg.Request{Kind: msg.KindHas, Name: "x"})
+	if err != nil || !resp.OK {
+		t.Fatalf("has(x) = %+v, %v", resp, err)
+	}
+	resp, err = Call(peers[0].Addr(), &msg.Request{Kind: msg.KindHas, Name: "y"})
+	if err != nil || resp.OK {
+		t.Fatalf("has(y) = %+v, %v", resp, err)
+	}
+	// Probes must not count as accesses for the eviction counters.
+	if peers[0].store.Hits("x") != 0 {
+		t.Fatal("KindHas counted an access")
+	}
+}
+
+func TestStartMaintenanceLoop(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	NewClient(peers[0].Addr()).Insert("hot", []byte("x"))
+	stop := peers[4].StartMaintenance(5*time.Millisecond, 10, 0)
+	defer stop()
+	for i := 0; i < 20; i++ {
+		NewClient(peers[4].Addr()).Get("hot")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if peers[5].HasFile("hot") {
+			stop()
+			stop() // idempotent
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("maintenance loop never replicated the hot file")
+}
+
+func TestDurablePeerSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{PID: 3, M: 4, Hasher: hashring.Fixed(3), DataDir: dir}
+	p1, err := Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.SetAddrs(map[bitops.PID]string{3: p1.Addr()})
+	if err := NewClient(p1.Addr()).Insert("persist-me", []byte("still here")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil { // checkpoint happens here
+		t.Fatal(err)
+	}
+	// "Restart" the peer from the same directory.
+	p2, err := Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p2.Close() })
+	p2.SetAddrs(map[bitops.PID]string{3: p2.Addr()})
+	res, err := NewClient(p2.Addr()).Get("persist-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Data) != "still here" {
+		t.Fatalf("restored data = %q", res.Data)
+	}
+}
+
+func TestCheckpointWithoutDataDir(t *testing.T) {
+	peers := startSystem(t, 3, 0, allPIDs(8), nil)
+	if err := peers[0].Checkpoint(); err == nil {
+		t.Fatal("checkpoint without a data dir succeeded")
+	}
+}
+
+func TestCloseStopsMaintenance(t *testing.T) {
+	p, err := Listen(Config{PID: 1, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetAddrs(map[bitops.PID]string{1: p.Addr()})
+	p.StartMaintenance(time.Hour, 1, 1) // never ticks; Close must not hang
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with a maintenance loop running")
+	}
+}

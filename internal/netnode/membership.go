@@ -1,0 +1,279 @@
+package netnode
+
+// Dynamic membership over the wire: the §5 self-organized mechanism
+// distributed across real peers. A joining peer bootstraps the address
+// table (the networked status word) from any member and registers itself;
+// every member that held a file on the joiner's behalf detects the new
+// placement locally — pure bit arithmetic, true to the paper — and hands
+// the inserted copy over. Departures broadcast a dead registration; a
+// graceful leaver first pushes its inserted copies to their new primaries,
+// while after a failure the holders in sibling subtrees (B > 0) detect the
+// lost copy and restore it.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/msg"
+	"lesslog/internal/store"
+)
+
+// Join bootstraps this peer into an existing system: it fetches the
+// address table from the peer at bootstrapAddr, installs it (plus
+// itself), and broadcasts a live registration through the bootstrap peer,
+// which triggers the §5.1 file handoff at every holder.
+func (p *Peer) Join(bootstrapAddr string) error {
+	resp, err := Call(bootstrapAddr, &msg.Request{Kind: msg.KindTable})
+	if err != nil {
+		return fmt.Errorf("netnode: join: fetch table: %w", err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("netnode: join: %s", resp.Err)
+	}
+	table, err := parseTable(string(resp.Data))
+	if err != nil {
+		return err
+	}
+	table[p.cfg.PID] = p.Addr()
+	p.SetAddrs(table)
+	reg := &msg.Request{
+		Kind:   msg.KindRegister,
+		Origin: uint32(p.cfg.PID),
+		Data:   []byte(p.Addr()),
+	}
+	rresp, err := Call(bootstrapAddr, reg)
+	if err != nil {
+		return fmt.Errorf("netnode: join: register: %w", err)
+	}
+	if !rresp.OK {
+		return fmt.Errorf("netnode: join: register: %s", rresp.Err)
+	}
+	return nil
+}
+
+// Leave retires this peer gracefully (§5.2): its inserted copies are
+// pushed to the primaries that take over once it is gone, its replicas
+// are discarded with it, and a dead registration is broadcast. The caller
+// should Close the peer afterwards.
+func (p *Peer) Leave() error {
+	// Compute the post-departure placements against a view in which this
+	// peer is already dead (copy-on-write, as in applyRegister).
+	p.mu.Lock()
+	next := p.live.Clone()
+	next.SetDead(p.cfg.PID)
+	p.live = next
+	inserted := p.store.Names(store.Inserted)
+	files := make([]store.File, 0, len(inserted))
+	for _, name := range inserted {
+		f, _ := p.store.Peek(name)
+		files = append(files, f)
+	}
+	p.mu.Unlock()
+	for _, f := range files {
+		target := p.hasher.Target(f.Name, p.cfg.M)
+		v := p.view(target)
+		h, ok := v.PrimaryHolder(v.SubtreeID(p.cfg.PID))
+		if !ok {
+			continue // subtree dies with us; B > 0 siblings still serve
+		}
+		sreq := &msg.Request{Kind: msg.KindStore, Name: f.Name, Data: f.Data, Version: f.Version}
+		if _, err := p.call(h, sreq); err != nil {
+			return fmt.Errorf("netnode: leave: handoff %q to P(%d): %w", f.Name, h, err)
+		}
+	}
+	p.broadcastRegister(p.cfg.PID, nil, true)
+	return nil
+}
+
+// ReportFailure lets any surviving peer announce that pid crashed. The
+// broadcast marks it dead everywhere and, with B > 0, holders in sibling
+// subtrees restore the lost copies (§5.3).
+func (p *Peer) ReportFailure(pid bitops.PID) {
+	p.broadcastRegister(pid, nil, true)
+}
+
+// broadcastRegister delivers a registration to every known peer
+// (including this one) as already-propagated messages.
+func (p *Peer) broadcastRegister(pid bitops.PID, addr []byte, dead bool) {
+	req := &msg.Request{
+		Kind:   msg.KindRegister,
+		Flags:  msg.FlagPropagate,
+		Origin: uint32(pid),
+		Data:   addr,
+	}
+	if dead {
+		req.Flags |= msg.FlagDead
+	}
+	p.mu.Lock()
+	targets := make([]bitops.PID, 0, len(p.addrs))
+	for q := range p.addrs {
+		if q != pid {
+			targets = append(targets, q)
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, q := range targets {
+		if q == p.cfg.PID {
+			p.applyRegister(req)
+			continue
+		}
+		p.call(q, req) // best effort; a missed peer re-syncs on next table fetch
+	}
+}
+
+// handleRegister processes a membership announcement; a non-propagated
+// one (from the joining node itself) is relayed to every other peer.
+func (p *Peer) handleRegister(req *msg.Request) *msg.Response {
+	p.applyRegister(req)
+	if req.Flags&msg.FlagPropagate == 0 {
+		relay := *req
+		relay.Flags |= msg.FlagPropagate
+		p.mu.Lock()
+		targets := make([]bitops.PID, 0, len(p.addrs))
+		for q := range p.addrs {
+			if q != p.cfg.PID && q != bitops.PID(req.Origin) {
+				targets = append(targets, q)
+			}
+		}
+		p.mu.Unlock()
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, q := range targets {
+			p.call(q, &relay)
+		}
+	}
+	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID)}
+}
+
+// applyRegister updates the local table and runs the file-migration side
+// of the §5 mechanism.
+func (p *Peer) applyRegister(req *msg.Request) {
+	pid := bitops.PID(req.Origin)
+	if req.Flags&msg.FlagDead != 0 {
+		p.mu.Lock()
+		delete(p.addrs, pid)
+		// Copy-on-write: views captured by in-flight requests keep an
+		// immutable snapshot of the status word.
+		next := p.live.Clone()
+		next.SetDead(pid)
+		p.live = next
+		p.mu.Unlock()
+		p.restoreAfterDeath(pid)
+		return
+	}
+	p.mu.Lock()
+	p.addrs[pid] = string(req.Data)
+	next := p.live.Clone()
+	next.SetLive(pid)
+	p.live = next
+	p.mu.Unlock()
+	p.handOffTo(pid)
+}
+
+// handOffTo implements the joining side of §5.1 at this holder: any
+// inserted copy whose subtree placement now selects the joiner moves to
+// it.
+func (p *Peer) handOffTo(k bitops.PID) {
+	if k == p.cfg.PID {
+		return
+	}
+	p.mu.Lock()
+	inserted := p.store.Names(store.Inserted)
+	p.mu.Unlock()
+	for _, name := range inserted {
+		target := p.hasher.Target(name, p.cfg.M)
+		v := p.view(target)
+		if v.SubtreeID(p.cfg.PID) != v.SubtreeID(k) {
+			continue
+		}
+		h, ok := v.PrimaryHolder(v.SubtreeID(k))
+		if !ok || h != k {
+			continue
+		}
+		p.mu.Lock()
+		f, have := p.store.Peek(name)
+		p.mu.Unlock()
+		if !have {
+			continue
+		}
+		sreq := &msg.Request{Kind: msg.KindStore, Name: f.Name, Data: f.Data, Version: f.Version}
+		if resp, err := p.call(k, sreq); err == nil && resp.OK {
+			p.mu.Lock()
+			p.store.Delete(name)
+			p.mu.Unlock()
+			p.stats.Stored.Add(1)
+		}
+	}
+}
+
+// restoreAfterDeath implements the §5.3 recovery at this holder: with
+// B > 0, if the dead node was the primary of its subtree for one of our
+// files and we hold a sibling-subtree copy, push a fresh copy to the
+// subtree's new primary.
+func (p *Peer) restoreAfterDeath(k bitops.PID) {
+	if p.cfg.B == 0 {
+		return
+	}
+	p.mu.Lock()
+	inserted := p.store.Names(store.Inserted)
+	p.mu.Unlock()
+	for _, name := range inserted {
+		target := p.hasher.Target(name, p.cfg.M)
+		v := p.view(target)
+		sidK := v.SubtreeID(k)
+		if v.SubtreeID(p.cfg.PID) == sidK {
+			continue // we were in k's subtree; nothing to restore from here
+		}
+		h, ok := v.PrimaryHolder(sidK)
+		if !ok || v.SubtreeVID(k) <= v.SubtreeVID(h) {
+			continue // k was not that subtree's primary (or subtree is empty)
+		}
+		p.mu.Lock()
+		f, have := p.store.Peek(name)
+		p.mu.Unlock()
+		if !have {
+			continue
+		}
+		sreq := &msg.Request{Kind: msg.KindStore, Name: f.Name, Data: f.Data, Version: f.Version}
+		p.call(h, sreq) // idempotent: several siblings may push the same copy
+	}
+}
+
+// handleTable serializes the PID→address table as "pid addr" lines.
+func (p *Peer) handleTable() *msg.Response {
+	p.mu.Lock()
+	pids := make([]bitops.PID, 0, len(p.addrs))
+	for q := range p.addrs {
+		pids = append(pids, q)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	var b strings.Builder
+	for _, q := range pids {
+		fmt.Fprintf(&b, "%d %s\n", q, p.addrs[q])
+	}
+	p.mu.Unlock()
+	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: []byte(b.String())}
+}
+
+// parseTable parses handleTable's format.
+func parseTable(s string) (map[bitops.PID]string, error) {
+	table := map[bitops.PID]string{}
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("netnode: malformed table line %q", line)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("netnode: malformed table PID %q", parts[0])
+		}
+		table[bitops.PID(id)] = parts[1]
+	}
+	return table, nil
+}

@@ -1,0 +1,181 @@
+package netnode
+
+import (
+	"bytes"
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+	"lesslog/internal/msg"
+	"lesslog/internal/store"
+)
+
+func TestJoinBootstrapsAndRegisters(t *testing.T) {
+	peers := startSystem(t, 4, 0, []bitops.PID{0, 1, 2, 3}, nil)
+	joiner, err := Listen(Config{PID: 9, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { joiner.Close() })
+	if err := joiner.Join(peers[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Every existing peer (and the joiner) now knows all five members.
+	for pid, p := range peers {
+		p.mu.Lock()
+		n := p.live.LiveCount()
+		addr := p.addrs[9]
+		p.mu.Unlock()
+		if n != 5 {
+			t.Fatalf("P(%d) sees %d live members, want 5", pid, n)
+		}
+		if addr != joiner.Addr() {
+			t.Fatalf("P(%d) has wrong address for the joiner: %q", pid, addr)
+		}
+	}
+	joiner.mu.Lock()
+	n := joiner.live.LiveCount()
+	joiner.mu.Unlock()
+	if n != 5 {
+		t.Fatalf("joiner sees %d members", n)
+	}
+}
+
+func TestJoinTriggersFileHandoff(t *testing.T) {
+	// The paper's §5.1 example over sockets: P(4) and P(5) absent, ψ(f)
+	// targets P(4), so the file sits at P(6). When P(5) joins, P(6) must
+	// hand the copy over — P(5)'s VID outranks P(6)'s in P(4)'s tree.
+	var pids []bitops.PID
+	for i := 0; i < 16; i++ {
+		if i != 4 && i != 5 {
+			pids = append(pids, bitops.PID(i))
+		}
+	}
+	peers := startSystem(t, 4, 0, pids, hashring.Fixed(4))
+	if err := NewClient(peers[0].Addr()).Insert("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !peers[6].store.Has("f") {
+		t.Fatal("precondition: file not at P(6)")
+	}
+	joiner, err := Listen(Config{PID: 5, M: 4, Hasher: hashring.Fixed(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { joiner.Close() })
+	if err := joiner.Join(peers[3].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if peers[6].store.Has("f") {
+		t.Fatal("P(6) kept the copy after handoff")
+	}
+	f, ok := joiner.store.Peek("f")
+	if !ok || !bytes.Equal(f.Data, []byte("x")) {
+		t.Fatalf("joiner copy = %+v, %v", f, ok)
+	}
+	if k, _ := joiner.store.KindOf("f"); k != store.Inserted {
+		t.Fatal("handed-off copy lost its inserted kind")
+	}
+	// And gets now resolve at P(5).
+	res, err := NewClient(peers[8].Addr()).Get("f")
+	if err != nil || res.ServedBy != 5 {
+		t.Fatalf("get = %+v, %v", res, err)
+	}
+}
+
+func TestLeaveHandsOffInsertedFiles(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	if err := NewClient(peers[2].Addr()).Insert("f", []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[4].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	peers[4].Close()
+	// The copy moved to the next primary, P(5) (VID 1110).
+	if !peers[5].store.Has("f") {
+		t.Fatal("copy not handed to P(5)")
+	}
+	// Everyone marked P(4) dead; gets keep working.
+	res, err := NewClient(peers[11].Addr()).Get("f")
+	if err != nil || res.ServedBy != 5 {
+		t.Fatalf("get after leave = %+v, %v", res, err)
+	}
+}
+
+func TestFailureRecoveryAcrossSubtrees(t *testing.T) {
+	// B = 1 over sockets: two copies. Kill one holder without warning;
+	// ReportFailure from any peer restores the copy in the orphaned
+	// subtree from the sibling holder.
+	peers := startSystem(t, 4, 1, allPIDs(16), hashring.Fixed(4))
+	if err := NewClient(peers[1].Addr()).Insert("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	var holders []bitops.PID
+	for pid, p := range peers {
+		if p.store.Has("f") {
+			holders = append(holders, pid)
+		}
+	}
+	if len(holders) != 2 {
+		t.Fatalf("holders = %v", holders)
+	}
+	victim := holders[0]
+	peers[victim].Close()
+	delete(peers, victim)
+	var reporter *Peer
+	for _, p := range peers {
+		reporter = p
+		break
+	}
+	reporter.ReportFailure(victim)
+	// The orphaned subtree has a fresh primary holding the file again.
+	v := reporter.view(4)
+	sid := v.SubtreeID(victim)
+	restored := false
+	for pid, p := range peers {
+		if v.SubtreeID(pid) == sid && p.store.Has("f") {
+			restored = true
+		}
+	}
+	if !restored {
+		t.Fatal("no copy restored in the failed subtree")
+	}
+	// All origins still resolve.
+	for pid := range peers {
+		if _, err := NewClient(peers[pid].Addr()).Get("f"); err != nil {
+			t.Fatalf("get from P(%d) after failure: %v", pid, err)
+		}
+	}
+}
+
+func TestParseTable(t *testing.T) {
+	table, err := parseTable("0 a:1\n3 b:2\n")
+	if err != nil || len(table) != 2 || table[3] != "b:2" {
+		t.Fatalf("table = %v, %v", table, err)
+	}
+	if _, err := parseTable("junk"); err == nil {
+		t.Fatal("malformed table accepted")
+	}
+	if _, err := parseTable("x y"); err == nil {
+		t.Fatal("malformed PID accepted")
+	}
+	if table, err := parseTable("  \n"); err != nil || len(table) != 0 {
+		t.Fatalf("blank table = %v, %v", table, err)
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	peers := startSystem(t, 3, 0, []bitops.PID{0, 2, 5}, nil)
+	resp, err := Call(peers[2].Addr(), &msg.Request{Kind: msg.KindTable})
+	if err != nil || !resp.OK {
+		t.Fatalf("table call: %+v, %v", resp, err)
+	}
+	table, err := parseTable(string(resp.Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 3 || table[5] != peers[5].Addr() {
+		t.Fatalf("table = %v", table)
+	}
+}

@@ -1,0 +1,556 @@
+// Package netnode deploys a LessLog node over TCP using only the standard
+// library — the paper's §8 future work ("implement LessLog in a
+// large-scaled P2P system") at demonstration scale. Each Peer owns a local
+// store and a status word and forwards requests along the lookup trees
+// exactly as internal/core does in process, but across real sockets with
+// the internal/msg wire protocol.
+//
+// Deployment model: peers are configured with the identifier width, the
+// fault-tolerance bits and a PID→address table (the networked counterpart
+// of the §5.1 status word; both are updated together by SetAddrs). File
+// operations may be sent to any peer; gets hop peer-to-peer with the §3
+// fallback and §4 subtree-migration state carried in the request frame.
+// Update propagation fans out synchronously down the children lists, so a
+// completed update response implies every reachable replica was rewritten.
+package netnode
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/diskstore"
+	"lesslog/internal/hashring"
+	"lesslog/internal/liveness"
+	"lesslog/internal/msg"
+	"lesslog/internal/ptree"
+	"lesslog/internal/store"
+	"lesslog/internal/xrand"
+)
+
+// Config parameterizes one peer.
+type Config struct {
+	PID    bitops.PID
+	M      int
+	B      int
+	Hasher hashring.Hasher // nil selects hashring.Default
+	Addr   string          // listen address; "" means 127.0.0.1:0
+	// DataDir, when set, makes the peer durable: the store is restored
+	// from this directory at startup and checkpointed there on Close
+	// (and whenever Checkpoint is called).
+	DataDir string
+}
+
+// Stats counts a peer's traffic with atomic counters.
+type Stats struct {
+	Requests  atomic.Uint64
+	Forwards  atomic.Uint64
+	Served    atomic.Uint64
+	Faults    atomic.Uint64
+	Stored    atomic.Uint64
+	Updated   atomic.Uint64
+	Broadcast atomic.Uint64
+}
+
+// Peer is one networked LessLog node.
+type Peer struct {
+	cfg    Config
+	hasher hashring.Hasher
+	ln     net.Listener
+
+	mu     sync.Mutex
+	store  *store.Store
+	live   *liveness.Set
+	addrs  map[bitops.PID]string
+	clock  uint64
+	closed bool
+	conns  map[net.Conn]struct{}
+	rng    *xrand.Rand
+	quit   chan struct{}
+
+	wg    sync.WaitGroup
+	stats Stats
+}
+
+// Listen binds the peer's socket and starts serving connections. Call
+// SetAddrs with the full peer table (including this peer) before issuing
+// file operations.
+func Listen(cfg Config) (*Peer, error) {
+	bitops.CheckSplit(cfg.M, cfg.B)
+	h := cfg.Hasher
+	if h == nil {
+		h = hashring.Default
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	st := store.New()
+	if cfg.DataDir != "" {
+		restored, err := diskstore.Load(cfg.DataDir)
+		if err != nil {
+			return nil, fmt.Errorf("netnode: restore %s: %w", cfg.DataDir, err)
+		}
+		st = restored
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Peer{
+		cfg:    cfg,
+		hasher: h,
+		ln:     ln,
+		store:  st,
+		live:   liveness.New(cfg.M),
+		addrs:  map[bitops.PID]string{},
+		conns:  map[net.Conn]struct{}{},
+		quit:   make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the peer's bound address.
+func (p *Peer) Addr() string { return p.ln.Addr().String() }
+
+// PID returns the peer's identifier.
+func (p *Peer) PID() bitops.PID { return p.cfg.PID }
+
+// Stats returns the peer's traffic counters.
+func (p *Peer) Stats() *Stats { return &p.stats }
+
+// HasFile reports whether the peer currently holds a copy of name,
+// without counting an access. Safe for concurrent use.
+func (p *Peer) HasFile(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.store.Has(name)
+}
+
+// SetAddrs installs the PID→address table and marks exactly those PIDs
+// live — the networked form of the status word.
+func (p *Peer) SetAddrs(addrs map[bitops.PID]string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.addrs = make(map[bitops.PID]string, len(addrs))
+	p.live = liveness.New(p.cfg.M)
+	for pid, a := range addrs {
+		p.addrs[pid] = a
+		p.live.SetLive(pid)
+	}
+}
+
+// Close stops the peer: the listener and every open connection are shut,
+// then in-flight handlers are awaited.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if !p.closed {
+		close(p.quit)
+	}
+	p.closed = true
+	open := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		open = append(open, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range open {
+		c.Close()
+	}
+	p.wg.Wait()
+	if p.cfg.DataDir != "" {
+		if cerr := p.Checkpoint(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Checkpoint persists the peer's store to its data directory.
+func (p *Peer) Checkpoint() error {
+	if p.cfg.DataDir == "" {
+		return fmt.Errorf("netnode: peer has no data directory")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return diskstore.Save(p.cfg.DataDir, p.store)
+}
+
+func (p *Peer) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer func() {
+				conn.Close()
+				p.mu.Lock()
+				delete(p.conns, conn)
+				p.mu.Unlock()
+			}()
+			p.serveConn(conn)
+		}()
+	}
+}
+
+func (p *Peer) serveConn(conn net.Conn) {
+	for {
+		req, err := msg.ReadRequest(conn)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		p.stats.Requests.Add(1)
+		resp := p.handle(req)
+		if err := msg.WriteResponse(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// view returns the lookup-tree view of target under the current table.
+// Callers hold no lock; the view captures the live set by reference, which
+// only SetAddrs replaces wholesale.
+func (p *Peer) view(target bitops.PID) ptree.View {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ptree.NewView(target, p.live, p.cfg.B)
+}
+
+func (p *Peer) handle(req *msg.Request) *msg.Response {
+	switch req.Kind {
+	case msg.KindStore:
+		return p.handleStore(req)
+	case msg.KindGet:
+		return p.handleGet(req)
+	case msg.KindInsert:
+		return p.handleInsert(req)
+	case msg.KindUpdate:
+		return p.handleUpdate(req)
+	case msg.KindStat:
+		return p.handleStat()
+	case msg.KindRegister:
+		return p.handleRegister(req)
+	case msg.KindTable:
+		return p.handleTable()
+	case msg.KindHas:
+		return p.handleHas(req)
+	case msg.KindDelete:
+		return p.handleDelete(req)
+	}
+	return &msg.Response{Err: fmt.Sprintf("netnode: unknown kind %v", req.Kind)}
+}
+
+func (p *Peer) handleStore(req *msg.Request) *msg.Response {
+	kind := store.Inserted
+	if req.Flags&msg.FlagReplica != 0 {
+		kind = store.Replica
+	}
+	p.mu.Lock()
+	p.store.Put(store.File{Name: req.Name, Data: req.Data, Version: req.Version}, kind)
+	if req.Version > p.clock {
+		p.clock = req.Version
+	}
+	p.mu.Unlock()
+	p.stats.Stored.Add(1)
+	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Version: req.Version}
+}
+
+func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
+	target := p.hasher.Target(req.Name, p.cfg.M)
+	v := p.view(target)
+	p.mu.Lock()
+	p.clock++
+	version := p.clock
+	p.mu.Unlock()
+	stored := 0
+	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
+		h, ok := v.PrimaryHolder(sid)
+		if !ok {
+			continue
+		}
+		sreq := &msg.Request{
+			Kind: msg.KindStore, Origin: req.Origin,
+			Version: version, Name: req.Name, Data: req.Data,
+		}
+		if h == p.cfg.PID {
+			p.handleStore(sreq)
+			stored++
+			continue
+		}
+		if resp, err := p.call(h, sreq); err == nil && resp.OK {
+			stored++
+		}
+	}
+	if stored == 0 {
+		p.stats.Faults.Add(1)
+		return &msg.Response{Err: "netnode: no live holder for insert"}
+	}
+	return &msg.Response{OK: true, ServedBy: uint32(target), Version: version}
+}
+
+func (p *Peer) handleGet(req *msg.Request) *msg.Response {
+	p.mu.Lock()
+	f, ok := p.store.Get(req.Name)
+	p.mu.Unlock()
+	if ok {
+		p.stats.Served.Add(1)
+		return &msg.Response{
+			OK: true, ServedBy: uint32(p.cfg.PID), Hops: req.Hops,
+			Version: f.Version, Data: f.Data,
+		}
+	}
+	next, flags, subtree, ok := p.nextHop(req)
+	if !ok {
+		p.stats.Faults.Add(1)
+		return &msg.Response{Hops: req.Hops, Err: "netnode: file not found (fault)"}
+	}
+	fwd := *req
+	fwd.Hops++
+	fwd.Flags = flags
+	fwd.Subtree = subtree
+	p.stats.Forwards.Add(1)
+	resp, err := p.call(next, &fwd)
+	if err != nil {
+		p.stats.Faults.Add(1)
+		return &msg.Response{Hops: req.Hops,
+			Err: fmt.Sprintf("netnode: forward to P(%d) failed: %v", next, err)}
+	}
+	return resp
+}
+
+// nextHop computes where an unserved get goes: the first live ancestor
+// (§2.2/§3), then the FINDLIVENODE primary (§3 step two), then the next
+// subtree (§4 migration), carrying the state in the request flags.
+func (p *Peer) nextHop(req *msg.Request) (next bitops.PID, flags uint8, subtree uint32, ok bool) {
+	target := p.hasher.Target(req.Name, p.cfg.M)
+	v := p.view(target)
+	self := p.cfg.PID
+	if req.Flags&msg.FlagFallback == 0 {
+		if anc, live := v.AliveAncestor(self); live {
+			return anc, req.Flags, req.Subtree, true
+		}
+		if prim, live := v.PrimaryHolder(v.SubtreeID(self)); live && prim != self {
+			return prim, req.Flags | msg.FlagFallback, req.Subtree, true
+		}
+	}
+	// Own subtree exhausted: migrate (§4).
+	nTrees := uint32(bitops.SubtreeCount(p.cfg.B))
+	if req.Subtree+1 >= nTrees {
+		return 0, 0, 0, false
+	}
+	sid := (v.SubtreeID(self) + 1) & bitops.VID(nTrees-1)
+	entry := v.PID(bitops.ComposeVID(v.SubtreeVID(self), sid, p.cfg.B))
+	p.mu.Lock()
+	entryLive := p.live.IsLive(entry)
+	p.mu.Unlock()
+	if !entryLive {
+		if anc, live := v.AliveAncestor(entry); live {
+			entry = anc
+		} else if prim, live := v.PrimaryHolder(sid); live {
+			return prim, msg.FlagFallback, req.Subtree + 1, true
+		} else {
+			return 0, 0, 0, false
+		}
+	}
+	return entry, 0, req.Subtree + 1, true
+}
+
+func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
+	target := p.hasher.Target(req.Name, p.cfg.M)
+	v := p.view(target)
+	if req.Flags&msg.FlagPropagate != 0 {
+		// Propagation delivery: apply if holding, then fan out.
+		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID),
+			Hops: uint32(p.propagateUpdate(v, req))}
+	}
+	// Initiation: learn the file's current version through an ordinary
+	// lookup (the initiating peer may never have seen the file), then
+	// stamp a strictly newer one, Lamport-style, and start the top-down
+	// broadcast at each subtree's root position (or its expanded
+	// children when dead).
+	if probe := p.handleGet(&msg.Request{Kind: msg.KindGet, Name: req.Name}); probe.OK {
+		p.mu.Lock()
+		if probe.Version > p.clock {
+			p.clock = probe.Version
+		}
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.clock++
+	version := p.clock
+	p.mu.Unlock()
+	prop := *req
+	prop.Flags |= msg.FlagPropagate
+	prop.Version = version
+	updated := 0
+	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
+		rootPos := v.SubtreeRoot(sid)
+		starts := []bitops.PID{rootPos}
+		p.mu.Lock()
+		rootLive := p.live.IsLive(rootPos)
+		p.mu.Unlock()
+		if !rootLive {
+			starts = v.ExpandedChildrenList(rootPos)
+		}
+		for _, s := range starts {
+			updated += p.deliverUpdate(v, s, &prop)
+		}
+	}
+	if updated == 0 {
+		p.stats.Faults.Add(1)
+		return &msg.Response{Err: "netnode: update found no copy"}
+	}
+	p.stats.Updated.Add(1)
+	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(updated), Version: version}
+}
+
+// deliverUpdate sends a propagation message to pid (or handles it locally)
+// and returns how many copies it updated downstream.
+func (p *Peer) deliverUpdate(v ptree.View, pid bitops.PID, prop *msg.Request) int {
+	if pid == p.cfg.PID {
+		return p.propagateUpdate(v, prop)
+	}
+	p.stats.Broadcast.Add(1)
+	resp, err := p.call(pid, prop)
+	if err != nil || !resp.OK {
+		return 0
+	}
+	return int(resp.Hops)
+}
+
+// propagateUpdate applies a propagation message locally: a holder rewrites
+// its copy and re-broadcasts to its expanded children list; a non-holder
+// discards. Returns copies updated in this subtree branch.
+func (p *Peer) propagateUpdate(v ptree.View, req *msg.Request) int {
+	p.mu.Lock()
+	holds := p.store.Has(req.Name)
+	applied := false
+	if holds {
+		applied = p.store.Update(req.Name, req.Data, req.Version)
+		if req.Version > p.clock {
+			p.clock = req.Version
+		}
+	}
+	p.mu.Unlock()
+	if !holds {
+		return 0
+	}
+	n := 0
+	if applied {
+		n = 1
+	}
+	for _, c := range v.ExpandedChildrenList(p.cfg.PID) {
+		n += p.deliverUpdate(v, c, req)
+	}
+	return n
+}
+
+func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
+	target := p.hasher.Target(req.Name, p.cfg.M)
+	v := p.view(target)
+	if req.Flags&msg.FlagPropagate != 0 {
+		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID),
+			Hops: uint32(p.propagateDelete(v, req))}
+	}
+	prop := *req
+	prop.Flags |= msg.FlagPropagate
+	removed := 0
+	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
+		rootPos := v.SubtreeRoot(sid)
+		starts := []bitops.PID{rootPos}
+		p.mu.Lock()
+		rootLive := p.live.IsLive(rootPos)
+		p.mu.Unlock()
+		if !rootLive {
+			starts = v.ExpandedChildrenList(rootPos)
+		}
+		for _, s := range starts {
+			if s == p.cfg.PID {
+				removed += p.propagateDelete(v, &prop)
+				continue
+			}
+			if resp, err := p.call(s, &prop); err == nil && resp.OK {
+				removed += int(resp.Hops)
+			}
+		}
+	}
+	if removed == 0 {
+		p.stats.Faults.Add(1)
+		return &msg.Response{Err: "netnode: delete found no copy"}
+	}
+	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(removed)}
+}
+
+// propagateDelete erases a local copy and fans out to the children list;
+// non-holders discard. Returns copies removed downstream.
+func (p *Peer) propagateDelete(v ptree.View, req *msg.Request) int {
+	p.mu.Lock()
+	holds := p.store.Has(req.Name)
+	p.mu.Unlock()
+	if !holds {
+		return 0
+	}
+	n := 0
+	for _, c := range v.ExpandedChildrenList(p.cfg.PID) {
+		if c == p.cfg.PID {
+			continue
+		}
+		p.stats.Broadcast.Add(1)
+		if resp, err := p.call(c, req); err == nil && resp.OK {
+			n += int(resp.Hops)
+		}
+	}
+	p.mu.Lock()
+	if p.store.Delete(req.Name) {
+		n++
+	}
+	p.mu.Unlock()
+	return n
+}
+
+func (p *Peer) handleStat() *msg.Response {
+	p.mu.Lock()
+	summary := fmt.Sprintf("pid=%d %s live=%d", p.cfg.PID, p.store, p.live.LiveCount())
+	p.mu.Unlock()
+	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: []byte(summary)}
+}
+
+// call dials a peer, performs one request/response exchange and closes.
+func (p *Peer) call(pid bitops.PID, req *msg.Request) (*msg.Response, error) {
+	p.mu.Lock()
+	addr, ok := p.addrs[pid]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netnode: no address for P(%d)", pid)
+	}
+	return Call(addr, req)
+}
+
+// Call performs one request/response exchange with the peer at addr.
+func Call(addr string, req *msg.Request) (*msg.Response, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := msg.WriteRequest(conn, req); err != nil {
+		return nil, err
+	}
+	return msg.ReadResponse(conn)
+}

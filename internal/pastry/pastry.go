@@ -1,0 +1,202 @@
+// Package pastry implements the prefix-routing lookup layer shared by the
+// Plaxton mesh, Pastry and Tapestry — the remaining family of related
+// systems the paper cites (§7, refs [6], [8], [11]). Identifiers are
+// strings of base-2^bits digits; each node keeps a routing table with one
+// row per matched-prefix length and, per row, one entry per next digit,
+// plus a leaf set of numerically adjacent nodes. A hop extends the shared
+// prefix by at least one digit, so lookups take O(log_{2^bits} N) hops.
+//
+// Only the lookup layer is built (as with chord and can): the paper notes
+// these systems replicate by analyzing client-access history, which is
+// the approach LessLog replaces, so only the routing cost is compared.
+package pastry
+
+import (
+	"sort"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+)
+
+// Mesh is a fully built prefix-routing overlay over the live nodes of a
+// status word.
+type Mesh struct {
+	m      int // identifier bits
+	bits   int // bits per digit
+	digits int // identifier length in digits, m/bits rounded up
+	nodes  []bitops.PID
+	// table[n][row][col] is the node whose identifier shares the first
+	// `row` digits with n and has digit value `col` at position `row`;
+	// ^0 marks an empty slot.
+	table map[bitops.PID][][]bitops.PID
+	// leaves[n] holds the numerically nearest neighbors on each side.
+	leaves map[bitops.PID][]bitops.PID
+}
+
+const empty = bitops.PID(^uint32(0))
+
+// leafSetSize is the per-side leaf-set size (Pastry uses |L|/2 = 8 for
+// b=4; a smaller set suffices at simulation scale).
+const leafSetSize = 4
+
+// New builds the mesh for identifier width m with 2^bits-ary digits.
+func New(m, bits int, live *liveness.Set) *Mesh {
+	bitops.CheckWidth(m)
+	if bits < 1 || bits > m {
+		panic("pastry: digit bits out of range")
+	}
+	digits := (m + bits - 1) / bits
+	mesh := &Mesh{
+		m: m, bits: bits, digits: digits,
+		nodes:  live.LivePIDs(),
+		table:  map[bitops.PID][][]bitops.PID{},
+		leaves: map[bitops.PID][]bitops.PID{},
+	}
+	sort.Slice(mesh.nodes, func(i, j int) bool { return mesh.nodes[i] < mesh.nodes[j] })
+	for _, n := range mesh.nodes {
+		mesh.build(n)
+	}
+	return mesh
+}
+
+// digit returns the i-th digit (0 = most significant) of id.
+func (ms *Mesh) digit(id bitops.PID, i int) uint32 {
+	shift := uint((ms.digits - 1 - i) * ms.bits)
+	return (uint32(id) >> shift) & (1<<uint(ms.bits) - 1)
+}
+
+// sharedPrefix returns how many leading digits a and b share.
+func (ms *Mesh) sharedPrefix(a, b bitops.PID) int {
+	for i := 0; i < ms.digits; i++ {
+		if ms.digit(a, i) != ms.digit(b, i) {
+			return i
+		}
+	}
+	return ms.digits
+}
+
+// build fills node n's routing table and leaf set from the global view —
+// the steady state Pastry's join protocol converges to.
+func (ms *Mesh) build(n bitops.PID) {
+	cols := 1 << uint(ms.bits)
+	t := make([][]bitops.PID, ms.digits)
+	for r := range t {
+		t[r] = make([]bitops.PID, cols)
+		for c := range t[r] {
+			t[r][c] = empty
+		}
+	}
+	for _, q := range ms.nodes {
+		if q == n {
+			continue
+		}
+		r := ms.sharedPrefix(n, q)
+		if r == ms.digits {
+			continue // duplicate identifier; impossible with unique PIDs
+		}
+		c := ms.digit(q, r)
+		// Keep the numerically closest candidate per slot, Pastry's
+		// proximity heuristic degenerated to identifier distance.
+		if cur := t[r][c]; cur == empty || absDiff(q, n) < absDiff(cur, n) {
+			t[r][c] = q
+		}
+	}
+	ms.table[n] = t
+
+	// Leaf set: the leafSetSize nearest live nodes on each side of n on
+	// the identifier ring.
+	idx := sort.Search(len(ms.nodes), func(i int) bool { return ms.nodes[i] >= n })
+	var leaves []bitops.PID
+	for d := 1; d <= leafSetSize; d++ {
+		leaves = append(leaves,
+			ms.nodes[(idx+d)%len(ms.nodes)],
+			ms.nodes[(idx-d+len(ms.nodes)*2)%len(ms.nodes)])
+	}
+	ms.leaves[n] = leaves
+}
+
+func absDiff(a, b bitops.PID) uint32 {
+	if a > b {
+		return uint32(a - b)
+	}
+	return uint32(b - a)
+}
+
+// closer reports whether a is strictly closer to key than b under the
+// total order "smaller numeric distance, ties toward the smaller PID" —
+// used by both Owner and the routing steps so they agree on tie keys.
+func closer(a, b, key bitops.PID) bool {
+	da, db := absDiff(a, key), absDiff(b, key)
+	return da < db || (da == db && a < b)
+}
+
+// Owner returns the live node numerically closest to key, Pastry's root
+// for that identifier (ties toward the smaller PID).
+func (ms *Mesh) Owner(key bitops.PID) bitops.PID {
+	best := ms.nodes[0]
+	for _, n := range ms.nodes[1:] {
+		if closer(n, best, key) {
+			best = n
+		}
+	}
+	return best
+}
+
+// isOwner reports whether cur is the key's root by local knowledge: no
+// node in its leaf set is closer. Because every node's leaf set contains
+// its immediate sorted neighbors, and the global owner is the closest of
+// all nodes, local and global ownership coincide.
+func (ms *Mesh) isOwner(cur, key bitops.PID) bool {
+	for _, l := range ms.leaves[cur] {
+		if closer(l, cur, key) {
+			return false
+		}
+	}
+	return true
+}
+
+// closestLeaf returns the leaf of cur closest to key (possibly cur).
+func (ms *Mesh) closestLeaf(cur, key bitops.PID) bitops.PID {
+	best := cur
+	for _, l := range ms.leaves[cur] {
+		if closer(l, best, key) {
+			best = l
+		}
+	}
+	return best
+}
+
+// Lookup routes from node `from` toward key and returns the owning node
+// and the hop count: prefix-extending routing-table hops while they
+// exist, finished (or rescued, when a prefix slot is empty or a hop
+// revisits a node) by a numeric walk through the leaf sets, which always
+// makes strict progress because each leaf set contains the node's
+// immediate sorted neighbors.
+func (ms *Mesh) Lookup(from bitops.PID, key bitops.PID) (owner bitops.PID, hops int) {
+	cur := from
+	visited := map[bitops.PID]bool{}
+	for !ms.isOwner(cur, key) {
+		visited[cur] = true
+		next := cur
+		r := ms.sharedPrefix(cur, key)
+		if r < ms.digits {
+			if e := ms.table[cur][r][ms.digit(key, r)]; e != empty && !visited[e] {
+				next = e
+			}
+		}
+		if next == cur {
+			next = ms.closestLeaf(cur, key)
+		}
+		if next == cur || (visited[next] && !closer(next, cur, key)) {
+			// Degenerate: fall back to the pure numeric leaf walk.
+			for !ms.isOwner(cur, key) {
+				cur = ms.closestLeaf(cur, key)
+				hops++
+			}
+			return cur, hops
+		}
+		cur = next
+		hops++
+	}
+	return cur, hops
+}

@@ -1,0 +1,120 @@
+package pastry
+
+import (
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/workload"
+	"lesslog/internal/xrand"
+)
+
+func TestDigits(t *testing.T) {
+	live := liveness.NewAllLive(8, 256)
+	ms := New(8, 2, live)
+	if ms.digits != 4 {
+		t.Fatalf("digits = %d", ms.digits)
+	}
+	// 0b10110100 in base-4 digits: 2,3,1,0.
+	id := bitops.PID(0b10110100)
+	want := []uint32{2, 3, 1, 0}
+	for i, w := range want {
+		if got := ms.digit(id, i); got != w {
+			t.Fatalf("digit(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if ms.sharedPrefix(0b10110100, 0b10110011) != 2 {
+		t.Fatalf("sharedPrefix = %d", ms.sharedPrefix(0b10110100, 0b10110011))
+	}
+}
+
+func TestOwnerIsNumericallyClosest(t *testing.T) {
+	live := liveness.New(6)
+	for _, p := range []bitops.PID{10, 20, 40} {
+		live.SetLive(p)
+	}
+	ms := New(6, 2, live)
+	cases := []struct {
+		key  bitops.PID
+		want bitops.PID
+	}{{10, 10}, {14, 10}, {16, 20}, {29, 20}, {31, 40}, {63, 40}, {0, 10}}
+	for _, c := range cases {
+		if got := ms.Owner(c.key); got != c.want {
+			t.Fatalf("Owner(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestLookupFindsOwnerEverywhere(t *testing.T) {
+	rng := xrand.New(3)
+	for _, cfg := range []struct{ m, bits int }{{8, 2}, {10, 2}, {10, 4}} {
+		live := liveness.NewAllLive(cfg.m, bitops.Slots(cfg.m))
+		workload.KillRandom(live, 0.5, bitops.PID(^uint32(0)), rng.Fork())
+		ms := New(cfg.m, cfg.bits, live)
+		pids := live.LivePIDs()
+		for trial := 0; trial < 300; trial++ {
+			from := pids[rng.Intn(len(pids))]
+			key := bitops.PID(rng.Intn(bitops.Slots(cfg.m)))
+			owner, hops := ms.Lookup(from, key)
+			if want := ms.Owner(key); owner != want {
+				t.Fatalf("m=%d bits=%d: Lookup(%d from %d) = %d, want %d",
+					cfg.m, cfg.bits, key, from, owner, want)
+			}
+			if hops > 3*ms.digits+2*leafSetSize {
+				t.Fatalf("m=%d bits=%d: %d hops", cfg.m, cfg.bits, hops)
+			}
+		}
+	}
+}
+
+func TestLookupSelf(t *testing.T) {
+	live := liveness.NewAllLive(6, 64)
+	ms := New(6, 2, live)
+	owner, hops := ms.Lookup(17, 17)
+	if owner != 17 || hops != 0 {
+		t.Fatalf("self lookup = %d in %d hops", owner, hops)
+	}
+}
+
+func TestHopsLogarithmic(t *testing.T) {
+	// Full 1024-node mesh, base-16 digits (Pastry's b = 4): expected
+	// path length ~ log16(1024) = 2.5.
+	live := liveness.NewAllLive(10, 1024)
+	ms := New(10, 4, live)
+	rng := xrand.New(7)
+	total, trials := 0, 2000
+	for i := 0; i < trials; i++ {
+		_, hops := ms.Lookup(bitops.PID(rng.Intn(1024)), bitops.PID(rng.Intn(1024)))
+		total += hops
+	}
+	avg := float64(total) / float64(trials)
+	if avg < 1 || avg > 4 {
+		t.Fatalf("average hops %.2f outside the log16 band", avg)
+	}
+	t.Logf("pastry b=4, N=1024: average %.2f hops", avg)
+}
+
+func TestBadBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bits=0 accepted")
+		}
+	}()
+	New(8, 0, liveness.NewAllLive(8, 256))
+}
+
+func BenchmarkPastryLookup(b *testing.B) {
+	live := liveness.NewAllLive(10, 1024)
+	ms := New(10, 4, live)
+	rng := xrand.New(1)
+	froms := make([]bitops.PID, 256)
+	keys := make([]bitops.PID, 256)
+	for i := range froms {
+		froms[i] = bitops.PID(rng.Intn(1024))
+		keys[i] = bitops.PID(rng.Intn(1024))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms.Lookup(froms[i&255], keys[i&255])
+	}
+}

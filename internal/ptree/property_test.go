@@ -1,0 +1,155 @@
+package ptree
+
+import (
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/xrand"
+)
+
+// randomView builds a view with random root, b and liveness.
+func randomView(rng *xrand.Rand, m int) (View, *liveness.Set) {
+	live := liveness.New(m)
+	for p := 0; p < bitops.Slots(m); p++ {
+		if rng.Bool(0.6) {
+			live.SetLive(bitops.PID(p))
+		}
+	}
+	b := rng.Intn(m) // 0..m-1
+	root := bitops.PID(rng.Intn(bitops.Slots(m)))
+	return NewView(root, live, b), live
+}
+
+func TestPropertyHasLiveGreaterVID(t *testing.T) {
+	rng := xrand.New(21)
+	for trial := 0; trial < 200; trial++ {
+		m := 3 + rng.Intn(5)
+		v, live := randomView(rng, m)
+		for p := bitops.PID(0); p < bitops.PID(bitops.Slots(m)); p++ {
+			want := false
+			for q := bitops.PID(0); q < bitops.PID(bitops.Slots(m)); q++ {
+				if live.IsLive(q) && v.SubtreeID(q) == v.SubtreeID(p) &&
+					v.SubtreeVID(q) > v.SubtreeVID(p) {
+					want = true
+					break
+				}
+			}
+			if got := v.HasLiveGreaterVID(p); got != want {
+				t.Fatalf("trial %d m=%d b=%d: HasLiveGreaterVID(P(%d)) = %v, want %v",
+					trial, m, v.B, p, got, want)
+			}
+		}
+	}
+}
+
+func TestPropertyFindLiveNodeIsSubtreeMax(t *testing.T) {
+	rng := xrand.New(22)
+	for trial := 0; trial < 200; trial++ {
+		m := 3 + rng.Intn(5)
+		v, live := randomView(rng, m)
+		for s := bitops.PID(0); s < bitops.PID(bitops.Slots(m)); s++ {
+			got, ok := v.FindLiveNode(s)
+			// Brute force: the live node with the largest subtree VID at
+			// or below s's, within s's subtree.
+			want, wantOK := bitops.PID(0), false
+			for q := bitops.PID(0); q < bitops.PID(bitops.Slots(m)); q++ {
+				if !live.IsLive(q) || v.SubtreeID(q) != v.SubtreeID(s) {
+					continue
+				}
+				if v.SubtreeVID(q) > v.SubtreeVID(s) {
+					continue
+				}
+				if !wantOK || v.SubtreeVID(q) > v.SubtreeVID(want) {
+					want, wantOK = q, true
+				}
+			}
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("trial %d m=%d b=%d: FindLiveNode(P(%d)) = (P(%d),%v), want (P(%d),%v)",
+					trial, m, v.B, s, got, ok, want, wantOK)
+			}
+		}
+	}
+}
+
+func TestPropertyRouteStaysInSubtreeAndBounded(t *testing.T) {
+	rng := xrand.New(23)
+	for trial := 0; trial < 200; trial++ {
+		m := 3 + rng.Intn(5)
+		v, live := randomView(rng, m)
+		live.ForEachLive(func(origin bitops.PID) {
+			stops := v.PathLiveStops(origin)
+			if len(stops) == 0 || stops[0] != origin {
+				t.Fatalf("path from live P(%d) must start there: %v", origin, stops)
+			}
+			if len(stops)-1 > m {
+				t.Fatalf("path longer than m: %v", stops)
+			}
+			prev := v.SubtreeVID(origin)
+			for i, s := range stops {
+				if !live.IsLive(s) {
+					t.Fatalf("dead stop P(%d) on path %v", s, stops)
+				}
+				if v.SubtreeID(s) != v.SubtreeID(origin) {
+					t.Fatalf("path escaped the subtree: %v", stops)
+				}
+				if i > 0 {
+					if sv := v.SubtreeVID(s); sv <= prev {
+						t.Fatalf("path not strictly ascending in VID: %v", stops)
+					} else {
+						prev = sv
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyPrimaryHolderConsistent(t *testing.T) {
+	// The primary holder must equal FindLiveNode from the subtree root
+	// position, and HasLiveGreaterVID(primary) must always be false.
+	rng := xrand.New(24)
+	for trial := 0; trial < 300; trial++ {
+		m := 3 + rng.Intn(5)
+		v, live := randomView(rng, m)
+		_ = live
+		for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(v.B)); sid++ {
+			h, ok := v.PrimaryHolder(sid)
+			root := v.SubtreeRoot(sid)
+			h2, ok2 := v.FindLiveNode(root)
+			if ok != ok2 || (ok && h != h2) {
+				t.Fatalf("trial %d: PrimaryHolder(%b)=(%d,%v) vs FindLiveNode(root)=(%d,%v)",
+					trial, sid, h, ok, h2, ok2)
+			}
+			if ok && v.HasLiveGreaterVID(h) {
+				t.Fatalf("trial %d: a live node outranks the primary P(%d)", trial, h)
+			}
+		}
+	}
+}
+
+func TestPropertyExpandedListDisjointSubtrees(t *testing.T) {
+	// Members of an expanded children list head disjoint subtrees: no
+	// member is an ancestor of another (in subtree terms). This is what
+	// makes the update broadcast visit each holder exactly once.
+	rng := xrand.New(25)
+	for trial := 0; trial < 200; trial++ {
+		m := 3 + rng.Intn(4)
+		v, _ := randomView(rng, m)
+		for p := bitops.PID(0); p < bitops.PID(bitops.Slots(m)); p++ {
+			list := v.ExpandedChildrenList(p)
+			mb := v.M() - v.B
+			for i, a := range list {
+				for j, b := range list {
+					if i == j {
+						continue
+					}
+					if bitops.IsAncestor(v.SubtreeVID(a), v.SubtreeVID(b), mb) {
+						t.Fatalf("trial %d: P(%d) is ancestor of P(%d) in list %v",
+							trial, a, b, list)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package ptree provides views of the physical lookup trees of a LessLog
+// system (paper §2.1, §3 and §4): the image of the virtual binomial tree
+// under XOR with the root's complement, combined with a liveness status
+// word and, for the fault-tolerant model, a 2^b-way subtree split.
+//
+// A View answers every tree-shaped question the file operations need:
+// parent routing with dead-node bypass (the augmented FP of §3), the
+// FINDLIVENODE search, the expanded children list used by replication, and
+// the live-population counts behind the proportional children-list choice.
+// All operations work *within a subtree*; with b = 0 there is exactly one
+// subtree — the whole tree — and the view reduces to the basic/advanced
+// models of §2 and §3.
+package ptree
+
+import (
+	"sort"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+)
+
+// View is a read-only view of the physical lookup tree rooted at Root,
+// split into 2^B subtrees, with liveness supplied by Live. Views are cheap
+// value types: create them on the fly per target node.
+type View struct {
+	Root bitops.PID
+	Live *liveness.Set
+	B    int
+
+	m    int
+	comp bitops.VID
+}
+
+// NewView returns the view of the lookup tree rooted at root. b is the
+// number of fault-tolerance bits (0 for the basic and advanced models).
+func NewView(root bitops.PID, live *liveness.Set, b int) View {
+	m := live.M()
+	bitops.CheckSplit(m, b) // b == 0 is always valid since m >= 1
+	return View{Root: root, Live: live, B: b, m: m, comp: bitops.Complement(root, m)}
+}
+
+// M returns the identifier width.
+func (v View) M() int { return v.m }
+
+// VID returns p's virtual identifier in this tree (Property 4).
+func (v View) VID(p bitops.PID) bitops.VID { return bitops.VID(p) ^ v.comp }
+
+// PID returns the node occupying virtual position vid (Property 4).
+func (v View) PID(vid bitops.VID) bitops.PID { return bitops.PID(vid ^ v.comp) }
+
+// SubtreeID returns the subtree identifier of p: the last B bits of its
+// VID (§4). With B == 0 every node is in subtree 0.
+func (v View) SubtreeID(p bitops.PID) bitops.VID {
+	return bitops.SubtreeID(v.VID(p), v.B)
+}
+
+// SubtreeVID returns p's position within its subtree.
+func (v View) SubtreeVID(p bitops.PID) bitops.VID {
+	return bitops.SubtreeVID(v.VID(p), v.B)
+}
+
+// SubtreeRoot returns the node at the root position of subtree sid,
+// regardless of liveness.
+func (v View) SubtreeRoot(sid bitops.VID) bitops.PID {
+	return v.PID(bitops.SubtreeRootVID(sid, v.m, v.B))
+}
+
+// Parent returns p's parent within its subtree (Property 2 on the subtree
+// VID) and whether p has one, ignoring liveness.
+func (v View) Parent(p bitops.PID) (bitops.PID, bool) {
+	pv, ok := bitops.SubtreeParentVID(v.VID(p), v.m, v.B)
+	if !ok {
+		return 0, false
+	}
+	return v.PID(pv), true
+}
+
+// AliveAncestor implements the augmented FP of §3: the first *live* proper
+// ancestor of p within its subtree. It reports false when every remaining
+// ancestor up to the subtree root is dead.
+func (v View) AliveAncestor(p bitops.PID) (bitops.PID, bool) {
+	vid := v.VID(p)
+	for {
+		pv, ok := bitops.SubtreeParentVID(vid, v.m, v.B)
+		if !ok {
+			return 0, false
+		}
+		if q := v.PID(pv); v.Live.IsLive(q) {
+			return q, true
+		}
+		vid = pv
+	}
+}
+
+// Children returns p's children within its subtree in descending VID order,
+// ignoring liveness.
+func (v View) Children(p bitops.PID) []bitops.PID {
+	vids := bitops.AppendSubtreeChildrenVIDs(nil, v.VID(p), v.m, v.B)
+	out := make([]bitops.PID, len(vids))
+	for i, cv := range vids {
+		out[i] = v.PID(cv)
+	}
+	return out
+}
+
+// FindLiveNode implements FINDLIVENODE(s, r) from §3, restricted to s's
+// subtree as §4 prescribes: if P(s) is alive it is returned; otherwise the
+// live node with the largest subtree VID strictly below s's. By Property 3
+// that is the live node with the most offspring, the node ADVANCEDINSERTFILE
+// targets. It reports false when the subtree has no live node at or below
+// s's position.
+func (v View) FindLiveNode(s bitops.PID) (bitops.PID, bool) {
+	if v.Live.IsLive(s) {
+		return s, true
+	}
+	sv := v.SubtreeVID(s)
+	if sv == 0 {
+		return 0, false
+	}
+	return v.maxLiveAtOrBelow(v.SubtreeID(s), sv-1)
+}
+
+// PrimaryHolder returns the node that holds the primary copy of a file
+// targeted at this tree's root, within subtree sid: the root if alive,
+// else the live node with the largest subtree VID. False when the subtree
+// is entirely dead.
+func (v View) PrimaryHolder(sid bitops.VID) (bitops.PID, bool) {
+	return v.maxLiveAtOrBelow(sid, bitops.Mask(v.m-v.B))
+}
+
+// maxLiveAtOrBelow finds the live node with the largest subtree VID at or
+// below bound in subtree sid, using the word-scanned status-word query when
+// the whole tree is one subtree.
+func (v View) maxLiveAtOrBelow(sid, bound bitops.VID) (bitops.PID, bool) {
+	if v.B == 0 {
+		vid, ok := v.Live.MaxLiveVID(v.comp, bound)
+		if !ok {
+			return 0, false
+		}
+		return v.PID(vid), true
+	}
+	sv, ok := v.Live.MaxLiveSubtreeVID(v.comp, sid, bound, v.B)
+	if !ok {
+		return 0, false
+	}
+	return v.PID(bitops.ComposeVID(sv, sid, v.B)), true
+}
+
+// HasLiveGreaterVID reports whether some live node in p's subtree has a
+// strictly larger subtree VID than p — the predicate the advanced model's
+// replication and the join/leave rules test (§3, §5). p's own liveness is
+// irrelevant to the answer.
+func (v View) HasLiveGreaterVID(p bitops.PID) bool {
+	q, ok := v.maxLiveAtOrBelow(v.SubtreeID(p), bitops.Mask(v.m-v.B))
+	return ok && v.SubtreeVID(q) > v.SubtreeVID(p)
+}
+
+// ExpandedChildrenList returns the children list of §3: p's live children
+// together with the (recursively expanded) children lists of p's dead
+// children, the whole list sorted by descending VID — which by Property 3
+// is descending offspring count. With no dead nodes this is exactly the
+// §2.2 children list. The worked example of §3 — the children list of
+// P(4) with P(0) and P(5) dead being (P(6), P(7), P(1), P(12), P(13),
+// P(8)) — is reproduced in the tests.
+func (v View) ExpandedChildrenList(p bitops.PID) []bitops.PID {
+	list := v.appendExpanded(nil, v.VID(p))
+	sort.Slice(list, func(i, j int) bool { return v.VID(list[i]) > v.VID(list[j]) })
+	return list
+}
+
+func (v View) appendExpanded(dst []bitops.PID, vid bitops.VID) []bitops.PID {
+	for _, cv := range bitops.AppendSubtreeChildrenVIDs(nil, vid, v.m, v.B) {
+		if c := v.PID(cv); v.Live.IsLive(c) {
+			dst = append(dst, c)
+		} else {
+			dst = v.appendExpanded(dst, cv)
+		}
+	}
+	return dst
+}
+
+// ForEachDescendant calls fn for every position in p's proper descendant
+// set within its subtree, live or dead. The descendant positions of a node
+// whose subtree VID is R·0·x (R the leading-ones run) are exactly Y·0·x for
+// all Y, so the walk enumerates 2^LeadingOnes - 1 positions directly.
+func (v View) ForEachDescendant(p bitops.PID, fn func(q bitops.PID)) {
+	sv := v.SubtreeVID(p)
+	sid := v.SubtreeID(p)
+	mb := v.m - v.B
+	lo := bitops.LeadingOnes(sv, mb)
+	if lo == 0 {
+		return
+	}
+	tail := sv &^ (bitops.Mask(mb) << uint(mb-lo)) // bits below the run
+	for y := bitops.VID(0); y < bitops.VID(1)<<uint(lo); y++ {
+		dsv := y<<uint(mb-lo) | tail
+		if dsv == sv {
+			continue
+		}
+		fn(v.PID(bitops.ComposeVID(dsv, sid, v.B)))
+	}
+}
+
+// LiveDescendants counts the live proper descendants of p within its
+// subtree — the "offspring nodes of P(k)" side of the proportional choice
+// in §3's replication rule.
+func (v View) LiveDescendants(p bitops.PID) int {
+	n := 0
+	v.ForEachDescendant(p, func(q bitops.PID) {
+		if v.Live.IsLive(q) {
+			n++
+		}
+	})
+	return n
+}
+
+// LiveInSubtree counts the live nodes in subtree sid.
+func (v View) LiveInSubtree(sid bitops.VID) int {
+	if v.B == 0 {
+		return v.Live.LiveCount()
+	}
+	n := 0
+	mask := bitops.VID(1)<<uint(v.B) - 1
+	v.Live.ForEachLive(func(p bitops.PID) {
+		if v.VID(p)&mask == sid {
+			n++
+		}
+	})
+	return n
+}
+
+// RouteToFirst walks the §3 getting-file path from origin toward the
+// subtree root: origin itself, then successive live ancestors. It calls
+// visit at each live stop and stops early when visit returns true (a copy
+// was found). It returns the PID where the walk stopped and whether visit
+// ever returned true. Dead positions are bypassed exactly as the augmented
+// FP prescribes.
+func (v View) RouteToFirst(origin bitops.PID, visit func(q bitops.PID) bool) (bitops.PID, bool) {
+	cur := origin
+	if v.Live.IsLive(cur) && visit(cur) {
+		return cur, true
+	}
+	for {
+		next, ok := v.AliveAncestor(cur)
+		if !ok {
+			return cur, false
+		}
+		cur = next
+		if visit(cur) {
+			return cur, true
+		}
+	}
+}
+
+// PathLiveStops returns the sequence of live nodes a request issued at
+// origin traverses (origin first if live), ending at the subtree root or
+// the last live ancestor. Used for hop accounting and by the simulator.
+func (v View) PathLiveStops(origin bitops.PID) []bitops.PID {
+	var stops []bitops.PID
+	v.RouteToFirst(origin, func(q bitops.PID) bool {
+		stops = append(stops, q)
+		return false
+	})
+	return stops
+}

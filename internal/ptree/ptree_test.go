@@ -1,0 +1,350 @@
+package ptree
+
+import (
+	"reflect"
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/xrand"
+)
+
+// fullView returns the tree of P(root) in a complete 16-node system.
+func fullView(root bitops.PID) View {
+	return NewView(root, liveness.NewAllLive(4, 16), 0)
+}
+
+// fig3View returns the paper's Figure 3 world: the tree of P(4) in a
+// 14-node system where P(0) and P(5) are dead.
+func fig3View() View {
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(0)
+	live.SetDead(5)
+	return NewView(4, live, 0)
+}
+
+func TestPaperFigure2Routing(t *testing.T) {
+	v := fullView(4)
+	// P(8) -> P(0) -> P(4), the §2.1 forwarding chain.
+	p, ok := v.AliveAncestor(8)
+	if !ok || p != 0 {
+		t.Fatalf("parent of P(8) = P(%d), want P(0)", p)
+	}
+	p, ok = v.AliveAncestor(0)
+	if !ok || p != 4 {
+		t.Fatalf("parent of P(0) = P(%d), want P(4)", p)
+	}
+	if _, ok = v.AliveAncestor(4); ok {
+		t.Fatal("root must have no ancestor")
+	}
+	stops := v.PathLiveStops(8)
+	want := []bitops.PID{8, 0, 4}
+	if !reflect.DeepEqual(stops, want) {
+		t.Fatalf("path from P(8) = %v, want %v", stops, want)
+	}
+}
+
+func TestPaperChildrenListComplete(t *testing.T) {
+	// §2.2: the children list of P(4) in a complete 16-node system is
+	// (P(5), P(6), P(0), P(12)).
+	v := fullView(4)
+	got := v.ExpandedChildrenList(4)
+	want := []bitops.PID{5, 6, 0, 12}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("children list of P(4) = %v, want %v", got, want)
+	}
+}
+
+func TestPaperFigure3ChildrenList(t *testing.T) {
+	// §3: with P(0) and P(5) dead, the children list of P(4) is
+	// (P(6), P(7), P(1), P(12), P(13), P(8)), sorted by VID.
+	v := fig3View()
+	got := v.ExpandedChildrenList(4)
+	want := []bitops.PID{6, 7, 1, 12, 13, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("children list of P(4) = %v, want %v", got, want)
+	}
+}
+
+func TestPaperSection3ReplicationExample(t *testing.T) {
+	// §3: P(4) and P(5) dead, 4 = ψ(f). Every request for f is forwarded
+	// to P(6): P(6) must be the primary holder, and no live node has a
+	// larger VID than P(6) in the tree of P(4).
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(4)
+	live.SetDead(5)
+	v := NewView(4, live, 0)
+	h, ok := v.PrimaryHolder(0)
+	if !ok || h != 6 {
+		t.Fatalf("primary holder = P(%d), want P(6)", h)
+	}
+	if v.HasLiveGreaterVID(6) {
+		t.Fatal("no live node should outrank P(6)")
+	}
+	if !v.HasLiveGreaterVID(7) {
+		t.Fatal("P(6) outranks P(7)")
+	}
+	// §5.1 join example: P(5) joining has VID 1110 > VID(P(6)) = 1101.
+	if v.VID(5) != 0b1110 || v.VID(6) != 0b1101 {
+		t.Fatalf("VIDs: P(5)=%04b P(6)=%04b", v.VID(5), v.VID(6))
+	}
+}
+
+func TestFindLiveNode(t *testing.T) {
+	v := fig3View()
+	// A live start returns itself.
+	if p, ok := v.FindLiveNode(7); !ok || p != 7 {
+		t.Fatalf("FindLiveNode(7) = %d, %v", p, ok)
+	}
+	// Dead P(5) (VID 1110): the next live VID below is 1101 -> P(6).
+	if p, ok := v.FindLiveNode(5); !ok || p != 6 {
+		t.Fatalf("FindLiveNode(5) = P(%d), want P(6)", p)
+	}
+	// Dead P(0) (VID 1011): next live below is 1010 -> P(1).
+	if p, ok := v.FindLiveNode(0); !ok || p != 1 {
+		t.Fatalf("FindLiveNode(0) = P(%d), want P(1)", p)
+	}
+	// All-dead system.
+	dead := liveness.New(4)
+	dv := NewView(4, dead, 0)
+	if _, ok := dv.FindLiveNode(4); ok {
+		t.Fatal("FindLiveNode on a dead system must fail")
+	}
+}
+
+func TestAliveAncestorBypassesDead(t *testing.T) {
+	v := fig3View()
+	// In the tree of P(4): P(8) has VID 0011, parent VID 1011 = P(0),
+	// which is dead; grandparent 1111 = P(4), alive.
+	p, ok := v.AliveAncestor(8)
+	if !ok || p != 4 {
+		t.Fatalf("AliveAncestor(P(8)) = P(%d), want P(4)", p)
+	}
+	// Path skips the dead node entirely.
+	want := []bitops.PID{8, 4}
+	if got := v.PathLiveStops(8); !reflect.DeepEqual(got, want) {
+		t.Fatalf("path = %v, want %v", got, want)
+	}
+}
+
+func TestRouteToFirstStopsAtCopy(t *testing.T) {
+	v := fullView(4)
+	holders := map[bitops.PID]bool{0: true}
+	stop, found := v.RouteToFirst(8, func(q bitops.PID) bool { return holders[q] })
+	if !found || stop != 0 {
+		t.Fatalf("route stopped at P(%d), found=%v; want P(0)", stop, found)
+	}
+	// Origin holding a copy stops immediately.
+	holders[8] = true
+	stop, found = v.RouteToFirst(8, func(q bitops.PID) bool { return holders[q] })
+	if !found || stop != 8 {
+		t.Fatalf("route stopped at P(%d), want P(8)", stop)
+	}
+}
+
+func TestVIDPIDRoundTrip(t *testing.T) {
+	v := fullView(11)
+	for p := bitops.PID(0); p < 16; p++ {
+		if v.PID(v.VID(p)) != p {
+			t.Fatalf("round trip failed for P(%d)", p)
+		}
+	}
+	if v.VID(11) != bitops.RootVID(4) {
+		t.Fatal("root must occupy the all-ones VID")
+	}
+}
+
+func TestForEachDescendantMatchesBruteForce(t *testing.T) {
+	r := xrand.New(3)
+	for _, cfg := range []struct{ m, b int }{{4, 0}, {5, 0}, {6, 2}, {8, 3}} {
+		live := liveness.NewAllLive(cfg.m, bitops.Slots(cfg.m))
+		root := bitops.PID(r.Intn(bitops.Slots(cfg.m)))
+		v := NewView(root, live, cfg.b)
+		for p := bitops.PID(0); p < bitops.PID(bitops.Slots(cfg.m)); p++ {
+			got := map[bitops.PID]bool{}
+			v.ForEachDescendant(p, func(q bitops.PID) {
+				if got[q] {
+					t.Fatalf("descendant P(%d) visited twice", q)
+				}
+				got[q] = true
+			})
+			// Brute force: walk subtree children recursively.
+			want := map[bitops.PID]bool{}
+			var walk func(q bitops.PID)
+			walk = func(q bitops.PID) {
+				for _, c := range v.Children(q) {
+					want[c] = true
+					walk(c)
+				}
+			}
+			walk(p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("m=%d b=%d root=%d p=%d: descendants %v, want %v",
+					cfg.m, cfg.b, root, p, got, want)
+			}
+		}
+	}
+}
+
+func TestLiveDescendantsAndProportions(t *testing.T) {
+	v := fig3View()
+	// P(6) has VID 1101 in the tree of P(4): subtree {1101, 1001, 0101,
+	// 0001} -> PIDs {6, 2, 14, 10}, descendants {2, 14, 10}, all live.
+	if got := v.LiveDescendants(6); got != 3 {
+		t.Fatalf("LiveDescendants(P(6)) = %d, want 3", got)
+	}
+	// Root P(4): 15 positions below, 2 dead.
+	if got := v.LiveDescendants(4); got != 13 {
+		t.Fatalf("LiveDescendants(P(4)) = %d, want 13", got)
+	}
+	if got := v.LiveInSubtree(0); got != 14 {
+		t.Fatalf("LiveInSubtree = %d, want 14", got)
+	}
+}
+
+func TestSubtreeSplitOperations(t *testing.T) {
+	// Figure 4's world: the tree of P(4) in a complete 16-node system
+	// with b = 2 -> four 4-position subtrees.
+	live := liveness.NewAllLive(4, 16)
+	v := NewView(4, live, 2)
+	seen := map[bitops.VID]int{}
+	for p := bitops.PID(0); p < 16; p++ {
+		seen[v.SubtreeID(p)]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("subtree IDs = %v", seen)
+	}
+	for sid, n := range seen {
+		if n != 4 {
+			t.Fatalf("subtree %02b has %d members", sid, n)
+		}
+	}
+	// Each subtree root has subtree VID 11 and no parent.
+	for sid := bitops.VID(0); sid < 4; sid++ {
+		r := v.SubtreeRoot(sid)
+		if v.SubtreeVID(r) != 0b11 {
+			t.Fatalf("subtree %02b root svid = %b", sid, v.SubtreeVID(r))
+		}
+		if _, ok := v.Parent(r); ok {
+			t.Fatalf("subtree root P(%d) must have no parent", r)
+		}
+		if h, ok := v.PrimaryHolder(sid); !ok || h != r {
+			t.Fatalf("primary holder of full subtree %02b = P(%d), want P(%d)", sid, h, r)
+		}
+	}
+	// Routing never leaves the subtree.
+	for p := bitops.PID(0); p < 16; p++ {
+		sid := v.SubtreeID(p)
+		for _, stop := range v.PathLiveStops(p) {
+			if v.SubtreeID(stop) != sid {
+				t.Fatalf("path from P(%d) escaped subtree %02b", p, sid)
+			}
+		}
+	}
+}
+
+func TestSubtreePrimaryWithDeadRoot(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	v := NewView(4, live, 2)
+	sid := v.SubtreeID(4) // the root's own subtree
+	live.SetDead(4)
+	h, ok := v.PrimaryHolder(sid)
+	if !ok {
+		t.Fatal("subtree with live members reported dead")
+	}
+	if !live.IsLive(h) || v.SubtreeID(h) != sid {
+		t.Fatalf("primary holder P(%d) invalid", h)
+	}
+	// It must be the max live subtree VID.
+	for p := bitops.PID(0); p < 16; p++ {
+		if live.IsLive(p) && v.SubtreeID(p) == sid && v.SubtreeVID(p) > v.SubtreeVID(h) {
+			t.Fatalf("P(%d) outranks claimed primary P(%d)", p, h)
+		}
+	}
+}
+
+func TestExpandedChildrenListProperties(t *testing.T) {
+	// Randomized: the expanded children list must (1) contain only live
+	// nodes, (2) be sorted by descending VID, (3) cover exactly the live
+	// nodes whose first live *strict* ancestor is p (when p is the walk
+	// base), for live p.
+	r := xrand.New(17)
+	for trial := 0; trial < 100; trial++ {
+		m := 3 + r.Intn(4)
+		live := liveness.New(m)
+		for q := 0; q < bitops.Slots(m); q++ {
+			if r.Bool(0.7) {
+				live.SetLive(bitops.PID(q))
+			}
+		}
+		root := bitops.PID(r.Intn(bitops.Slots(m)))
+		v := NewView(root, live, 0)
+		p := bitops.PID(r.Intn(bitops.Slots(m)))
+		list := v.ExpandedChildrenList(p)
+		seen := map[bitops.PID]bool{}
+		for i, c := range list {
+			if !live.IsLive(c) {
+				t.Fatalf("dead node P(%d) in children list", c)
+			}
+			if seen[c] {
+				t.Fatalf("duplicate P(%d) in children list", c)
+			}
+			seen[c] = true
+			if i > 0 && v.VID(list[i-1]) <= v.VID(c) {
+				t.Fatalf("children list not VID-descending: %v", list)
+			}
+		}
+		// Membership: live q is in the list iff q is a proper descendant
+		// of p and every node strictly between q and p is dead.
+		vm := v.M()
+		for q := bitops.PID(0); q < bitops.PID(bitops.Slots(m)); q++ {
+			if !live.IsLive(q) || q == p {
+				continue
+			}
+			if !bitops.IsAncestor(v.VID(p), v.VID(q), vm) {
+				if seen[q] {
+					t.Fatalf("non-descendant P(%d) in children list", q)
+				}
+				continue
+			}
+			between := true // all strictly-between nodes dead
+			x := v.VID(q)
+			for {
+				pv, _ := bitops.ParentVID(x, vm)
+				if pv == v.VID(p) {
+					break
+				}
+				if live.IsLive(v.PID(pv)) {
+					between = false
+					break
+				}
+				x = pv
+			}
+			if seen[q] != between {
+				t.Fatalf("membership of P(%d) = %v, want %v (trial %d)", q, seen[q], between, trial)
+			}
+		}
+	}
+}
+
+func BenchmarkExpandedChildrenList(b *testing.B) {
+	live := liveness.NewAllLive(10, 1024)
+	r := xrand.New(8)
+	for i := 0; i < 300; i++ {
+		live.SetDead(bitops.PID(r.Intn(1024)))
+	}
+	v := NewView(4, live, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.ExpandedChildrenList(4)
+	}
+}
+
+func BenchmarkAliveAncestor(b *testing.B) {
+	live := liveness.NewAllLive(10, 1024)
+	v := NewView(4, live, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.AliveAncestor(bitops.PID(i & 1023))
+	}
+}

@@ -1,0 +1,209 @@
+// Package queuesim measures request response times under a given replica
+// placement: Poisson arrivals at every origin, lookup-tree routing with a
+// fixed per-hop network latency, and a FIFO single-server queue with a
+// fixed service time at every copy holder. It turns the paper's
+// load-balance criterion ("no node receives more than 100 requests per
+// second") into the quantity operators actually feel — latency — and
+// shows the queueing collapse replication prevents: a holder driven past
+// its service rate builds an unbounded queue, while the balanced
+// placement keeps every queue's utilization below one.
+//
+// The model is deliberately simple (deterministic service, FIFO, no
+// request loss) so results are explainable with M/D/1 intuition; it runs
+// on merged pre-generated arrival streams, needing no event engine.
+package queuesim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/metrics"
+	"lesslog/internal/ptree"
+	"lesslog/internal/workload"
+	"lesslog/internal/xrand"
+)
+
+// Config parameterizes one run.
+type Config struct {
+	M           int
+	B           int
+	Target      bitops.PID
+	Live        *liveness.Set
+	Holders     []bitops.PID   // copy placement, including the primary
+	Rates       workload.Rates // Poisson arrival rates per origin, req/s
+	HopLatency  float64        // one-way network latency per forwarding hop, seconds
+	ServiceTime float64        // per-request service time at a holder, seconds
+	Duration    float64        // simulated seconds
+	WarmUp      float64        // discard completions before this time
+	Seed        uint64
+}
+
+// Result summarizes the measured response times (request issue to
+// response arrival back at the origin).
+type Result struct {
+	Served     int
+	Mean       float64
+	P50        float64
+	P95        float64
+	P99        float64
+	Max        float64
+	MaxBacklog int // longest queue observed at any holder
+}
+
+// String formats the latency summary in milliseconds.
+func (r Result) String() string {
+	return fmt.Sprintf("served=%d mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms backlog=%d",
+		r.Served, r.Mean*1e3, r.P50*1e3, r.P95*1e3, r.P99*1e3, r.Max*1e3, r.MaxBacklog)
+}
+
+// arrival is one request at its origin.
+type arrival struct {
+	at     float64
+	origin int
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	*h = old[:n-1]
+	return a
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	if cfg.Duration <= 0 || cfg.ServiceTime <= 0 {
+		return Result{}, fmt.Errorf("queuesim: duration and service time must be positive")
+	}
+	if len(cfg.Holders) == 0 {
+		return Result{}, fmt.Errorf("queuesim: no copy holders")
+	}
+	copies := map[bitops.PID]bool{}
+	for _, h := range cfg.Holders {
+		if !cfg.Live.IsLive(h) {
+			return Result{}, fmt.Errorf("queuesim: holder P(%d) is dead", h)
+		}
+		copies[h] = true
+	}
+	view := ptree.NewView(cfg.Target, cfg.Live, cfg.B)
+
+	// Route once per origin: server and hop count are placement-static.
+	type routeInfo struct {
+		server bitops.PID
+		hops   int
+		ok     bool
+	}
+	routes := make([]routeInfo, len(cfg.Rates))
+	for origin := range cfg.Rates {
+		if cfg.Rates[origin] == 0 || !cfg.Live.IsLive(bitops.PID(origin)) {
+			continue
+		}
+		server, hops, ok := route(view, copies, bitops.PID(origin))
+		routes[origin] = routeInfo{server: server, hops: hops, ok: ok}
+	}
+
+	// Per-origin Poisson streams merged through a heap.
+	rng := xrand.New(cfg.Seed)
+	var pending arrivalHeap
+	streams := make([]*xrand.Rand, len(cfg.Rates))
+	for origin, rate := range cfg.Rates {
+		if rate == 0 || !routes[origin].ok {
+			continue
+		}
+		streams[origin] = rng.Fork()
+		pending = append(pending, arrival{at: expDraw(streams[origin], rate), origin: origin})
+	}
+	heap.Init(&pending)
+
+	busyUntil := map[bitops.PID]float64{}
+
+	var latencies []float64
+	maxBacklog := 0
+	for len(pending) > 0 {
+		a := heap.Pop(&pending).(arrival)
+		if a.at > cfg.Duration {
+			continue // stream ended
+		}
+		// Schedule this origin's next arrival.
+		rate := cfg.Rates[a.origin]
+		heap.Push(&pending, arrival{at: a.at + expDraw(streams[a.origin], rate), origin: a.origin})
+
+		rt := routes[a.origin]
+		arriveAtServer := a.at + float64(rt.hops)*cfg.HopLatency
+		start := arriveAtServer
+		if bu := busyUntil[rt.server]; bu > start {
+			start = bu
+		}
+		done := start + cfg.ServiceTime
+		busyUntil[rt.server] = done
+		// Backlog proxy: jobs this one waits behind, plus itself.
+		queued := int(math.Round((start-arriveAtServer)/cfg.ServiceTime)) + 1
+		if queued > maxBacklog {
+			maxBacklog = queued
+		}
+		responseAt := done + float64(rt.hops)*cfg.HopLatency
+		if a.at >= cfg.WarmUp {
+			latencies = append(latencies, responseAt-a.at)
+		}
+	}
+	if len(latencies) == 0 {
+		return Result{}, fmt.Errorf("queuesim: no completions after warm-up")
+	}
+	sort.Float64s(latencies)
+	qs := metrics.Quantiles(latencies, 0.5, 0.95, 0.99)
+	sum := 0.0
+	for _, l := range latencies {
+		sum += l
+	}
+	return Result{
+		Served: len(latencies),
+		Mean:   sum / float64(len(latencies)),
+		P50:    qs[0], P95: qs[1], P99: qs[2],
+		Max:        latencies[len(latencies)-1],
+		MaxBacklog: maxBacklog,
+	}, nil
+}
+
+// route mirrors the lookup semantics of the analytic simulator: first
+// copy on the live-ancestor walk, with the FINDLIVENODE fallback.
+func route(v ptree.View, copies map[bitops.PID]bool, origin bitops.PID) (bitops.PID, int, bool) {
+	cur := origin
+	hops := 0
+	if copies[cur] {
+		return cur, 0, true
+	}
+	for {
+		next, ok := v.AliveAncestor(cur)
+		if !ok {
+			p, ok := v.PrimaryHolder(v.SubtreeID(origin))
+			if !ok || !copies[p] {
+				return 0, 0, false
+			}
+			return p, hops + 1, true
+		}
+		hops++
+		if copies[next] {
+			return next, hops, true
+		}
+		cur = next
+	}
+}
+
+// expDraw samples an exponential interarrival.
+func expDraw(rng *xrand.Rand, rate float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -math.Log(u) / rate
+}

@@ -1,0 +1,139 @@
+package queuesim
+
+import (
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/loadsim"
+	"lesslog/internal/replication"
+	"lesslog/internal/workload"
+)
+
+// baseConfig: m=8, 256 nodes, target 4, 10 ms service (100 req/s
+// capacity per holder), 1 ms per hop.
+func baseConfig(live *liveness.Set, holders []bitops.PID, totalRate float64) Config {
+	return Config{
+		M: 8, Target: 4, Live: live, Holders: holders,
+		Rates:      workload.Even(totalRate, live),
+		HopLatency: 0.001, ServiceTime: 0.010,
+		Duration: 30, WarmUp: 5, Seed: 1,
+	}
+}
+
+func TestStableSingleHolder(t *testing.T) {
+	// 50 req/s against a 100 req/s server: utilization 0.5, latencies a
+	// few service times.
+	live := liveness.NewAllLive(8, 256)
+	res, err := Run(baseConfig(live, []bitops.PID{4}, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served < 500 {
+		t.Fatalf("served = %d", res.Served)
+	}
+	// Mean response must be at least the service time and far below a
+	// second in the stable regime.
+	if res.Mean < 0.010 || res.Mean > 0.2 {
+		t.Fatalf("mean latency %v outside the stable band", res.Mean)
+	}
+	t.Logf("stable: %s", res)
+}
+
+func TestOverloadedHolderCollapses(t *testing.T) {
+	// 300 req/s against one 100 req/s server: utilization 3; the queue
+	// grows through the whole run and tail latencies explode.
+	live := liveness.NewAllLive(8, 256)
+	over, err := Run(baseConfig(live, []bitops.PID{4}, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.P99 < 1.0 {
+		t.Fatalf("overloaded p99 = %vs, expected queueing collapse", over.P99)
+	}
+	if over.MaxBacklog < 100 {
+		t.Fatalf("max backlog = %d, expected a long queue", over.MaxBacklog)
+	}
+	t.Logf("overloaded: %s", over)
+}
+
+func TestBalancedPlacementRestoresLatency(t *testing.T) {
+	// Balance the same 300 req/s with the analytic simulator, then feed
+	// the placement to the queueing model: every holder is back under
+	// its service rate and tails return to milliseconds.
+	live := liveness.NewAllLive(8, 256)
+	sim := loadsim.New(loadsim.Config{
+		M: 8, Target: 4, Cap: 50, Live: live,
+		Rates: workload.Even(300, live), Seed: 1,
+	})
+	if _, err := sim.Balance(replication.LessLog{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := Run(baseConfig(live, sim.Holders(), 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.P99 > 0.2 {
+		t.Fatalf("balanced p99 = %vs, still queueing", balanced.P99)
+	}
+	over, _ := Run(baseConfig(live, []bitops.PID{4}, 300))
+	if balanced.P99*5 > over.P99 {
+		t.Fatalf("balancing did not clearly help: %v vs %v", balanced.P99, over.P99)
+	}
+	t.Logf("balanced: %s", balanced)
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	live := liveness.NewAllLive(6, 64)
+	cfg := Config{
+		M: 6, Target: 4, Live: live, Holders: []bitops.PID{4},
+		Rates: workload.Even(20, live), HopLatency: 0.001, ServiceTime: 0.01,
+		Duration: 10, Seed: 7,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestHopLatencyFloor(t *testing.T) {
+	// With a tiny load, response time ≈ 2×hops×hopLatency + service.
+	live := liveness.NewAllLive(4, 16)
+	cfg := Config{
+		M: 4, Target: 4, Live: live, Holders: []bitops.PID{4},
+		Rates:      workload.Point(1, 8, live), // P(8): 2 hops to P(4)
+		HopLatency: 0.010, ServiceTime: 0.001,
+		Duration: 50, Seed: 3,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*2*0.010 + 0.001
+	if res.P50 < want-1e-9 || res.P50 > want+0.005 {
+		t.Fatalf("p50 = %v, want ~%v", res.P50, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	if _, err := Run(Config{M: 4, Live: live, Holders: nil, Duration: 1, ServiceTime: 1}); err == nil {
+		t.Fatal("no holders accepted")
+	}
+	if _, err := Run(Config{M: 4, Live: live, Holders: []bitops.PID{4}, Duration: 0, ServiceTime: 1}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	dead := liveness.NewAllLive(4, 16)
+	dead.SetDead(4)
+	if _, err := Run(Config{M: 4, Live: dead, Holders: []bitops.PID{4},
+		Rates: workload.Even(1, dead), Duration: 1, ServiceTime: 0.01}); err == nil {
+		t.Fatal("dead holder accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Package replication implements the three replica-placement methods the
+// paper evaluates (§6):
+//
+//   - LessLog — the paper's contribution: logless placement onto the
+//     overloaded node's children list (§2.2), extended with the advanced
+//     model's dead-node handling and proportional children-list choice (§3).
+//   - Random — the baseline that replicates to a uniformly random live
+//     node without a copy.
+//   - LogBased — the log-analysis method, implemented as an oracle with
+//     perfect knowledge of per-child forwarded request rates, i.e. the
+//     strongest possible version of that baseline.
+//
+// Strategies are pure decision procedures over a Context supplied by the
+// caller (the analytic simulator or the cluster engine), so they can be
+// unit-tested in isolation and swapped per experiment.
+package replication
+
+import (
+	"lesslog/internal/bitops"
+	"lesslog/internal/ptree"
+	"lesslog/internal/xrand"
+)
+
+// Context is the state a Strategy consults to choose a placement.
+type Context interface {
+	// View returns the lookup-tree view of the popular file's target.
+	View() ptree.View
+	// HasCopy reports whether p already holds a copy of the popular file.
+	HasCopy(p bitops.PID) bool
+	// ForwardedLoad returns the request rate (req/s) entering holder
+	// through child on the lookup path — the quantity a log-based method
+	// mines from its access logs. Implementations may return 0 for pairs
+	// that never appear on any path.
+	ForwardedLoad(holder, child bitops.PID) float64
+	// Rand returns the deterministic random stream for tie-breaking and
+	// the proportional choice.
+	Rand() *xrand.Rand
+}
+
+// Strategy decides where an overloaded holder places its next replica.
+type Strategy interface {
+	// Name identifies the strategy in reports ("lesslog", "random",
+	// "log-based").
+	Name() string
+	// Place returns the node to receive a replica when overloaded sheds
+	// load, and reports whether any candidate exists.
+	Place(ctx Context, overloaded bitops.PID) (bitops.PID, bool)
+}
+
+// LessLog is the paper's logless placement. REPLICATEFILE: the first node
+// in the overloaded node's (expanded) children list without a copy. When
+// the overloaded node is the live maximum of its subtree but not the root
+// position — the case where FINDLIVENODE funnels the whole subtree's
+// requests into it — the §3 proportional rule chooses between its own
+// children list and the root's, weighted by the live offspring count
+// against the rest of the subtree.
+type LessLog struct{}
+
+// Name implements Strategy.
+func (LessLog) Name() string { return "lesslog" }
+
+// Place implements Strategy.
+func (LessLog) Place(ctx Context, k bitops.PID) (bitops.PID, bool) {
+	v := ctx.View()
+	rootVID := bitops.Mask(v.M() - v.B)
+	atRoot := v.SubtreeVID(k) == rootVID
+	if atRoot || v.HasLiveGreaterVID(k) {
+		// Requests reaching k came up k's own subtree: shed to C_k.
+		return firstWithoutCopy(ctx, v.ExpandedChildrenList(k))
+	}
+	// k is the subtree's live maximum (the FINDLIVENODE target): requests
+	// may come from its offspring or from anywhere else. Choose between
+	// the two children lists proportionally (§3).
+	sid := v.SubtreeID(k)
+	off := v.LiveDescendants(k)
+	rest := v.LiveInSubtree(sid) - off - 1
+	if rest < 0 {
+		rest = 0
+	}
+	own := v.ExpandedChildrenList(k)
+	other := v.ExpandedChildrenList(v.SubtreeRoot(sid))
+	first, second := own, other
+	if off+rest == 0 || !pickOwn(ctx.Rand(), off, rest) {
+		first, second = other, own
+	}
+	if p, ok := firstWithoutCopy(ctx, first); ok {
+		return p, ok
+	}
+	return firstWithoutCopy(ctx, second)
+}
+
+// pickOwn draws the proportional choice: true selects the overloaded
+// node's own children list with probability off/(off+rest).
+func pickOwn(rng *xrand.Rand, off, rest int) bool {
+	if off+rest == 0 {
+		return true
+	}
+	return rng.Float64() < float64(off)/float64(off+rest)
+}
+
+// firstWithoutCopy returns the first listed node lacking a copy.
+func firstWithoutCopy(ctx Context, list []bitops.PID) (bitops.PID, bool) {
+	for _, p := range list {
+		if !ctx.HasCopy(p) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Random is the random-replication baseline of §6: a uniformly random live
+// node of the overloaded node's subtree that has no copy yet.
+type Random struct{}
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// Place implements Strategy.
+func (Random) Place(ctx Context, k bitops.PID) (bitops.PID, bool) {
+	v := ctx.View()
+	sid := v.SubtreeID(k)
+	var candidates []bitops.PID
+	v.Live.ForEachLive(func(p bitops.PID) {
+		if p != k && v.SubtreeID(p) == sid && !ctx.HasCopy(p) {
+			candidates = append(candidates, p)
+		}
+	})
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	return candidates[ctx.Rand().Intn(len(candidates))], true
+}
+
+// LogBased is the log-analysis baseline of §6 as an oracle: it replicates
+// to the child (of the overloaded node, in the expanded children list)
+// that forwards the highest request rate. Ties and the no-forwarding case
+// fall back to children-list order, which preserves progress.
+type LogBased struct{}
+
+// Name implements Strategy.
+func (LogBased) Name() string { return "log-based" }
+
+// Place implements Strategy.
+func (LogBased) Place(ctx Context, k bitops.PID) (bitops.PID, bool) {
+	v := ctx.View()
+	list := v.ExpandedChildrenList(k)
+	best, bestLoad, found := bitops.PID(0), -1.0, false
+	for _, c := range list {
+		if ctx.HasCopy(c) {
+			continue
+		}
+		if l := ctx.ForwardedLoad(k, c); l > bestLoad {
+			best, bestLoad, found = c, l, true
+		}
+	}
+	if found {
+		return best, true
+	}
+	// Every child holds a copy already (or there are none): fall back to
+	// the same proportional escape hatch LessLog uses, so the baseline is
+	// never artificially stuck in the advanced model.
+	if !v.HasLiveGreaterVID(k) && v.SubtreeVID(k) != bitops.Mask(v.M()-v.B) {
+		return firstWithoutCopy(ctx, v.ExpandedChildrenList(v.SubtreeRoot(v.SubtreeID(k))))
+	}
+	return 0, false
+}

@@ -1,0 +1,188 @@
+package replication
+
+import (
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/ptree"
+	"lesslog/internal/xrand"
+)
+
+// fakeCtx is a minimal Context for strategy unit tests.
+type fakeCtx struct {
+	view    ptree.View
+	copies  map[bitops.PID]bool
+	forward map[[2]bitops.PID]float64
+	rng     *xrand.Rand
+}
+
+func (f *fakeCtx) View() ptree.View          { return f.view }
+func (f *fakeCtx) HasCopy(p bitops.PID) bool { return f.copies[p] }
+func (f *fakeCtx) Rand() *xrand.Rand         { return f.rng }
+func (f *fakeCtx) ForwardedLoad(h, c bitops.PID) float64 {
+	return f.forward[[2]bitops.PID{h, c}]
+}
+
+func newCtx(root bitops.PID, live *liveness.Set, b int) *fakeCtx {
+	return &fakeCtx{
+		view:    ptree.NewView(root, live, b),
+		copies:  map[bitops.PID]bool{},
+		forward: map[[2]bitops.PID]float64{},
+		rng:     xrand.New(1),
+	}
+}
+
+func TestLessLogBasicChildrenListOrder(t *testing.T) {
+	// §2.2: P(4) overloaded in a complete 16-node system replicates to
+	// its children list (P(5), P(6), P(0), P(12)) in order.
+	ctx := newCtx(4, liveness.NewAllLive(4, 16), 0)
+	ctx.copies[4] = true
+	want := []bitops.PID{5, 6, 0, 12}
+	for _, w := range want {
+		got, ok := LessLog{}.Place(ctx, 4)
+		if !ok || got != w {
+			t.Fatalf("Place = P(%d), %v; want P(%d)", got, ok, w)
+		}
+		ctx.copies[got] = true
+	}
+	if _, ok := (LessLog{}).Place(ctx, 4); ok {
+		t.Fatal("Place succeeded with every child already holding a copy")
+	}
+}
+
+func TestLessLogAdvancedUsesExpandedList(t *testing.T) {
+	// Figure 3: P(0), P(5) dead. The root P(4)'s expanded children list
+	// is (6, 7, 1, 12, 13, 8).
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(0)
+	live.SetDead(5)
+	ctx := newCtx(4, live, 0)
+	ctx.copies[4] = true
+	got, ok := LessLog{}.Place(ctx, 4)
+	if !ok || got != 6 {
+		t.Fatalf("Place = P(%d), want P(6)", got)
+	}
+}
+
+func TestLessLogProportionalChoice(t *testing.T) {
+	// §3 example: P(4), P(5) dead, target P(4). P(6) is the live max and
+	// holds the file; it must choose between its own children list and
+	// the root's proportionally. Over many draws both lists are used.
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(4)
+	live.SetDead(5)
+	view := ptree.NewView(4, live, 0)
+	ownFirst, otherFirst := 0, 0
+	// P(6)'s own children list heads vs the root list head.
+	ownSet := map[bitops.PID]bool{}
+	for _, p := range view.ExpandedChildrenList(6) {
+		ownSet[p] = true
+	}
+	for seed := uint64(0); seed < 200; seed++ {
+		ctx := newCtx(4, live, 0)
+		ctx.rng = xrand.New(seed)
+		ctx.copies[6] = true
+		got, ok := LessLog{}.Place(ctx, 6)
+		if !ok {
+			t.Fatal("no placement")
+		}
+		if ownSet[got] {
+			ownFirst++
+		} else {
+			otherFirst++
+		}
+	}
+	if ownFirst == 0 || otherFirst == 0 {
+		t.Fatalf("proportional choice degenerate: own=%d other=%d", ownFirst, otherFirst)
+	}
+	// P(6) has 3 live descendants of 13 total live nodes: the "own"
+	// branch should be the rare one (3/12 vs 9/12).
+	if ownFirst > otherFirst {
+		t.Fatalf("own list chosen more often than rest: own=%d other=%d", ownFirst, otherFirst)
+	}
+}
+
+func TestRandomPlacesOnLiveNonHolders(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(3)
+	ctx := newCtx(4, live, 0)
+	ctx.copies[4] = true
+	seen := map[bitops.PID]bool{}
+	for i := 0; i < 300; i++ {
+		p, ok := Random{}.Place(ctx, 4)
+		if !ok {
+			t.Fatal("no candidate")
+		}
+		if p == 4 || p == 3 {
+			t.Fatalf("random placed on holder or dead node P(%d)", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("random placement hit only %d nodes", len(seen))
+	}
+}
+
+func TestRandomExhaustion(t *testing.T) {
+	live := liveness.NewAllLive(2, 4)
+	ctx := newCtx(0, live, 0)
+	for p := bitops.PID(0); p < 4; p++ {
+		ctx.copies[p] = true
+	}
+	if _, ok := (Random{}).Place(ctx, 0); ok {
+		t.Fatal("placement succeeded with all nodes holding copies")
+	}
+}
+
+func TestLogBasedPicksHeaviestForwarder(t *testing.T) {
+	ctx := newCtx(4, liveness.NewAllLive(4, 16), 0)
+	ctx.copies[4] = true
+	// Children list of P(4) is (5, 6, 0, 12); make P(0) the heaviest
+	// forwarder.
+	ctx.forward[[2]bitops.PID{4, 5}] = 10
+	ctx.forward[[2]bitops.PID{4, 6}] = 30
+	ctx.forward[[2]bitops.PID{4, 0}] = 90
+	got, ok := LogBased{}.Place(ctx, 4)
+	if !ok || got != 0 {
+		t.Fatalf("Place = P(%d), want P(0)", got)
+	}
+	// With P(0) holding a copy, the next heaviest wins.
+	ctx.copies[0] = true
+	got, _ = LogBased{}.Place(ctx, 4)
+	if got != 6 {
+		t.Fatalf("Place = P(%d), want P(6)", got)
+	}
+}
+
+func TestLogBasedFallsBackToListOrder(t *testing.T) {
+	// No forwarding data at all: children-list order keeps progress.
+	ctx := newCtx(4, liveness.NewAllLive(4, 16), 0)
+	ctx.copies[4] = true
+	got, ok := LogBased{}.Place(ctx, 4)
+	if !ok || got != 5 {
+		t.Fatalf("Place = P(%d), want P(5)", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (LessLog{}).Name() != "lesslog" || (Random{}).Name() != "random" || (LogBased{}).Name() != "log-based" {
+		t.Fatal("strategy names changed; reports depend on them")
+	}
+}
+
+func TestPickOwnProbability(t *testing.T) {
+	rng := xrand.New(42)
+	own := 0
+	for i := 0; i < 10000; i++ {
+		if pickOwn(rng, 3, 9) {
+			own++
+		}
+	}
+	if own < 2200 || own > 2800 {
+		t.Fatalf("pickOwn(3,9) frequency %d/10000, want ~2500", own)
+	}
+	if !pickOwn(rng, 0, 0) {
+		t.Fatal("pickOwn with no population must default to own")
+	}
+}

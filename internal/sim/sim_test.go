@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Drain()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Drain()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	ran := map[int]bool{}
+	for _, d := range []int{1, 5, 10} {
+		d := d
+		e.Schedule(Time(d), func() { ran[d] = true })
+	}
+	n := e.RunUntil(5)
+	if n != 2 || !ran[1] || !ran[5] || ran[10] {
+		t.Fatalf("ran=%v n=%d", ran, n)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %v (clock must advance to the deadline)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.RunUntil(20)
+	if !ran[10] || e.Now() != 20 {
+		t.Fatalf("second RunUntil wrong: now=%v", e.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// Events scheduling further events: a self-limiting cascade.
+	var e Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	e.Drain()
+	if count != 100 || e.Now() != 100 {
+		t.Fatalf("count=%d now=%v", count, e.Now())
+	}
+	if e.Processed() != 100 {
+		t.Fatalf("Processed = %d", e.Processed())
+	}
+}
+
+func TestZeroAndNegativeDelay(t *testing.T) {
+	var e Engine
+	e.RunUntil(7) // advance the clock
+	var at Time
+	e.Schedule(-5, func() { at = e.Now() })
+	e.Step()
+	if at != 7 {
+		t.Fatalf("negative delay ran at %v, want now (7)", at)
+	}
+	e.Schedule(Time(math.NaN()), func() { at = e.Now() })
+	e.Step()
+	if at != 7 {
+		t.Fatalf("NaN delay ran at %v", at)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func BenchmarkScheduleStep(b *testing.B) {
+	var e Engine
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i&7), fn)
+		if i&1 == 1 {
+			e.Step()
+		}
+	}
+}

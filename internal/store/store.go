@@ -1,0 +1,198 @@
+// Package store implements a LessLog node's local file store (paper §2.2
+// and §5.2). It distinguishes *inserted* files — the authoritative copies
+// placed by (ADVANCED)INSERTFILE, which must be migrated when the node
+// leaves — from *replicated* files created to shed load, which are simply
+// discarded on departure. Each copy carries a version for top-down update
+// propagation and an access counter feeding the paper's counter-based
+// replica-removal mechanism (§6).
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes the two copy classes of §5.2.
+type Kind uint8
+
+const (
+	// Inserted marks an authoritative copy placed by file insertion.
+	Inserted Kind = iota
+	// Replica marks a copy created by REPLICATEFILE to shed load.
+	Replica
+)
+
+// String returns "inserted" or "replica".
+func (k Kind) String() string {
+	if k == Inserted {
+		return "inserted"
+	}
+	return "replica"
+}
+
+// File is an immutable snapshot of a stored file.
+type File struct {
+	Name    string
+	Data    []byte
+	Version uint64
+}
+
+type entry struct {
+	file File
+	kind Kind
+	hits uint64
+}
+
+// Store is one node's local storage. It is not safe for concurrent use;
+// the cluster engine serializes access per node, and the networked node
+// wraps it in its own mutex.
+type Store struct {
+	files map[string]*entry
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{files: make(map[string]*entry)} }
+
+// Put places a copy of f with the given kind, replacing any existing copy
+// of the same name (and resetting its access counter). Replacing an
+// inserted copy with a replica is rejected: an authoritative copy never
+// loses its status to a load-shedding one.
+func (s *Store) Put(f File, kind Kind) {
+	if old, ok := s.files[f.Name]; ok && old.kind == Inserted && kind == Replica {
+		kind = Inserted
+	}
+	s.files[f.Name] = &entry{file: f, kind: kind}
+}
+
+// Get returns the copy of name, counting the access, and reports whether
+// one exists.
+func (s *Store) Get(name string) (File, bool) {
+	e, ok := s.files[name]
+	if !ok {
+		return File{}, false
+	}
+	e.hits++
+	return e.file, true
+}
+
+// Peek returns the copy of name without counting an access.
+func (s *Store) Peek(name string) (File, bool) {
+	e, ok := s.files[name]
+	if !ok {
+		return File{}, false
+	}
+	return e.file, true
+}
+
+// Has reports whether a copy of name exists, without counting an access.
+func (s *Store) Has(name string) bool {
+	_, ok := s.files[name]
+	return ok
+}
+
+// KindOf returns the kind of the stored copy of name.
+func (s *Store) KindOf(name string) (Kind, bool) {
+	e, ok := s.files[name]
+	if !ok {
+		return 0, false
+	}
+	return e.kind, true
+}
+
+// Update overwrites the data of an existing copy if newVersion is strictly
+// newer, preserving its kind and reporting whether an overwrite happened.
+// Stale or duplicate update deliveries are therefore idempotent.
+func (s *Store) Update(name string, data []byte, newVersion uint64) bool {
+	e, ok := s.files[name]
+	if !ok || newVersion <= e.file.Version {
+		return false
+	}
+	e.file.Data = data
+	e.file.Version = newVersion
+	return true
+}
+
+// Delete removes the copy of name and reports whether one existed.
+func (s *Store) Delete(name string) bool {
+	if _, ok := s.files[name]; !ok {
+		return false
+	}
+	delete(s.files, name)
+	return true
+}
+
+// Promote upgrades a replica of name to an inserted copy (used when a
+// leaving node's files are re-inserted at their new holder).
+func (s *Store) Promote(name string) {
+	if e, ok := s.files[name]; ok {
+		e.kind = Inserted
+	}
+}
+
+// Hits returns the access count of name since it was stored or last reset.
+func (s *Store) Hits(name string) uint64 {
+	if e, ok := s.files[name]; ok {
+		return e.hits
+	}
+	return 0
+}
+
+// ResetHits zeroes every access counter, starting a new counting window
+// for the §6 counter-based removal mechanism.
+func (s *Store) ResetHits() {
+	for _, e := range s.files {
+		e.hits = 0
+	}
+}
+
+// Names returns the sorted names of all copies of the given kind.
+func (s *Store) Names(kind Kind) []string {
+	var out []string
+	for n, e := range s.files {
+		if e.kind == kind {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllNames returns the sorted names of every copy.
+func (s *Store) AllNames() []string {
+	out := make([]string, 0, len(s.files))
+	for n := range s.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ColdReplicas returns the sorted names of replicas whose access count in
+// the current window is strictly below minHits — the removal candidates of
+// the counter-based mechanism. Inserted copies are never candidates.
+func (s *Store) ColdReplicas(minHits uint64) []string {
+	var out []string
+	for n, e := range s.files {
+		if e.kind == Replica && e.hits < minHits {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored copies.
+func (s *Store) Len() int { return len(s.files) }
+
+// String summarizes the store for debugging.
+func (s *Store) String() string {
+	ins, rep := 0, 0
+	for _, e := range s.files {
+		if e.kind == Inserted {
+			ins++
+		} else {
+			rep++
+		}
+	}
+	return fmt.Sprintf("store{inserted=%d replicas=%d}", ins, rep)
+}

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+)
+
+func file(name, data string, v uint64) File {
+	return File{Name: name, Data: []byte(data), Version: v}
+}
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	s.Put(file("a", "alpha", 1), Inserted)
+	f, ok := s.Get("a")
+	if !ok || string(f.Data) != "alpha" || f.Version != 1 {
+		t.Fatalf("Get = %+v, %v", f, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on missing name succeeded")
+	}
+	if !s.Has("a") || s.Has("b") {
+		t.Fatal("Has wrong")
+	}
+}
+
+func TestKindTracking(t *testing.T) {
+	s := New()
+	s.Put(file("a", "x", 1), Inserted)
+	s.Put(file("b", "y", 1), Replica)
+	if k, _ := s.KindOf("a"); k != Inserted {
+		t.Fatal("a should be inserted")
+	}
+	if k, _ := s.KindOf("b"); k != Replica {
+		t.Fatal("b should be replica")
+	}
+	if _, ok := s.KindOf("zzz"); ok {
+		t.Fatal("KindOf missing name succeeded")
+	}
+	if got := s.Names(Inserted); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Names(Inserted) = %v", got)
+	}
+	if got := s.Names(Replica); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("Names(Replica) = %v", got)
+	}
+	if got := s.AllNames(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("AllNames = %v", got)
+	}
+}
+
+func TestReplicaNeverDemotesInserted(t *testing.T) {
+	s := New()
+	s.Put(file("a", "x", 1), Inserted)
+	s.Put(file("a", "x2", 2), Replica)
+	if k, _ := s.KindOf("a"); k != Inserted {
+		t.Fatal("replica Put demoted an inserted copy")
+	}
+	if f, _ := s.Peek("a"); string(f.Data) != "x2" {
+		t.Fatal("data not replaced")
+	}
+}
+
+func TestUpdateVersioning(t *testing.T) {
+	s := New()
+	s.Put(file("a", "v1", 1), Replica)
+	if !s.Update("a", []byte("v2"), 2) {
+		t.Fatal("newer update rejected")
+	}
+	if s.Update("a", []byte("v1-again"), 2) {
+		t.Fatal("same-version update applied")
+	}
+	if s.Update("a", []byte("old"), 1) {
+		t.Fatal("stale update applied")
+	}
+	if s.Update("nope", []byte("x"), 9) {
+		t.Fatal("update on missing file applied")
+	}
+	f, _ := s.Peek("a")
+	if string(f.Data) != "v2" || f.Version != 2 {
+		t.Fatalf("after updates: %+v", f)
+	}
+	if k, _ := s.KindOf("a"); k != Replica {
+		t.Fatal("update changed the kind")
+	}
+}
+
+func TestDeleteAndPromote(t *testing.T) {
+	s := New()
+	s.Put(file("a", "x", 1), Replica)
+	s.Promote("a")
+	if k, _ := s.KindOf("a"); k != Inserted {
+		t.Fatal("Promote failed")
+	}
+	if !s.Delete("a") || s.Delete("a") {
+		t.Fatal("Delete semantics wrong")
+	}
+	s.Promote("ghost") // must not panic
+}
+
+func TestHitCountingAndColdReplicas(t *testing.T) {
+	s := New()
+	s.Put(file("hot", "x", 1), Replica)
+	s.Put(file("cold", "y", 1), Replica)
+	s.Put(file("primary", "z", 1), Inserted)
+	for i := 0; i < 5; i++ {
+		s.Get("hot")
+	}
+	s.Get("cold")
+	if s.Hits("hot") != 5 || s.Hits("cold") != 1 || s.Hits("ghost") != 0 {
+		t.Fatalf("hits: hot=%d cold=%d", s.Hits("hot"), s.Hits("cold"))
+	}
+	// Peek must not count.
+	s.Peek("cold")
+	if s.Hits("cold") != 1 {
+		t.Fatal("Peek counted an access")
+	}
+	if got := s.ColdReplicas(3); !reflect.DeepEqual(got, []string{"cold"}) {
+		t.Fatalf("ColdReplicas(3) = %v", got)
+	}
+	// Inserted copies are never eviction candidates even when cold.
+	if got := s.ColdReplicas(100); !reflect.DeepEqual(got, []string{"cold", "hot"}) {
+		t.Fatalf("ColdReplicas(100) = %v", got)
+	}
+	s.ResetHits()
+	if s.Hits("hot") != 0 {
+		t.Fatal("ResetHits failed")
+	}
+}
+
+func TestLenAndString(t *testing.T) {
+	s := New()
+	if s.Len() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	s.Put(file("a", "x", 1), Inserted)
+	s.Put(file("b", "x", 1), Replica)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.String(); got != "store{inserted=1 replicas=1}" {
+		t.Fatalf("String = %q", got)
+	}
+	if Inserted.String() != "inserted" || Replica.String() != "replica" {
+		t.Fatal("Kind.String wrong")
+	}
+}

@@ -1,0 +1,110 @@
+// Package trace renders LessLog's lookup trees and routing paths as text
+// — the tooling counterpart of the paper's Figures 1–4 — for the
+// lesslog-trace command, examples and debugging sessions.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/ptree"
+	"lesslog/internal/vtree"
+)
+
+// Virtual renders the unique m-bit virtual lookup tree (Figure 1).
+func Virtual(m int) string {
+	return vtree.New(m).Render(nil)
+}
+
+// Physical renders the lookup tree of P(root) with each position labeled
+// by its PID, marking dead positions (Figures 2 and 3). live may be nil
+// for a complete system.
+func Physical(root bitops.PID, m int, live *liveness.Set) string {
+	t := vtree.New(m)
+	return t.Render(func(v bitops.VID) string {
+		p := bitops.PIDOf(v, root, m)
+		if live != nil && !live.IsLive(p) {
+			return fmt.Sprintf("  P(%d) ✗dead", p)
+		}
+		return fmt.Sprintf("  P(%d)", p)
+	})
+}
+
+// Route formats the live stops a get from origin traverses in the lookup
+// tree of target, e.g. "P(8) → P(0) → P(4)".
+func Route(origin, target bitops.PID, live *liveness.Set, b int) string {
+	v := ptree.NewView(target, live, b)
+	stops := v.PathLiveStops(origin)
+	parts := make([]string, 0, len(stops)+1)
+	if len(stops) == 0 || stops[0] != origin {
+		parts = append(parts, fmt.Sprintf("P(%d)✗", origin))
+	}
+	for _, s := range stops {
+		parts = append(parts, fmt.Sprintf("P(%d)", s))
+	}
+	route := strings.Join(parts, " → ")
+	if len(stops) == 0 || !liveIs(live, v, stops[len(stops)-1], target) {
+		if p, ok := v.PrimaryHolder(v.SubtreeID(origin)); ok {
+			route += fmt.Sprintf(" ⇒ P(%d) [FINDLIVENODE]", p)
+		}
+	}
+	return route
+}
+
+// liveIs reports whether last is the target's subtree root position —
+// i.e. the walk completed without needing the fallback.
+func liveIs(live *liveness.Set, v ptree.View, last, target bitops.PID) bool {
+	return v.SubtreeVID(last) == bitops.Mask(live.M()-v.B)
+}
+
+// ChildrenList formats the (expanded) children list of p in the tree of
+// target, e.g. "(P(6), P(7), P(1), P(12), P(13), P(8))" (§2.2, §3).
+func ChildrenList(p, target bitops.PID, live *liveness.Set, b int) string {
+	v := ptree.NewView(target, live, b)
+	list := v.ExpandedChildrenList(p)
+	parts := make([]string, len(list))
+	for i, c := range list {
+		parts[i] = fmt.Sprintf("P(%d)", c)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// DOT renders the lookup tree of P(root) in Graphviz DOT format, with
+// dead positions drawn dashed — paste into `dot -Tsvg` to regenerate the
+// paper's figures graphically. live may be nil for a complete system.
+func DOT(root bitops.PID, m int, live *liveness.Set) string {
+	t := vtree.New(m)
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph lesslog_tree_P%d {\n", root)
+	b.WriteString("  node [shape=record, fontname=\"monospace\"];\n")
+	for _, v := range t.Preorder() {
+		p := bitops.PIDOf(v, root, m)
+		attrs := ""
+		if live != nil && !live.IsLive(p) {
+			attrs = ", style=dashed, color=gray"
+		}
+		fmt.Fprintf(&b, "  v%d [label=\"{%0*b|P(%d)}\"%s];\n", v, m, v, p, attrs)
+		for _, c := range t.Children(v) {
+			fmt.Fprintf(&b, "  v%d -> v%d;\n", v, c)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Conversions formats the PID↔VID table of one lookup tree for the first
+// n slots, a study aid for Property 4.
+func Conversions(target bitops.PID, m, n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "lookup tree of P(%d): complement = %0*b\n", target, m, bitops.Complement(target, m))
+	fmt.Fprintf(&sb, "%6s  %s\n", "PID", "VID")
+	if n > bitops.Slots(m) {
+		n = bitops.Slots(m)
+	}
+	for p := 0; p < n; p++ {
+		fmt.Fprintf(&sb, "%6d  %0*b\n", p, m, bitops.VIDOf(bitops.PID(p), target, m))
+	}
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"lesslog/internal/liveness"
+)
+
+func TestVirtual(t *testing.T) {
+	out := Virtual(4)
+	if !strings.HasPrefix(out, "1111\n") {
+		t.Fatalf("virtual tree:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 16 {
+		t.Fatalf("expected 16 lines, got:\n%s", out)
+	}
+}
+
+func TestPhysicalMarksDead(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(5)
+	out := Physical(4, 4, live)
+	if !strings.Contains(out, "P(4)") || !strings.Contains(out, "P(5) ✗dead") {
+		t.Fatalf("physical tree:\n%s", out)
+	}
+	// Root line carries the all-ones VID and the root PID.
+	first := strings.SplitN(out, "\n", 2)[0]
+	if !strings.Contains(first, "1111") || !strings.Contains(first, "P(4)") {
+		t.Fatalf("root line = %q", first)
+	}
+}
+
+func TestRouteCompleteSystem(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	got := Route(8, 4, live, 0)
+	if got != "P(8) → P(0) → P(4)" {
+		t.Fatalf("route = %q", got)
+	}
+}
+
+func TestRouteWithFallback(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(4)
+	live.SetDead(5)
+	got := Route(7, 4, live, 0)
+	if !strings.Contains(got, "P(7)") || !strings.Contains(got, "FINDLIVENODE") || !strings.Contains(got, "P(6)") {
+		t.Fatalf("route = %q", got)
+	}
+}
+
+func TestChildrenList(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	if got := ChildrenList(4, 4, live, 0); got != "(P(5), P(6), P(0), P(12))" {
+		t.Fatalf("complete children list = %q", got)
+	}
+	live.SetDead(0)
+	live.SetDead(5)
+	if got := ChildrenList(4, 4, live, 0); got != "(P(6), P(7), P(1), P(12), P(13), P(8))" {
+		t.Fatalf("expanded children list = %q", got)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(5)
+	out := DOT(4, 4, live)
+	if !strings.HasPrefix(out, "digraph lesslog_tree_P4 {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("dot framing:\n%s", out)
+	}
+	// 16 node declarations, 15 edges, dead node dashed.
+	if strings.Count(out, "label=") != 16 {
+		t.Fatalf("node count wrong:\n%s", out)
+	}
+	if strings.Count(out, "->") != 15 {
+		t.Fatalf("edge count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "P(5)}\", style=dashed") {
+		t.Fatalf("dead node not dashed:\n%s", out)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	out := Conversions(4, 4, 100) // n clamped to 16
+	if !strings.Contains(out, "complement = 1011") {
+		t.Fatalf("conversions:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 18 { // header x2 + 16 rows
+		t.Fatalf("row count wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,92 @@
+// Package vis renders experiment series as ASCII charts, so
+// cmd/lesslog-bench can draw the reproduced figures directly in a
+// terminal next to their tables. Plots are deterministic text: fixed
+// canvas, per-series markers, a y-axis in data units and a legend.
+package vis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	Label string
+	Ys    []float64
+}
+
+// markers cycles per series.
+var markers = []rune{'o', 'x', '+', '*', '#', '@'}
+
+// Plot draws the series against xs on a width×height character canvas
+// (plot area, excluding axes). All series must have len(xs) points.
+func Plot(title string, xs []float64, series []Series, width, height int) string {
+	if width < 8 || height < 4 {
+		panic("vis: canvas too small")
+	}
+	for _, s := range series {
+		if len(s.Ys) != len(xs) {
+			panic(fmt.Sprintf("vis: series %q has %d points for %d xs", s.Label, len(s.Ys), len(xs)))
+		}
+	}
+	if len(xs) == 0 {
+		return title + "\n(no data)\n"
+	}
+
+	xMin, xMax := xs[0], xs[0]
+	for _, x := range xs {
+		xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+	}
+	yMax := 0.0
+	for _, s := range series {
+		for _, y := range s.Ys {
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	canvas := make([][]rune, height)
+	for r := range canvas {
+		canvas[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i, x := range xs {
+			col := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+			row := height - 1 - int(math.Round(s.Ys[i]/yMax*float64(height-1)))
+			canvas[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	axisWidth := len(fmt.Sprintf("%.0f", yMax))
+	for r, row := range canvas {
+		// Y labels at the top, middle and bottom rows.
+		label := strings.Repeat(" ", axisWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.0f", axisWidth, yMax)
+		case height / 2:
+			label = fmt.Sprintf("%*.0f", axisWidth, yMax/2)
+		case height - 1:
+			label = fmt.Sprintf("%*.0f", axisWidth, 0.0)
+		}
+		fmt.Fprintf(&b, "%s │%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s └%s\n", strings.Repeat(" ", axisWidth), strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%s  %-*.0f%*.0f\n", strings.Repeat(" ", axisWidth), width/2, xMin, width-width/2, xMax)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	out := Plot("demo", xs, []Series{
+		{Label: "up", Ys: []float64{0, 10, 20, 30}},
+		{Label: "flat", Ys: []float64{15, 15, 15, 15}},
+	}, 40, 10)
+	if !strings.Contains(out, "demo") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o up") || !strings.Contains(out, "x flat") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Y axis labeled with the max, half, and zero.
+	for _, want := range []string{"30", "15", " 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("axis label %q missing:\n%s", want, out)
+		}
+	}
+	// The rising series' last point lands on the top row; the first on
+	// the bottom row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "o") {
+		t.Fatalf("top row lacks the max point:\n%s", out)
+	}
+}
+
+func TestPlotDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	s := []Series{{Label: "a", Ys: []float64{1, 2, 3}}}
+	if Plot("t", xs, s, 20, 6) != Plot("t", xs, s, 20, 6) {
+		t.Fatal("plot not deterministic")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	out := Plot("empty", nil, nil, 20, 6)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot:\n%s", out)
+	}
+}
+
+func TestPlotAllZeros(t *testing.T) {
+	out := Plot("", []float64{0, 1}, []Series{{Label: "z", Ys: []float64{0, 0}}}, 10, 4)
+	if out == "" {
+		t.Fatal("no output for zero series")
+	}
+}
+
+func TestPlotPanics(t *testing.T) {
+	assertPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("tiny canvas", func() { Plot("", []float64{1}, nil, 2, 2) })
+	assertPanic("length mismatch", func() {
+		Plot("", []float64{1, 2}, []Series{{Label: "a", Ys: []float64{1}}}, 20, 6)
+	})
+}
+
+func TestMarkerCycling(t *testing.T) {
+	xs := []float64{0, 1}
+	var series []Series
+	for i := 0; i < 8; i++ { // more series than markers
+		series = append(series, Series{Label: string(rune('a' + i)), Ys: []float64{1, 2}})
+	}
+	out := Plot("", xs, series, 20, 6)
+	if !strings.Contains(out, "o a") || !strings.Contains(out, "o g") {
+		t.Fatalf("markers did not cycle:\n%s", out)
+	}
+}

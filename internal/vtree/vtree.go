@@ -1,0 +1,179 @@
+// Package vtree materializes the unique virtual binomial lookup tree of an
+// m-bit LessLog system (paper §2.1, Figure 1).
+//
+// All routing in the reproduction uses the closed-form bit arithmetic in
+// internal/bitops; this package exists to build the same tree explicitly
+// from Property 1, so tests can prove the closed forms and the explicit
+// construction agree node-for-node, and so the CLI tools can render the
+// trees the paper draws. It also precomputes per-VID tables (parents,
+// depths, offspring counts, preorder) that the analytic simulator reuses to
+// avoid recomputing bit walks in its inner loop.
+package vtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lesslog/internal/bitops"
+)
+
+// Tree is a fully materialized m-bit virtual lookup tree.
+type Tree struct {
+	m         int
+	parent    []bitops.VID   // parent[v]; parent[root] == root
+	children  [][]bitops.VID // children[v], descending VID order
+	depth     []int
+	offspring []int
+	preorder  []bitops.VID // root-first traversal, children in list order
+}
+
+// New builds the virtual lookup tree for identifier width m by direct
+// application of Property 1 from the root downward.
+func New(m int) *Tree {
+	bitops.CheckWidth(m)
+	n := bitops.Slots(m)
+	t := &Tree{
+		m:         m,
+		parent:    make([]bitops.VID, n),
+		children:  make([][]bitops.VID, n),
+		depth:     make([]int, n),
+		offspring: make([]int, n),
+		preorder:  make([]bitops.VID, 0, n),
+	}
+	root := bitops.RootVID(m)
+	t.parent[root] = root
+	t.build(root, 0)
+	return t
+}
+
+// build expands v per Property 1 and records the derived tables. It
+// returns the size of v's subtree.
+func (t *Tree) build(v bitops.VID, depth int) int {
+	t.depth[v] = depth
+	t.preorder = append(t.preorder, v)
+	kids := bitops.ChildrenVIDs(v, t.m)
+	t.children[v] = kids
+	size := 1
+	for _, c := range kids {
+		t.parent[c] = v
+		size += t.build(c, depth+1)
+	}
+	t.offspring[v] = size - 1
+	return size
+}
+
+// M returns the identifier width.
+func (t *Tree) M() int { return t.m }
+
+// Slots returns the number of VIDs, 2^m.
+func (t *Tree) Slots() int { return len(t.parent) }
+
+// Root returns the root VID (all ones).
+func (t *Tree) Root() bitops.VID { return bitops.RootVID(t.m) }
+
+// Parent returns the parent of v and whether v has one.
+func (t *Tree) Parent(v bitops.VID) (bitops.VID, bool) {
+	p := t.parent[v]
+	return p, p != v
+}
+
+// Children returns v's children in descending VID (= descending offspring)
+// order. The returned slice is shared; callers must not modify it.
+func (t *Tree) Children(v bitops.VID) []bitops.VID { return t.children[v] }
+
+// Depth returns the number of edges between v and the root.
+func (t *Tree) Depth(v bitops.VID) int { return t.depth[v] }
+
+// Offspring returns the number of proper descendants of v.
+func (t *Tree) Offspring(v bitops.VID) int { return t.offspring[v] }
+
+// Preorder returns a root-first traversal with children visited in
+// children-list order. The returned slice is shared; callers must not
+// modify it.
+func (t *Tree) Preorder() []bitops.VID { return t.preorder }
+
+// ChildrenList returns v's children sorted by descending offspring count,
+// the order REPLICATEFILE consumes (§2.2). For the virtual tree this is
+// identical to Children; the method exists to document the equivalence and
+// is verified against an explicit sort in the tests.
+func (t *Tree) ChildrenList(v bitops.VID) []bitops.VID { return t.children[v] }
+
+// Validate re-derives every stored relation from the bitops closed forms
+// and returns an error describing the first disagreement, if any. It is
+// the bridge between the paper's constructive definition (Property 1) and
+// the bit arithmetic the system actually routes with.
+func (t *Tree) Validate() error {
+	for v := bitops.VID(0); v < bitops.VID(t.Slots()); v++ {
+		p, ok := bitops.ParentVID(v, t.m)
+		sp, sok := t.Parent(v)
+		if ok != sok || (ok && p != sp) {
+			return fmt.Errorf("vtree: parent(%0*b) stored %0*b, closed form %0*b",
+				t.m, v, t.m, sp, t.m, p)
+		}
+		if got, want := t.Offspring(v), bitops.OffspringCount(v, t.m); got != want {
+			return fmt.Errorf("vtree: offspring(%0*b) stored %d, closed form %d",
+				t.m, v, got, want)
+		}
+		if got, want := t.Depth(v), bitops.Depth(v, t.m); got != want {
+			return fmt.Errorf("vtree: depth(%0*b) stored %d, closed form %d",
+				t.m, v, got, want)
+		}
+		kids := bitops.ChildrenVIDs(v, t.m)
+		if len(kids) != len(t.children[v]) {
+			return fmt.Errorf("vtree: children(%0*b) stored %d, closed form %d",
+				t.m, v, len(t.children[v]), len(kids))
+		}
+		for i := range kids {
+			if kids[i] != t.children[v][i] {
+				return fmt.Errorf("vtree: children(%0*b)[%d] stored %0*b, closed form %0*b",
+					t.m, v, i, t.m, t.children[v][i], t.m, kids[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Render draws the tree in an indented outline, one node per line, with
+// binary VIDs — the textual equivalent of the paper's Figure 1. If label
+// is non-nil its result is appended to each line (the physical-tree
+// renderer passes PIDs).
+func (t *Tree) Render(label func(v bitops.VID) string) string {
+	var b strings.Builder
+	var walk func(v bitops.VID, prefix string, last bool)
+	walk = func(v bitops.VID, prefix string, last bool) {
+		connector, childPrefix := "├── ", prefix+"│   "
+		if last {
+			connector, childPrefix = "└── ", prefix+"    "
+		}
+		if v == t.Root() {
+			connector, childPrefix = "", ""
+		}
+		fmt.Fprintf(&b, "%s%s%0*b", prefix, connector, t.m, v)
+		if label != nil {
+			b.WriteString(label(v))
+		}
+		b.WriteByte('\n')
+		kids := t.children[v]
+		for i, c := range kids {
+			walk(c, childPrefix, i == len(kids)-1)
+		}
+	}
+	walk(t.Root(), "", true)
+	return b.String()
+}
+
+// SortedByOffspring returns the given VIDs sorted by descending offspring
+// count, breaking ties by descending VID. Used by tests to confirm the
+// children-list order claim.
+func (t *Tree) SortedByOffspring(vs []bitops.VID) []bitops.VID {
+	out := append([]bitops.VID(nil), vs...)
+	sort.Slice(out, func(i, j int) bool {
+		oi, oj := t.offspring[out[i]], t.offspring[out[j]]
+		if oi != oj {
+			return oi > oj
+		}
+		return out[i] > out[j]
+	})
+	return out
+}

@@ -1,0 +1,138 @@
+package vtree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lesslog/internal/bitops"
+)
+
+func TestValidateAgainstClosedForms(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		if err := New(m).Validate(); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+	}
+}
+
+func TestPaperFigure1Structure(t *testing.T) {
+	// The 16-node virtual lookup tree of Figure 1: root 1111 has four
+	// children; 1110 has 7 offspring and 1100 has 3.
+	tr := New(4)
+	root := tr.Root()
+	if root != 0b1111 {
+		t.Fatalf("root = %04b", root)
+	}
+	kids := tr.Children(root)
+	want := []bitops.VID{0b1110, 0b1101, 0b1011, 0b0111}
+	if len(kids) != 4 {
+		t.Fatalf("root children = %v", kids)
+	}
+	for i := range want {
+		if kids[i] != want[i] {
+			t.Fatalf("root children = %v, want %v", kids, want)
+		}
+	}
+	if tr.Offspring(0b1110) != 7 || tr.Offspring(0b1100) != 3 {
+		t.Fatalf("offspring(1110)=%d offspring(1100)=%d, want 7 and 3",
+			tr.Offspring(0b1110), tr.Offspring(0b1100))
+	}
+	// Property 2 example: parent of 0110 is 1110.
+	if p, ok := tr.Parent(0b0110); !ok || p != 0b1110 {
+		t.Fatalf("parent(0110) = %04b", p)
+	}
+}
+
+func TestPreorderCoversAll(t *testing.T) {
+	for _, m := range []int{1, 4, 8} {
+		tr := New(m)
+		pre := tr.Preorder()
+		if len(pre) != tr.Slots() {
+			t.Fatalf("m=%d preorder has %d of %d", m, len(pre), tr.Slots())
+		}
+		seen := make([]bool, tr.Slots())
+		for _, v := range pre {
+			if seen[v] {
+				t.Fatalf("m=%d preorder repeats %b", m, v)
+			}
+			seen[v] = true
+		}
+		if pre[0] != tr.Root() {
+			t.Fatalf("m=%d preorder does not start at root", m)
+		}
+		// Parents precede children in preorder.
+		pos := make([]int, tr.Slots())
+		for i, v := range pre {
+			pos[v] = i
+		}
+		for _, v := range pre {
+			if p, ok := tr.Parent(v); ok && pos[p] >= pos[v] {
+				t.Fatalf("m=%d parent %b after child %b", m, p, v)
+			}
+		}
+	}
+}
+
+func TestChildrenListEqualsOffspringSort(t *testing.T) {
+	// The §2.2 children list (descending offspring) must coincide with
+	// the descending-VID child order for every node.
+	for _, m := range []int{2, 4, 10} {
+		tr := New(m)
+		for v := bitops.VID(0); v < bitops.VID(tr.Slots()); v++ {
+			kids := tr.ChildrenList(v)
+			sorted := tr.SortedByOffspring(kids)
+			for i := range kids {
+				if kids[i] != sorted[i] {
+					t.Fatalf("m=%d children list of %b not offspring-sorted: %v vs %v",
+						m, v, kids, sorted)
+				}
+			}
+		}
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	tr := New(10)
+	for v := bitops.VID(0); v < bitops.VID(tr.Slots()); v++ {
+		if tr.Depth(v) > 10 {
+			t.Fatalf("depth(%b) = %d exceeds m", v, tr.Depth(v))
+		}
+	}
+	if tr.Depth(0) != 10 {
+		t.Fatalf("depth of all-zeros VID = %d, want m", tr.Depth(0))
+	}
+}
+
+func TestRender(t *testing.T) {
+	tr := New(2)
+	got := tr.Render(nil)
+	// 4-node tree: root 11 with children 10 (which has child 00) and 01.
+	want := "11\n├── 10\n│   └── 00\n└── 01\n"
+	if got != want {
+		t.Fatalf("Render:\n%s\nwant:\n%s", got, want)
+	}
+	// With labels.
+	labeled := tr.Render(func(v bitops.VID) string { return " <" + string('a'+byte(v)) + ">" })
+	if !strings.Contains(labeled, "11 <d>") || !strings.Contains(labeled, "00 <a>") {
+		t.Fatalf("labeled render missing labels:\n%s", labeled)
+	}
+}
+
+func TestQuickSubtreeSizes(t *testing.T) {
+	f := func(rawM uint8, rawV uint32) bool {
+		m := int(rawM)%10 + 1
+		tr := New(m)
+		v := bitops.VID(rawV) & bitops.Mask(m)
+		return tr.Offspring(v)+1 == bitops.SubtreeSize(v, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNewM10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = New(10)
+	}
+}

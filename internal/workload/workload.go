@@ -1,0 +1,149 @@
+// Package workload generates the request-rate vectors driving the paper's
+// experiments (§6): a total incoming request rate for one popular file,
+// apportioned across the live nodes either evenly or under the 80/20
+// locality model ("80% of the requests are received by 20% of the nodes").
+// A Zipf generator is included for sensitivity studies beyond the paper.
+//
+// Rates are requests per second *originating* at each node — the rate at
+// which clients hand that node a get request. Dead slots always carry rate
+// zero.
+package workload
+
+import (
+	"math"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/xrand"
+)
+
+// Rates maps each PID (by index) to its originating request rate in
+// requests per second.
+type Rates []float64
+
+// Total returns the summed rate.
+func (r Rates) Total() float64 {
+	t := 0.0
+	for _, v := range r {
+		t += v
+	}
+	return t
+}
+
+// Even spreads total evenly across the live nodes (the Figure 5/6
+// workload).
+func Even(total float64, live *liveness.Set) Rates {
+	rates := make(Rates, live.Slots())
+	n := live.LiveCount()
+	if n == 0 {
+		return rates
+	}
+	per := total / float64(n)
+	live.ForEachLive(func(p bitops.PID) { rates[p] = per })
+	return rates
+}
+
+// Locality implements the Figure 7/8 workload: hotShare of the total rate
+// is spread evenly over a uniformly random hotFrac of the live nodes (the
+// "hot region"), and the remainder over the rest. The paper's setting is
+// hotShare = 0.8, hotFrac = 0.2. rng selects the hot set; it must not be
+// nil.
+func Locality(total, hotShare, hotFrac float64, live *liveness.Set, rng *xrand.Rand) Rates {
+	if hotShare < 0 || hotShare > 1 || hotFrac < 0 || hotFrac > 1 {
+		panic("workload: locality parameters out of [0,1]")
+	}
+	rates := make(Rates, live.Slots())
+	pids := live.LivePIDs()
+	n := len(pids)
+	if n == 0 {
+		return rates
+	}
+	hot := int(math.Round(hotFrac * float64(n)))
+	if hot <= 0 {
+		hot = 1
+	}
+	if hot > n {
+		hot = n
+	}
+	perm := rng.Perm(n)
+	hotRate := total * hotShare / float64(hot)
+	coldRate := 0.0
+	if n > hot {
+		coldRate = total * (1 - hotShare) / float64(n-hot)
+	} else {
+		// Everyone is hot; fold the cold share back in.
+		hotRate = total / float64(hot)
+	}
+	for i, idx := range perm {
+		if i < hot {
+			rates[pids[idx]] = hotRate
+		} else {
+			rates[pids[idx]] = coldRate
+		}
+	}
+	return rates
+}
+
+// Zipf spreads total across live nodes with probability proportional to
+// rank^-s over a random rank assignment: a smooth knob between Even (s=0)
+// and extreme skew. Not used by the paper's figures; used by the
+// sensitivity benches.
+func Zipf(total, s float64, live *liveness.Set, rng *xrand.Rand) Rates {
+	rates := make(Rates, live.Slots())
+	pids := live.LivePIDs()
+	n := len(pids)
+	if n == 0 {
+		return rates
+	}
+	weights := make([]float64, n)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -s)
+		sum += weights[i]
+	}
+	perm := rng.Perm(n)
+	for i, idx := range perm {
+		rates[pids[idx]] = total * weights[i] / sum
+	}
+	return rates
+}
+
+// Point puts the entire rate on a single origin, the degenerate workload
+// used by unit tests and the halving demonstration.
+func Point(total float64, origin bitops.PID, live *liveness.Set) Rates {
+	rates := make(Rates, live.Slots())
+	if live.IsLive(origin) {
+		rates[origin] = total
+	}
+	return rates
+}
+
+// KillRandom marks a uniformly random fraction of the currently live nodes
+// dead — the paper's "10%, 20%, 30% dead nodes" configurations — and
+// returns the PIDs it killed. The protected node, if live, is never killed
+// (pass an out-of-range PID such as ^0 to protect nobody); experiments use
+// it to keep at least one node alive.
+func KillRandom(live *liveness.Set, frac float64, protect bitops.PID, rng *xrand.Rand) []bitops.PID {
+	if frac < 0 || frac >= 1 {
+		panic("workload: dead fraction out of [0,1)")
+	}
+	pids := live.LivePIDs()
+	candidates := pids[:0]
+	for _, p := range pids {
+		if p != protect {
+			candidates = append(candidates, p)
+		}
+	}
+	kill := int(math.Round(frac * float64(len(pids))))
+	if kill > len(candidates) {
+		kill = len(candidates)
+	}
+	perm := rng.Perm(len(candidates))
+	killed := make([]bitops.PID, 0, kill)
+	for i := 0; i < kill; i++ {
+		p := candidates[perm[i]]
+		live.SetDead(p)
+		killed = append(killed, p)
+	}
+	return killed
+}

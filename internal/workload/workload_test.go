@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
+	"lesslog/internal/xrand"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestEven(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	live.SetDead(3)
+	r := Even(3000, live)
+	if !approx(r.Total(), 3000, 1e-6) {
+		t.Fatalf("total = %v", r.Total())
+	}
+	if r[3] != 0 {
+		t.Fatal("dead node carries rate")
+	}
+	if !approx(r[0], 200, 1e-9) {
+		t.Fatalf("per-node rate = %v, want 200", r[0])
+	}
+}
+
+func TestEvenEmpty(t *testing.T) {
+	r := Even(1000, liveness.New(4))
+	if r.Total() != 0 {
+		t.Fatal("empty system has rate")
+	}
+}
+
+func TestLocalityShares(t *testing.T) {
+	live := liveness.NewAllLive(10, 1024)
+	rng := xrand.New(1)
+	r := Locality(10000, 0.8, 0.2, live, rng)
+	if !approx(r.Total(), 10000, 1e-6) {
+		t.Fatalf("total = %v", r.Total())
+	}
+	// Exactly 20% of nodes must carry the hot rate, and they must carry
+	// 80% of the total.
+	hotCount, hotSum := 0, 0.0
+	hotRate := 0.8 * 10000 / 205 // round(0.2*1024) = 205 hot nodes
+	for _, v := range r {
+		if approx(v, hotRate, 1e-9) {
+			hotCount++
+			hotSum += v
+		}
+	}
+	if hotCount != 205 { // round(0.2*1024)
+		t.Fatalf("hot nodes = %d, want 205", hotCount)
+	}
+	if !approx(hotSum, 8000, 1e-6) {
+		t.Fatalf("hot share = %v, want 8000", hotSum)
+	}
+}
+
+func TestLocalityDeterministicBySeed(t *testing.T) {
+	live := liveness.NewAllLive(6, 64)
+	a := Locality(640, 0.8, 0.2, live, xrand.New(7))
+	b := Locality(640, 0.8, 0.2, live, xrand.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different hot sets")
+		}
+	}
+	c := Locality(640, 0.8, 0.2, live, xrand.New(8))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical hot sets")
+	}
+}
+
+func TestLocalityAllHot(t *testing.T) {
+	live := liveness.NewAllLive(3, 8)
+	r := Locality(800, 0.8, 1.0, live, xrand.New(1))
+	if !approx(r.Total(), 800, 1e-9) {
+		t.Fatalf("total = %v", r.Total())
+	}
+	for p := 0; p < 8; p++ {
+		if !approx(r[p], 100, 1e-9) {
+			t.Fatalf("rate[%d] = %v", p, r[p])
+		}
+	}
+}
+
+func TestLocalityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad parameters did not panic")
+		}
+	}()
+	Locality(1, 1.5, 0.2, liveness.NewAllLive(3, 8), xrand.New(1))
+}
+
+func TestZipf(t *testing.T) {
+	live := liveness.NewAllLive(8, 256)
+	r := Zipf(1000, 1.0, live, xrand.New(3))
+	if !approx(r.Total(), 1000, 1e-6) {
+		t.Fatalf("total = %v", r.Total())
+	}
+	// s=0 reduces to even.
+	r0 := Zipf(1000, 0, live, xrand.New(3))
+	for _, v := range r0 {
+		if !approx(v, 1000.0/256, 1e-9) {
+			t.Fatalf("zipf s=0 not even: %v", v)
+		}
+	}
+}
+
+func TestPoint(t *testing.T) {
+	live := liveness.NewAllLive(4, 16)
+	r := Point(500, 9, live)
+	if r[9] != 500 || !approx(r.Total(), 500, 0) {
+		t.Fatalf("point rates wrong: %v", r[9])
+	}
+	live.SetDead(9)
+	r = Point(500, 9, live)
+	if r.Total() != 0 {
+		t.Fatal("dead origin carries rate")
+	}
+}
+
+func TestKillRandom(t *testing.T) {
+	live := liveness.NewAllLive(10, 1024)
+	killed := KillRandom(live, 0.3, 4, xrand.New(11))
+	if len(killed) != 307 { // round(0.3*1024)
+		t.Fatalf("killed %d, want 307", len(killed))
+	}
+	if live.LiveCount() != 1024-307 {
+		t.Fatalf("live count %d", live.LiveCount())
+	}
+	if !live.IsLive(4) {
+		t.Fatal("protected node was killed")
+	}
+	for _, p := range killed {
+		if live.IsLive(p) {
+			t.Fatalf("killed node P(%d) still live", p)
+		}
+	}
+}
+
+func TestKillRandomAllButProtected(t *testing.T) {
+	live := liveness.NewAllLive(3, 8)
+	KillRandom(live, 0.99, 0, xrand.New(2))
+	if !live.IsLive(0) {
+		t.Fatal("protected node killed")
+	}
+	if live.LiveCount() < 1 {
+		t.Fatal("everything died")
+	}
+}
+
+func TestKillRandomPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("frac=1 did not panic")
+		}
+	}()
+	KillRandom(liveness.NewAllLive(3, 8), 1.0, bitops.PID(^uint32(0)), xrand.New(1))
+}
