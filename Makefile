@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples cover clean
+.PHONY: all build vet test race bench transport-bench figures examples cover clean
 
 all: build vet test
 
@@ -20,6 +20,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Pooled vs dial-per-call RPC throughput; the recorded run lives in
+# results/transport_bench.txt.
+transport-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTransport' -benchmem ./internal/transport/ | tee results/transport_bench.txt
 
 # Regenerate every reproduced figure and extension table into results/.
 figures: build

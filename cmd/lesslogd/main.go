@@ -14,6 +14,11 @@
 //	lesslogd -connect 127.0.0.1:7101 -op get -name hello
 //	lesslogd -connect 127.0.0.1:7101 -op update -name hello -data "again"
 //	lesslogd -connect 127.0.0.1:7100 -op stat
+//
+// Peer-to-peer RPC behavior is tunable with -dial-timeout (default 2s),
+// -rpc-timeout (default 5s), -retries (default 2, idempotent ops only,
+// -1 disables) and -pool (idle connections kept per peer, default 4, -1
+// dials per call); see docs/TRANSPORT.md.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"lesslog/internal/bitops"
 	"lesslog/internal/netnode"
+	"lesslog/internal/transport"
 )
 
 func main() {
@@ -38,9 +44,13 @@ func main() {
 		peers     = flag.String("peers", "", "server: PID=addr pairs, comma separated (include self)")
 		bootstrap = flag.String("bootstrap", "", "server: join an existing system via this peer instead of -peers")
 		maintain  = flag.Duration("maintain", 0, "server: overload/eviction maintenance interval (0 disables)")
-		dataDir   = flag.String("data", "", "server: directory for durable storage (restored on start, checkpointed on exit)")
+		dataDir   = flag.String("data-dir", "", "server: directory for durable storage (restored on start, checkpointed on exit)")
 		threshold = flag.Uint64("threshold", 100, "server: per-window serve count that triggers replication")
 		evictLow  = flag.Uint64("evict-below", 1, "server: replicas serving fewer gets per window are dropped")
+		dialTO    = flag.Duration("dial-timeout", transport.DefaultDialTimeout, "server: peer connection establishment deadline")
+		rpcTO     = flag.Duration("rpc-timeout", transport.DefaultRPCTimeout, "server: per-RPC write+read deadline")
+		retries   = flag.Int("retries", transport.DefaultRetries, "server: extra attempts for idempotent peer RPCs (-1 disables)")
+		pool      = flag.Int("pool", transport.DefaultPoolSize, "server: idle connections kept per peer (-1 dials per call)")
 		connect   = flag.String("connect", "", "client: peer address to contact")
 		op        = flag.String("op", "get", "client: insert, get, update, delete or stat")
 		name      = flag.String("name", "", "client: file name")
@@ -55,6 +65,12 @@ func main() {
 
 	peer, err := netnode.Listen(netnode.Config{
 		PID: bitops.PID(*pid), M: *m, B: *b, Addr: *listen, DataDir: *dataDir,
+		Transport: transport.Config{
+			DialTimeout: *dialTO,
+			RPCTimeout:  *rpcTO,
+			Retries:     *retries,
+			PoolSize:    *pool,
+		},
 	})
 	if err != nil {
 		fatal(err)

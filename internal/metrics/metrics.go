@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Counter is a monotonic event counter.
@@ -24,6 +25,23 @@ func (c *Counter) Value() uint64 { return c.n }
 
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.n = 0 }
+
+// AtomicCounter is a monotonic event counter safe for concurrent use — the
+// form the networked transport needs, where many RPC goroutines bump the
+// same counter.
+type AtomicCounter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *AtomicCounter) Inc() { c.n.Add(1) }
+
+// Add adds d.
+func (c *AtomicCounter) Add(d uint64) { c.n.Add(d) }
+
+// Value returns the current count.
+func (c *AtomicCounter) Value() uint64 { return c.n.Load() }
+
+// Reset zeroes the counter.
+func (c *AtomicCounter) Reset() { c.n.Store(0) }
 
 // Summary accumulates a stream of float64 observations and reports count,
 // sum, mean, min and max without retaining the samples.

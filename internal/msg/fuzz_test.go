@@ -2,6 +2,7 @@ package msg
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -35,6 +36,63 @@ func FuzzDecodeRequest(f *testing.F) {
 			t.Fatalf("decode/encode not a fixpoint: %+v vs %+v", req, again)
 		}
 	})
+}
+
+// FuzzReadRequestFrame hammers the stream layer — length prefix included —
+// with arbitrary bytes: ReadRequest must never panic and, critically, a
+// lying length prefix must not cost a frame-sized allocation. The seeds
+// cover the attack shapes: a maximal declared length with no payload, a
+// just-over-limit prefix, and a declared length larger than the bytes that
+// follow.
+func FuzzReadRequestFrame(f *testing.F) {
+	var framed bytes.Buffer
+	if err := WriteRequest(&framed, &Request{Kind: KindGet, Name: "file", Data: []byte("payload")}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(framed.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})             // 4 GiB declared, nothing sent
+	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrame+1)) // just over the limit
+	f.Add(append(binary.BigEndian.AppendUint32(nil, MaxFrame), 'x')) // huge claim, 1 byte sent
+	f.Add(append(binary.BigEndian.AppendUint32(nil, 1<<20), bytes.Repeat([]byte{0}, 64)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the stream layer accepts must re-encode and re-read.
+		var re bytes.Buffer
+		if err := WriteRequest(&re, req); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if _, err := ReadRequest(&re); err != nil {
+			t.Fatalf("re-encoded frame failed to read: %v", err)
+		}
+	})
+}
+
+// TestReadFrameRejectsOversizedPrefix pins the limit behavior the fuzzer
+// explores: a declared length over MaxFrame is rejected before any payload
+// is read, and a declared length the sender never backs with bytes fails
+// with a truncation error instead of blocking on a frame-sized buffer.
+func TestReadFrameRejectsOversizedPrefix(t *testing.T) {
+	over := binary.BigEndian.AppendUint32(nil, MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(over)); err != ErrFrameTooLarge {
+		t.Fatalf("oversized prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+	lie := append(binary.BigEndian.AppendUint32(nil, MaxFrame), "ten bytes."...)
+	if _, err := ReadFrame(bytes.NewReader(lie)); err == nil {
+		t.Fatal("lying prefix with truncated body was accepted")
+	}
+	// An honest maximal frame still round-trips.
+	big := &Request{Kind: KindStore, Name: "big", Data: bytes.Repeat([]byte{7}, 1<<20)}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil || !bytes.Equal(got.Data, big.Data) {
+		t.Fatalf("1 MiB frame did not round-trip: %v", err)
+	}
 }
 
 // FuzzDecodeResponse mirrors FuzzDecodeRequest for responses.

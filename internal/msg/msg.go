@@ -283,19 +283,41 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed payload.
+// readChunk bounds how much ReadFrame allocates ahead of the bytes that
+// actually arrive. A frame's declared length is attacker-controlled: a
+// malicious or corrupt peer can claim MaxFrame (16 MiB) and send nothing,
+// so allocating the declared size up front would let cheap lies pin real
+// memory. Growing chunk-by-chunk caps the damage of a lying prefix at one
+// chunk; honest large frames still read at full speed.
+const readChunk = 64 << 10
+
+// ReadFrame reads one length-prefixed payload. Frames whose declared
+// length exceeds MaxFrame are rejected before any payload allocation, and
+// the buffer grows only as payload bytes actually arrive.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+	cap0 := n
+	if cap0 > readChunk {
+		cap0 = readChunk
+	}
+	payload := make([]byte, 0, cap0)
+	for len(payload) < n {
+		chunk := n - len(payload)
+		if chunk > readChunk {
+			chunk = readChunk
+		}
+		start := len(payload)
+		payload = append(payload, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return nil, err
+		}
 	}
 	return payload, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lesslog/internal/msg"
+	"lesslog/internal/transport"
 )
 
 // ErrFault is returned by Client operations when no copy of the file could
@@ -12,17 +13,27 @@ import (
 var ErrFault = errors.New("netnode: file not found (fault)")
 
 // Client issues file operations against any peer of a networked LessLog
-// system. The zero value is unusable; construct with NewClient.
+// system. The zero value is unusable; construct with NewClient or
+// NewClientWith.
 type Client struct {
 	addr string
+	tr   *transport.Transport
 }
 
-// NewClient returns a client that contacts the peer at addr.
-func NewClient(addr string) *Client { return &Client{addr: addr} }
+// NewClient returns a client that contacts the peer at addr through the
+// package default transport: deadlines and idempotent retries, no pooling.
+func NewClient(addr string) *Client { return &Client{addr: addr, tr: defaultTransport()} }
+
+// NewClientWith returns a client that contacts the peer at addr through
+// tr — e.g. a pooled transport shared across many clients, or one with a
+// fault-injection table for tests.
+func NewClientWith(addr string, tr *transport.Transport) *Client {
+	return &Client{addr: addr, tr: tr}
+}
 
 // Insert stores a file in the system.
 func (c *Client) Insert(name string, data []byte) error {
-	resp, err := Call(c.addr, &msg.Request{Kind: msg.KindInsert, Name: name, Data: data})
+	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindInsert, Name: name, Data: data})
 	if err != nil {
 		return err
 	}
@@ -42,7 +53,7 @@ type GetResult struct {
 
 // Get fetches a file, reporting which peer served it and the hop count.
 func (c *Client) Get(name string) (GetResult, error) {
-	resp, err := Call(c.addr, &msg.Request{Kind: msg.KindGet, Name: name})
+	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindGet, Name: name})
 	if err != nil {
 		return GetResult{}, err
 	}
@@ -58,7 +69,7 @@ func (c *Client) Get(name string) (GetResult, error) {
 // Update rewrites a file everywhere it is replicated. The returned count
 // is the number of copies rewritten.
 func (c *Client) Update(name string, data []byte) (int, error) {
-	resp, err := Call(c.addr, &msg.Request{Kind: msg.KindUpdate, Name: name, Data: data})
+	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindUpdate, Name: name, Data: data})
 	if err != nil {
 		return 0, err
 	}
@@ -71,7 +82,7 @@ func (c *Client) Update(name string, data []byte) (int, error) {
 // Delete erases a file everywhere. The returned count is the number of
 // copies removed.
 func (c *Client) Delete(name string) (int, error) {
-	resp, err := Call(c.addr, &msg.Request{Kind: msg.KindDelete, Name: name})
+	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindDelete, Name: name})
 	if err != nil {
 		return 0, err
 	}
@@ -88,7 +99,7 @@ func (c *Client) Store(name string, data []byte, version uint64, replica bool) e
 	if replica {
 		flags |= msg.FlagReplica
 	}
-	resp, err := Call(c.addr, &msg.Request{
+	resp, err := c.tr.Do(c.addr, &msg.Request{
 		Kind: msg.KindStore, Flags: flags, Name: name, Data: data, Version: version,
 	})
 	if err != nil {
@@ -102,7 +113,7 @@ func (c *Client) Store(name string, data []byte, version uint64, replica bool) e
 
 // Stat returns the contacted peer's one-line status summary.
 func (c *Client) Stat() (string, error) {
-	resp, err := Call(c.addr, &msg.Request{Kind: msg.KindStat})
+	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindStat})
 	if err != nil {
 		return "", err
 	}

@@ -9,25 +9,37 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"lesslog/internal/msg"
+	"lesslog/internal/transport"
 )
 
 // Conn is a persistent connection to one peer. Safe for concurrent use;
-// requests are serialized over the single stream.
+// requests are serialized over the single stream. Every exchange is
+// bounded by an RPC deadline, so a hung peer cannot wedge the caller.
 type Conn struct {
-	mu   sync.Mutex
-	tcp  net.Conn
-	addr string
+	mu      sync.Mutex
+	tcp     net.Conn
+	addr    string
+	timeout time.Duration
 }
 
-// DialConn opens a persistent connection to the peer at addr.
+// DialConn opens a persistent connection to the peer at addr with the
+// default dial and RPC deadlines.
 func DialConn(addr string) (*Conn, error) {
-	tcp, err := net.Dial("tcp", addr)
+	return DialConnTimeout(addr, transport.DefaultDialTimeout, transport.DefaultRPCTimeout)
+}
+
+// DialConnTimeout opens a persistent connection with explicit deadlines:
+// dial bounds connection establishment, rpc bounds each Do exchange
+// (0 means no exchange deadline).
+func DialConnTimeout(addr string, dial, rpc time.Duration) (*Conn, error) {
+	tcp, err := net.DialTimeout("tcp", addr, dial)
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{tcp: tcp, addr: addr}, nil
+	return &Conn{tcp: tcp, addr: addr, timeout: rpc}, nil
 }
 
 // Close shuts the connection.
@@ -37,14 +49,26 @@ func (c *Conn) Close() error {
 	return c.tcp.Close()
 }
 
-// Do performs one request/response exchange.
+// Do performs one request/response exchange under the RPC deadline.
 func (c *Conn) Do(req *msg.Request) (*msg.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.tcp.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, err
+		}
+	}
 	if err := msg.WriteRequest(c.tcp, req); err != nil {
 		return nil, err
 	}
-	return msg.ReadResponse(c.tcp)
+	resp, err := msg.ReadResponse(c.tcp)
+	if err != nil {
+		return nil, err
+	}
+	if c.timeout > 0 {
+		c.tcp.SetDeadline(time.Time{})
+	}
+	return resp, nil
 }
 
 // Get fetches a file over the persistent stream.

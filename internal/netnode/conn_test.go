@@ -83,28 +83,29 @@ func TestConnClosedPeer(t *testing.T) {
 	conn.Close()
 }
 
-// TestForwardFailureSurfaces injects a mid-path failure without a
-// registration: the forwarding peer must return an error response rather
-// than hang or crash.
-func TestForwardFailureSurfaces(t *testing.T) {
+// TestForwardFailureSelfHeals injects a mid-path failure without a
+// registration: the forwarding peer's failure detector must flip the dead
+// hop's liveness bit and the very same get must succeed through the
+// recomputed route — no explicit ReportFailure needed.
+func TestForwardFailureSelfHeals(t *testing.T) {
 	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
 	if err := NewClient(peers[3].Addr()).Insert("f", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	// Kill P(0), the middle hop of P(8) -> P(0) -> P(4), silently.
 	peers[0].Close()
-	_, err := NewClient(peers[8].Addr()).Get("f")
-	if err == nil {
-		t.Fatal("get through a crashed hop succeeded without registration")
-	}
-	// After the failure is reported, routing bypasses the dead hop.
-	peers[8].ReportFailure(0)
 	res, err := NewClient(peers[8].Addr()).Get("f")
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("get through a crashed hop did not self-heal: %v", err)
 	}
 	if res.ServedBy != 4 {
-		t.Fatalf("served by P(%d)", res.ServedBy)
+		t.Fatalf("served by P(%d), want P(4)", res.ServedBy)
+	}
+	if !peers[8].Detector().Down(0) {
+		t.Fatal("failure detector did not declare the crashed hop down")
+	}
+	if peers[8].Stats().PeersDown.Load() == 0 {
+		t.Fatal("peers-down counter not advanced")
 	}
 }
 

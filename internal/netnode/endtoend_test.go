@@ -7,10 +7,13 @@ package netnode
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"lesslog/internal/bitops"
 	"lesslog/internal/hashring"
+	"lesslog/internal/transport"
 )
 
 func TestEndToEndWireScenario(t *testing.T) {
@@ -104,6 +107,407 @@ func TestEndToEndWireScenario(t *testing.T) {
 			if !bytes.Equal(res.Data, []byte(name)) {
 				t.Fatalf("get %s via P(%d): wrong data %q", name, pid, res.Data)
 			}
+		}
+	}
+}
+
+// --- networked fault-path scenario matrix ---------------------------------
+//
+// Every scenario runs a real system whose peers share one fault-injection
+// table (transport.Faults) and tight RPC deadlines, so dead, slow and
+// flapping peers are scripted deterministically — no sleep-based killing,
+// and timeouts are driven by short configured deadlines, not wall-clock
+// guesswork.
+
+// faultSystem is a wire system whose peers share a fault table and a tight
+// transport configuration.
+type faultSystem struct {
+	peers  map[bitops.PID]*Peer
+	faults *transport.Faults
+	tcfg   transport.Config
+}
+
+func (s *faultSystem) addr(pid bitops.PID) string { return s.peers[pid].Addr() }
+
+func (s *faultSystem) closeAll() {
+	for _, p := range s.peers {
+		p.Close()
+	}
+}
+
+// startFaultSystem boots peers 0..n-1 sharing one fault table, with
+// deadlines short enough that a blown one is cheap and a bound of 2× is
+// still generous.
+func startFaultSystem(t *testing.T, m, b, n int, hasher hashring.Hasher, tcfg transport.Config) *faultSystem {
+	t.Helper()
+	faults := transport.NewFaults()
+	sys := &faultSystem{peers: map[bitops.PID]*Peer{}, faults: faults, tcfg: tcfg}
+	addrs := map[bitops.PID]string{}
+	for i := 0; i < n; i++ {
+		pid := bitops.PID(i)
+		p, err := Listen(Config{
+			PID: pid, M: m, B: b, Hasher: hasher,
+			Transport: tcfg, Faults: faults,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		sys.peers[pid] = p
+		addrs[pid] = p.Addr()
+	}
+	for _, p := range sys.peers {
+		p.SetAddrs(addrs)
+	}
+	return sys
+}
+
+// tightTransport is the scenario-default transport: no idempotent retries
+// (so attempt counts are exact), a one-failure detector threshold (so a
+// single blown deadline triggers the §5 fallback), and a short RPC
+// deadline that bounds every injected hang.
+func tightTransport() transport.Config {
+	return transport.Config{
+		DialTimeout:   500 * time.Millisecond,
+		RPCTimeout:    150 * time.Millisecond,
+		Retries:       -1,
+		FailThreshold: 1,
+		Seed:          1,
+	}
+}
+
+func TestNetworkedFaultScenarios(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{name: "dead root: a silently crashed replica holder", run: func(t *testing.T) {
+			// B=1: two copies, one per subtree. The holder in the origin's
+			// subtree crashes without any registration; the get must still
+			// succeed through the §3/§4 fallback, inside the deadline
+			// budget, and the crash must show up in the status word.
+			sys := startFaultSystem(t, 4, 1, 16, hashring.Fixed(4), tightTransport())
+			if err := NewClient(sys.addr(2)).Insert("f", []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			var holders []bitops.PID
+			for pid, p := range sys.peers {
+				if p.HasFile("f") {
+					holders = append(holders, pid)
+				}
+			}
+			if len(holders) != 2 {
+				t.Fatalf("holders = %v, want one per subtree", holders)
+			}
+			victim := holders[0]
+			sys.peers[victim].Close()
+			delete(sys.peers, victim)
+
+			start := time.Now()
+			for pid := range sys.peers {
+				res, err := NewClient(sys.addr(pid)).Get("f")
+				if err != nil {
+					t.Fatalf("get via P(%d) with dead holder P(%d): %v", pid, victim, err)
+				}
+				if !bytes.Equal(res.Data, []byte("v")) {
+					t.Fatalf("get via P(%d): wrong data %q", pid, res.Data)
+				}
+			}
+			// A crashed peer answers dials with a refusal, so the whole
+			// sweep stays far inside one deadline per get.
+			if elapsed := time.Since(start); elapsed > time.Duration(len(sys.peers))*2*sys.tcfg.RPCTimeout {
+				t.Fatalf("fallback gets took %v", elapsed)
+			}
+			detected := false
+			for _, p := range sys.peers {
+				if !p.IsLive(victim) {
+					detected = true
+					break
+				}
+			}
+			if !detected {
+				t.Fatalf("no surviving peer's failure detector cleared P(%d)'s liveness bit", victim)
+			}
+		}},
+
+		{name: "slow peer: a forwarding hop hangs until the deadline", run: func(t *testing.T) {
+			// P(8)'s get path is P(8) → P(0) → P(4). P(0) hangs every get
+			// for the full RPC deadline; the blown deadline must flip
+			// P(0)'s bit and the same get must be re-routed and succeed
+			// within 2× the configured deadline.
+			sys := startFaultSystem(t, 4, 0, 16, hashring.Fixed(4), tightTransport())
+			if err := NewClient(sys.addr(3)).Insert("f", []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			sys.faults.Add(transport.Rule{Addr: sys.addr(0), Hang: true})
+			start := time.Now()
+			res, err := NewClient(sys.addr(8)).Get("f")
+			elapsed := time.Since(start)
+			if err != nil {
+				t.Fatalf("get past a hung hop: %v", err)
+			}
+			if res.ServedBy != 4 || !bytes.Equal(res.Data, []byte("v")) {
+				t.Fatalf("get = %+v", res)
+			}
+			if elapsed > 2*sys.tcfg.RPCTimeout {
+				t.Fatalf("get took %v, want < 2× the %v RPC deadline", elapsed, sys.tcfg.RPCTimeout)
+			}
+			if sys.peers[8].IsLive(0) {
+				t.Fatal("blown deadline did not clear the hung peer's liveness bit")
+			}
+			if sys.peers[8].Transport().Counters().Timeouts.Value() == 0 {
+				t.Fatal("timeout not counted by the transport")
+			}
+			if sys.peers[8].Stats().PeersDown.Load() == 0 {
+				t.Fatal("peers-down counter not advanced")
+			}
+		}},
+
+		{name: "dead child during update fan-out: branch re-routed, not dropped", run: func(t *testing.T) {
+			// Copies on the chain P(4) → P(5) → P(7). P(5) is unreachable
+			// for every kind: the update must re-route P(5)'s branch
+			// through its expanded children list so P(7) is rewritten
+			// instead of silently keeping the stale copy.
+			sys := startFaultSystem(t, 4, 0, 16, hashring.Fixed(4), tightTransport())
+			if err := NewClient(sys.addr(2)).Insert("f", []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := NewClient(sys.addr(5)).Store("f", []byte("v1"), 1, true); err != nil {
+				t.Fatal(err)
+			}
+			if err := NewClient(sys.addr(7)).Store("f", []byte("v1"), 1, true); err != nil {
+				t.Fatal(err)
+			}
+			sys.faults.Add(transport.Rule{Addr: sys.addr(5), Drop: true})
+			updated, err := NewClient(sys.addr(11)).Update("f", []byte("v2"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if updated != 2 {
+				t.Fatalf("updated %d copies, want 2 (P(4) and re-routed P(7))", updated)
+			}
+			for _, pid := range []bitops.PID{4, 7} {
+				f, ok := sys.peers[pid].store.Peek("f")
+				if !ok || !bytes.Equal(f.Data, []byte("v2")) {
+					t.Fatalf("P(%d) copy stale after fan-out around dead P(5): %+v", pid, f)
+				}
+			}
+			// The unreachable peer's copy is the only stale one.
+			if f, _ := sys.peers[5].store.Peek("f"); !bytes.Equal(f.Data, []byte("v1")) {
+				t.Fatalf("P(5) should still hold v1, got %+v", f)
+			}
+		}},
+
+		{name: "flapping peer: down after N failures, restored on recovery", run: func(t *testing.T) {
+			// P(6) is unreachable for exactly threshold probes, then
+			// answers again: the detector must declare it down once, and
+			// the first successful exchange must restore its bit.
+			tcfg := tightTransport()
+			tcfg.FailThreshold = 2
+			sys := startFaultSystem(t, 4, 0, 16, hashring.Fixed(4), tcfg)
+			sys.faults.Add(transport.Rule{Addr: sys.addr(6), Drop: true, Times: 2})
+			obs := sys.peers[2]
+			if err := obs.Probe(6); err == nil {
+				t.Fatal("first probe of a dropped peer succeeded")
+			}
+			if !obs.IsLive(6) {
+				t.Fatal("one failure below threshold already cleared the bit")
+			}
+			if err := obs.Probe(6); err == nil {
+				t.Fatal("second probe of a dropped peer succeeded")
+			}
+			if obs.IsLive(6) || !obs.Detector().Down(6) {
+				t.Fatal("threshold failures did not clear the liveness bit")
+			}
+			// The fault budget is exhausted: the peer has recovered.
+			if err := obs.Probe(6); err != nil {
+				t.Fatalf("probe after recovery: %v", err)
+			}
+			if !obs.IsLive(6) || obs.Detector().Down(6) {
+				t.Fatal("successful exchange did not restore the liveness bit")
+			}
+			if obs.Stats().PeersUp.Load() != 1 || obs.Stats().PeersDown.Load() != 1 {
+				t.Fatalf("flip counters = down %d / up %d, want 1/1",
+					obs.Stats().PeersDown.Load(), obs.Stats().PeersUp.Load())
+			}
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, sc.run)
+	}
+}
+
+// TestKillPeerMidRunRejoinNoLeaks is the acceptance scenario: a replica
+// holder is killed mid-run with no registration; (a) a get on the
+// replicated file still succeeds via fallback within 2× the RPC deadline,
+// (b) the failure detector clears the dead peer's liveness bit and a
+// rejoin restores it, and (c) the whole exercise leaks no goroutines.
+func TestKillPeerMidRunRejoinNoLeaks(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	func() {
+		const m, b = 4, 1
+		tcfg := tightTransport()
+		faults := transport.NewFaults()
+		peers := map[bitops.PID]*Peer{}
+		addrs := map[bitops.PID]string{}
+		for i := 0; i < 16; i++ {
+			pid := bitops.PID(i)
+			p, err := Listen(Config{PID: pid, M: m, B: b, Hasher: hashring.Fixed(4), Transport: tcfg, Faults: faults})
+			if err != nil {
+				t.Fatal(err)
+			}
+			peers[pid] = p
+			addrs[pid] = p.Addr()
+		}
+		defer func() {
+			for _, p := range peers {
+				p.Close()
+			}
+		}()
+		for _, p := range peers {
+			p.SetAddrs(addrs)
+		}
+		if err := NewClient(peers[1].Addr()).Insert("f", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		var holders []bitops.PID
+		for pid, p := range peers {
+			if p.HasFile("f") {
+				holders = append(holders, pid)
+			}
+		}
+		if len(holders) != 2 {
+			t.Fatalf("holders = %v", holders)
+		}
+
+		// Kill one holder mid-run: no Leave, no ReportFailure.
+		victim := holders[0]
+		victimPeer := peers[victim]
+		delete(peers, victim)
+		victimPeer.Close()
+
+		// (a) A get from the dead holder's own subtree succeeds via the
+		// fallback within the deadline budget.
+		v := peers[holders[1]].view(4)
+		var origin bitops.PID
+		for pid := range peers {
+			if v.SubtreeID(pid) == v.SubtreeID(victim) {
+				origin = pid
+				break
+			}
+		}
+		start := time.Now()
+		res, err := NewClient(peers[origin].Addr()).Get("f")
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatalf("get after killing P(%d): %v", victim, err)
+		}
+		if !bytes.Equal(res.Data, []byte("v")) {
+			t.Fatalf("get = %+v", res)
+		}
+		if elapsed > 2*tcfg.RPCTimeout {
+			t.Fatalf("fallback get took %v, want < 2× the %v deadline", elapsed, tcfg.RPCTimeout)
+		}
+
+		// (b) The failure detector cleared the bit on the peer that hit
+		// the dead holder.
+		detected := 0
+		for _, p := range peers {
+			if !p.IsLive(victim) {
+				detected++
+			}
+		}
+		if detected == 0 {
+			t.Fatalf("no surviving peer cleared P(%d)'s liveness bit", victim)
+		}
+
+		// The peer rejoins under the same PID: the register-live broadcast
+		// must restore the bit everywhere, superseding detector history.
+		rejoined, err := Listen(Config{PID: victim, M: m, B: b, Hasher: hashring.Fixed(4), Transport: tcfg, Faults: faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[victim] = rejoined
+		if err := rejoined.Join(peers[holders[1]].Addr()); err != nil {
+			t.Fatal(err)
+		}
+		for pid, p := range peers {
+			if !p.IsLive(victim) {
+				t.Fatalf("P(%d) still sees rejoined P(%d) as dead", pid, victim)
+			}
+		}
+		// And the file still serves from everywhere, including the
+		// rejoined peer.
+		for pid := range peers {
+			if _, err := NewClient(peers[pid].Addr()).Get("f"); err != nil {
+				t.Fatalf("get via P(%d) after rejoin: %v", pid, err)
+			}
+		}
+	}()
+
+	// (c) Everything shut down: no goroutine may outlive its peer. Give
+	// the runtime a moment to reap handler goroutines unblocked by the
+	// closes above.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked: %d -> %d\n%s", baseline, g, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestUpdateDeleteBroadcastSymmetry is the regression for the historical
+// asymmetry between the update and delete fan-outs: update did not skip
+// the peer's own PID in expanded children lists where delete did, so the
+// two paths could diverge (self-RPC, double counting) when the broadcast
+// started at a dead root's expanded children. Both now share one
+// broadcast/deliver path; with the tree root dead and the initiator
+// itself on the root's expanded children list, both must touch exactly
+// the surviving copies, once each.
+func TestUpdateDeleteBroadcastSymmetry(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	if err := NewClient(peers[2].Addr()).Insert("f", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Replica chain under the root: P(4) (inserted) → P(5) → P(7).
+	NewClient(peers[5].Addr()).Store("f", []byte("v1"), 1, true)
+	NewClient(peers[7].Addr()).Store("f", []byte("v1"), 1, true)
+
+	// The tree root P(4) dies with a registration: every broadcast now
+	// starts at its expanded children list, which includes P(5) — the
+	// peer we initiate from, so the initiator delivers to itself locally.
+	peers[4].Close()
+	delete(peers, 4)
+	peers[5].ReportFailure(4)
+
+	updated, err := NewClient(peers[5].Addr()).Update("f", []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated != 2 {
+		t.Fatalf("updated %d copies, want exactly 2 (P(5), P(7)) — no double count", updated)
+	}
+	for _, pid := range []bitops.PID{5, 7} {
+		f, ok := peers[pid].store.Peek("f")
+		if !ok || !bytes.Equal(f.Data, []byte("v2")) {
+			t.Fatalf("P(%d) = %+v", pid, f)
+		}
+	}
+
+	removed, err := NewClient(peers[5].Addr()).Delete("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != updated {
+		t.Fatalf("delete removed %d, update touched %d — paths diverged", removed, updated)
+	}
+	for pid, p := range peers {
+		if p.HasFile("f") {
+			t.Fatalf("copy survived at P(%d)", pid)
 		}
 	}
 }

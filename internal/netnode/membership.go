@@ -152,8 +152,13 @@ func (p *Peer) handleRegister(req *msg.Request) *msg.Response {
 // of the §5 mechanism.
 func (p *Peer) applyRegister(req *msg.Request) {
 	pid := bitops.PID(req.Origin)
+	// A registration supersedes the failure detector's observed history:
+	// a rejoining peer starts with a clean slate, a registered death needs
+	// no further counting.
+	p.det.Reset(uint32(pid))
 	if req.Flags&msg.FlagDead != 0 {
 		p.mu.Lock()
+		addr := p.addrs[pid]
 		delete(p.addrs, pid)
 		// Copy-on-write: views captured by in-flight requests keep an
 		// immutable snapshot of the status word.
@@ -161,6 +166,9 @@ func (p *Peer) applyRegister(req *msg.Request) {
 		next.SetDead(pid)
 		p.live = next
 		p.mu.Unlock()
+		if addr != "" {
+			p.tr.DropIdle(addr)
+		}
 		p.restoreAfterDeath(pid)
 		return
 	}

@@ -27,6 +27,7 @@ import (
 	"lesslog/internal/msg"
 	"lesslog/internal/ptree"
 	"lesslog/internal/store"
+	"lesslog/internal/transport"
 	"lesslog/internal/xrand"
 )
 
@@ -41,6 +42,12 @@ type Config struct {
 	// from this directory at startup and checkpointed there on Close
 	// (and whenever Checkpoint is called).
 	DataDir string
+	// Transport carries the RPC robustness knobs (deadlines, retries,
+	// pooling, failure threshold); zero fields take transport defaults.
+	Transport transport.Config
+	// Faults, when set, injects deterministic faults into every outbound
+	// RPC of this peer — the test hook for crashes, slowness, partitions.
+	Faults *transport.Faults
 }
 
 // Stats counts a peer's traffic with atomic counters.
@@ -52,6 +59,11 @@ type Stats struct {
 	Stored    atomic.Uint64
 	Updated   atomic.Uint64
 	Broadcast atomic.Uint64
+	// PeersDown / PeersUp count failure-detector liveness flips: a peer
+	// declared dead after consecutive RPC failures, and one restored by a
+	// later successful exchange or re-registration.
+	PeersDown atomic.Uint64
+	PeersUp   atomic.Uint64
 }
 
 // Peer is one networked LessLog node.
@@ -59,6 +71,8 @@ type Peer struct {
 	cfg    Config
 	hasher hashring.Hasher
 	ln     net.Listener
+	tr     *transport.Transport
+	det    *transport.Detector
 
 	mu     sync.Mutex
 	store  *store.Store
@@ -109,9 +123,43 @@ func Listen(cfg Config) (*Peer, error) {
 		conns:  map[net.Conn]struct{}{},
 		quit:   make(chan struct{}),
 	}
+	p.tr = transport.New(cfg.Transport, cfg.Faults)
+	p.det = transport.NewDetector(p.tr.Config().FailThreshold, p.peerDown, p.peerUp)
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
+}
+
+// peerDown is the failure-detector callback: consecutive RPC failures to
+// pid crossed the threshold, so its liveness bit is cleared — from here on
+// every view routes around it through the §5 expanded children lists, the
+// same way a register-dead broadcast would. Idle pooled connections to the
+// dead peer are dropped with it.
+func (p *Peer) peerDown(pid uint32) {
+	p.mu.Lock()
+	next := p.live.Clone()
+	next.SetDead(bitops.PID(pid))
+	p.live = next
+	addr := p.addrs[bitops.PID(pid)]
+	p.mu.Unlock()
+	if addr != "" {
+		p.tr.DropIdle(addr)
+	}
+	p.stats.PeersDown.Add(1)
+}
+
+// peerUp restores a detector-dead peer after a successful exchange — the
+// transient-failure healing path; a full rejoin heals through the
+// register-live broadcast instead.
+func (p *Peer) peerUp(pid uint32) {
+	p.mu.Lock()
+	if _, known := p.addrs[bitops.PID(pid)]; known {
+		next := p.live.Clone()
+		next.SetLive(bitops.PID(pid))
+		p.live = next
+	}
+	p.mu.Unlock()
+	p.stats.PeersUp.Add(1)
 }
 
 // Addr returns the peer's bound address.
@@ -123,6 +171,15 @@ func (p *Peer) PID() bitops.PID { return p.cfg.PID }
 // Stats returns the peer's traffic counters.
 func (p *Peer) Stats() *Stats { return &p.stats }
 
+// IsLive reports whether this peer's status word currently marks pid live
+// — the §5.1 bit the failure detector and registrations maintain. Safe for
+// concurrent use.
+func (p *Peer) IsLive(pid bitops.PID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live.IsLive(pid)
+}
+
 // HasFile reports whether the peer currently holds a copy of name,
 // without counting an access. Safe for concurrent use.
 func (p *Peer) HasFile(name string) bool {
@@ -132,16 +189,18 @@ func (p *Peer) HasFile(name string) bool {
 }
 
 // SetAddrs installs the PID→address table and marks exactly those PIDs
-// live — the networked form of the status word.
+// live — the networked form of the status word. Failure-detector history
+// is discarded: the new table is authoritative.
 func (p *Peer) SetAddrs(addrs map[bitops.PID]string) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.addrs = make(map[bitops.PID]string, len(addrs))
 	p.live = liveness.New(p.cfg.M)
 	for pid, a := range addrs {
 		p.addrs[pid] = a
 		p.live.SetLive(pid)
 	}
+	p.mu.Unlock()
+	p.det.ResetAll()
 }
 
 // Close stops the peer: the listener and every open connection are shut,
@@ -161,6 +220,7 @@ func (p *Peer) Close() error {
 	for _, c := range open {
 		c.Close()
 	}
+	p.tr.Close()
 	p.wg.Wait()
 	if p.cfg.DataDir != "" {
 		if cerr := p.Checkpoint(); cerr != nil && err == nil {
@@ -315,23 +375,35 @@ func (p *Peer) handleGet(req *msg.Request) *msg.Response {
 			Version: f.Version, Data: f.Data,
 		}
 	}
-	next, flags, subtree, ok := p.nextHop(req)
-	if !ok {
-		p.stats.Faults.Add(1)
-		return &msg.Response{Hops: req.Hops, Err: "netnode: file not found (fault)"}
+	// Forward along the lookup tree. A failed forward is not final: the
+	// failure feeds the detector, and once the dead hop's liveness bit
+	// flips, recomputing the next hop routes around it (§3/§5 over the
+	// wire) — so a get survives a silently crashed peer within a bounded
+	// number of RPC deadlines. The attempt budget guarantees at least one
+	// recomputation after the detector threshold is crossed.
+	attempts := p.tr.Config().FailThreshold + 1
+	var lastErr error
+	var lastHop bitops.PID
+	for attempt := 0; attempt < attempts; attempt++ {
+		next, flags, subtree, ok := p.nextHop(req)
+		if !ok {
+			p.stats.Faults.Add(1)
+			return &msg.Response{Hops: req.Hops, Err: "netnode: file not found (fault)"}
+		}
+		fwd := *req
+		fwd.Hops++
+		fwd.Flags = flags
+		fwd.Subtree = subtree
+		p.stats.Forwards.Add(1)
+		resp, err := p.call(next, &fwd)
+		if err == nil {
+			return resp
+		}
+		lastErr, lastHop = err, next
 	}
-	fwd := *req
-	fwd.Hops++
-	fwd.Flags = flags
-	fwd.Subtree = subtree
-	p.stats.Forwards.Add(1)
-	resp, err := p.call(next, &fwd)
-	if err != nil {
-		p.stats.Faults.Add(1)
-		return &msg.Response{Hops: req.Hops,
-			Err: fmt.Sprintf("netnode: forward to P(%d) failed: %v", next, err)}
-	}
-	return resp
+	p.stats.Faults.Add(1)
+	return &msg.Response{Hops: req.Hops,
+		Err: fmt.Sprintf("netnode: forward to P(%d) failed: %v", lastHop, lastErr)}
 }
 
 // nextHop computes where an unserved get goes: the first live ancestor
@@ -398,7 +470,22 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 	prop := *req
 	prop.Flags |= msg.FlagPropagate
 	prop.Version = version
-	updated := 0
+	updated := p.broadcast(v, &prop)
+	if updated == 0 {
+		p.stats.Faults.Add(1)
+		return &msg.Response{Err: "netnode: update found no copy"}
+	}
+	p.stats.Updated.Add(1)
+	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(updated), Version: version}
+}
+
+// broadcast starts the top-down children-list broadcast of a propagation
+// request (update or delete) at each subtree's root position — or at the
+// root's expanded children when it is dead — and returns copies touched.
+// Update and delete share this path exactly, so neither can loop by
+// delivering to itself over the wire where the other would not.
+func (p *Peer) broadcast(v ptree.View, prop *msg.Request) int {
+	total := 0
 	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
 		rootPos := v.SubtreeRoot(sid)
 		starts := []bitops.PID{rootPos}
@@ -409,29 +496,46 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 			starts = v.ExpandedChildrenList(rootPos)
 		}
 		for _, s := range starts {
-			updated += p.deliverUpdate(v, s, &prop)
+			total += p.deliver(v, s, prop)
 		}
 	}
-	if updated == 0 {
-		p.stats.Faults.Add(1)
-		return &msg.Response{Err: "netnode: update found no copy"}
-	}
-	p.stats.Updated.Add(1)
-	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(updated), Version: version}
+	return total
 }
 
-// deliverUpdate sends a propagation message to pid (or handles it locally)
-// and returns how many copies it updated downstream.
-func (p *Peer) deliverUpdate(v ptree.View, pid bitops.PID, prop *msg.Request) int {
+// deliver sends a propagation message to pid (handling it locally when pid
+// is this peer) and returns how many copies it touched downstream. When
+// the RPC fails outright — the peer crashed without a register-dead — the
+// broadcast would silently lose pid's whole branch, so it degrades by
+// routing through pid's expanded children list (§3) instead; the failed
+// call has already fed the detector, so the liveness bit catches up.
+func (p *Peer) deliver(v ptree.View, pid bitops.PID, prop *msg.Request) int {
 	if pid == p.cfg.PID {
-		return p.propagateUpdate(v, prop)
+		return p.propagateLocal(v, prop)
 	}
 	p.stats.Broadcast.Add(1)
 	resp, err := p.call(pid, prop)
-	if err != nil || !resp.OK {
-		return 0
+	if err == nil {
+		if !resp.OK {
+			return 0
+		}
+		return int(resp.Hops)
 	}
-	return int(resp.Hops)
+	n := 0
+	for _, c := range v.ExpandedChildrenList(pid) {
+		if c == pid {
+			continue
+		}
+		n += p.deliver(v, c, prop)
+	}
+	return n
+}
+
+// propagateLocal applies a propagation message at this peer.
+func (p *Peer) propagateLocal(v ptree.View, prop *msg.Request) int {
+	if prop.Kind == msg.KindDelete {
+		return p.propagateDelete(v, prop)
+	}
+	return p.propagateUpdate(v, prop)
 }
 
 // propagateUpdate applies a propagation message locally: a holder rewrites
@@ -456,7 +560,10 @@ func (p *Peer) propagateUpdate(v ptree.View, req *msg.Request) int {
 		n = 1
 	}
 	for _, c := range v.ExpandedChildrenList(p.cfg.PID) {
-		n += p.deliverUpdate(v, c, req)
+		if c == p.cfg.PID {
+			continue
+		}
+		n += p.deliver(v, c, req)
 	}
 	return n
 }
@@ -470,26 +577,7 @@ func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
 	}
 	prop := *req
 	prop.Flags |= msg.FlagPropagate
-	removed := 0
-	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
-		rootPos := v.SubtreeRoot(sid)
-		starts := []bitops.PID{rootPos}
-		p.mu.Lock()
-		rootLive := p.live.IsLive(rootPos)
-		p.mu.Unlock()
-		if !rootLive {
-			starts = v.ExpandedChildrenList(rootPos)
-		}
-		for _, s := range starts {
-			if s == p.cfg.PID {
-				removed += p.propagateDelete(v, &prop)
-				continue
-			}
-			if resp, err := p.call(s, &prop); err == nil && resp.OK {
-				removed += int(resp.Hops)
-			}
-		}
-	}
+	removed := p.broadcast(v, &prop)
 	if removed == 0 {
 		p.stats.Faults.Add(1)
 		return &msg.Response{Err: "netnode: delete found no copy"}
@@ -511,10 +599,7 @@ func (p *Peer) propagateDelete(v ptree.View, req *msg.Request) int {
 		if c == p.cfg.PID {
 			continue
 		}
-		p.stats.Broadcast.Add(1)
-		if resp, err := p.call(c, req); err == nil && resp.OK {
-			n += int(resp.Hops)
-		}
+		n += p.deliver(v, c, req)
 	}
 	p.mu.Lock()
 	if p.store.Delete(req.Name) {
@@ -528,10 +613,15 @@ func (p *Peer) handleStat() *msg.Response {
 	p.mu.Lock()
 	summary := fmt.Sprintf("pid=%d %s live=%d", p.cfg.PID, p.store, p.live.LiveCount())
 	p.mu.Unlock()
+	summary += fmt.Sprintf(" detector-down=%d peers-down=%d peers-up=%d %s",
+		p.det.DownCount(), p.stats.PeersDown.Load(), p.stats.PeersUp.Load(), p.tr.Counters())
 	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: []byte(summary)}
 }
 
-// call dials a peer, performs one request/response exchange and closes.
+// call performs one request/response exchange with pid through the peer's
+// transport (deadlines, retries, pooling) and feeds the outcome to the
+// failure detector: enough consecutive failures clear pid's liveness bit,
+// and a later success restores it.
 func (p *Peer) call(pid bitops.PID, req *msg.Request) (*msg.Response, error) {
 	p.mu.Lock()
 	addr, ok := p.addrs[pid]
@@ -539,18 +629,37 @@ func (p *Peer) call(pid bitops.PID, req *msg.Request) (*msg.Response, error) {
 	if !ok {
 		return nil, fmt.Errorf("netnode: no address for P(%d)", pid)
 	}
-	return Call(addr, req)
+	resp, err := p.tr.Do(addr, req)
+	if err != nil {
+		p.det.Fail(uint32(pid))
+		return nil, err
+	}
+	p.det.Ok(uint32(pid))
+	return resp, nil
 }
 
-// Call performs one request/response exchange with the peer at addr.
+// Probe sends a lightweight stat exchange to pid, feeding the failure
+// detector: a successful probe restores a peer the detector had declared
+// dead (e.g. after a transient partition heals, without a full rejoin).
+func (p *Peer) Probe(pid bitops.PID) error {
+	_, err := p.call(pid, &msg.Request{Kind: msg.KindStat})
+	return err
+}
+
+// Transport returns the peer's RPC transport, exposing its counters.
+func (p *Peer) Transport() *transport.Transport { return p.tr }
+
+// Detector returns the peer's failure detector.
+func (p *Peer) Detector() *transport.Detector { return p.det }
+
+// defaultTransport backs the package-level Call and NewClient: deadlines
+// and retries but no pooling, so casual callers never hold sockets open.
+var defaultTransport = sync.OnceValue(func() *transport.Transport {
+	return transport.New(transport.Config{PoolSize: -1}, nil)
+})
+
+// Call performs one request/response exchange with the peer at addr under
+// the default transport's deadlines.
 func Call(addr string, req *msg.Request) (*msg.Response, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	if err := msg.WriteRequest(conn, req); err != nil {
-		return nil, err
-	}
-	return msg.ReadResponse(conn)
+	return defaultTransport().Do(addr, req)
 }

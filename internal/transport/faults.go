@@ -1,0 +1,117 @@
+package transport
+
+// Deterministic fault injection: a Faults table shared by every transport
+// in a test system can drop, delay, error, or hang any (address, kind)
+// pair. Faults apply at the caller — the exchange fails or stalls before
+// touching the socket — so a "crashed" peer can keep running and the test
+// still observes exactly the failure it scripted, as many times as the
+// rule allows. Combined with short RPC deadlines this replaces real
+// time.Sleep-based peer-killing with reproducible scenarios.
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"lesslog/internal/msg"
+)
+
+// ErrInjected is the error surfaced by a Drop or Err rule.
+var ErrInjected = errors.New("transport: injected fault")
+
+// Rule describes one injected fault. Zero-valued match fields are
+// wildcards; exactly one of Drop, Hang, Err should be set (Delay composes
+// with any of them, or stands alone as pure slowness).
+type Rule struct {
+	Addr string   // target address; "" matches every address
+	Kind msg.Kind // request kind; 0 matches every kind
+
+	Drop  bool          // fail immediately with ErrInjected (connection refused shape)
+	Hang  bool          // stall for the full RPC deadline, then fail with a timeout
+	Delay time.Duration // sleep before the exchange proceeds (or before Drop/Err fires)
+	Err   error         // fail with this error after Delay
+
+	// Times bounds how often the rule fires; 0 means unlimited. A rule
+	// whose budget is exhausted stops matching — the idiom for "peer is
+	// unreachable for its first N calls, then recovers".
+	Times int
+}
+
+// Faults is a concurrent-safe rule table. The zero value is unusable;
+// construct with NewFaults. A nil *Faults injects nothing.
+type Faults struct {
+	mu    sync.Mutex
+	rules []*Rule
+}
+
+// NewFaults returns an empty fault table.
+func NewFaults() *Faults { return &Faults{} }
+
+// Add installs a rule and returns the table for chaining.
+func (f *Faults) Add(r Rule) *Faults {
+	f.mu.Lock()
+	f.rules = append(f.rules, &r)
+	f.mu.Unlock()
+	return f
+}
+
+// Clear removes every rule.
+func (f *Faults) Clear() {
+	f.mu.Lock()
+	f.rules = nil
+	f.mu.Unlock()
+}
+
+// timeoutError is the deadline-shaped error a Hang rule produces, so
+// injected slowness is indistinguishable from a real blown deadline.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "transport: injected fault: deadline exceeded" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// apply consumes at most one matching rule for (addr, kind) and enacts it.
+// It returns nil when the exchange should proceed normally.
+func (f *Faults) apply(addr string, kind msg.Kind, rpcTimeout time.Duration) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	var match *Rule
+	for _, r := range f.rules {
+		if r.Addr != "" && r.Addr != addr {
+			continue
+		}
+		if r.Kind != 0 && r.Kind != kind {
+			continue
+		}
+		if r.Times < 0 {
+			continue // exhausted
+		}
+		match = r
+		if r.Times > 0 {
+			r.Times--
+			if r.Times == 0 {
+				r.Times = -1 // mark exhausted; 0 means unlimited
+			}
+		}
+		break
+	}
+	f.mu.Unlock()
+	if match == nil {
+		return nil
+	}
+	if match.Delay > 0 {
+		time.Sleep(match.Delay)
+	}
+	switch {
+	case match.Drop:
+		return ErrInjected
+	case match.Hang:
+		time.Sleep(rpcTimeout)
+		return timeoutError{}
+	case match.Err != nil:
+		return match.Err
+	}
+	return nil
+}

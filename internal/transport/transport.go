@@ -1,0 +1,321 @@
+// Package transport is the fault-tolerant RPC layer under internal/netnode:
+// every peer-to-peer and client-to-peer exchange of the networked LessLog
+// deployment goes through a Transport instead of a bare net.Dial.
+//
+// The seed deployment assumed every socket succeeds — one dead or slow peer
+// hung a get forever and the paper's §5 fallback routing never fired over
+// the wire. A Transport fixes that with four mechanisms:
+//
+//   - deadlines: every dial and every request/response exchange is bounded
+//     by Config.DialTimeout and Config.RPCTimeout, so a hung peer costs at
+//     most one deadline, never forever;
+//   - retries: idempotent requests (get, has, stat, table) are retried with
+//     capped exponential backoff plus deterministic jitter (internal/xrand),
+//     so transient drops heal without risking duplicate side effects;
+//   - pooling: completed exchanges park their TCP stream in a per-address
+//     idle pool and the next exchange reuses it, so forwarding hops and
+//     update fan-out stop paying a TCP handshake per hop;
+//   - fault injection: a Faults table can drop, delay, fail, or hang any
+//     (address, kind) pair, so tests exercise crashes, partitions and
+//     slowness deterministically, without real peers misbehaving.
+//
+// A companion Detector counts consecutive RPC failures per peer and flips
+// liveness through callbacks — the failure-detector half of §5 that turns
+// socket errors into status-word updates, making the expanded-children-list
+// fallback fire over the network.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lesslog/internal/metrics"
+	"lesslog/internal/msg"
+	"lesslog/internal/xrand"
+)
+
+// Default knobs; see Config.
+const (
+	DefaultDialTimeout   = 2 * time.Second
+	DefaultRPCTimeout    = 5 * time.Second
+	DefaultRetries       = 2
+	DefaultRetryBase     = 10 * time.Millisecond
+	DefaultPoolSize      = 4
+	DefaultFailThreshold = 3
+)
+
+// Config parameterizes a Transport. The zero value selects the defaults
+// above; PoolSize < 0 disables pooling (dial per call, as the seed did, but
+// still with deadlines).
+type Config struct {
+	DialTimeout time.Duration // bound on establishing a TCP connection
+	RPCTimeout  time.Duration // bound on one full write+read exchange
+	Retries     int           // extra attempts for idempotent requests; < 0 disables
+	RetryBase   time.Duration // first backoff; doubles per retry, capped at 32×
+	PoolSize    int           // idle connections kept per address; < 0 disables pooling
+	// FailThreshold is consumed by NewDetector callers: consecutive RPC
+	// failures to one peer before it is declared down. Kept here so one
+	// struct carries every robustness knob from flag parsing to wiring.
+	FailThreshold int
+	Seed          uint64 // backoff-jitter seed; same seed ⇒ same retry timing
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = DefaultRPCTimeout
+	}
+	if c.Retries == 0 {
+		c.Retries = DefaultRetries
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = DefaultRetryBase
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = DefaultPoolSize
+	}
+	if c.FailThreshold == 0 {
+		c.FailThreshold = DefaultFailThreshold
+	}
+	return c
+}
+
+// Counters is a Transport's observable behavior, exposed through
+// Peer.TransportCounters and the stat summary.
+type Counters struct {
+	Dials      metrics.AtomicCounter // fresh TCP connections established
+	Reuses     metrics.AtomicCounter // exchanges served by a pooled connection
+	Retries    metrics.AtomicCounter // retry attempts after a failed exchange
+	Timeouts   metrics.AtomicCounter // exchanges that hit a deadline
+	Reconnects metrics.AtomicCounter // stale pooled connections replaced mid-call
+	Failures   metrics.AtomicCounter // exchanges that exhausted every attempt
+}
+
+// String summarizes the counters in the "k=v" style of the stat line.
+func (c *Counters) String() string {
+	return fmt.Sprintf("dials=%d reuses=%d retries=%d timeouts=%d reconnects=%d failures=%d",
+		c.Dials.Value(), c.Reuses.Value(), c.Retries.Value(),
+		c.Timeouts.Value(), c.Reconnects.Value(), c.Failures.Value())
+}
+
+// Transport performs request/response exchanges with deadlines, retries and
+// per-address connection pooling. Safe for concurrent use.
+type Transport struct {
+	cfg    Config
+	faults *Faults
+
+	mu     sync.Mutex
+	idle   map[string][]net.Conn // per-address idle connection stacks
+	rng    *xrand.Rand           // backoff jitter; guarded by mu
+	closed bool
+
+	counters Counters
+}
+
+// New returns a Transport with cfg's knobs (zero fields defaulted) and an
+// optional fault-injection table (nil means no injected faults).
+func New(cfg Config, faults *Faults) *Transport {
+	cfg = cfg.withDefaults()
+	return &Transport{
+		cfg:    cfg,
+		faults: faults,
+		idle:   map[string][]net.Conn{},
+		rng:    xrand.New(cfg.Seed ^ 0x7472616e73706f72), // "transpor"
+	}
+}
+
+// Config returns the resolved configuration (defaults filled in).
+func (t *Transport) Config() Config { return t.cfg }
+
+// Counters returns the transport's counters for inspection.
+func (t *Transport) Counters() *Counters { return &t.counters }
+
+// Close shuts every idle pooled connection and stops further pooling.
+// In-flight exchanges finish on their own deadlines.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	idle := t.idle
+	t.idle = map[string][]net.Conn{}
+	t.closed = true
+	t.mu.Unlock()
+	for _, conns := range idle {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// Idempotent reports whether a request kind is safe to retry: pure reads
+// with no side effects beyond hit counters. Mutations (insert, store,
+// update, delete, register) get exactly one attempt so a slow-but-applied
+// exchange is never replayed.
+func Idempotent(k msg.Kind) bool {
+	switch k {
+	case msg.KindGet, msg.KindHas, msg.KindStat, msg.KindTable:
+		return true
+	}
+	return false
+}
+
+// Do performs one request/response exchange with addr: dial (or reuse a
+// pooled connection) under DialTimeout, write the request and read the
+// response under RPCTimeout, and — for idempotent kinds — retry up to
+// cfg.Retries times with capped exponential backoff and jitter. Injected
+// faults for (addr, kind) apply to every attempt.
+func (t *Transport) Do(addr string, req *msg.Request) (*msg.Response, error) {
+	attempts := 1
+	if Idempotent(req.Kind) {
+		attempts += t.cfg.Retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			t.counters.Retries.Inc()
+			time.Sleep(t.backoff(attempt))
+		}
+		resp, err := t.exchange(addr, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if isTimeout(err) {
+			t.counters.Timeouts.Inc()
+		}
+	}
+	t.counters.Failures.Inc()
+	return nil, lastErr
+}
+
+// exchange runs a single attempt: fault gate, connection acquisition, one
+// framed write+read under the RPC deadline. A reused connection that fails
+// is replaced by a fresh dial once — a parked stream may have been closed
+// by the peer between exchanges, which is not the peer's failure.
+func (t *Transport) exchange(addr string, req *msg.Request) (*msg.Response, error) {
+	if err := t.faults.apply(addr, req.Kind, t.cfg.RPCTimeout); err != nil {
+		return nil, err
+	}
+	conn, reused, err := t.acquire(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.roundTrip(conn, req)
+	if err == nil {
+		t.release(addr, conn)
+		return resp, nil
+	}
+	conn.Close()
+	if !reused {
+		return nil, err
+	}
+	// The pooled stream was stale; one fresh dial before giving up.
+	t.counters.Reconnects.Inc()
+	conn, _, derr := t.dial(addr)
+	if derr != nil {
+		return nil, derr
+	}
+	resp, err = t.roundTrip(conn, req)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t.release(addr, conn)
+	return resp, nil
+}
+
+// roundTrip performs one framed write+read on conn under the RPC deadline.
+func (t *Transport) roundTrip(conn net.Conn, req *msg.Request) (*msg.Response, error) {
+	if err := conn.SetDeadline(time.Now().Add(t.cfg.RPCTimeout)); err != nil {
+		return nil, err
+	}
+	if err := msg.WriteRequest(conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := msg.ReadResponse(conn)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return resp, nil
+}
+
+// acquire pops an idle pooled connection for addr or dials a fresh one.
+func (t *Transport) acquire(addr string) (conn net.Conn, reused bool, err error) {
+	t.mu.Lock()
+	if stack := t.idle[addr]; len(stack) > 0 {
+		conn = stack[len(stack)-1]
+		t.idle[addr] = stack[:len(stack)-1]
+		t.mu.Unlock()
+		t.counters.Reuses.Inc()
+		return conn, true, nil
+	}
+	t.mu.Unlock()
+	return t.dial(addr)
+}
+
+// dial establishes a fresh connection under the dial deadline.
+func (t *Transport) dial(addr string) (net.Conn, bool, error) {
+	conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, false, err
+	}
+	t.counters.Dials.Inc()
+	return conn, false, nil
+}
+
+// release parks a healthy connection in addr's idle pool, or closes it when
+// pooling is disabled, the pool is full, or the transport is closed.
+func (t *Transport) release(addr string, conn net.Conn) {
+	if t.cfg.PoolSize < 0 {
+		conn.Close()
+		return
+	}
+	t.mu.Lock()
+	if t.closed || len(t.idle[addr]) >= t.cfg.PoolSize {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	t.idle[addr] = append(t.idle[addr], conn)
+	t.mu.Unlock()
+}
+
+// DropIdle closes any idle pooled connections to addr — called when a peer
+// is declared dead so its parked streams don't linger until reuse fails.
+func (t *Transport) DropIdle(addr string) {
+	t.mu.Lock()
+	conns := t.idle[addr]
+	delete(t.idle, addr)
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// backoff returns the sleep before retry attempt n (n ≥ 1): RetryBase
+// doubled per attempt, capped at 32×, with ±25% deterministic jitter.
+func (t *Transport) backoff(n int) time.Duration {
+	d := t.cfg.RetryBase << uint(n-1)
+	if max := t.cfg.RetryBase * 32; d > max {
+		d = max
+	}
+	t.mu.Lock()
+	f := t.rng.Float64()
+	t.mu.Unlock()
+	return d + time.Duration((f-0.5)*0.5*float64(d))
+}
+
+// isTimeout reports whether err is deadline-shaped.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
