@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench transport-bench figures examples cover clean
+.PHONY: all build vet test race bench transport-bench obs-bench figures examples cover clean
 
 all: build vet test
 
@@ -25,6 +25,12 @@ bench:
 # results/transport_bench.txt.
 transport-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTransport' -benchmem ./internal/transport/ | tee results/transport_bench.txt
+
+# Observability overhead: traced vs untraced wire-level gets plus the
+# histogram hot path; the analysed run lives in results/obs_bench.txt.
+obs-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkGet(Traced)?OverTCP' -benchtime 2s -count 3 ./internal/netnode/
+	$(GO) test -run '^$$' -bench 'BenchmarkHistogramObserve' -benchmem ./internal/metrics/
 
 # Regenerate every reproduced figure and extension table into results/.
 figures: build

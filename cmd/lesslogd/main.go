@@ -12,8 +12,15 @@
 //
 //	lesslogd -connect 127.0.0.1:7100 -op insert -name hello -data "world"
 //	lesslogd -connect 127.0.0.1:7101 -op get -name hello
+//	lesslogd -connect 127.0.0.1:7101 -op get -name hello -trace   # print the live route
 //	lesslogd -connect 127.0.0.1:7101 -op update -name hello -data "again"
 //	lesslogd -connect 127.0.0.1:7100 -op stat
+//	lesslogd -connect 127.0.0.1:7100 -op stat -json               # structured snapshot
+//
+// Observability: `-admin addr` exposes /metrics (Prometheus text),
+// /healthz, /trees and /debug/pprof/* over HTTP, and `-log-level` selects
+// the structured-log threshold (debug, info, warn, error); see
+// docs/OBSERVABILITY.md.
 //
 // Peer-to-peer RPC behavior is tunable with -dial-timeout (default 2s),
 // -rpc-timeout (default 5s), -retries (default 2, idempotent ops only,
@@ -22,8 +29,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -32,6 +41,7 @@ import (
 
 	"lesslog/internal/bitops"
 	"lesslog/internal/netnode"
+	"lesslog/internal/trace"
 	"lesslog/internal/transport"
 )
 
@@ -51,20 +61,30 @@ func main() {
 		rpcTO     = flag.Duration("rpc-timeout", transport.DefaultRPCTimeout, "server: per-RPC write+read deadline")
 		retries   = flag.Int("retries", transport.DefaultRetries, "server: extra attempts for idempotent peer RPCs (-1 disables)")
 		pool      = flag.Int("pool", transport.DefaultPoolSize, "server: idle connections kept per peer (-1 dials per call)")
+		admin     = flag.String("admin", "", "server: admin HTTP address for /metrics, /healthz, /trees, /debug/pprof ('' disables)")
+		logLevel  = flag.String("log-level", "info", "server: structured log threshold: debug, info, warn or error")
 		connect   = flag.String("connect", "", "client: peer address to contact")
 		op        = flag.String("op", "get", "client: insert, get, update, delete or stat")
 		name      = flag.String("name", "", "client: file name")
 		data      = flag.String("data", "", "client: file contents")
+		traced    = flag.Bool("trace", false, "client: with -op get, record and print the wire-level route")
+		asJSON    = flag.Bool("json", false, "client: with -op stat, print the structured snapshot as JSON")
 	)
 	flag.Parse()
 
 	if *connect != "" {
-		runClient(*connect, *op, *name, *data)
+		runClient(*connect, *op, *name, *data, *traced, *asJSON)
 		return
+	}
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fatal(err)
 	}
 
 	peer, err := netnode.Listen(netnode.Config{
 		PID: bitops.PID(*pid), M: *m, B: *b, Addr: *listen, DataDir: *dataDir,
+		Logger: logger,
 		Transport: transport.Config{
 			DialTimeout: *dialTO,
 			RPCTimeout:  *rpcTO,
@@ -75,17 +95,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	log := logger.With("component", "lesslogd", "pid", *pid)
+	if *admin != "" {
+		adm, err := peer.ServeAdmin(*admin)
+		if err != nil {
+			fatal(err)
+		}
+		defer adm.Close()
+	}
 	if *maintain > 0 {
 		peer.StartMaintenance(*maintain, *threshold, *evictLow)
-		fmt.Printf("lesslogd: maintenance every %v (threshold %d, evict below %d)\n",
-			*maintain, *threshold, *evictLow)
+		log.Info("maintenance enabled",
+			"interval", *maintain, "threshold", *threshold, "evict_below", *evictLow)
 	}
 	if *bootstrap != "" {
 		if err := peer.Join(*bootstrap); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("lesslogd: P(%d) joined via %s, serving on %s\n", *pid, *bootstrap, peer.Addr())
-		waitForSignal(peer)
+		log.Info("serving after join", "bootstrap", *bootstrap, "addr", peer.Addr())
+		waitForSignal(peer, log)
 		return
 	}
 	table := map[bitops.PID]string{bitops.PID(*pid): peer.Addr()}
@@ -103,25 +131,42 @@ func main() {
 		}
 	}
 	peer.SetAddrs(table)
-	fmt.Printf("lesslogd: P(%d) serving on %s (m=%d b=%d, %d peers)\n",
-		*pid, peer.Addr(), *m, *b, len(table))
-	waitForSignal(peer)
+	log.Info("serving", "addr", peer.Addr(), "m", *m, "b", *b, "peers", len(table))
+	waitForSignal(peer, log)
+}
+
+// newLogger builds the process logger at the requested threshold.
+func newLogger(level string) (*slog.Logger, error) {
+	var l slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		l = slog.LevelDebug
+	case "info":
+		l = slog.LevelInfo
+	case "warn":
+		l = slog.LevelWarn
+	case "error":
+		l = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
 }
 
 // waitForSignal blocks until SIGINT/SIGTERM, then leaves gracefully —
 // handing inserted files to their new primaries — and shuts down.
-func waitForSignal(peer *netnode.Peer) {
+func waitForSignal(peer *netnode.Peer, log *slog.Logger) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("lesslogd: leaving and shutting down")
+	log.Info("leaving and shutting down")
 	if err := peer.Leave(); err != nil {
-		fmt.Fprintln(os.Stderr, "lesslogd: leave:", err)
+		log.Error("leave failed", "err", err)
 	}
 	peer.Close()
 }
 
-func runClient(addr, op, name, data string) {
+func runClient(addr, op, name, data string, traced, asJSON bool) {
 	cl := netnode.NewClient(addr)
 	switch op {
 	case "insert":
@@ -130,11 +175,18 @@ func runClient(addr, op, name, data string) {
 		}
 		fmt.Printf("inserted %q\n", name)
 	case "get":
-		res, err := cl.Get(name)
+		get := cl.Get
+		if traced {
+			get = cl.GetTraced
+		}
+		res, err := get(name)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("served by P(%d) in %d hops (v%d): %s\n", res.ServedBy, res.Hops, res.Version, res.Data)
+		if traced {
+			fmt.Printf("route: %s\n%s", trace.HopRoute(res.Path), trace.HopTable(res.Path))
+		}
 	case "update":
 		n, err := cl.Update(name, []byte(data))
 		if err != nil {
@@ -148,6 +200,18 @@ func runClient(addr, op, name, data string) {
 		}
 		fmt.Printf("deleted %d copies of %q\n", n, name)
 	case "stat":
+		if asJSON {
+			snap, err := cl.StatSnapshot()
+			if err != nil {
+				fatal(err)
+			}
+			out, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+			return
+		}
 		out, err := cl.Stat()
 		if err != nil {
 			fatal(err)

@@ -1,7 +1,13 @@
 // Package metrics provides the small set of measurement types shared by
-// the analytic simulator, the cluster engine and the benchmark harness:
-// monotonic counters, cheap streaming summaries, and the load summaries
-// that decide when the paper's experiments declare the system balanced.
+// the analytic simulator, the cluster engine, the networked node and the
+// benchmark harness: monotonic counters, cheap streaming summaries,
+// lock-free log-bucketed histograms with Prometheus text exposition, and
+// the load summaries that decide when the paper's experiments declare the
+// system balanced.
+//
+// Two concurrency tiers, chosen per call site: Counter and Summary are
+// unsynchronized and belong to single-goroutine simulators; AtomicCounter
+// and Histogram are safe for concurrent use and belong on RPC hot paths.
 package metrics
 
 import (
@@ -12,6 +18,12 @@ import (
 )
 
 // Counter is a monotonic event counter.
+//
+// NOT safe for concurrent use: Inc/Add are plain read-modify-writes, so a
+// Counter shared across goroutines both races and drops increments. It
+// exists for the single-goroutine simulators and benchmark harnesses;
+// anything touched from multiple goroutines — RPC paths, netnode handlers,
+// the transport — must use AtomicCounter instead.
 type Counter struct{ n uint64 }
 
 // Inc adds one.
@@ -45,6 +57,11 @@ func (c *AtomicCounter) Reset() { c.n.Store(0) }
 
 // Summary accumulates a stream of float64 observations and reports count,
 // sum, mean, min and max without retaining the samples.
+//
+// NOT safe for concurrent use (unsynchronized fields, same caveat as
+// Counter): it serves the single-goroutine simulators. Concurrent
+// observers — anything on the networked request path — use Histogram,
+// which is lock-free and additionally yields quantiles.
 type Summary struct {
 	count    int
 	sum      float64

@@ -60,6 +60,33 @@ func TestQuantiles(t *testing.T) {
 	}
 }
 
+func TestQuantilesEdgeCases(t *testing.T) {
+	// Empty input: every requested quantile is 0, and no panic.
+	if got := Quantiles([]float64{}, 0, 0.5, 1); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("empty input: %v", got)
+	}
+	// Single sample: every quantile is that sample.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := Quantiles([]float64{42}, q)[0]; got != 42 {
+			t.Fatalf("single sample Quantiles(q=%v) = %v", q, got)
+		}
+	}
+	// q=0 clamps to the minimum, q=1 is the maximum, even unsorted.
+	in := []float64{5, 3, 9, 1}
+	got := Quantiles(in, 0, 1)
+	if got[0] != 1 || got[1] != 9 {
+		t.Fatalf("q=0/q=1 = %v, want [1 9]", got)
+	}
+	// The unsorted input slice is left unmodified.
+	if in[0] != 5 || in[1] != 3 || in[2] != 9 || in[3] != 1 {
+		t.Fatalf("input mutated: %v", in)
+	}
+	// No quantiles requested: empty result, input untouched.
+	if got := Quantiles(in); len(got) != 0 {
+		t.Fatalf("no qs: %v", got)
+	}
+}
+
 func TestSummarizeLoads(t *testing.T) {
 	loads := map[uint32]float64{1: 50, 2: 150, 3: 100}
 	ls := SummarizeLoads(loads, 100)

@@ -1,0 +1,75 @@
+package metrics
+
+// Prometheus text exposition (version 0.0.4) for the measurement types in
+// this package, using only the standard library. The admin endpoint of a
+// networked peer composes these writers into its /metrics page; any
+// Prometheus-compatible scraper can consume the output directly.
+
+import (
+	"fmt"
+	"io"
+)
+
+// LabeledValue is one series of a counter or gauge family. Labels is the
+// literal label body without braces (`kind="get"`), or "" for none.
+type LabeledValue struct {
+	Labels string
+	Value  float64
+}
+
+// LabeledHistogram is one series of a histogram family.
+type LabeledHistogram struct {
+	Labels string
+	Snap   HistogramSnapshot
+}
+
+// seriesName renders name plus an optional label body.
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// mergeLabels joins two label bodies with a comma, tolerating empties.
+func mergeLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "," + b
+}
+
+// PrometheusFamily writes one counter or gauge family (kind is "counter"
+// or "gauge") with its TYPE header and one line per series.
+func PrometheusFamily(w io.Writer, name, kind string, series ...LabeledValue) {
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	for _, s := range series {
+		fmt.Fprintf(w, "%s %g\n", seriesName(name, s.Labels), s.Value)
+	}
+}
+
+// PrometheusHistogram writes a histogram family: cumulative buckets with
+// `le` upper bounds, then _sum and _count, per series. Samples are scaled
+// by scale on the way out (1e-9 turns observed nanoseconds into the
+// seconds Prometheus conventions expect). Empty buckets are elided — the
+// cumulative counts and the +Inf bucket keep the output well-formed.
+func PrometheusHistogram(w io.Writer, name string, scale float64, series ...LabeledHistogram) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, s := range series {
+		var cum uint64
+		for i, c := range s.Snap.Buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			le := fmt.Sprintf(`le="%g"`, float64(BucketUpper(i))*scale)
+			fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, mergeLabels(s.Labels, le), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, mergeLabels(s.Labels, `le="+Inf"`), s.Snap.Count)
+		fmt.Fprintf(w, "%s %g\n", seriesName(name+"_sum", s.Labels), float64(s.Snap.Sum)*scale)
+		fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", s.Labels), s.Snap.Count)
+	}
+}

@@ -15,6 +15,11 @@ func FuzzDecodeRequest(f *testing.F) {
 		Subtree: 1, Version: 99, Name: "file", Data: []byte("payload"),
 	})
 	f.Add(seed)
+	traced, _ := AppendRequest(nil, &Request{
+		Kind: KindGet, Flags: FlagTrace, Name: "file", TraceID: 12345,
+		Path: []Hop{{PID: 8, Action: HopForward, Dur: 100}, {PID: 4, Action: HopServe, Dur: 50}},
+	})
+	f.Add(traced)
 	f.Add([]byte{})
 	f.Add([]byte{0xFF})
 	f.Add(bytes.Repeat([]byte{0x00}, 64))
@@ -32,8 +37,14 @@ func FuzzDecodeRequest(f *testing.F) {
 			t.Fatalf("re-encoded request failed to decode: %v", err)
 		}
 		if again.Kind != req.Kind || again.Name != req.Name ||
-			!bytes.Equal(again.Data, req.Data) || again.Version != req.Version {
+			!bytes.Equal(again.Data, req.Data) || again.Version != req.Version ||
+			again.TraceID != req.TraceID || len(again.Path) != len(req.Path) {
 			t.Fatalf("decode/encode not a fixpoint: %+v vs %+v", req, again)
+		}
+		for i := range req.Path {
+			if again.Path[i] != req.Path[i] {
+				t.Fatalf("hop %d not a fixpoint: %+v vs %+v", i, req.Path[i], again.Path[i])
+			}
 		}
 	})
 }
@@ -50,8 +61,8 @@ func FuzzReadRequestFrame(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(framed.Bytes())
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})             // 4 GiB declared, nothing sent
-	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrame+1)) // just over the limit
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})                            // 4 GiB declared, nothing sent
+	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrame+1))            // just over the limit
 	f.Add(append(binary.BigEndian.AppendUint32(nil, MaxFrame), 'x')) // huge claim, 1 byte sent
 	f.Add(append(binary.BigEndian.AppendUint32(nil, 1<<20), bytes.Repeat([]byte{0}, 64)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -101,6 +112,11 @@ func FuzzDecodeResponse(f *testing.F) {
 		OK: true, ServedBy: 4, Hops: 3, Version: 7, Err: "", Data: []byte("x"),
 	})
 	f.Add(seed)
+	tracedResp, _ := AppendResponse(nil, &Response{
+		OK: true, ServedBy: 4,
+		Path: []Hop{{PID: 8, Action: HopForward, Dur: 100}, {PID: 4, Action: HopServe, Dur: 50}},
+	})
+	f.Add(tracedResp)
 	f.Add([]byte{1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		resp, err := DecodeResponse(data)

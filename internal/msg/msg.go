@@ -9,8 +9,13 @@
 //	uint32  payload length
 //	payload (Request or Response encoding)
 //
-// Sizes are bounded (MaxName, MaxData) so a malicious or corrupt peer
-// cannot make a node allocate unboundedly.
+// Both payloads end with a trace section — a trace ID (requests only) and
+// a list of Hop records (PID, action, duration) — that carries the live
+// route of a FlagTrace request across the wire; see docs/OBSERVABILITY.md
+// for the exact byte layout.
+//
+// Sizes are bounded (MaxName, MaxData, MaxHops) so a malicious or corrupt
+// peer cannot make a node allocate unboundedly.
 package msg
 
 import (
@@ -18,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Kind enumerates request types.
@@ -49,6 +55,10 @@ const (
 	KindDelete
 )
 
+// KindCount sizes per-kind metric arrays: valid kinds index 1..KindCount-1,
+// slot 0 collects unknown kinds.
+const KindCount = int(KindDelete) + 1
+
 // String names the kind.
 func (k Kind) String() string {
 	switch k {
@@ -78,7 +88,8 @@ func (k Kind) String() string {
 const (
 	MaxName  = 4 << 10  // 4 KiB file names
 	MaxData  = 16 << 20 // 16 MiB file payloads
-	MaxFrame = MaxData + MaxName + 64
+	MaxHops  = 512      // trace hop records per frame
+	MaxFrame = MaxData + MaxName + 64 + MaxHops*hopWire
 )
 
 // Flag bits carried by requests.
@@ -95,7 +106,89 @@ const (
 	FlagPropagate
 	// FlagDead marks a KindRegister announcing a departure or failure.
 	FlagDead
+	// FlagTrace asks every stop on the request's route to append a Hop
+	// record; the serving node copies the accumulated path into the
+	// response, so the client sees the actual wire-level route (the live
+	// counterpart of internal/trace's predicted rendering).
+	FlagTrace
+	// FlagJSON asks KindStat for the structured JSON stats snapshot
+	// instead of the legacy one-line text summary.
+	FlagJSON
 )
+
+// HopAction classifies what one stop on a traced route did with the
+// request — mirroring the routing steps of §2.2–§4.
+type HopAction uint8
+
+// Hop actions.
+const (
+	// HopForward: forwarded to the first live ancestor (§2.2/§3 walk).
+	HopForward HopAction = iota + 1
+	// HopFallback: forwarded via the FINDLIVENODE second step (§3).
+	HopFallback
+	// HopMigrate: forwarded into the next subtree (§4 migration).
+	HopMigrate
+	// HopServe: answered from the local store; always the final hop.
+	HopServe
+)
+
+// String names the action.
+func (a HopAction) String() string {
+	switch a {
+	case HopForward:
+		return "forward"
+	case HopFallback:
+		return "fallback"
+	case HopMigrate:
+		return "migrate"
+	case HopServe:
+		return "serve"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Hop is one stop of a traced route: which node handled the request, what
+// it did with it, and how long it held it (from handler entry to the
+// forward, or to the response for a serve).
+type Hop struct {
+	PID    uint32
+	Action HopAction
+	Dur    time.Duration
+}
+
+// hopWire is one encoded Hop: PID u32, action u8, duration i64 (ns).
+const hopWire = 4 + 1 + 8
+
+func appendHops(b []byte, hops []Hop) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(hops)))
+	for _, h := range hops {
+		b = binary.BigEndian.AppendUint32(b, h.PID)
+		b = append(b, byte(h.Action))
+		b = binary.BigEndian.AppendUint64(b, uint64(h.Dur))
+	}
+	return b
+}
+
+func takeHops(b []byte) ([]Hop, []byte, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > MaxHops || int(n)*hopWire > len(b) {
+		return nil, nil, ErrCorrupt
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	hops := make([]Hop, n)
+	for i := range hops {
+		hops[i].PID = binary.BigEndian.Uint32(b)
+		hops[i].Action = HopAction(b[4])
+		hops[i].Dur = time.Duration(binary.BigEndian.Uint64(b[5:]))
+		b = b[hopWire:]
+	}
+	return hops, b, nil
+}
 
 // Request is one node-to-node or client-to-node message.
 type Request struct {
@@ -107,6 +200,13 @@ type Request struct {
 	Version uint64 // update/store version
 	Name    string
 	Data    []byte
+	// TraceID identifies a traced request (FlagTrace); hops propagate it so
+	// multi-peer logs of one route can be correlated. 0 when untraced.
+	TraceID uint64
+	// Path accumulates one Hop per stop of a traced request: each peer
+	// appends its own record before forwarding, so the request carries its
+	// route history to the serving node.
+	Path []Hop
 }
 
 // Response answers a Request.
@@ -117,6 +217,10 @@ type Response struct {
 	Version  uint64
 	Err      string
 	Data     []byte
+	// Path is the completed route of a traced request: the request's
+	// accumulated hops plus the serving node's own record. Intermediate
+	// peers relay it back unchanged.
+	Path []Hop
 }
 
 // Encoding errors.
@@ -175,9 +279,10 @@ func takeBytes(b []byte, max int) ([]byte, []byte, error) {
 	return out, b[n:], nil
 }
 
-// AppendRequest encodes r onto b.
+// AppendRequest encodes r onto b. The trace section (TraceID + Path)
+// rides at the tail so the fixed 22-byte header layout predates it.
 func AppendRequest(b []byte, r *Request) ([]byte, error) {
-	if len(r.Name) > MaxName || len(r.Data) > MaxData {
+	if len(r.Name) > MaxName || len(r.Data) > MaxData || len(r.Path) > MaxHops {
 		return nil, ErrFrameTooLarge
 	}
 	b = append(b, byte(r.Kind), r.Flags)
@@ -187,6 +292,8 @@ func AppendRequest(b []byte, r *Request) ([]byte, error) {
 	b = binary.BigEndian.AppendUint64(b, r.Version)
 	b = appendString(b, r.Name)
 	b = appendBytes(b, r.Data)
+	b = binary.BigEndian.AppendUint64(b, r.TraceID)
+	b = appendHops(b, r.Path)
 	return b, nil
 }
 
@@ -216,6 +323,12 @@ func DecodeRequest(b []byte) (*Request, error) {
 	if r.Data, b, err = takeBytes(b, MaxData); err != nil {
 		return nil, err
 	}
+	if r.TraceID, b, err = takeUint64(b); err != nil {
+		return nil, err
+	}
+	if r.Path, b, err = takeHops(b); err != nil {
+		return nil, err
+	}
 	if len(b) != 0 {
 		return nil, ErrCorrupt
 	}
@@ -224,7 +337,7 @@ func DecodeRequest(b []byte) (*Request, error) {
 
 // AppendResponse encodes resp onto b.
 func AppendResponse(b []byte, resp *Response) ([]byte, error) {
-	if len(resp.Err) > MaxName || len(resp.Data) > MaxData {
+	if len(resp.Err) > MaxName || len(resp.Data) > MaxData || len(resp.Path) > MaxHops {
 		return nil, ErrFrameTooLarge
 	}
 	ok := byte(0)
@@ -237,6 +350,7 @@ func AppendResponse(b []byte, resp *Response) ([]byte, error) {
 	b = binary.BigEndian.AppendUint64(b, resp.Version)
 	b = appendString(b, resp.Err)
 	b = appendBytes(b, resp.Data)
+	b = appendHops(b, resp.Path)
 	return b, nil
 }
 
@@ -261,6 +375,9 @@ func DecodeResponse(b []byte) (*Response, error) {
 		return nil, err
 	}
 	if resp.Data, b, err = takeBytes(b, MaxData); err != nil {
+		return nil, err
+	}
+	if resp.Path, b, err = takeHops(b); err != nil {
 		return nil, err
 	}
 	if len(b) != 0 {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestRequestRoundTrip(t *testing.T) {
@@ -33,6 +34,70 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTracedRequestRoundTrip(t *testing.T) {
+	in := &Request{
+		Kind: KindGet, Flags: FlagTrace, Origin: 8, Hops: 2, Name: "f",
+		TraceID: 0xDEADBEEFCAFE,
+		Path: []Hop{
+			{PID: 8, Action: HopForward, Dur: 120 * time.Microsecond},
+			{PID: 0, Action: HopFallback, Dur: 45 * time.Microsecond},
+			{PID: 4, Action: HopServe, Dur: 310 * time.Microsecond},
+		},
+	}
+	b, err := AppendRequest(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != in.TraceID || !reflect.DeepEqual(out.Path, in.Path) {
+		t.Fatalf("trace round trip: %+v", out)
+	}
+	resp := &Response{OK: true, ServedBy: 4, Path: in.Path}
+	rb, err := AppendResponse(nil, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rout, err := DecodeResponse(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rout.Path, in.Path) {
+		t.Fatalf("response path round trip: %+v", rout.Path)
+	}
+}
+
+func TestTooManyHopsRejected(t *testing.T) {
+	long := make([]Hop, MaxHops+1)
+	if _, err := AppendRequest(nil, &Request{Kind: KindGet, Path: long}); err != ErrFrameTooLarge {
+		t.Fatalf("request err = %v", err)
+	}
+	if _, err := AppendResponse(nil, &Response{Path: long}); err != ErrFrameTooLarge {
+		t.Fatalf("response err = %v", err)
+	}
+	// A decoder seeing a hop count beyond the bytes present must fail
+	// before allocating the declared count.
+	good, _ := AppendRequest(nil, &Request{Kind: KindGet, Name: "n"})
+	bad := append([]byte{}, good...)
+	bad[len(bad)-4] = 0xFF // hop-count prefix is the last uint32
+	if _, err := DecodeRequest(bad); err == nil {
+		t.Fatal("lying hop count accepted")
+	}
+}
+
+func TestHopActionString(t *testing.T) {
+	for a, want := range map[HopAction]string{
+		HopForward: "forward", HopFallback: "fallback",
+		HopMigrate: "migrate", HopServe: "serve", HopAction(77): "action(77)",
+	} {
+		if a.String() != want {
+			t.Fatalf("HopAction(%d).String() = %q", a, a.String())
+		}
 	}
 }
 

@@ -1,0 +1,120 @@
+package netnode
+
+// The admin endpoint: a small stdlib-only HTTP server a peer can expose
+// beside its wire port (`lesslogd -admin addr`). It serves the operator
+// surface of the observability layer:
+//
+//	/metrics        Prometheus text format (counters + latency histograms)
+//	/healthz        JSON liveness view: status word + failure-detector state
+//	/trees          the physical lookup tree of this (or ?root=N) node,
+//	                dead positions marked — Figures 2/3 for the live system
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// Everything read here is lock-free or briefly locked; scraping cannot
+// stall the request path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/trace"
+)
+
+// Admin is a running admin HTTP server bound to one peer.
+type Admin struct {
+	p   *Peer
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeAdmin starts the peer's admin HTTP server on addr ("127.0.0.1:0"
+// picks a free port; Addr reports it). Close the returned Admin when done;
+// closing the peer does not close it.
+func (p *Peer) ServeAdmin(addr string) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netnode: admin listen %s: %w", addr, err)
+	}
+	a := &Admin{p: p, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.metrics)
+	mux.HandleFunc("/healthz", a.healthz)
+	mux.HandleFunc("/trees", a.trees)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go a.srv.Serve(ln)
+	p.log.Info("admin endpoint listening", "addr", ln.Addr().String())
+	return a, nil
+}
+
+// Addr returns the admin server's bound address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the admin server down immediately.
+func (a *Admin) Close() error { return a.srv.Close() }
+
+func (a *Admin) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.p.WritePrometheus(w)
+}
+
+// adminHealth is the /healthz body.
+type adminHealth struct {
+	Status       string   `json:"status"`
+	PID          uint32   `json:"pid"`
+	Addr         string   `json:"addr"`
+	M            int      `json:"m"`
+	B            int      `json:"b"`
+	LivePeers    int      `json:"live_peers"`
+	KnownPeers   int      `json:"known_peers"`
+	DetectorDown []uint32 `json:"detector_down"`
+}
+
+func (a *Admin) healthz(w http.ResponseWriter, _ *http.Request) {
+	p := a.p
+	p.mu.Lock()
+	live := p.live.LiveCount()
+	known := len(p.addrs)
+	p.mu.Unlock()
+	h := adminHealth{
+		Status: "ok", PID: uint32(p.cfg.PID), Addr: p.Addr(),
+		M: p.cfg.M, B: p.cfg.B, LivePeers: live, KnownPeers: known,
+		DetectorDown: p.det.DownIDs(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
+// trees renders the physical lookup tree (Figures 2/3) for this peer's
+// PID, or for ?root=N, against the live status word — dead positions are
+// marked exactly as the offline internal/trace tooling marks them.
+func (a *Admin) trees(w http.ResponseWriter, r *http.Request) {
+	p := a.p
+	root := p.cfg.PID
+	if q := r.URL.Query().Get("root"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 || n >= bitops.Slots(p.cfg.M) {
+			http.Error(w, fmt.Sprintf("bad root %q (want 0..%d)", q, bitops.Slots(p.cfg.M)-1),
+				http.StatusBadRequest)
+			return
+		}
+		root = bitops.PID(n)
+	}
+	p.mu.Lock()
+	live := p.live // copy-on-write snapshot; safe to read unlocked
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "physical lookup tree of P(%d) (m=%d b=%d, %d live)\n\n",
+		root, p.cfg.M, p.cfg.B, live.LiveCount())
+	fmt.Fprint(w, trace.Physical(root, p.cfg.M, live))
+}

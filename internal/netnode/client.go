@@ -1,8 +1,10 @@
 package netnode
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 
 	"lesslog/internal/msg"
 	"lesslog/internal/transport"
@@ -49,20 +51,37 @@ type GetResult struct {
 	Version  uint64
 	ServedBy uint32
 	Hops     int
+	// Path is the observed wire-level route of a traced get (GetTraced):
+	// one Hop per stop, the serving node last. Nil for untraced gets.
+	Path []msg.Hop
 }
 
 // Get fetches a file, reporting which peer served it and the hop count.
 func (c *Client) Get(name string) (GetResult, error) {
-	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindGet, Name: name})
+	return c.get(&msg.Request{Kind: msg.KindGet, Name: name})
+}
+
+// GetTraced fetches a file with route tracing: every peer the request
+// visits appends a hop record, and the result's Path holds the actual
+// route — the live counterpart of internal/trace.Route's prediction.
+func (c *Client) GetTraced(name string) (GetResult, error) {
+	return c.get(&msg.Request{
+		Kind: msg.KindGet, Flags: msg.FlagTrace,
+		Name: name, TraceID: rand.Uint64(),
+	})
+}
+
+func (c *Client) get(req *msg.Request) (GetResult, error) {
+	resp, err := c.tr.Do(c.addr, req)
 	if err != nil {
 		return GetResult{}, err
 	}
 	if !resp.OK {
-		return GetResult{}, fmt.Errorf("%w: %s", ErrFault, name)
+		return GetResult{}, fmt.Errorf("%w: %s", ErrFault, req.Name)
 	}
 	return GetResult{
 		Data: resp.Data, Version: resp.Version,
-		ServedBy: resp.ServedBy, Hops: int(resp.Hops),
+		ServedBy: resp.ServedBy, Hops: int(resp.Hops), Path: resp.Path,
 	}, nil
 }
 
@@ -118,4 +137,21 @@ func (c *Client) Stat() (string, error) {
 		return "", err
 	}
 	return string(resp.Data), nil
+}
+
+// StatSnapshot returns the contacted peer's structured stats snapshot —
+// the JSON form behind `lesslogd -op stat -json`.
+func (c *Client) StatSnapshot() (StatSnapshot, error) {
+	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindStat, Flags: msg.FlagJSON})
+	if err != nil {
+		return StatSnapshot{}, err
+	}
+	if !resp.OK {
+		return StatSnapshot{}, fmt.Errorf("netnode: stat: %s", resp.Err)
+	}
+	var s StatSnapshot
+	if err := json.Unmarshal(resp.Data, &s); err != nil {
+		return StatSnapshot{}, fmt.Errorf("netnode: stat: decode snapshot: %w", err)
+	}
+	return s, nil
 }

@@ -95,6 +95,7 @@ func (p *Peer) MaintainOnce(threshold, evictBelow uint64) (placed bitops.PID, ok
 	if err != nil || !resp.OK {
 		return 0, false
 	}
+	p.log.Info("replica placed by maintenance", "name", f.name, "on", uint32(target))
 	return target, true
 }
 

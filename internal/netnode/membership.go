@@ -51,6 +51,7 @@ func (p *Peer) Join(bootstrapAddr string) error {
 	if !rresp.OK {
 		return fmt.Errorf("netnode: join: register: %s", rresp.Err)
 	}
+	p.log.Info("joined system", "bootstrap", bootstrapAddr, "peers", len(table))
 	return nil
 }
 
@@ -85,6 +86,7 @@ func (p *Peer) Leave() error {
 		}
 	}
 	p.broadcastRegister(p.cfg.PID, nil, true)
+	p.log.Info("left system gracefully", "handed_off", len(files))
 	return nil
 }
 
@@ -156,6 +158,8 @@ func (p *Peer) applyRegister(req *msg.Request) {
 	// a rejoining peer starts with a clean slate, a registered death needs
 	// no further counting.
 	p.det.Reset(uint32(pid))
+	p.log.Info("membership registration",
+		"peer", uint32(pid), "dead", req.Flags&msg.FlagDead != 0)
 	if req.Flags&msg.FlagDead != 0 {
 		p.mu.Lock()
 		addr := p.addrs[pid]

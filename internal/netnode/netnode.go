@@ -15,10 +15,14 @@
 package netnode
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lesslog/internal/bitops"
 	"lesslog/internal/diskstore"
@@ -48,6 +52,10 @@ type Config struct {
 	// Faults, when set, injects deterministic faults into every outbound
 	// RPC of this peer — the test hook for crashes, slowness, partitions.
 	Faults *transport.Faults
+	// Logger receives the peer's structured events (liveness flips,
+	// membership changes, replica placements). Nil discards them, keeping
+	// tests and embedded uses quiet; lesslogd passes a leveled handler.
+	Logger *slog.Logger
 }
 
 // Stats counts a peer's traffic with atomic counters.
@@ -86,6 +94,8 @@ type Peer struct {
 
 	wg    sync.WaitGroup
 	stats Stats
+	obs   peerObs
+	log   *slog.Logger
 }
 
 // Listen binds the peer's socket and starts serving connections. Call
@@ -123,10 +133,16 @@ func Listen(cfg Config) (*Peer, error) {
 		conns:  map[net.Conn]struct{}{},
 		quit:   make(chan struct{}),
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	p.log = logger.With("component", "netnode", "pid", uint32(cfg.PID))
 	p.tr = transport.New(cfg.Transport, cfg.Faults)
 	p.det = transport.NewDetector(p.tr.Config().FailThreshold, p.peerDown, p.peerUp)
 	p.wg.Add(1)
 	go p.acceptLoop()
+	p.log.Debug("listening", "addr", p.Addr(), "m", cfg.M, "b", cfg.B)
 	return p, nil
 }
 
@@ -146,6 +162,7 @@ func (p *Peer) peerDown(pid uint32) {
 		p.tr.DropIdle(addr)
 	}
 	p.stats.PeersDown.Add(1)
+	p.log.Warn("peer declared down by failure detector", "peer", pid, "addr", addr)
 }
 
 // peerUp restores a detector-dead peer after a successful exchange — the
@@ -160,6 +177,7 @@ func (p *Peer) peerUp(pid uint32) {
 	}
 	p.mu.Unlock()
 	p.stats.PeersUp.Add(1)
+	p.log.Info("peer restored by successful exchange", "peer", pid)
 }
 
 // Addr returns the peer's bound address.
@@ -292,7 +310,17 @@ func (p *Peer) view(target bitops.PID) ptree.View {
 	return ptree.NewView(target, p.live, p.cfg.B)
 }
 
+// handle times and dispatches one decoded request; every handler's full
+// latency — forwarded and fanned-out work included — lands in the
+// per-kind histogram.
 func (p *Peer) handle(req *msg.Request) *msg.Response {
+	start := time.Now()
+	resp := p.dispatch(req)
+	p.obs.handleHist(req.Kind).ObserveDuration(time.Since(start))
+	return resp
+}
+
+func (p *Peer) dispatch(req *msg.Request) *msg.Response {
 	switch req.Kind {
 	case msg.KindStore:
 		return p.handleStore(req)
@@ -303,7 +331,7 @@ func (p *Peer) handle(req *msg.Request) *msg.Response {
 	case msg.KindUpdate:
 		return p.handleUpdate(req)
 	case msg.KindStat:
-		return p.handleStat()
+		return p.handleStat(req)
 	case msg.KindRegister:
 		return p.handleRegister(req)
 	case msg.KindTable:
@@ -365,15 +393,22 @@ func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
 }
 
 func (p *Peer) handleGet(req *msg.Request) *msg.Response {
+	start := time.Now()
 	p.mu.Lock()
 	f, ok := p.store.Get(req.Name)
 	p.mu.Unlock()
 	if ok {
 		p.stats.Served.Add(1)
-		return &msg.Response{
+		resp := &msg.Response{
 			OK: true, ServedBy: uint32(p.cfg.PID), Hops: req.Hops,
 			Version: f.Version, Data: f.Data,
 		}
+		elapsed := time.Since(start)
+		p.obs.serve.ObserveDuration(elapsed)
+		if req.Flags&msg.FlagTrace != 0 {
+			resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopServe, elapsed)
+		}
+		return resp
 	}
 	// Forward along the lookup tree. A failed forward is not final: the
 	// failure feeds the detector, and once the dead hop's liveness bit
@@ -381,6 +416,7 @@ func (p *Peer) handleGet(req *msg.Request) *msg.Response {
 	// wire) — so a get survives a silently crashed peer within a bounded
 	// number of RPC deadlines. The attempt budget guarantees at least one
 	// recomputation after the detector threshold is crossed.
+	defer func() { p.obs.forward.ObserveDuration(time.Since(start)) }()
 	attempts := p.tr.Config().FailThreshold + 1
 	var lastErr error
 	var lastHop bitops.PID
@@ -394,6 +430,13 @@ func (p *Peer) handleGet(req *msg.Request) *msg.Response {
 		fwd.Hops++
 		fwd.Flags = flags
 		fwd.Subtree = subtree
+		if req.Flags&msg.FlagTrace != 0 {
+			// nextHop clears routing flags on a subtree migration; the
+			// trace bit must survive every transition.
+			fwd.Flags |= msg.FlagTrace
+			fwd.Path = appendHop(req.Path, uint32(p.cfg.PID),
+				hopAction(req, flags, subtree), time.Since(start))
+		}
 		p.stats.Forwards.Add(1)
 		resp, err := p.call(next, &fwd)
 		if err == nil {
@@ -404,6 +447,20 @@ func (p *Peer) handleGet(req *msg.Request) *msg.Response {
 	p.stats.Faults.Add(1)
 	return &msg.Response{Hops: req.Hops,
 		Err: fmt.Sprintf("netnode: forward to P(%d) failed: %v", lastHop, lastErr)}
+}
+
+// hopAction classifies the forward a traced get is about to take by how
+// nextHop changed the request state: a new subtree is the §4 migration, a
+// freshly-set fallback flag is the §3 FINDLIVENODE step, anything else is
+// the ordinary live-ancestor walk.
+func hopAction(req *msg.Request, flags uint8, subtree uint32) msg.HopAction {
+	switch {
+	case subtree != req.Subtree:
+		return msg.HopMigrate
+	case flags&msg.FlagFallback != 0 && req.Flags&msg.FlagFallback == 0:
+		return msg.HopFallback
+	}
+	return msg.HopForward
 }
 
 // nextHop computes where an unserved get goes: the first live ancestor
@@ -485,7 +542,7 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 // Update and delete share this path exactly, so neither can loop by
 // delivering to itself over the wire where the other would not.
 func (p *Peer) broadcast(v ptree.View, prop *msg.Request) int {
-	total := 0
+	total, legs := 0, 0
 	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
 		rootPos := v.SubtreeRoot(sid)
 		starts := []bitops.PID{rootPos}
@@ -495,10 +552,12 @@ func (p *Peer) broadcast(v ptree.View, prop *msg.Request) int {
 		if !rootLive {
 			starts = v.ExpandedChildrenList(rootPos)
 		}
+		legs += len(starts)
 		for _, s := range starts {
 			total += p.deliver(v, s, prop)
 		}
 	}
+	p.obs.fanout.Observe(uint64(legs))
 	return total
 }
 
@@ -609,7 +668,16 @@ func (p *Peer) propagateDelete(v ptree.View, req *msg.Request) int {
 	return n
 }
 
-func (p *Peer) handleStat() *msg.Response {
+// handleStat serves the status snapshot: the legacy one-line "k=v" text by
+// default, or — with FlagJSON — the structured StatSnapshot as JSON.
+func (p *Peer) handleStat(req *msg.Request) *msg.Response {
+	if req != nil && req.Flags&msg.FlagJSON != 0 {
+		data, err := json.Marshal(p.StatSnapshot())
+		if err != nil {
+			return &msg.Response{Err: fmt.Sprintf("netnode: stat snapshot: %v", err)}
+		}
+		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: data}
+	}
 	p.mu.Lock()
 	summary := fmt.Sprintf("pid=%d %s live=%d", p.cfg.PID, p.store, p.live.LiveCount())
 	p.mu.Unlock()

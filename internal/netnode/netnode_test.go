@@ -14,7 +14,7 @@ import (
 
 // startSystem boots peers for the given PIDs in an m-bit space with ψ
 // pinned at target, wires the address tables and registers cleanup.
-func startSystem(t *testing.T, m, b int, pids []bitops.PID, hasher hashring.Hasher) map[bitops.PID]*Peer {
+func startSystem(t testing.TB, m, b int, pids []bitops.PID, hasher hashring.Hasher) map[bitops.PID]*Peer {
 	t.Helper()
 	peers := make(map[bitops.PID]*Peer, len(pids))
 	addrs := make(map[bitops.PID]string, len(pids))

@@ -1,0 +1,245 @@
+package netnode
+
+// The peer-side observability layer: per-handler latency histograms, the
+// serve/forward split on the get path, broadcast fan-out sizes, a
+// structured stats snapshot (the JSON form of the stat line), and the
+// Prometheus text exposition the admin endpoint serves. The paper's whole
+// point is that the lookup tree replaces access logs; this file is what
+// makes that visible on a live system — no logs are consulted, only the
+// counters and distributions the node updates as it routes.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lesslog/internal/metrics"
+	"lesslog/internal/msg"
+	"lesslog/internal/store"
+	"lesslog/internal/transport"
+)
+
+// peerObs bundles the peer's distributions. All fields are lock-free
+// histograms, observed directly on the request path.
+type peerObs struct {
+	// handle is the full handler latency per request kind, measured from
+	// decode to response — forwarded work included.
+	handle [msg.KindCount]metrics.Histogram
+	// serve is the latency of gets answered from the local store; forward
+	// is the latency of gets that had to leave the node (downstream time
+	// included). Their split is the live form of the paper's local-hit
+	// versus tree-walk distinction.
+	serve   metrics.Histogram
+	forward metrics.Histogram
+	// fanout records the number of delivery legs each update/delete
+	// broadcast initiated at this peer.
+	fanout metrics.Histogram
+}
+
+// handleHist returns the handler histogram for kind k.
+func (o *peerObs) handleHist(k msg.Kind) *metrics.Histogram {
+	if int(k) >= 1 && int(k) < msg.KindCount {
+		return &o.handle[k]
+	}
+	return &o.handle[0]
+}
+
+// DistStat summarizes one distribution for the JSON stats snapshot.
+// Latency distributions report milliseconds; the fan-out distribution
+// reports legs.
+type DistStat struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// distStat converts a snapshot, scaling samples by scale (1e-6 turns
+// nanoseconds into milliseconds; 1 leaves counts alone).
+func distStat(s metrics.HistogramSnapshot, scale float64) DistStat {
+	return DistStat{
+		Count: s.Count,
+		Mean:  s.Mean() * scale,
+		P50:   s.Quantile(0.5) * scale,
+		P95:   s.Quantile(0.95) * scale,
+		P99:   s.Quantile(0.99) * scale,
+		Max:   float64(s.Max) * scale,
+	}
+}
+
+const nsToMS = 1e-6
+
+// StatSnapshot is the structured form of the stat line: everything the
+// one-line summary says, plus the latency distributions, as one
+// JSON-serializable value. Clients fetch it with KindStat + FlagJSON
+// (Client.StatSnapshot, `lesslogd -op stat -json`).
+type StatSnapshot struct {
+	PID          uint32   `json:"pid"`
+	Addr         string   `json:"addr"`
+	M            int      `json:"m"`
+	B            int      `json:"b"`
+	Inserted     int      `json:"inserted"`
+	Replicas     int      `json:"replicas"`
+	LivePeers    int      `json:"live_peers"`
+	KnownPeers   int      `json:"known_peers"`
+	DetectorDown []uint32 `json:"detector_down"`
+
+	Requests  uint64 `json:"requests"`
+	Forwards  uint64 `json:"forwards"`
+	Served    uint64 `json:"served"`
+	Faults    uint64 `json:"faults"`
+	Stored    uint64 `json:"stored"`
+	Updated   uint64 `json:"updated"`
+	Broadcast uint64 `json:"broadcast"`
+	PeersDown uint64 `json:"peers_down"`
+	PeersUp   uint64 `json:"peers_up"`
+
+	Transport transport.CountersSnapshot `json:"transport"`
+
+	// RPCLatencyMS is the outbound per-kind RPC latency seen by this
+	// peer's transport; HandlerLatencyMS is the inbound per-kind handler
+	// latency. ServeLatencyMS/ForwardLatencyMS split the get path;
+	// BroadcastFanout counts legs, not milliseconds.
+	RPCLatencyMS     map[string]DistStat `json:"rpc_latency_ms"`
+	HandlerLatencyMS map[string]DistStat `json:"handler_latency_ms"`
+	ServeLatencyMS   DistStat            `json:"serve_latency_ms"`
+	ForwardLatencyMS DistStat            `json:"forward_latency_ms"`
+	BroadcastFanout  DistStat            `json:"broadcast_fanout"`
+}
+
+// StatSnapshot captures the peer's current observable state.
+func (p *Peer) StatSnapshot() StatSnapshot {
+	p.mu.Lock()
+	inserted := len(p.store.Names(store.Inserted))
+	total := p.store.Len()
+	live := p.live.LiveCount()
+	known := len(p.addrs)
+	p.mu.Unlock()
+
+	s := StatSnapshot{
+		PID:          uint32(p.cfg.PID),
+		Addr:         p.Addr(),
+		M:            p.cfg.M,
+		B:            p.cfg.B,
+		Inserted:     inserted,
+		Replicas:     total - inserted,
+		LivePeers:    live,
+		KnownPeers:   known,
+		DetectorDown: p.det.DownIDs(),
+		Requests:     p.stats.Requests.Load(),
+		Forwards:     p.stats.Forwards.Load(),
+		Served:       p.stats.Served.Load(),
+		Faults:       p.stats.Faults.Load(),
+		Stored:       p.stats.Stored.Load(),
+		Updated:      p.stats.Updated.Load(),
+		Broadcast:    p.stats.Broadcast.Load(),
+		PeersDown:    p.stats.PeersDown.Load(),
+		PeersUp:      p.stats.PeersUp.Load(),
+		Transport:    p.tr.Counters().Snapshot(),
+
+		RPCLatencyMS:     map[string]DistStat{},
+		HandlerLatencyMS: map[string]DistStat{},
+		ServeLatencyMS:   distStat(p.obs.serve.Snapshot(), nsToMS),
+		ForwardLatencyMS: distStat(p.obs.forward.Snapshot(), nsToMS),
+		BroadcastFanout:  distStat(p.obs.fanout.Snapshot(), 1),
+	}
+	for kind, snap := range p.tr.LatencySnapshots() {
+		s.RPCLatencyMS[kind] = distStat(snap, nsToMS)
+	}
+	for i := 1; i < msg.KindCount; i++ {
+		if p.obs.handle[i].Count() == 0 {
+			continue
+		}
+		s.HandlerLatencyMS[msg.Kind(i).String()] = distStat(p.obs.handle[i].Snapshot(), nsToMS)
+	}
+	return s
+}
+
+// WritePrometheus writes the peer's metrics in Prometheus text format —
+// the /metrics page of the admin endpoint. Metric names and labels are
+// documented in docs/OBSERVABILITY.md.
+func (p *Peer) WritePrometheus(w io.Writer) {
+	s := p.StatSnapshot()
+	self := fmt.Sprintf(`pid="%d"`, s.PID)
+
+	metrics.PrometheusFamily(w, "lesslog_requests_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.Requests)})
+	metrics.PrometheusFamily(w, "lesslog_forwards_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.Forwards)})
+	metrics.PrometheusFamily(w, "lesslog_served_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.Served)})
+	metrics.PrometheusFamily(w, "lesslog_faults_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.Faults)})
+	metrics.PrometheusFamily(w, "lesslog_stored_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.Stored)})
+	metrics.PrometheusFamily(w, "lesslog_updated_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.Updated)})
+	metrics.PrometheusFamily(w, "lesslog_broadcast_legs_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.Broadcast)})
+	metrics.PrometheusFamily(w, "lesslog_detector_flips_total", "counter",
+		metrics.LabeledValue{Labels: mergePromLabels(self, `direction="down"`), Value: float64(s.PeersDown)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `direction="up"`), Value: float64(s.PeersUp)})
+
+	tc := s.Transport
+	metrics.PrometheusFamily(w, "lesslog_transport_events_total", "counter",
+		metrics.LabeledValue{Labels: mergePromLabels(self, `event="dial"`), Value: float64(tc.Dials)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `event="pool_hit"`), Value: float64(tc.Reuses)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `event="retry"`), Value: float64(tc.Retries)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `event="timeout"`), Value: float64(tc.Timeouts)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `event="reconnect"`), Value: float64(tc.Reconnects)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `event="failure"`), Value: float64(tc.Failures)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `event="fault_injected"`), Value: float64(tc.Faults)})
+
+	metrics.PrometheusFamily(w, "lesslog_live_peers", "gauge",
+		metrics.LabeledValue{Labels: self, Value: float64(s.LivePeers)})
+	metrics.PrometheusFamily(w, "lesslog_detector_down_peers", "gauge",
+		metrics.LabeledValue{Labels: self, Value: float64(len(s.DetectorDown))})
+	metrics.PrometheusFamily(w, "lesslog_store_files", "gauge",
+		metrics.LabeledValue{Labels: mergePromLabels(self, `kind="inserted"`), Value: float64(s.Inserted)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `kind="replica"`), Value: float64(s.Replicas)})
+
+	var rpc []metrics.LabeledHistogram
+	for kind, snap := range p.tr.LatencySnapshots() {
+		rpc = append(rpc, metrics.LabeledHistogram{
+			Labels: mergePromLabels(self, fmt.Sprintf(`kind="%s"`, kind)), Snap: snap,
+		})
+	}
+	metrics.PrometheusHistogram(w, "lesslog_rpc_latency_seconds", 1e-9, rpc...)
+
+	var handlers []metrics.LabeledHistogram
+	for i := 1; i < msg.KindCount; i++ {
+		if p.obs.handle[i].Count() == 0 {
+			continue
+		}
+		handlers = append(handlers, metrics.LabeledHistogram{
+			Labels: mergePromLabels(self, fmt.Sprintf(`kind="%s"`, msg.Kind(i))),
+			Snap:   p.obs.handle[i].Snapshot(),
+		})
+	}
+	metrics.PrometheusHistogram(w, "lesslog_handler_latency_seconds", 1e-9, handlers...)
+
+	metrics.PrometheusHistogram(w, "lesslog_get_serve_latency_seconds", 1e-9,
+		metrics.LabeledHistogram{Labels: self, Snap: p.obs.serve.Snapshot()})
+	metrics.PrometheusHistogram(w, "lesslog_get_forward_latency_seconds", 1e-9,
+		metrics.LabeledHistogram{Labels: self, Snap: p.obs.forward.Snapshot()})
+	metrics.PrometheusHistogram(w, "lesslog_broadcast_fanout_legs", 1,
+		metrics.LabeledHistogram{Labels: self, Snap: p.obs.fanout.Snapshot()})
+}
+
+// mergePromLabels joins two non-empty label bodies.
+func mergePromLabels(a, b string) string { return a + "," + b }
+
+// appendHop extends a traced route with this stop's record, copying so
+// retries and downstream appends never alias the caller's slice. A path
+// already at the frame limit is passed through unchanged — the route stays
+// truncated rather than failing the request.
+func appendHop(path []msg.Hop, pid uint32, action msg.HopAction, d time.Duration) []msg.Hop {
+	if len(path) >= msg.MaxHops {
+		return path
+	}
+	out := make([]msg.Hop, len(path), len(path)+1)
+	copy(out, path)
+	return append(out, msg.Hop{PID: pid, Action: action, Dur: d})
+}

@@ -6,9 +6,11 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"lesslog/internal/bitops"
 	"lesslog/internal/liveness"
+	"lesslog/internal/msg"
 	"lesslog/internal/ptree"
 	"lesslog/internal/vtree"
 )
@@ -51,6 +53,40 @@ func Route(origin, target bitops.PID, live *liveness.Set, b int) string {
 		}
 	}
 	return route
+}
+
+// HopRoute formats the observed hop records of a traced wire-level get in
+// the same arrow style as Route — "P(8) → P(0) → P(4)" — so the live route
+// a request actually took reads exactly like the predicted one. The §3
+// FINDLIVENODE step is drawn with "⇒", the §4 subtree migration with "↷".
+func HopRoute(hops []msg.Hop) string {
+	var b strings.Builder
+	for i, h := range hops {
+		if i > 0 {
+			switch hops[i-1].Action {
+			case msg.HopFallback:
+				b.WriteString(" ⇒ ")
+			case msg.HopMigrate:
+				b.WriteString(" ↷ ")
+			default:
+				b.WriteString(" → ")
+			}
+		}
+		fmt.Fprintf(&b, "P(%d)", h.PID)
+	}
+	return b.String()
+}
+
+// HopTable formats the hop records one per line with action and per-stop
+// latency — the detail view `lesslogd -op get -trace` prints under the
+// route.
+func HopTable(hops []msg.Hop) string {
+	var b strings.Builder
+	for i, h := range hops {
+		fmt.Fprintf(&b, "%2d  P(%-3d) %-8s %s\n",
+			i, h.PID, h.Action, h.Dur.Round(time.Microsecond))
+	}
+	return b.String()
 }
 
 // liveIs reports whether last is the target's subtree root position —

@@ -9,7 +9,10 @@ package transport
 // heals when the peer answers again (typically after it rejoins and
 // re-registers).
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Detector tracks consecutive RPC failures per peer ID. Safe for
 // concurrent use; callbacks run without the detector lock held, so they
@@ -79,6 +82,19 @@ func (d *Detector) DownCount() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.down)
+}
+
+// DownIDs returns the peers currently declared down, ascending — the
+// detector view the stats snapshot and /healthz expose.
+func (d *Detector) DownIDs() []uint32 {
+	d.mu.Lock()
+	out := make([]uint32, 0, len(d.down))
+	for id := range d.down {
+		out = append(out, id)
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Reset forgets all state for id without firing callbacks — used when a

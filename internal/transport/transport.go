@@ -98,6 +98,32 @@ type Counters struct {
 	Timeouts   metrics.AtomicCounter // exchanges that hit a deadline
 	Reconnects metrics.AtomicCounter // stale pooled connections replaced mid-call
 	Failures   metrics.AtomicCounter // exchanges that exhausted every attempt
+	Faults     metrics.AtomicCounter // injected faults that aborted an attempt
+}
+
+// CountersSnapshot is a plain-value copy of Counters, JSON-ready for the
+// structured stat snapshot.
+type CountersSnapshot struct {
+	Dials      uint64 `json:"dials"`
+	Reuses     uint64 `json:"reuses"`
+	Retries    uint64 `json:"retries"`
+	Timeouts   uint64 `json:"timeouts"`
+	Reconnects uint64 `json:"reconnects"`
+	Failures   uint64 `json:"failures"`
+	Faults     uint64 `json:"faults"`
+}
+
+// Snapshot copies the counters' current values.
+func (c *Counters) Snapshot() CountersSnapshot {
+	return CountersSnapshot{
+		Dials:      c.Dials.Value(),
+		Reuses:     c.Reuses.Value(),
+		Retries:    c.Retries.Value(),
+		Timeouts:   c.Timeouts.Value(),
+		Reconnects: c.Reconnects.Value(),
+		Failures:   c.Failures.Value(),
+		Faults:     c.Faults.Value(),
+	}
 }
 
 // String summarizes the counters in the "k=v" style of the stat line.
@@ -105,6 +131,15 @@ func (c *Counters) String() string {
 	return fmt.Sprintf("dials=%d reuses=%d retries=%d timeouts=%d reconnects=%d failures=%d",
 		c.Dials.Value(), c.Reuses.Value(), c.Retries.Value(),
 		c.Timeouts.Value(), c.Reconnects.Value(), c.Failures.Value())
+}
+
+// kindIndex maps a request kind into the per-kind histogram array; unknown
+// kinds share slot 0.
+func kindIndex(k msg.Kind) int {
+	if int(k) >= 1 && int(k) < msg.KindCount {
+		return int(k)
+	}
+	return 0
 }
 
 // Transport performs request/response exchanges with deadlines, retries and
@@ -119,6 +154,10 @@ type Transport struct {
 	closed bool
 
 	counters Counters
+	// latency records the full Do duration — retries and backoff included,
+	// because that is the latency the routing layer actually experiences —
+	// per request kind.
+	latency [msg.KindCount]metrics.Histogram
 }
 
 // New returns a Transport with cfg's knobs (zero fields defaulted) and an
@@ -138,6 +177,25 @@ func (t *Transport) Config() Config { return t.cfg }
 
 // Counters returns the transport's counters for inspection.
 func (t *Transport) Counters() *Counters { return &t.counters }
+
+// Latency returns the RPC latency histogram for kind k (whole-Do duration,
+// retries included). Unknown kinds share one bucket histogram.
+func (t *Transport) Latency(k msg.Kind) *metrics.Histogram {
+	return &t.latency[kindIndex(k)]
+}
+
+// LatencySnapshots returns a snapshot per request kind that has recorded
+// at least one exchange, keyed by the kind's wire name.
+func (t *Transport) LatencySnapshots() map[string]metrics.HistogramSnapshot {
+	out := map[string]metrics.HistogramSnapshot{}
+	for i := 1; i < msg.KindCount; i++ {
+		if t.latency[i].Count() == 0 {
+			continue
+		}
+		out[msg.Kind(i).String()] = t.latency[i].Snapshot()
+	}
+	return out
+}
 
 // Close shuts every idle pooled connection and stops further pooling.
 // In-flight exchanges finish on their own deadlines.
@@ -173,6 +231,8 @@ func Idempotent(k msg.Kind) bool {
 // cfg.Retries times with capped exponential backoff and jitter. Injected
 // faults for (addr, kind) apply to every attempt.
 func (t *Transport) Do(addr string, req *msg.Request) (*msg.Response, error) {
+	start := time.Now()
+	defer func() { t.latency[kindIndex(req.Kind)].ObserveDuration(time.Since(start)) }()
 	attempts := 1
 	if Idempotent(req.Kind) {
 		attempts += t.cfg.Retries
@@ -202,6 +262,7 @@ func (t *Transport) Do(addr string, req *msg.Request) (*msg.Response, error) {
 // by the peer between exchanges, which is not the peer's failure.
 func (t *Transport) exchange(addr string, req *msg.Request) (*msg.Response, error) {
 	if err := t.faults.apply(addr, req.Kind, t.cfg.RPCTimeout); err != nil {
+		t.counters.Faults.Inc()
 		return nil, err
 	}
 	conn, reused, err := t.acquire(addr)
