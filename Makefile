@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench transport-bench obs-bench figures examples cover clean
+.PHONY: all build vet test race bench transport-bench obs-bench gw-bench figures examples cover clean
 
 all: build vet test
 
@@ -31,6 +31,11 @@ transport-bench:
 obs-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGet(Traced)?OverTCP' -benchtime 2s -count 3 ./internal/netnode/
 	$(GO) test -run '^$$' -bench 'BenchmarkHistogramObserve' -benchmem ./internal/metrics/
+
+# Gateway vs direct per-op clients on the §6 80/20 hot-key read workload;
+# the recorded run lives in results/gateway_bench.txt.
+gw-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotKey' -benchtime 2s -count 3 ./internal/gateway/ | tee results/gateway_bench.txt
 
 # Regenerate every reproduced figure and extension table into results/.
 figures: build

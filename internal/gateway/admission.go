@@ -1,0 +1,75 @@
+package gateway
+
+// Admission control: a gateway fronting millions of clients must fail
+// fast when the fabric cannot keep up, not queue unboundedly until every
+// caller times out. Concurrency is capped by a slot semaphore; a request
+// that cannot get a slot waits at most QueueTimeout and is then shed with
+// ErrOverloaded — a cheap, explicit signal the caller can back off on,
+// instead of a deadline blown deep inside the overlay.
+
+import (
+	"errors"
+	"time"
+
+	"lesslog/internal/metrics"
+)
+
+// ErrOverloaded is returned when the gateway sheds a request: every
+// in-flight slot stayed occupied for the full queue timeout.
+var ErrOverloaded = errors.New("gateway: overloaded, request shed")
+
+// admission is the slot semaphore with deadline-aware queueing. A nil
+// *admission admits everything (unlimited).
+type admission struct {
+	slots   chan struct{}
+	timeout time.Duration
+	// queueWait observes how long admitted requests waited for a slot
+	// beyond the fast path — the congestion signal operators watch.
+	queueWait metrics.Histogram
+}
+
+// newAdmission builds a gate admitting at most maxInFlight concurrent
+// requests, each waiting at most timeout for a slot. maxInFlight <= 0
+// returns nil: unlimited.
+func newAdmission(maxInFlight int, timeout time.Duration) *admission {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	return &admission{
+		slots:   make(chan struct{}, maxInFlight),
+		timeout: timeout,
+	}
+}
+
+// acquire takes a slot, waiting up to the queue timeout. It returns the
+// release func, or ErrOverloaded when the request should be shed.
+func (a *admission) acquire() (func(), error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	start := time.Now()
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.queueWait.ObserveDuration(time.Since(start))
+		return a.release, nil
+	case <-timer.C:
+		return nil, ErrOverloaded
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight returns the currently admitted request count.
+func (a *admission) inFlight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.slots)
+}

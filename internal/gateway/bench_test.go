@@ -1,0 +1,89 @@
+package gateway
+
+// The hot-key benchmark behind `make gw-bench`: an 80/20 read workload
+// (80% of gets land on the hottest 20% of names, §6's skew) served two
+// ways against the same live fabric — direct per-operation netnode.Client
+// calls versus one shared gateway. The gateway's cache and coalescer
+// absorb the hot set, so its ops/sec must be a multiple of direct's;
+// results/gateway_bench.txt records a run.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"lesslog/internal/netnode"
+)
+
+const (
+	benchFiles  = 50
+	benchHot    = benchFiles / 5 // the hot 20%
+	benchHotPct = 80             // share of gets landing on the hot set
+)
+
+func benchName(i int) string { return fmt.Sprintf("bench/%03d", i) }
+
+// pickBenchName maps one draw of an rng to a name under the 80/20 skew.
+func pickBenchName(rng *rand.Rand) string {
+	if rng.Intn(100) < benchHotPct {
+		return benchName(rng.Intn(benchHot))
+	}
+	return benchName(benchHot + rng.Intn(benchFiles-benchHot))
+}
+
+func benchFabric(b *testing.B) []string {
+	b.Helper()
+	addrs := startFabric(b, 6, 32)
+	cl := netnode.NewClient(addrs[0])
+	for i := 0; i < benchFiles; i++ {
+		if err := cl.Insert(benchName(i), []byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return addrs
+}
+
+// BenchmarkHotKeyDirect is the baseline: every get constructs a client
+// and performs one full fabric round-trip, the way a fleet of independent
+// short-lived callers hits the overlay.
+func BenchmarkHotKeyDirect(b *testing.B) {
+	addrs := benchFabric(b)
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(int64(seq.Add(1))))
+		for pb.Next() {
+			addr := addrs[rng.Intn(len(addrs))]
+			if _, err := netnode.NewClient(addr).Get(pickBenchName(rng)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkHotKeyGateway serves the same workload through one gateway:
+// the hot set collapses into cache hits and coalesced flights.
+func BenchmarkHotKeyGateway(b *testing.B) {
+	addrs := benchFabric(b)
+	g, err := New(Config{Peers: addrs[:4]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(int64(seq.Add(1))))
+		for pb.Next() {
+			if _, err := g.Get(pickBenchName(rng)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	c := g.Counters()
+	b.ReportMetric(float64(c.Hits.Value())/float64(b.N), "hits/op")
+}

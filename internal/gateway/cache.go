@@ -1,0 +1,199 @@
+package gateway
+
+// The versioned read-through cache. Entries are bounded two ways — a TTL
+// for freshness and an LRU capacity for memory — and guarded one more:
+// per-name version floors. A floor records the newest write this gateway
+// has seen acknowledged for a name (the Version field update and insert
+// responses already carry); a fill older than the floor is refused, so a
+// read that raced an update can never park pre-update data in the cache,
+// and a hit is never older than an acknowledged write through the same
+// gateway. Expired entries are kept until capacity evicts them: an entry
+// that still satisfies the floor is the fallback when the fabric briefly
+// answers with an older version than a write this gateway acknowledged.
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"lesslog/internal/metrics"
+)
+
+// entry is one cached file version.
+type entry struct {
+	name     string
+	data     []byte
+	version  uint64
+	servedBy uint32
+	hops     uint32
+	expires  time.Time
+}
+
+// cacheCounters observes the cache's behavior; wired to the gateway's
+// counter set.
+type cacheCounters struct {
+	evictions     metrics.AtomicCounter // capacity evictions
+	invalidations metrics.AtomicCounter // entries dropped by a newer write or delete
+	staleRejected metrics.AtomicCounter // fills refused for running behind a floor
+}
+
+// versionCache is the bounded, versioned store behind Gateway.Get. All
+// methods are safe for concurrent use.
+type versionCache struct {
+	mu      sync.Mutex
+	cap     int
+	ttl     time.Duration
+	entries map[string]*list.Element // of *entry
+	lru     *list.List               // front = most recently used
+	floors  map[string]uint64        // min acceptable version per name
+	c       cacheCounters
+}
+
+// newVersionCache builds a cache holding at most capacity entries, each
+// fresh for ttl after its fill. capacity <= 0 disables caching (floors are
+// still tracked, so write-ordering holds even cacheless).
+func newVersionCache(capacity int, ttl time.Duration) *versionCache {
+	return &versionCache{
+		cap:     capacity,
+		ttl:     ttl,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+		floors:  map[string]uint64{},
+	}
+}
+
+// get returns the cached entry for name if it satisfies the name's floor.
+// fresh reports whether it is also within its TTL; a stale-but-ok entry is
+// the floor fallback, not a servable hit.
+func (vc *versionCache) get(name string) (e entry, fresh, ok bool) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	el, present := vc.entries[name]
+	if !present {
+		return entry{}, false, false
+	}
+	ent := el.Value.(*entry)
+	if ent.version < vc.floors[name] {
+		// A floor raised after the fill; the entry is dead weight.
+		vc.removeLocked(el)
+		vc.c.invalidations.Inc()
+		return entry{}, false, false
+	}
+	vc.lru.MoveToFront(el)
+	return *ent, time.Now().Before(ent.expires), true
+}
+
+// put fills name from a fabric read. The fill is refused (returning false)
+// when it runs behind the name's floor — the caller raced a write this
+// gateway already acknowledged — or when caching is disabled.
+func (vc *versionCache) put(name string, data []byte, version uint64, servedBy, hops uint32) bool {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if version < vc.floors[name] {
+		vc.c.staleRejected.Inc()
+		return false
+	}
+	if vc.cap <= 0 {
+		return true // fill accepted for the caller's purposes, nothing retained
+	}
+	vc.insertLocked(name, data, version, servedBy, hops)
+	return true
+}
+
+// ackUpdate records an acknowledged update: the floor rises to version
+// (monotonically — racing acks settle on the newest) and the written data
+// is cached write-through, so readers see the new version immediately
+// instead of waiting out a round-trip.
+func (vc *versionCache) ackUpdate(name string, data []byte, version uint64) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if version > vc.floors[name] {
+		vc.floors[name] = version
+	}
+	if vc.cap <= 0 {
+		return
+	}
+	if el, present := vc.entries[name]; present && el.Value.(*entry).version >= version {
+		return // already newer
+	}
+	vc.insertLocked(name, data, version, 0, 0)
+}
+
+// ackInsert records an acknowledged insert. An insert starts a new
+// generation of the name — after a delete the fabric's version clock may
+// restart lower — so the floor resets to the new version instead of
+// ratcheting.
+func (vc *versionCache) ackInsert(name string, data []byte, version uint64) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	vc.floors[name] = version
+	if vc.cap <= 0 {
+		return
+	}
+	if el, present := vc.entries[name]; present {
+		vc.removeLocked(el)
+		vc.c.invalidations.Inc()
+	}
+	vc.insertLocked(name, data, version, 0, 0)
+}
+
+// ackDelete records an acknowledged delete: the entry is dropped and the
+// floor rises past the deleted version, so an in-flight read of the dead
+// data cannot re-fill the cache behind the delete.
+func (vc *versionCache) ackDelete(name string) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	floor := vc.floors[name]
+	if el, present := vc.entries[name]; present {
+		if v := el.Value.(*entry).version; v >= floor {
+			floor = v + 1
+		}
+		vc.removeLocked(el)
+		vc.c.invalidations.Inc()
+	} else if floor > 0 {
+		floor++
+	}
+	vc.floors[name] = floor
+}
+
+// floor returns the current version floor for name.
+func (vc *versionCache) floor(name string) uint64 {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.floors[name]
+}
+
+// len returns the number of cached entries.
+func (vc *versionCache) len() int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return len(vc.entries)
+}
+
+// insertLocked installs or refreshes an entry and evicts past capacity.
+// Floors outlive their entries deliberately: eviction forgets data, never
+// write ordering.
+func (vc *versionCache) insertLocked(name string, data []byte, version uint64, servedBy, hops uint32) {
+	if el, present := vc.entries[name]; present {
+		ent := el.Value.(*entry)
+		ent.data, ent.version, ent.servedBy, ent.hops = data, version, servedBy, hops
+		ent.expires = time.Now().Add(vc.ttl)
+		vc.lru.MoveToFront(el)
+		return
+	}
+	el := vc.lru.PushFront(&entry{
+		name: name, data: data, version: version,
+		servedBy: servedBy, hops: hops, expires: time.Now().Add(vc.ttl),
+	})
+	vc.entries[name] = el
+	for vc.lru.Len() > vc.cap {
+		vc.removeLocked(vc.lru.Back())
+		vc.c.evictions.Inc()
+	}
+}
+
+// removeLocked unlinks one element from both indexes.
+func (vc *versionCache) removeLocked(el *list.Element) {
+	vc.lru.Remove(el)
+	delete(vc.entries, el.Value.(*entry).name)
+}

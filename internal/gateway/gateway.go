@@ -1,0 +1,546 @@
+// Package gateway is the client edge of a networked LessLog deployment:
+// a production-shaped aggregation tier that sits between callers and the
+// peer fabric, the architectural complement of the paper's in-overlay
+// replication. REPLICATEFILE absorbs sustained skew by spreading copies;
+// the gateway absorbs the *instantaneous* duplicate load a hot file
+// generates before replication can react (§6's 80/20 workload), and
+// shields the overlay from client bursts. It owns four mechanisms:
+//
+//   - entry-peer selection: requests round-robin over a set of entry
+//     peers through one pooled internal/transport (deadlines, retries,
+//     idle-connection reuse), with a failure detector steering traffic
+//     away from peers that stop answering and probing them back in;
+//   - coalescing: concurrent gets of one name cost one overlay lookup
+//     (singleflight), so a flash crowd of identical reads arrives at the
+//     fabric as a single request;
+//   - a versioned read-through cache: bounded by TTL and LRU capacity,
+//     with per-name version floors raised by the acknowledged writes that
+//     pass through the gateway — a get through the gateway never returns
+//     data older than an update the same gateway has acknowledged (see
+//     docs/GATEWAY.md for the exact guarantee);
+//   - admission control: a max-in-flight cap with deadline-aware
+//     queueing; requests that cannot be admitted in time are shed with
+//     ErrOverloaded instead of queueing without bound.
+//
+// Batched reads (GetMany) pipeline cache misses to a peer in one
+// msg.KindBatch frame, decoded and served sub-request by sub-request on
+// the peer side. Everything is instrumented: hit/miss/coalesced/shed
+// counters, latency histograms, and a Prometheus admin endpoint.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"lesslog/internal/metrics"
+	"lesslog/internal/msg"
+	"lesslog/internal/transport"
+)
+
+// Defaults for Config's zero fields.
+const (
+	DefaultCacheSize    = 4096
+	DefaultCacheTTL     = 2 * time.Second
+	DefaultMaxInFlight  = 1024
+	DefaultQueueTimeout = 100 * time.Millisecond
+)
+
+// maxFetchAttempts bounds how many distinct entry peers one read tries
+// before giving up.
+const maxFetchAttempts = 4
+
+// Errors surfaced by gateway operations (ErrOverloaded lives in
+// admission.go beside the gate that produces it).
+var (
+	// ErrFault mirrors the fabric's "file not found" outcome.
+	ErrFault = errors.New("gateway: file not found (fault)")
+	// ErrStaleRead reports that every entry peer answered with data older
+	// than a write this gateway already acknowledged and no cached copy
+	// could bridge the gap.
+	ErrStaleRead = errors.New("gateway: fabric behind acknowledged writes")
+	// errNoPeers reports an empty or fully-failed entry-peer set.
+	errNoPeers = errors.New("gateway: no entry peer reachable")
+)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Peers are the fabric entry addresses requests are spread over. At
+	// least one is required.
+	Peers []string
+	// Transport carries the RPC robustness knobs shared with netnode
+	// (deadlines, retries, pooling, failure threshold); zero fields take
+	// transport defaults.
+	Transport transport.Config
+	// Faults, when set, injects deterministic faults into outbound RPCs —
+	// the same test hook netnode peers use.
+	Faults *transport.Faults
+	// CacheSize bounds the read cache in entries; 0 selects
+	// DefaultCacheSize, < 0 disables caching (floors are still enforced).
+	CacheSize int
+	// CacheTTL bounds how long a fill may be served without revisiting
+	// the fabric; 0 selects DefaultCacheTTL.
+	CacheTTL time.Duration
+	// MaxInFlight caps concurrently admitted requests; 0 selects
+	// DefaultMaxInFlight, < 0 disables admission control.
+	MaxInFlight int
+	// QueueTimeout bounds how long a request waits for an admission slot
+	// before being shed; 0 selects DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// Logger receives structured gateway events; nil discards them.
+	Logger *slog.Logger
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = DefaultCacheTTL
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = DefaultQueueTimeout
+	}
+	return c
+}
+
+// Source says where a Result came from.
+type Source uint8
+
+// Result sources.
+const (
+	// SourceFabric: fetched from a peer for this request.
+	SourceFabric Source = iota + 1
+	// SourceCache: served from the versioned read cache.
+	SourceCache
+	// SourceCoalesced: rode another request's in-flight fetch.
+	SourceCoalesced
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceFabric:
+		return "fabric"
+	case SourceCache:
+		return "cache"
+	case SourceCoalesced:
+		return "coalesced"
+	}
+	return fmt.Sprintf("source(%d)", uint8(s))
+}
+
+// Result is one answered read.
+type Result struct {
+	Data     []byte
+	Version  uint64
+	ServedBy uint32 // fabric peer that served the underlying fill
+	Hops     int    // overlay hops of the underlying fill
+	Source   Source
+}
+
+// WriteResult is one acknowledged write.
+type WriteResult struct {
+	Copies  int    // fabric copies touched
+	Version uint64 // version stamped on the write (0 for deletes)
+}
+
+// Lookup is one name's outcome in a batched read.
+type Lookup struct {
+	Name   string
+	Result Result
+	Err    error
+}
+
+// Gateway is the client edge. Safe for concurrent use.
+type Gateway struct {
+	cfg    Config
+	peers  []string
+	tr     *transport.Transport
+	det    *transport.Detector
+	cursor atomic.Uint64
+
+	cache   *versionCache
+	flights *flightGroup
+	adm     *admission
+
+	counters Counters
+	obs      gwObs
+	log      *slog.Logger
+}
+
+// New builds a gateway over cfg.Peers. The peer set is fixed for the
+// gateway's lifetime; run one gateway per entry-peer view.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("gateway: config needs at least one entry peer")
+	}
+	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		peers:   append([]string(nil), cfg.Peers...),
+		tr:      transport.New(cfg.Transport, cfg.Faults),
+		cache:   newVersionCache(cfg.CacheSize, cfg.CacheTTL),
+		flights: newFlightGroup(),
+		adm:     newAdmission(cfg.MaxInFlight, cfg.QueueTimeout),
+		log:     logger.With("component", "gateway"),
+	}
+	g.det = transport.NewDetector(g.tr.Config().FailThreshold, g.peerDown, g.peerUp)
+	return g, nil
+}
+
+// peerDown and peerUp are the failure-detector callbacks, keyed by entry
+// peer index.
+func (g *Gateway) peerDown(idx uint32) {
+	g.counters.PeersDown.Inc()
+	addr := ""
+	if int(idx) < len(g.peers) {
+		addr = g.peers[idx]
+		g.tr.DropIdle(addr)
+	}
+	g.log.Warn("entry peer declared down", "peer", addr)
+}
+
+func (g *Gateway) peerUp(idx uint32) {
+	g.counters.PeersUp.Inc()
+	if int(idx) < len(g.peers) {
+		g.log.Info("entry peer restored", "peer", g.peers[idx])
+	}
+}
+
+// Close shuts the gateway's transport. In-flight requests finish on their
+// own deadlines.
+func (g *Gateway) Close() error { return g.tr.Close() }
+
+// Transport exposes the underlying transport (its counters feed the
+// gateway snapshot).
+func (g *Gateway) Transport() *transport.Transport { return g.tr }
+
+// Detector exposes the entry-peer failure detector.
+func (g *Gateway) Detector() *transport.Detector { return g.det }
+
+// pickPeer selects the next entry peer round-robin, skipping peers the
+// detector currently marks down. With every peer down it fails open — the
+// attempt doubles as the recovery probe that lets the detector heal.
+func (g *Gateway) pickPeer() int {
+	n := len(g.peers)
+	start := int(g.cursor.Add(1) % uint64(n))
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		if !g.det.Down(uint32(idx)) {
+			return idx
+		}
+	}
+	return start
+}
+
+// admit takes an admission slot, counting a shed on timeout.
+func (g *Gateway) admit() (func(), error) {
+	release, err := g.adm.acquire()
+	if err != nil {
+		g.counters.Shed.Inc()
+		return nil, err
+	}
+	return release, nil
+}
+
+// Get serves one read: fresh cache hit, else one coalesced fabric fetch.
+func (g *Gateway) Get(name string) (Result, error) {
+	release, err := g.admit()
+	if err != nil {
+		return Result{}, err
+	}
+	defer release()
+	start := time.Now()
+	defer func() { g.obs.get.ObserveDuration(time.Since(start)) }()
+
+	if e, fresh, ok := g.cache.get(name); ok && fresh {
+		g.counters.Hits.Inc()
+		return resultOf(e, SourceCache), nil
+	}
+	res, shared, err := g.flights.do(name, func() (Result, error) { return g.fetch(name) })
+	if shared {
+		g.counters.Coalesced.Inc()
+		if err == nil {
+			if res.Version < g.cache.floor(name) {
+				// The flight this request rode took off before a write this
+				// gateway has since acknowledged; its result is older than
+				// the floor this Get must honor. One direct fetch resolves
+				// it — fetch itself enforces the floor on the way back in.
+				return g.fetch(name)
+			}
+			if res.Source == SourceFabric {
+				res.Source = SourceCoalesced
+			}
+		}
+	}
+	return res, err
+}
+
+// fetch performs the fabric read behind a cache miss, trying distinct
+// entry peers on transport failure and refusing to return data older than
+// an acknowledged write.
+func (g *Gateway) fetch(name string) (Result, error) {
+	g.counters.Misses.Inc()
+	attempts := len(g.peers)
+	if attempts > maxFetchAttempts {
+		attempts = maxFetchAttempts
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		idx := g.pickPeer()
+		resp, err := g.tr.Do(g.peers[idx], &msg.Request{Kind: msg.KindGet, Name: name})
+		if err != nil {
+			g.det.Fail(uint32(idx))
+			g.counters.FetchErrors.Inc()
+			lastErr = err
+			continue
+		}
+		g.det.Ok(uint32(idx))
+		res, err := g.admitFill(name, resp)
+		if err == nil || errors.Is(err, ErrFault) {
+			return res, err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errNoPeers
+	}
+	return Result{}, lastErr
+}
+
+// admitFill turns one fabric get response into a Result, enforcing the
+// version floor: a fill older than an acknowledged write is refused, and
+// a retained cache entry that still satisfies the floor is served in its
+// place (counted as StaleServed — the fabric, not the cache, was stale).
+func (g *Gateway) admitFill(name string, resp *msg.Response) (Result, error) {
+	if !resp.OK {
+		return Result{}, fmt.Errorf("%w: %s", ErrFault, name)
+	}
+	if g.cache.put(name, resp.Data, resp.Version, resp.ServedBy, resp.Hops) {
+		return Result{
+			Data: resp.Data, Version: resp.Version,
+			ServedBy: resp.ServedBy, Hops: int(resp.Hops), Source: SourceFabric,
+		}, nil
+	}
+	if e, _, ok := g.cache.get(name); ok {
+		g.counters.StaleServed.Inc()
+		return resultOf(e, SourceCache), nil
+	}
+	return Result{}, ErrStaleRead
+}
+
+// GetMany serves a batched read: fresh cache hits are answered locally
+// and the misses pipeline to one entry peer in a single msg.KindBatch
+// frame. Per-name outcomes land in the returned slice (order preserved);
+// the error is non-nil only when the batch as a whole could not run.
+// Batched misses bypass the coalescer — the batch frame itself is the
+// dedup unit.
+func (g *Gateway) GetMany(names []string) ([]Lookup, error) {
+	release, err := g.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	start := time.Now()
+	defer func() { g.obs.batch.ObserveDuration(time.Since(start)) }()
+
+	out := make([]Lookup, len(names))
+	var missIdx []int
+	for i, name := range names {
+		out[i].Name = name
+		if e, fresh, ok := g.cache.get(name); ok && fresh {
+			g.counters.Hits.Inc()
+			out[i].Result = resultOf(e, SourceCache)
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	if len(missIdx) > msg.MaxBatch {
+		return nil, fmt.Errorf("gateway: %d misses exceed the %d sub-request batch limit", len(missIdx), msg.MaxBatch)
+	}
+	subs := make([]*msg.Request, len(missIdx))
+	for j, i := range missIdx {
+		g.counters.Misses.Inc()
+		subs[j] = &msg.Request{Kind: msg.KindGet, Name: names[i]}
+	}
+	data, err := msg.AppendBatchRequests(nil, subs)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: batch encode: %w", err)
+	}
+	g.counters.Batches.Inc()
+	g.obs.batchSize.Observe(uint64(len(missIdx)))
+
+	resps, err := g.sendBatch(data, len(missIdx))
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		out[i].Result, out[i].Err = g.admitFill(names[i], resps[j])
+	}
+	return out, nil
+}
+
+// sendBatch performs one batch exchange, retrying across entry peers on
+// transport failure (batched gets are read-only, so the manual retry is
+// safe even though KindBatch itself is not transport-idempotent).
+func (g *Gateway) sendBatch(data []byte, want int) ([]*msg.Response, error) {
+	attempts := len(g.peers)
+	if attempts > maxFetchAttempts {
+		attempts = maxFetchAttempts
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		idx := g.pickPeer()
+		resp, err := g.tr.Do(g.peers[idx], &msg.Request{Kind: msg.KindBatch, Data: data})
+		if err != nil {
+			g.det.Fail(uint32(idx))
+			g.counters.FetchErrors.Inc()
+			lastErr = err
+			continue
+		}
+		g.det.Ok(uint32(idx))
+		if !resp.OK {
+			return nil, fmt.Errorf("gateway: batch rejected: %s", resp.Err)
+		}
+		resps, err := msg.DecodeBatchResponses(resp.Data)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: batch decode: %w", err)
+		}
+		if len(resps) != want {
+			return nil, fmt.Errorf("gateway: batch answered %d of %d sub-requests", len(resps), want)
+		}
+		return resps, nil
+	}
+	if lastErr == nil {
+		lastErr = errNoPeers
+	}
+	return nil, lastErr
+}
+
+// Insert stores a new file through the gateway. The acknowledged version
+// starts a fresh floor generation for the name and is cached
+// write-through.
+func (g *Gateway) Insert(name string, data []byte) (WriteResult, error) {
+	return g.write(msg.KindInsert, name, data)
+}
+
+// Update rewrites a file everywhere through the gateway. Once the fabric
+// acknowledges, the gateway's floor for the name rises to the stamped
+// version: no later Get through this gateway returns older data.
+func (g *Gateway) Update(name string, data []byte) (WriteResult, error) {
+	return g.write(msg.KindUpdate, name, data)
+}
+
+// Delete erases a file everywhere through the gateway and invalidates the
+// cached copy; the floor rises past the deleted version so a racing read
+// cannot re-fill the dead data.
+func (g *Gateway) Delete(name string) (WriteResult, error) {
+	return g.write(msg.KindDelete, name, nil)
+}
+
+// write performs one mutation. Mutations get exactly one attempt — the
+// transport will not blindly retry a write that may have applied — so a
+// transport error means "outcome unknown", which the caller must resolve
+// (typically by reading back).
+func (g *Gateway) write(kind msg.Kind, name string, data []byte) (WriteResult, error) {
+	release, err := g.admit()
+	if err != nil {
+		return WriteResult{}, err
+	}
+	defer release()
+	start := time.Now()
+	defer func() { g.obs.write.ObserveDuration(time.Since(start)) }()
+
+	idx := g.pickPeer()
+	resp, err := g.tr.Do(g.peers[idx], &msg.Request{Kind: kind, Name: name, Data: data})
+	if err != nil {
+		g.det.Fail(uint32(idx))
+		return WriteResult{}, fmt.Errorf("gateway: %v %q: %w", kind, name, err)
+	}
+	g.det.Ok(uint32(idx))
+	if !resp.OK {
+		return WriteResult{}, fmt.Errorf("gateway: %v %q: %s", kind, name, resp.Err)
+	}
+	switch kind {
+	case msg.KindInsert:
+		g.cache.ackInsert(name, data, resp.Version)
+		g.counters.Inserts.Inc()
+	case msg.KindUpdate:
+		g.cache.ackUpdate(name, data, resp.Version)
+		g.counters.Updates.Inc()
+	case msg.KindDelete:
+		g.cache.ackDelete(name)
+		g.counters.Deletes.Inc()
+	}
+	return WriteResult{Copies: int(resp.Hops), Version: resp.Version}, nil
+}
+
+// Forward passes an arbitrary request through to an entry peer, bypassing
+// the cache — the escape hatch for kinds the gateway does not interpose
+// (store, has, table, register, traced gets). Transport errors are
+// retried across peers only for idempotent kinds.
+func (g *Gateway) Forward(req *msg.Request) (*msg.Response, error) {
+	release, err := g.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	g.counters.Passthrough.Inc()
+	attempts := 1
+	if transport.Idempotent(req.Kind) && len(g.peers) > 1 {
+		attempts = len(g.peers)
+		if attempts > maxFetchAttempts {
+			attempts = maxFetchAttempts
+		}
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		idx := g.pickPeer()
+		resp, err := g.tr.Do(g.peers[idx], req)
+		if err != nil {
+			g.det.Fail(uint32(idx))
+			lastErr = err
+			continue
+		}
+		g.det.Ok(uint32(idx))
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// resultOf converts a cache entry.
+func resultOf(e entry, src Source) Result {
+	return Result{
+		Data: e.data, Version: e.version,
+		ServedBy: e.servedBy, Hops: int(e.hops), Source: src,
+	}
+}
+
+// CacheLen returns the number of currently cached entries.
+func (g *Gateway) CacheLen() int { return g.cache.len() }
+
+// Counters returns the gateway's counter set for inspection.
+func (g *Gateway) Counters() *Counters { return &g.counters }
+
+// gwObs bundles the gateway's latency distributions.
+type gwObs struct {
+	get       metrics.Histogram // Get latency, hits and misses alike
+	write     metrics.Histogram // insert/update/delete latency
+	batch     metrics.Histogram // GetMany latency
+	batchSize metrics.Histogram // sub-requests per batch frame sent
+}

@@ -1,0 +1,194 @@
+package gateway
+
+// The gateway's wire front end: it speaks the same internal/msg framing
+// the peers speak, so any existing client (netnode.Client, netnode.Conn,
+// `lesslogd -connect`) points at a gateway instead of a peer and gets the
+// edge behaviors transparently. Gets go through the cache and coalescer;
+// writes pass through with floor bookkeeping; KindBatch frames are
+// unpacked and each sub-request served through the same edge logic (so a
+// batch of hot gets is answered from cache without touching the fabric);
+// KindStat reports the gateway's own status; everything else forwards.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"lesslog/internal/msg"
+)
+
+// Server is a running gateway wire listener.
+type Server struct {
+	g  *Gateway
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen binds the gateway's client-facing socket ("127.0.0.1:0" picks a
+// free port) and starts serving msg frames.
+func (g *Gateway) Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen %s: %w", addr, err)
+	}
+	s := &Server{g: g, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	g.log.Info("gateway listening", "addr", ln.Addr().String(), "peers", len(g.peers))
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and every open client connection, then awaits
+// in-flight handlers. The gateway itself stays usable.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	open := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range open {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		req, err := msg.ReadRequest(conn)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		resp := s.handle(req)
+		if err := msg.WriteResponse(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one client frame through the gateway.
+func (s *Server) handle(req *msg.Request) *msg.Response {
+	switch req.Kind {
+	case msg.KindGet:
+		if req.Flags&msg.FlagTrace != 0 {
+			// A traced get wants the live overlay route; the cache would
+			// hide it. Pass through untouched.
+			return s.forward(req)
+		}
+		res, err := s.g.Get(req.Name)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &msg.Response{
+			OK: true, ServedBy: res.ServedBy, Hops: uint32(res.Hops),
+			Version: res.Version, Data: res.Data,
+		}
+	case msg.KindInsert, msg.KindUpdate, msg.KindDelete:
+		var wr WriteResult
+		var err error
+		switch req.Kind {
+		case msg.KindInsert:
+			wr, err = s.g.Insert(req.Name, req.Data)
+		case msg.KindUpdate:
+			wr, err = s.g.Update(req.Name, req.Data)
+		case msg.KindDelete:
+			wr, err = s.g.Delete(req.Name)
+		}
+		if err != nil {
+			return errResponse(err)
+		}
+		return &msg.Response{OK: true, Hops: uint32(wr.Copies), Version: wr.Version}
+	case msg.KindBatch:
+		return s.handleBatch(req)
+	case msg.KindStat:
+		if req.Flags&msg.FlagJSON != 0 {
+			return s.statJSON()
+		}
+		return &msg.Response{OK: true, Data: []byte(s.g.StatLine())}
+	}
+	return s.forward(req)
+}
+
+// handleBatch unpacks a client batch and serves every sub-request through
+// the gateway's own dispatch — a hot batched get is a cache hit here, not
+// a fabric round-trip. (Sub-gets currently resolve one coalesced fetch
+// each rather than re-packing the misses into one upstream frame; use
+// Gateway.GetMany for that.)
+func (s *Server) handleBatch(req *msg.Request) *msg.Response {
+	subs, err := msg.DecodeBatchRequests(req.Data)
+	if err != nil {
+		return &msg.Response{Err: fmt.Sprintf("gateway: batch decode: %v", err)}
+	}
+	resps := make([]*msg.Response, len(subs))
+	for i, sub := range subs {
+		resps[i] = s.handle(sub)
+	}
+	data, err := msg.AppendBatchResponses(nil, resps)
+	if err != nil {
+		return &msg.Response{Err: fmt.Sprintf("gateway: batch encode: %v", err)}
+	}
+	return &msg.Response{OK: true, Data: data}
+}
+
+func (s *Server) statJSON() *msg.Response {
+	data, err := json.Marshal(s.g.StatSnapshot())
+	if err != nil {
+		return &msg.Response{Err: fmt.Sprintf("gateway: stat snapshot: %v", err)}
+	}
+	return &msg.Response{OK: true, Data: data}
+}
+
+func (s *Server) forward(req *msg.Request) *msg.Response {
+	resp, err := s.g.Forward(req)
+	if err != nil {
+		return errResponse(err)
+	}
+	return resp
+}
+
+// errResponse maps a gateway error onto the wire. Faults keep the
+// fabric's phrasing so clients (netnode.Client.Get) classify them the
+// same way against a gateway as against a peer.
+func errResponse(err error) *msg.Response {
+	return &msg.Response{Err: err.Error()}
+}

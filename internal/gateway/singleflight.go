@@ -1,0 +1,48 @@
+package gateway
+
+// Request coalescing: under a hot-key workload (the 80/20 skew of the
+// paper's §6), N concurrent cache misses on one name would issue N
+// identical overlay lookups right when the fabric is busiest — exactly the
+// duplicate load REPLICATEFILE needs time to absorb. A flightGroup lets
+// the first miss fetch while every concurrent duplicate waits for that one
+// result: N requests, one lookup.
+
+import "sync"
+
+// flight is one in-progress fetch; followers block on done.
+type flight struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// flightGroup deduplicates concurrent fetches by name.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}}
+}
+
+// do runs fetch for name, coalescing concurrent callers onto one
+// execution. shared reports whether this caller rode an existing flight.
+func (g *flightGroup) do(name string, fetch func() (Result, error)) (res Result, shared bool, err error) {
+	g.mu.Lock()
+	if f, inFlight := g.flights[name]; inFlight {
+		g.mu.Unlock()
+		<-f.done
+		return f.res, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[name] = f
+	g.mu.Unlock()
+
+	f.res, f.err = fetch()
+	g.mu.Lock()
+	delete(g.flights, name)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}

@@ -1,0 +1,125 @@
+package msg
+
+// The KindBatch payload: a count-prefixed list of length-prefixed inner
+// encodings, riding in Request.Data (sub-requests) and Response.Data
+// (sub-responses, one per sub-request, in order). Every nested length is
+// bounds-checked against both MaxBatch and the bytes actually present, the
+// same discipline the trace tail follows — a lying inner prefix is
+// ErrCorrupt, never an allocation. Batches do not nest: a KindBatch
+// sub-request is rejected at decode time, so a malicious frame cannot
+// recurse the peer-side dispatcher.
+
+import "encoding/binary"
+
+// AppendBatchRequests encodes reqs as a KindBatch payload onto b. Each
+// sub-request obeys the ordinary request limits; KindBatch sub-requests
+// are rejected (no nesting), as is a batch whose encoding would not fit a
+// Data field.
+func AppendBatchRequests(b []byte, reqs []*Request) ([]byte, error) {
+	if len(reqs) > MaxBatch {
+		return nil, ErrFrameTooLarge
+	}
+	start := len(b)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(reqs)))
+	for _, r := range reqs {
+		if r.Kind == KindBatch {
+			return nil, ErrFrameTooLarge
+		}
+		inner, err := AppendRequest(nil, r)
+		if err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(len(inner)))
+		b = append(b, inner...)
+	}
+	if len(b)-start > MaxData {
+		return nil, ErrFrameTooLarge
+	}
+	return b, nil
+}
+
+// DecodeBatchRequests parses a KindBatch payload into its sub-requests.
+func DecodeBatchRequests(b []byte) ([]*Request, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatch {
+		return nil, ErrCorrupt
+	}
+	reqs := make([]*Request, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var ln uint32
+		if ln, b, err = takeUint32(b); err != nil {
+			return nil, err
+		}
+		if int(ln) > len(b) {
+			return nil, ErrCorrupt
+		}
+		r, err := DecodeRequest(b[:ln])
+		if err != nil {
+			return nil, err
+		}
+		if r.Kind == KindBatch {
+			return nil, ErrCorrupt
+		}
+		reqs = append(reqs, r)
+		b = b[ln:]
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return reqs, nil
+}
+
+// AppendBatchResponses encodes the sub-responses of a served batch onto b.
+func AppendBatchResponses(b []byte, resps []*Response) ([]byte, error) {
+	if len(resps) > MaxBatch {
+		return nil, ErrFrameTooLarge
+	}
+	start := len(b)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(resps)))
+	for _, r := range resps {
+		inner, err := AppendResponse(nil, r)
+		if err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(len(inner)))
+		b = append(b, inner...)
+	}
+	if len(b)-start > MaxData {
+		return nil, ErrFrameTooLarge
+	}
+	return b, nil
+}
+
+// DecodeBatchResponses parses a served batch's sub-responses.
+func DecodeBatchResponses(b []byte) ([]*Response, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatch {
+		return nil, ErrCorrupt
+	}
+	resps := make([]*Response, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var ln uint32
+		if ln, b, err = takeUint32(b); err != nil {
+			return nil, err
+		}
+		if int(ln) > len(b) {
+			return nil, ErrCorrupt
+		}
+		r, err := DecodeResponse(b[:ln])
+		if err != nil {
+			return nil, err
+		}
+		resps = append(resps, r)
+		b = b[ln:]
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return resps, nil
+}

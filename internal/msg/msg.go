@@ -53,11 +53,15 @@ const (
 	// children-list broadcast updates use (FlagPropagate marks the
 	// broadcast legs).
 	KindDelete
+	// KindBatch pipelines several sub-requests in one frame: Data carries
+	// a bounds-checked list of encoded Requests (AppendBatchRequests), the
+	// response's Data the matching Responses. Batches do not nest.
+	KindBatch
 )
 
 // KindCount sizes per-kind metric arrays: valid kinds index 1..KindCount-1,
 // slot 0 collects unknown kinds.
-const KindCount = int(KindDelete) + 1
+const KindCount = int(KindBatch) + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -80,6 +84,8 @@ func (k Kind) String() string {
 		return "has"
 	case KindDelete:
 		return "delete"
+	case KindBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -89,6 +95,7 @@ const (
 	MaxName  = 4 << 10  // 4 KiB file names
 	MaxData  = 16 << 20 // 16 MiB file payloads
 	MaxHops  = 512      // trace hop records per frame
+	MaxBatch = 256      // sub-requests per KindBatch frame
 	MaxFrame = MaxData + MaxName + 64 + MaxHops*hopWire
 )
 

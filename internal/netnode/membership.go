@@ -24,9 +24,12 @@ import (
 // Join bootstraps this peer into an existing system: it fetches the
 // address table from the peer at bootstrapAddr, installs it (plus
 // itself), and broadcasts a live registration through the bootstrap peer,
-// which triggers the §5.1 file handoff at every holder.
+// which triggers the §5.1 file handoff at every holder. Both exchanges go
+// through the peer's own transport — the table fetch gets the deadline,
+// retry and pooling treatment of any other idempotent RPC, instead of the
+// bare package-default path a joining node used to bootstrap over.
 func (p *Peer) Join(bootstrapAddr string) error {
-	resp, err := Call(bootstrapAddr, &msg.Request{Kind: msg.KindTable})
+	resp, err := p.tr.Do(bootstrapAddr, &msg.Request{Kind: msg.KindTable})
 	if err != nil {
 		return fmt.Errorf("netnode: join: fetch table: %w", err)
 	}
@@ -44,7 +47,7 @@ func (p *Peer) Join(bootstrapAddr string) error {
 		Origin: uint32(p.cfg.PID),
 		Data:   []byte(p.Addr()),
 	}
-	rresp, err := Call(bootstrapAddr, reg)
+	rresp, err := p.tr.Do(bootstrapAddr, reg)
 	if err != nil {
 		return fmt.Errorf("netnode: join: register: %w", err)
 	}

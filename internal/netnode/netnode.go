@@ -340,8 +340,30 @@ func (p *Peer) dispatch(req *msg.Request) *msg.Response {
 		return p.handleHas(req)
 	case msg.KindDelete:
 		return p.handleDelete(req)
+	case msg.KindBatch:
+		return p.handleBatch(req)
 	}
 	return &msg.Response{Err: fmt.Sprintf("netnode: unknown kind %v", req.Kind)}
+}
+
+// handleBatch serves a pipelined frame: every sub-request runs through the
+// ordinary handler (so forwarding, fan-out, stats and histograms all apply
+// per sub-request) and the sub-responses travel back in one frame. The
+// decoder rejects nested batches, so this cannot recurse.
+func (p *Peer) handleBatch(req *msg.Request) *msg.Response {
+	subs, err := msg.DecodeBatchRequests(req.Data)
+	if err != nil {
+		return &msg.Response{Err: fmt.Sprintf("netnode: batch decode: %v", err)}
+	}
+	resps := make([]*msg.Response, len(subs))
+	for i, sub := range subs {
+		resps[i] = p.handle(sub)
+	}
+	data, err := msg.AppendBatchResponses(nil, resps)
+	if err != nil {
+		return &msg.Response{Err: fmt.Sprintf("netnode: batch encode: %v", err)}
+	}
+	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: data}
 }
 
 func (p *Peer) handleStore(req *msg.Request) *msg.Response {
