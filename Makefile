@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench transport-bench obs-bench gw-bench figures examples cover clean
+.PHONY: all build vet test race bench transport-bench obs-bench gw-bench peer-bench figures examples cover clean
 
 all: build vet test
 
@@ -36,6 +36,12 @@ obs-bench:
 # the recorded run lives in results/gateway_bench.txt.
 gw-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHotKey' -benchtime 2s -count 3 ./internal/gateway/ | tee results/gateway_bench.txt
+
+# Pipelined peer hot path: concurrent 80/20 gets over one persistent
+# connection plus parallel broadcast fan-out; the before/after comparison
+# lives in results/pipeline_bench.txt.
+peer-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkConnConcurrent8020|BenchmarkBroadcast' -benchtime 2s -count 3 ./internal/netnode/ | tee -a results/pipeline_bench.txt
 
 # Regenerate every reproduced figure and extension table into results/.
 figures: build

@@ -50,6 +50,7 @@ func main() {
 		rpcTO    = flag.Duration("rpc-timeout", transport.DefaultRPCTimeout, "gateway: per-RPC write+read deadline")
 		retries  = flag.Int("retries", transport.DefaultRetries, "gateway: extra attempts for idempotent peer RPCs (-1 disables)")
 		pool     = flag.Int("pool", transport.DefaultPoolSize, "gateway: idle connections kept per peer (-1 dials per call)")
+		pipeWk   = flag.Int("pipeline-workers", transport.DefaultPipelineWorkers, "gateway: concurrent pipelined requests handled per client connection")
 		load     = flag.String("load", "", "load generator: target address (runs the 80/20 workload instead of serving)")
 		files    = flag.Int("files", 50, "load generator: working-set size (hot set is the first 20%)")
 		clients  = flag.Int("clients", 8, "load generator: concurrent client connections")
@@ -76,12 +77,13 @@ func main() {
 		}
 	}
 	g, err := gateway.New(gateway.Config{
-		Peers:        entry,
-		CacheSize:    *cacheSz,
-		CacheTTL:     *cacheTTL,
-		MaxInFlight:  *maxInFl,
-		QueueTimeout: *queueTO,
-		Logger:       logger,
+		Peers:           entry,
+		CacheSize:       *cacheSz,
+		CacheTTL:        *cacheTTL,
+		MaxInFlight:     *maxInFl,
+		QueueTimeout:    *queueTO,
+		PipelineWorkers: *pipeWk,
+		Logger:          logger,
 		Transport: transport.Config{
 			DialTimeout: *dialTO,
 			RPCTimeout:  *rpcTO,

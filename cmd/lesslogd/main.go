@@ -61,6 +61,8 @@ func main() {
 		rpcTO     = flag.Duration("rpc-timeout", transport.DefaultRPCTimeout, "server: per-RPC write+read deadline")
 		retries   = flag.Int("retries", transport.DefaultRetries, "server: extra attempts for idempotent peer RPCs (-1 disables)")
 		pool      = flag.Int("pool", transport.DefaultPoolSize, "server: idle connections kept per peer (-1 dials per call)")
+		pipeWk    = flag.Int("pipeline-workers", transport.DefaultPipelineWorkers, "server: concurrent pipelined requests handled per connection")
+		fanWk     = flag.Int("fanout-workers", netnode.DefaultFanoutWorkers, "server: concurrent broadcast RPC legs per update/delete")
 		admin     = flag.String("admin", "", "server: admin HTTP address for /metrics, /healthz, /trees, /debug/pprof ('' disables)")
 		logLevel  = flag.String("log-level", "info", "server: structured log threshold: debug, info, warn or error")
 		connect   = flag.String("connect", "", "client: peer address to contact")
@@ -84,6 +86,7 @@ func main() {
 
 	peer, err := netnode.Listen(netnode.Config{
 		PID: bitops.PID(*pid), M: *m, B: *b, Addr: *listen, DataDir: *dataDir,
+		PipelineWorkers: *pipeWk, FanoutWorkers: *fanWk,
 		Logger: logger,
 		Transport: transport.Config{
 			DialTimeout: *dialTO,

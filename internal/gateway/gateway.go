@@ -90,6 +90,9 @@ type Config struct {
 	// QueueTimeout bounds how long a request waits for an admission slot
 	// before being shed; 0 selects DefaultQueueTimeout.
 	QueueTimeout time.Duration
+	// PipelineWorkers caps concurrently handled pipelined requests per
+	// client connection; 0 selects transport.DefaultPipelineWorkers.
+	PipelineWorkers int
 	// Logger receives structured gateway events; nil discards them.
 	Logger *slog.Logger
 }
@@ -107,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueTimeout == 0 {
 		c.QueueTimeout = DefaultQueueTimeout
+	}
+	if c.PipelineWorkers == 0 {
+		c.PipelineWorkers = transport.DefaultPipelineWorkers
 	}
 	return c
 }
@@ -174,6 +180,10 @@ type Gateway struct {
 	counters Counters
 	obs      gwObs
 	log      *slog.Logger
+
+	// pipelineDepth is the number of pipelined client requests currently
+	// being handled across the gateway's wire connections.
+	pipelineDepth atomic.Int64
 }
 
 // New builds a gateway over cfg.Peers. The peer set is fixed for the

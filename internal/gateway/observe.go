@@ -34,6 +34,7 @@ type Counters struct {
 	Passthrough metrics.AtomicCounter // uninterposed requests forwarded
 	PeersDown   metrics.AtomicCounter // entry peers declared down
 	PeersUp     metrics.AtomicCounter // entry peers restored
+	ProtoErrors metrics.AtomicCounter // client-connection decode/write failures
 }
 
 // CountersSnapshot is the plain-value copy of Counters plus the cache's
@@ -52,6 +53,7 @@ type CountersSnapshot struct {
 	Passthrough   uint64 `json:"passthrough"`
 	PeersDown     uint64 `json:"peers_down"`
 	PeersUp       uint64 `json:"peers_up"`
+	ProtoErrors   uint64 `json:"proto_errors"`
 	Evictions     uint64 `json:"cache_evictions"`
 	Invalidations uint64 `json:"cache_invalidations"`
 	StaleRejected uint64 `json:"cache_stale_rejected"`
@@ -67,6 +69,10 @@ type StatSnapshot struct {
 	CacheTTLMS  float64  `json:"cache_ttl_ms"`
 	MaxInFlight int      `json:"max_in_flight"`
 	InFlight    int      `json:"in_flight"`
+
+	// PipelineDepth is the number of pipelined client requests currently
+	// being handled across the gateway's wire connections.
+	PipelineDepth int64 `json:"pipeline_depth"`
 
 	Counters CountersSnapshot `json:"counters"`
 
@@ -121,6 +127,7 @@ func (g *Gateway) countersSnapshot() CountersSnapshot {
 		Passthrough:   g.counters.Passthrough.Value(),
 		PeersDown:     g.counters.PeersDown.Value(),
 		PeersUp:       g.counters.PeersUp.Value(),
+		ProtoErrors:   g.counters.ProtoErrors.Value(),
 		Evictions:     g.cache.c.evictions.Value(),
 		Invalidations: g.cache.c.invalidations.Value(),
 		StaleRejected: g.cache.c.staleRejected.Value(),
@@ -130,14 +137,15 @@ func (g *Gateway) countersSnapshot() CountersSnapshot {
 // StatSnapshot captures the gateway's current observable state.
 func (g *Gateway) StatSnapshot() StatSnapshot {
 	s := StatSnapshot{
-		Peers:       append([]string(nil), g.peers...),
-		PeersDown:   g.det.DownIDs(),
-		CacheLen:    g.cache.len(),
-		CacheCap:    g.cfg.CacheSize,
-		CacheTTLMS:  float64(g.cfg.CacheTTL) * nsToMS,
-		MaxInFlight: g.cfg.MaxInFlight,
-		InFlight:    g.adm.inFlight(),
-		Counters:    g.countersSnapshot(),
+		Peers:         append([]string(nil), g.peers...),
+		PeersDown:     g.det.DownIDs(),
+		CacheLen:      g.cache.len(),
+		CacheCap:      g.cfg.CacheSize,
+		CacheTTLMS:    float64(g.cfg.CacheTTL) * nsToMS,
+		MaxInFlight:   g.cfg.MaxInFlight,
+		InFlight:      g.adm.inFlight(),
+		PipelineDepth: g.pipelineDepth.Load(),
+		Counters:      g.countersSnapshot(),
 
 		GetLatencyMS:   distStat(g.obs.get.Snapshot(), nsToMS),
 		WriteLatencyMS: distStat(g.obs.write.Snapshot(), nsToMS),
@@ -189,11 +197,15 @@ func (g *Gateway) WritePrometheus(w io.Writer) {
 	metrics.PrometheusFamily(w, "lesslog_gateway_peer_flips_total", "counter",
 		metrics.LabeledValue{Labels: `direction="down"`, Value: float64(c.PeersDown)},
 		metrics.LabeledValue{Labels: `direction="up"`, Value: float64(c.PeersUp)})
+	metrics.PrometheusFamily(w, "lesslog_gateway_proto_errors_total", "counter",
+		metrics.LabeledValue{Value: float64(c.ProtoErrors)})
 
 	metrics.PrometheusFamily(w, "lesslog_gateway_cache_entries", "gauge",
 		metrics.LabeledValue{Value: float64(g.cache.len())})
 	metrics.PrometheusFamily(w, "lesslog_gateway_in_flight", "gauge",
 		metrics.LabeledValue{Value: float64(g.adm.inFlight())})
+	metrics.PrometheusFamily(w, "lesslog_gateway_pipeline_depth", "gauge",
+		metrics.LabeledValue{Value: float64(g.pipelineDepth.Load())})
 	metrics.PrometheusFamily(w, "lesslog_gateway_entry_peers_down", "gauge",
 		metrics.LabeledValue{Value: float64(g.det.DownCount())})
 

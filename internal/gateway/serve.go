@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"lesslog/internal/msg"
+	"lesslog/internal/transport"
 )
 
 // Server is a running gateway wire listener.
@@ -93,17 +94,19 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serveConn serves one client connection through the pipelined serve
+// loop: ID-framed requests dispatch to a bounded worker pool and respond
+// out of order, so a client waiting on a slow fabric fetch does not stall
+// its cache hits; legacy un-ID'd frames keep strict FIFO ordering.
 func (s *Server) serveConn(conn net.Conn) {
-	for {
-		req, err := msg.ReadRequest(conn)
-		if err != nil {
-			return // EOF or protocol error: drop the connection
-		}
-		resp := s.handle(req)
-		if err := msg.WriteResponse(conn, resp); err != nil {
-			return
-		}
-	}
+	transport.ServeLoop(conn, s.handle, transport.ServeLoopOptions{
+		Workers: s.g.cfg.PipelineWorkers,
+		Depth:   &s.g.pipelineDepth,
+		OnProtoError: func(err error) {
+			s.g.counters.ProtoErrors.Inc()
+			s.g.log.Debug("client connection protocol error", "err", err)
+		},
+	})
 }
 
 // handle dispatches one client frame through the gateway.

@@ -6,7 +6,8 @@
 //
 // Frame layout (big endian):
 //
-//	uint32  payload length
+//	uint32  payload length (high bit: FrameIDBit, pipelined frame)
+//	uint64  request ID (only when FrameIDBit is set)
 //	payload (Request or Response encoding)
 //
 // Both payloads end with a trace section — a trace ID (requests only) and
@@ -23,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -393,7 +395,21 @@ func DecodeResponse(b []byte) (*Response, error) {
 	return resp, nil
 }
 
-// WriteFrame writes one length-prefixed payload.
+// FrameIDBit marks a pipelined frame: when the high bit of the length
+// word is set, an 8-byte request ID follows the word and precedes the
+// payload. The extension is version-gated by construction — MaxFrame is
+// far below 2^31, so a legacy decoder meeting an ID frame fails cleanly
+// with ErrFrameTooLarge instead of misreading it, and a legacy frame
+// (high bit clear) decodes identically under both readers. Pipelined
+// peers correlate out-of-order responses by echoing the request's ID;
+// frames without the bit keep the original one-at-a-time FIFO contract.
+const FrameIDBit = 1 << 31
+
+// frameIDWire is the encoded request ID: one uint64 after the length word.
+const frameIDWire = 8
+
+// WriteFrame writes one length-prefixed payload in the legacy (un-ID'd)
+// framing.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return ErrFrameTooLarge
@@ -407,77 +423,208 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readChunk bounds how much ReadFrame allocates ahead of the bytes that
-// actually arrive. A frame's declared length is attacker-controlled: a
-// malicious or corrupt peer can claim MaxFrame (16 MiB) and send nothing,
-// so allocating the declared size up front would let cheap lies pin real
-// memory. Growing chunk-by-chunk caps the damage of a lying prefix at one
-// chunk; honest large frames still read at full speed.
+// readChunk bounds how much a frame read allocates ahead of the bytes
+// that actually arrive. A frame's declared length is attacker-controlled:
+// a malicious or corrupt peer can claim MaxFrame (16 MiB) and send
+// nothing, so allocating the declared size up front would let cheap lies
+// pin real memory. Pooled read buffers carry readChunk capacity, so every
+// frame up to 64 KiB is a single io.ReadFull with no allocation; larger
+// frames grow chunk-by-chunk as payload bytes arrive, capping the damage
+// of a lying prefix at one chunk.
 const readChunk = 64 << 10
 
-// ReadFrame reads one length-prefixed payload. Frames whose declared
-// length exceeds MaxFrame are rejected before any payload allocation, and
-// the buffer grows only as payload bytes actually arrive.
-func ReadFrame(r io.Reader) ([]byte, error) {
+// maxPooledBuf bounds the codec buffers kept in the pool, so one oversize
+// frame does not pin megabytes behind the pool forever.
+const maxPooledBuf = 1 << 20
+
+// bufPool recycles encode and decode buffers across exchanges — the frame
+// codec's per-request allocations were the hottest constant cost on the
+// wire path. Buffers are returned only by this package: the decode paths
+// copy every field out of the raw frame, so pooled memory never escapes.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, readChunk)
+		return &b
+	},
+}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// readFrameHeader parses the length word (and the request ID of a
+// pipelined frame) off the stream.
+func readFrameHeader(r io.Reader) (n int, id uint64, hasID bool, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return 0, 0, false, err
 	}
-	n := int(binary.BigEndian.Uint32(hdr[:]))
+	word := binary.BigEndian.Uint32(hdr[:])
+	hasID = word&FrameIDBit != 0
+	n = int(word &^ FrameIDBit)
 	if n > MaxFrame {
-		return nil, ErrFrameTooLarge
+		return 0, 0, false, ErrFrameTooLarge
 	}
-	cap0 := n
-	if cap0 > readChunk {
-		cap0 = readChunk
+	if hasID {
+		var idw [frameIDWire]byte
+		if _, err := io.ReadFull(r, idw[:]); err != nil {
+			return 0, 0, false, err
+		}
+		id = binary.BigEndian.Uint64(idw[:])
 	}
-	payload := make([]byte, 0, cap0)
-	for len(payload) < n {
-		chunk := n - len(payload)
+	return n, id, hasID, nil
+}
+
+// readFrameInto reads n payload bytes into buf, reusing its capacity. A
+// frame within cap(buf) is one io.ReadFull; a larger one grows chunk by
+// chunk so a lying length prefix cannot force a frame-sized allocation.
+func readFrameInto(r io.Reader, buf []byte, n int) ([]byte, error) {
+	if n <= cap(buf) {
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf = buf[:0]
+	for len(buf) < n {
+		chunk := n - len(buf)
 		if chunk > readChunk {
 			chunk = readChunk
 		}
-		start := len(payload)
-		payload = append(payload, make([]byte, chunk)...)
-		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
 			return nil, err
 		}
 	}
-	return payload, nil
+	return buf, nil
 }
 
-// WriteRequest frames and writes one request.
+// ReadFrame reads one length-prefixed payload, legacy or pipelined (a
+// pipelined frame's request ID is discarded; use ReadRequestID /
+// ReadResponseID to keep it). The returned slice is freshly allocated and
+// owned by the caller.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	n, _, _, err := readFrameHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	return readFrameInto(r, nil, n)
+}
+
+// writeFramed encodes the header (ID'd when hasID), appends the payload
+// via encode, and writes the whole frame with a single Write — one
+// syscall, and no interleaving risk for concurrent writers that already
+// serialize on a higher-level lock.
+func writeFramed(w io.Writer, id uint64, hasID bool, encode func([]byte) ([]byte, error)) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	hdrLen := 4
+	if hasID {
+		hdrLen += frameIDWire
+	}
+	buf := append((*bp)[:0], make([]byte, hdrLen)...)
+	buf, err := encode(buf)
+	if err != nil {
+		return err
+	}
+	payload := len(buf) - hdrLen
+	if payload > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	word := uint32(payload)
+	if hasID {
+		word |= FrameIDBit
+		binary.BigEndian.PutUint64(buf[4:], id)
+	}
+	binary.BigEndian.PutUint32(buf[:4], word)
+	_, err = w.Write(buf)
+	*bp = buf
+	return err
+}
+
+// WriteRequest frames and writes one request in the legacy framing.
 func WriteRequest(w io.Writer, r *Request) error {
-	b, err := AppendRequest(nil, r)
-	if err != nil {
-		return err
-	}
-	return WriteFrame(w, b)
+	return writeFramed(w, 0, false, func(b []byte) ([]byte, error) { return AppendRequest(b, r) })
 }
 
-// ReadRequest reads and decodes one request.
+// WriteRequestID frames and writes one request in the pipelined framing,
+// carrying id for out-of-order response correlation.
+func WriteRequestID(w io.Writer, r *Request, id uint64) error {
+	return writeFramed(w, id, true, func(b []byte) ([]byte, error) { return AppendRequest(b, r) })
+}
+
+// ReadRequest reads and decodes one request, legacy or pipelined (the
+// request ID of a pipelined frame is discarded).
 func ReadRequest(r io.Reader) (*Request, error) {
-	b, err := ReadFrame(r)
-	if err != nil {
-		return nil, err
-	}
-	return DecodeRequest(b)
+	req, _, _, err := ReadRequestID(r)
+	return req, err
 }
 
-// WriteResponse frames and writes one response.
+// ReadRequestID reads and decodes one request and reports the request ID
+// of a pipelined frame (hasID false means a legacy frame: the sender
+// expects responses in request order).
+func ReadRequestID(r io.Reader) (*Request, uint64, bool, error) {
+	n, id, hasID, err := readFrameHeader(r)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	bp := getBuf()
+	defer putBuf(bp)
+	buf, err := readFrameInto(r, *bp, n)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	*bp = buf[:0]
+	req, err := DecodeRequest(buf)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return req, id, hasID, nil
+}
+
+// WriteResponse frames and writes one response in the legacy framing.
 func WriteResponse(w io.Writer, resp *Response) error {
-	b, err := AppendResponse(nil, resp)
-	if err != nil {
-		return err
-	}
-	return WriteFrame(w, b)
+	return writeFramed(w, 0, false, func(b []byte) ([]byte, error) { return AppendResponse(b, resp) })
 }
 
-// ReadResponse reads and decodes one response.
+// WriteResponseID frames and writes one response in the pipelined
+// framing, echoing the request's id.
+func WriteResponseID(w io.Writer, resp *Response, id uint64) error {
+	return writeFramed(w, id, true, func(b []byte) ([]byte, error) { return AppendResponse(b, resp) })
+}
+
+// ReadResponse reads and decodes one response, legacy or pipelined (the
+// request ID of a pipelined frame is discarded).
 func ReadResponse(r io.Reader) (*Response, error) {
-	b, err := ReadFrame(r)
+	resp, _, _, err := ReadResponseID(r)
+	return resp, err
+}
+
+// ReadResponseID reads and decodes one response and reports the echoed
+// request ID of a pipelined frame.
+func ReadResponseID(r io.Reader) (*Response, uint64, bool, error) {
+	n, id, hasID, err := readFrameHeader(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
-	return DecodeResponse(b)
+	bp := getBuf()
+	defer putBuf(bp)
+	buf, err := readFrameInto(r, *bp, n)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	*bp = buf[:0]
+	resp, err := DecodeResponse(buf)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return resp, id, hasID, nil
 }

@@ -82,10 +82,9 @@ type adminHealth struct {
 
 func (a *Admin) healthz(w http.ResponseWriter, _ *http.Request) {
 	p := a.p
-	p.mu.Lock()
-	live := p.live.LiveCount()
-	known := len(p.addrs)
-	p.mu.Unlock()
+	rt := p.rt()
+	live := rt.live.LiveCount()
+	known := len(rt.addrs)
 	h := adminHealth{
 		Status: "ok", PID: uint32(p.cfg.PID), Addr: p.Addr(),
 		M: p.cfg.M, B: p.cfg.B, LivePeers: live, KnownPeers: known,
@@ -110,9 +109,7 @@ func (a *Admin) trees(w http.ResponseWriter, r *http.Request) {
 		}
 		root = bitops.PID(n)
 	}
-	p.mu.Lock()
-	live := p.live // copy-on-write snapshot; safe to read unlocked
-	p.mu.Unlock()
+	live := p.rt().live // immutable snapshot; safe to read unlocked
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "physical lookup tree of P(%d) (m=%d b=%d, %d live)\n\n",
 		root, p.cfg.M, p.cfg.B, live.LiveCount())

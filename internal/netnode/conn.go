@@ -7,8 +7,6 @@ package netnode
 
 import (
 	"fmt"
-	"net"
-	"sync"
 	"time"
 
 	"lesslog/internal/msg"
@@ -16,13 +14,12 @@ import (
 )
 
 // Conn is a persistent connection to one peer. Safe for concurrent use;
-// requests are serialized over the single stream. Every exchange is
-// bounded by an RPC deadline, so a hung peer cannot wedge the caller.
+// requests are pipelined over the single stream and correlated back by
+// request ID, so concurrent callers overlap instead of queueing behind
+// each other. Every exchange is bounded by an RPC deadline, so a hung
+// peer cannot wedge the caller.
 type Conn struct {
-	mu      sync.Mutex
-	tcp     net.Conn
-	addr    string
-	timeout time.Duration
+	cc *transport.ClientConn
 }
 
 // DialConn opens a persistent connection to the peer at addr with the
@@ -35,40 +32,20 @@ func DialConn(addr string) (*Conn, error) {
 // dial bounds connection establishment, rpc bounds each Do exchange
 // (0 means no exchange deadline).
 func DialConnTimeout(addr string, dial, rpc time.Duration) (*Conn, error) {
-	tcp, err := net.DialTimeout("tcp", addr, dial)
+	cc, err := transport.DialMuxConn(addr, dial, rpc)
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{tcp: tcp, addr: addr, timeout: rpc}, nil
+	return &Conn{cc: cc}, nil
 }
 
-// Close shuts the connection.
-func (c *Conn) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tcp.Close()
-}
+// Close shuts the connection; in-flight exchanges fail.
+func (c *Conn) Close() error { return c.cc.Close() }
 
-// Do performs one request/response exchange under the RPC deadline.
+// Do performs one pipelined request/response exchange under the RPC
+// deadline.
 func (c *Conn) Do(req *msg.Request) (*msg.Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.timeout > 0 {
-		if err := c.tcp.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, err
-		}
-	}
-	if err := msg.WriteRequest(c.tcp, req); err != nil {
-		return nil, err
-	}
-	resp, err := msg.ReadResponse(c.tcp)
-	if err != nil {
-		return nil, err
-	}
-	if c.timeout > 0 {
-		c.tcp.SetDeadline(time.Time{})
-	}
-	return resp, nil
+	return c.cc.Do(req)
 }
 
 // Get fetches a file over the persistent stream.

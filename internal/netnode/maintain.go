@@ -34,8 +34,6 @@ func (c netCtx) View() ptree.View { return c.v }
 
 func (c netCtx) HasCopy(q bitops.PID) bool {
 	if q == c.p.cfg.PID {
-		c.p.mu.Lock()
-		defer c.p.mu.Unlock()
 		return c.p.store.Has(c.name)
 	}
 	resp, err := c.p.call(q, &msg.Request{Kind: msg.KindHas, Name: c.name})
@@ -46,10 +44,7 @@ func (c netCtx) ForwardedLoad(bitops.PID, bitops.PID) float64 { return 0 }
 func (c netCtx) Rand() *xrand.Rand                            { return c.rng }
 
 func (p *Peer) handleHas(req *msg.Request) *msg.Response {
-	p.mu.Lock()
-	has := p.store.Has(req.Name)
-	p.mu.Unlock()
-	return &msg.Response{OK: has, ServedBy: uint32(p.cfg.PID)}
+	return &msg.Response{OK: p.store.Has(req.Name), ServedBy: uint32(p.cfg.PID)}
 }
 
 // MaintainOnce runs one §2.2/§6 maintenance window on this peer: if its
@@ -58,7 +53,6 @@ func (p *Peer) handleHas(req *msg.Request) *msg.Response {
 // evictBelow gets are dropped; then the counting window resets. It
 // returns where a replica was placed, if any.
 func (p *Peer) MaintainOnce(threshold, evictBelow uint64) (placed bitops.PID, ok bool) {
-	p.mu.Lock()
 	var hotName string
 	var hotHits uint64
 	for _, name := range p.store.AllNames() {
@@ -78,7 +72,6 @@ func (p *Peer) MaintainOnce(threshold, evictBelow uint64) (placed bitops.PID, ok
 	}
 	p.store.ResetHits()
 	rng := p.maintRNG()
-	p.mu.Unlock()
 
 	if !f.valid {
 		return 0, false
@@ -107,8 +100,10 @@ type fileSnapshot struct {
 }
 
 // maintRNG lazily creates the peer's placement randomness (the §3
-// proportional choice). Callers hold p.mu.
+// proportional choice) under the lifecycle mutex.
 func (p *Peer) maintRNG() *xrand.Rand {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.rng == nil {
 		p.rng = xrand.New(uint64(p.cfg.PID)*0x9e3779b9 + 1)
 	}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"lesslog/internal/bitops"
+	"lesslog/internal/liveness"
 	"lesslog/internal/msg"
 	"lesslog/internal/store"
 )
@@ -64,18 +65,16 @@ func (p *Peer) Join(bootstrapAddr string) error {
 // should Close the peer afterwards.
 func (p *Peer) Leave() error {
 	// Compute the post-departure placements against a view in which this
-	// peer is already dead (copy-on-write, as in applyRegister).
-	p.mu.Lock()
-	next := p.live.Clone()
-	next.SetDead(p.cfg.PID)
-	p.live = next
+	// peer is already dead (snapshot swap, as in applyRegister).
+	p.mutateRouting(func(addrs map[bitops.PID]string, live *liveness.Set) {
+		live.SetDead(p.cfg.PID)
+	})
 	inserted := p.store.Names(store.Inserted)
 	files := make([]store.File, 0, len(inserted))
 	for _, name := range inserted {
 		f, _ := p.store.Peek(name)
 		files = append(files, f)
 	}
-	p.mu.Unlock()
 	for _, f := range files {
 		target := p.hasher.Target(f.Name, p.cfg.M)
 		v := p.view(target)
@@ -112,14 +111,13 @@ func (p *Peer) broadcastRegister(pid bitops.PID, addr []byte, dead bool) {
 	if dead {
 		req.Flags |= msg.FlagDead
 	}
-	p.mu.Lock()
-	targets := make([]bitops.PID, 0, len(p.addrs))
-	for q := range p.addrs {
+	addrs := p.rt().addrs
+	targets := make([]bitops.PID, 0, len(addrs))
+	for q := range addrs {
 		if q != pid {
 			targets = append(targets, q)
 		}
 	}
-	p.mu.Unlock()
 	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 	for _, q := range targets {
 		if q == p.cfg.PID {
@@ -137,14 +135,13 @@ func (p *Peer) handleRegister(req *msg.Request) *msg.Response {
 	if req.Flags&msg.FlagPropagate == 0 {
 		relay := *req
 		relay.Flags |= msg.FlagPropagate
-		p.mu.Lock()
-		targets := make([]bitops.PID, 0, len(p.addrs))
-		for q := range p.addrs {
+		addrs := p.rt().addrs
+		targets := make([]bitops.PID, 0, len(addrs))
+		for q := range addrs {
 			if q != p.cfg.PID && q != bitops.PID(req.Origin) {
 				targets = append(targets, q)
 			}
 		}
-		p.mu.Unlock()
 		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 		for _, q := range targets {
 			p.call(q, &relay)
@@ -164,27 +161,25 @@ func (p *Peer) applyRegister(req *msg.Request) {
 	p.log.Info("membership registration",
 		"peer", uint32(pid), "dead", req.Flags&msg.FlagDead != 0)
 	if req.Flags&msg.FlagDead != 0 {
-		p.mu.Lock()
-		addr := p.addrs[pid]
-		delete(p.addrs, pid)
-		// Copy-on-write: views captured by in-flight requests keep an
-		// immutable snapshot of the status word.
-		next := p.live.Clone()
-		next.SetDead(pid)
-		p.live = next
-		p.mu.Unlock()
+		var addr string
+		// Snapshot swap: views captured by in-flight requests keep an
+		// immutable snapshot of the status word and address table.
+		p.mutateRouting(func(addrs map[bitops.PID]string, live *liveness.Set) {
+			addr = addrs[pid]
+			delete(addrs, pid)
+			live.SetDead(pid)
+		})
 		if addr != "" {
 			p.tr.DropIdle(addr)
 		}
 		p.restoreAfterDeath(pid)
 		return
 	}
-	p.mu.Lock()
-	p.addrs[pid] = string(req.Data)
-	next := p.live.Clone()
-	next.SetLive(pid)
-	p.live = next
-	p.mu.Unlock()
+	newAddr := string(req.Data)
+	p.mutateRouting(func(addrs map[bitops.PID]string, live *liveness.Set) {
+		addrs[pid] = newAddr
+		live.SetLive(pid)
+	})
 	p.handOffTo(pid)
 }
 
@@ -195,9 +190,7 @@ func (p *Peer) handOffTo(k bitops.PID) {
 	if k == p.cfg.PID {
 		return
 	}
-	p.mu.Lock()
 	inserted := p.store.Names(store.Inserted)
-	p.mu.Unlock()
 	for _, name := range inserted {
 		target := p.hasher.Target(name, p.cfg.M)
 		v := p.view(target)
@@ -208,17 +201,13 @@ func (p *Peer) handOffTo(k bitops.PID) {
 		if !ok || h != k {
 			continue
 		}
-		p.mu.Lock()
 		f, have := p.store.Peek(name)
-		p.mu.Unlock()
 		if !have {
 			continue
 		}
 		sreq := &msg.Request{Kind: msg.KindStore, Name: f.Name, Data: f.Data, Version: f.Version}
 		if resp, err := p.call(k, sreq); err == nil && resp.OK {
-			p.mu.Lock()
 			p.store.Delete(name)
-			p.mu.Unlock()
 			p.stats.Stored.Add(1)
 		}
 	}
@@ -232,9 +221,7 @@ func (p *Peer) restoreAfterDeath(k bitops.PID) {
 	if p.cfg.B == 0 {
 		return
 	}
-	p.mu.Lock()
 	inserted := p.store.Names(store.Inserted)
-	p.mu.Unlock()
 	for _, name := range inserted {
 		target := p.hasher.Target(name, p.cfg.M)
 		v := p.view(target)
@@ -246,9 +233,7 @@ func (p *Peer) restoreAfterDeath(k bitops.PID) {
 		if !ok || v.SubtreeVID(k) <= v.SubtreeVID(h) {
 			continue // k was not that subtree's primary (or subtree is empty)
 		}
-		p.mu.Lock()
 		f, have := p.store.Peek(name)
-		p.mu.Unlock()
 		if !have {
 			continue
 		}
@@ -259,17 +244,16 @@ func (p *Peer) restoreAfterDeath(k bitops.PID) {
 
 // handleTable serializes the PID→address table as "pid addr" lines.
 func (p *Peer) handleTable() *msg.Response {
-	p.mu.Lock()
-	pids := make([]bitops.PID, 0, len(p.addrs))
-	for q := range p.addrs {
+	addrs := p.rt().addrs
+	pids := make([]bitops.PID, 0, len(addrs))
+	for q := range addrs {
 		pids = append(pids, q)
 	}
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 	var b strings.Builder
 	for _, q := range pids {
-		fmt.Fprintf(&b, "%d %s\n", q, p.addrs[q])
+		fmt.Fprintf(&b, "%d %s\n", q, addrs[q])
 	}
-	p.mu.Unlock()
 	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: []byte(b.String())}
 }
 

@@ -22,10 +22,9 @@ func TestJoinBootstrapsAndRegisters(t *testing.T) {
 	}
 	// Every existing peer (and the joiner) now knows all five members.
 	for pid, p := range peers {
-		p.mu.Lock()
-		n := p.live.LiveCount()
-		addr := p.addrs[9]
-		p.mu.Unlock()
+		rt := p.rt()
+		n := rt.live.LiveCount()
+		addr := rt.addrs[9]
 		if n != 5 {
 			t.Fatalf("P(%d) sees %d live members, want 5", pid, n)
 		}
@@ -33,9 +32,7 @@ func TestJoinBootstrapsAndRegisters(t *testing.T) {
 			t.Fatalf("P(%d) has wrong address for the joiner: %q", pid, addr)
 		}
 	}
-	joiner.mu.Lock()
-	n := joiner.live.LiveCount()
-	joiner.mu.Unlock()
+	n := joiner.rt().live.LiveCount()
 	if n != 5 {
 		t.Fatalf("joiner sees %d members", n)
 	}

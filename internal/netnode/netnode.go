@@ -56,7 +56,19 @@ type Config struct {
 	// membership changes, replica placements). Nil discards them, keeping
 	// tests and embedded uses quiet; lesslogd passes a leveled handler.
 	Logger *slog.Logger
+	// PipelineWorkers caps concurrently handled pipelined requests per
+	// accepted connection; <= 0 selects transport.DefaultPipelineWorkers.
+	PipelineWorkers int
+	// FanoutWorkers caps concurrent RPC legs per update/delete broadcast
+	// (each leg's subtree recursion runs on the remote peers, so the
+	// effective parallelism cascades); <= 0 selects DefaultFanoutWorkers.
+	FanoutWorkers int
 }
+
+// DefaultFanoutWorkers bounds concurrent broadcast legs per propagation
+// when Config.FanoutWorkers is unset; each broadcast's semaphore is sized
+// min(FanoutWorkers, legs).
+const DefaultFanoutWorkers = 8
 
 // Stats counts a peer's traffic with atomic counters.
 type Stats struct {
@@ -72,6 +84,23 @@ type Stats struct {
 	// later successful exchange or re-registration.
 	PeersDown atomic.Uint64
 	PeersUp   atomic.Uint64
+	// ProtoErrors counts decode and write failures on served connections —
+	// the drops that used to be silent.
+	ProtoErrors atomic.Uint64
+	// PipelineDepth gauges pipelined requests currently being handled
+	// across this peer's served connections; FanoutActive gauges broadcast
+	// RPC legs currently in flight. Both are instantaneous, not monotonic.
+	PipelineDepth atomic.Int64
+	FanoutActive  atomic.Int64
+}
+
+// routing is the peer's registration state — the PID→address table and
+// the §5.1 status word — published as one immutable snapshot: readers
+// (view, nextHop, IsLive, call) load it with a single atomic load and
+// zero locks; mutators clone-and-swap under regMu.
+type routing struct {
+	addrs map[bitops.PID]string
+	live  *liveness.Set
 }
 
 // Peer is one networked LessLog node.
@@ -82,11 +111,16 @@ type Peer struct {
 	tr     *transport.Transport
 	det    *transport.Detector
 
-	mu     sync.Mutex
-	store  *store.Store
-	live   *liveness.Set
-	addrs  map[bitops.PID]string
-	clock  uint64
+	routing atomic.Pointer[routing]
+	regMu   sync.Mutex // serializes routing clone-and-swap mutations
+
+	store *store.Sharded
+	clock atomic.Uint64 // Lamport clock; merged with CAS-max, ticked with Add
+
+	pipelineWorkers int
+	fanoutWorkers   int
+
+	mu     sync.Mutex // lifecycle: closed flag, open conns, maintenance rng
 	closed bool
 	conns  map[net.Conn]struct{}
 	rng    *xrand.Rand
@@ -96,6 +130,34 @@ type Peer struct {
 	stats Stats
 	obs   peerObs
 	log   *slog.Logger
+}
+
+// rt loads the current routing snapshot; never nil after Listen.
+func (p *Peer) rt() *routing { return p.routing.Load() }
+
+// mutateRouting applies f to a private clone of the routing state and
+// publishes the result. In-flight readers keep the snapshot they loaded.
+func (p *Peer) mutateRouting(f func(addrs map[bitops.PID]string, live *liveness.Set)) {
+	p.regMu.Lock()
+	defer p.regMu.Unlock()
+	cur := p.routing.Load()
+	addrs := make(map[bitops.PID]string, len(cur.addrs)+1)
+	for pid, a := range cur.addrs {
+		addrs[pid] = a
+	}
+	live := cur.live.Clone()
+	f(addrs, live)
+	p.routing.Store(&routing{addrs: addrs, live: live})
+}
+
+// mergeClock advances the Lamport clock to at least v (CAS-max).
+func (p *Peer) mergeClock(v uint64) {
+	for {
+		cur := p.clock.Load()
+		if v <= cur || p.clock.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Listen binds the peer's socket and starts serving connections. Call
@@ -111,13 +173,13 @@ func Listen(cfg Config) (*Peer, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	st := store.New()
+	st := store.NewSharded(0)
 	if cfg.DataDir != "" {
 		restored, err := diskstore.Load(cfg.DataDir)
 		if err != nil {
 			return nil, fmt.Errorf("netnode: restore %s: %w", cfg.DataDir, err)
 		}
-		st = restored
+		st = store.ShardedFrom(restored, 0)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -128,10 +190,17 @@ func Listen(cfg Config) (*Peer, error) {
 		hasher: h,
 		ln:     ln,
 		store:  st,
-		live:   liveness.New(cfg.M),
-		addrs:  map[bitops.PID]string{},
 		conns:  map[net.Conn]struct{}{},
 		quit:   make(chan struct{}),
+	}
+	p.routing.Store(&routing{addrs: map[bitops.PID]string{}, live: liveness.New(cfg.M)})
+	p.pipelineWorkers = cfg.PipelineWorkers
+	if p.pipelineWorkers <= 0 {
+		p.pipelineWorkers = transport.DefaultPipelineWorkers
+	}
+	p.fanoutWorkers = cfg.FanoutWorkers
+	if p.fanoutWorkers <= 0 {
+		p.fanoutWorkers = DefaultFanoutWorkers
 	}
 	logger := cfg.Logger
 	if logger == nil {
@@ -152,12 +221,11 @@ func Listen(cfg Config) (*Peer, error) {
 // same way a register-dead broadcast would. Idle pooled connections to the
 // dead peer are dropped with it.
 func (p *Peer) peerDown(pid uint32) {
-	p.mu.Lock()
-	next := p.live.Clone()
-	next.SetDead(bitops.PID(pid))
-	p.live = next
-	addr := p.addrs[bitops.PID(pid)]
-	p.mu.Unlock()
+	var addr string
+	p.mutateRouting(func(addrs map[bitops.PID]string, live *liveness.Set) {
+		addr = addrs[bitops.PID(pid)]
+		live.SetDead(bitops.PID(pid))
+	})
 	if addr != "" {
 		p.tr.DropIdle(addr)
 	}
@@ -169,13 +237,11 @@ func (p *Peer) peerDown(pid uint32) {
 // transient-failure healing path; a full rejoin heals through the
 // register-live broadcast instead.
 func (p *Peer) peerUp(pid uint32) {
-	p.mu.Lock()
-	if _, known := p.addrs[bitops.PID(pid)]; known {
-		next := p.live.Clone()
-		next.SetLive(bitops.PID(pid))
-		p.live = next
-	}
-	p.mu.Unlock()
+	p.mutateRouting(func(addrs map[bitops.PID]string, live *liveness.Set) {
+		if _, known := addrs[bitops.PID(pid)]; known {
+			live.SetLive(bitops.PID(pid))
+		}
+	})
 	p.stats.PeersUp.Add(1)
 	p.log.Info("peer restored by successful exchange", "peer", pid)
 }
@@ -191,18 +257,14 @@ func (p *Peer) Stats() *Stats { return &p.stats }
 
 // IsLive reports whether this peer's status word currently marks pid live
 // — the §5.1 bit the failure detector and registrations maintain. Safe for
-// concurrent use.
+// concurrent use; reads the routing snapshot without locking.
 func (p *Peer) IsLive(pid bitops.PID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.live.IsLive(pid)
+	return p.rt().live.IsLive(pid)
 }
 
 // HasFile reports whether the peer currently holds a copy of name,
 // without counting an access. Safe for concurrent use.
 func (p *Peer) HasFile(name string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	return p.store.Has(name)
 }
 
@@ -210,14 +272,14 @@ func (p *Peer) HasFile(name string) bool {
 // live — the networked form of the status word. Failure-detector history
 // is discarded: the new table is authoritative.
 func (p *Peer) SetAddrs(addrs map[bitops.PID]string) {
-	p.mu.Lock()
-	p.addrs = make(map[bitops.PID]string, len(addrs))
-	p.live = liveness.New(p.cfg.M)
+	next := &routing{addrs: make(map[bitops.PID]string, len(addrs)), live: liveness.New(p.cfg.M)}
 	for pid, a := range addrs {
-		p.addrs[pid] = a
-		p.live.SetLive(pid)
+		next.addrs[pid] = a
+		next.live.SetLive(pid)
 	}
-	p.mu.Unlock()
+	p.regMu.Lock()
+	p.routing.Store(next)
+	p.regMu.Unlock()
 	p.det.ResetAll()
 }
 
@@ -253,9 +315,7 @@ func (p *Peer) Checkpoint() error {
 	if p.cfg.DataDir == "" {
 		return fmt.Errorf("netnode: peer has no data directory")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return diskstore.Save(p.cfg.DataDir, p.store)
+	return diskstore.Save(p.cfg.DataDir, p.store.Snapshot())
 }
 
 func (p *Peer) acceptLoop() {
@@ -287,27 +347,30 @@ func (p *Peer) acceptLoop() {
 	}
 }
 
+// serveConn serves one accepted connection through the pipelined serve
+// loop: pipelined requests dispatch to a bounded worker pool and respond
+// out of order, so one slow forwarded get no longer stalls the stream;
+// legacy un-ID'd frames keep their strict FIFO ordering. Decode and write
+// failures — previously silent connection drops — land in ProtoErrors.
 func (p *Peer) serveConn(conn net.Conn) {
-	for {
-		req, err := msg.ReadRequest(conn)
-		if err != nil {
-			return // EOF or protocol error: drop the connection
-		}
+	transport.ServeLoop(conn, func(req *msg.Request) *msg.Response {
 		p.stats.Requests.Add(1)
-		resp := p.handle(req)
-		if err := msg.WriteResponse(conn, resp); err != nil {
-			return
-		}
-	}
+		return p.handle(req)
+	}, transport.ServeLoopOptions{
+		Workers: p.pipelineWorkers,
+		Depth:   &p.stats.PipelineDepth,
+		OnProtoError: func(err error) {
+			p.stats.ProtoErrors.Add(1)
+			p.log.Debug("connection protocol error", "err", err)
+		},
+	})
 }
 
-// view returns the lookup-tree view of target under the current table.
-// Callers hold no lock; the view captures the live set by reference, which
-// only SetAddrs replaces wholesale.
+// view returns the lookup-tree view of target under the current routing
+// snapshot. Lock-free: the snapshot's live set is immutable, so the view
+// stays consistent for as long as the caller holds it.
 func (p *Peer) view(target bitops.PID) ptree.View {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return ptree.NewView(target, p.live, p.cfg.B)
+	return ptree.NewView(target, p.rt().live, p.cfg.B)
 }
 
 // handle times and dispatches one decoded request; every handler's full
@@ -371,12 +434,8 @@ func (p *Peer) handleStore(req *msg.Request) *msg.Response {
 	if req.Flags&msg.FlagReplica != 0 {
 		kind = store.Replica
 	}
-	p.mu.Lock()
 	p.store.Put(store.File{Name: req.Name, Data: req.Data, Version: req.Version}, kind)
-	if req.Version > p.clock {
-		p.clock = req.Version
-	}
-	p.mu.Unlock()
+	p.mergeClock(req.Version)
 	p.stats.Stored.Add(1)
 	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Version: req.Version}
 }
@@ -384,10 +443,7 @@ func (p *Peer) handleStore(req *msg.Request) *msg.Response {
 func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
 	target := p.hasher.Target(req.Name, p.cfg.M)
 	v := p.view(target)
-	p.mu.Lock()
-	p.clock++
-	version := p.clock
-	p.mu.Unlock()
+	version := p.clock.Add(1)
 	stored := 0
 	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
 		h, ok := v.PrimaryHolder(sid)
@@ -416,9 +472,7 @@ func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
 
 func (p *Peer) handleGet(req *msg.Request) *msg.Response {
 	start := time.Now()
-	p.mu.Lock()
 	f, ok := p.store.Get(req.Name)
-	p.mu.Unlock()
 	if ok {
 		p.stats.Served.Add(1)
 		resp := &msg.Response{
@@ -507,10 +561,7 @@ func (p *Peer) nextHop(req *msg.Request) (next bitops.PID, flags uint8, subtree 
 	}
 	sid := (v.SubtreeID(self) + 1) & bitops.VID(nTrees-1)
 	entry := v.PID(bitops.ComposeVID(v.SubtreeVID(self), sid, p.cfg.B))
-	p.mu.Lock()
-	entryLive := p.live.IsLive(entry)
-	p.mu.Unlock()
-	if !entryLive {
+	if !p.rt().live.IsLive(entry) {
 		if anc, live := v.AliveAncestor(entry); live {
 			entry = anc
 		} else if prim, live := v.PrimaryHolder(sid); live {
@@ -528,7 +579,7 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 	if req.Flags&msg.FlagPropagate != 0 {
 		// Propagation delivery: apply if holding, then fan out.
 		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID),
-			Hops: uint32(p.propagateUpdate(v, req))}
+			Hops: uint32(p.propagateUpdate(v, req, nil))}
 	}
 	// Initiation: learn the file's current version through an ordinary
 	// lookup (the initiating peer may never have seen the file), then
@@ -536,16 +587,9 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 	// broadcast at each subtree's root position (or its expanded
 	// children when dead).
 	if probe := p.handleGet(&msg.Request{Kind: msg.KindGet, Name: req.Name}); probe.OK {
-		p.mu.Lock()
-		if probe.Version > p.clock {
-			p.clock = probe.Version
-		}
-		p.mu.Unlock()
+		p.mergeClock(probe.Version)
 	}
-	p.mu.Lock()
-	p.clock++
-	version := p.clock
-	p.mu.Unlock()
+	version := p.clock.Add(1)
 	prop := *req
 	prop.Flags |= msg.FlagPropagate
 	prop.Version = version
@@ -558,95 +602,140 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(updated), Version: version}
 }
 
+// fanoutSem builds the bounded semaphore one broadcast's RPC legs share:
+// min(FanoutWorkers, legs) slots. Slots are held only for the duration of
+// a single RPC, never across a subtree recursion, so nested deliveries
+// cannot deadlock on their ancestors' slots.
+func (p *Peer) fanoutSem(legs int) chan struct{} {
+	n := p.fanoutWorkers
+	if legs < n {
+		n = legs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return make(chan struct{}, n)
+}
+
 // broadcast starts the top-down children-list broadcast of a propagation
 // request (update or delete) at each subtree's root position — or at the
 // root's expanded children when it is dead — and returns copies touched.
-// Update and delete share this path exactly, so neither can loop by
-// delivering to itself over the wire where the other would not.
+// The per-subtree legs run concurrently through a bounded semaphore, and
+// each remote delivery recurses in parallel on its own peer, so broadcast
+// latency tracks the tree depth instead of the copy count. Update and
+// delete share this path exactly, so neither can loop by delivering to
+// itself over the wire where the other would not.
 func (p *Peer) broadcast(v ptree.View, prop *msg.Request) int {
-	total, legs := 0, 0
+	// One immutable liveness snapshot covers every subtree-root check.
+	live := p.rt().live
+	var starts []bitops.PID
 	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
 		rootPos := v.SubtreeRoot(sid)
-		starts := []bitops.PID{rootPos}
-		p.mu.Lock()
-		rootLive := p.live.IsLive(rootPos)
-		p.mu.Unlock()
-		if !rootLive {
-			starts = v.ExpandedChildrenList(rootPos)
-		}
-		legs += len(starts)
-		for _, s := range starts {
-			total += p.deliver(v, s, prop)
+		if live.IsLive(rootPos) {
+			starts = append(starts, rootPos)
+		} else {
+			starts = append(starts, v.ExpandedChildrenList(rootPos)...)
 		}
 	}
-	p.obs.fanout.Observe(uint64(legs))
-	return total
+	p.obs.fanout.Observe(uint64(len(starts)))
+	return p.deliverAll(v, starts, prop, p.fanoutSem(len(starts)))
+}
+
+// deliverAll delivers a propagation message to every target concurrently
+// and returns the exact sum of copies touched. A single target is
+// delivered inline — no goroutine for the common narrow case.
+func (p *Peer) deliverAll(v ptree.View, targets []bitops.PID, prop *msg.Request, sem chan struct{}) int {
+	switch len(targets) {
+	case 0:
+		return 0
+	case 1:
+		return p.deliver(v, targets[0], prop, sem)
+	}
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for _, t := range targets {
+		wg.Add(1)
+		go func(t bitops.PID) {
+			defer wg.Done()
+			total.Add(int64(p.deliver(v, t, prop, sem)))
+		}(t)
+	}
+	wg.Wait()
+	return int(total.Load())
 }
 
 // deliver sends a propagation message to pid (handling it locally when pid
-// is this peer) and returns how many copies it touched downstream. When
-// the RPC fails outright — the peer crashed without a register-dead — the
-// broadcast would silently lose pid's whole branch, so it degrades by
-// routing through pid's expanded children list (§3) instead; the failed
-// call has already fed the detector, so the liveness bit catches up.
-func (p *Peer) deliver(v ptree.View, pid bitops.PID, prop *msg.Request) int {
+// is this peer) and returns how many copies it touched downstream. The
+// semaphore slot is held only around the RPC itself. When the RPC fails
+// outright — the peer crashed without a register-dead — the broadcast
+// would silently lose pid's whole branch, so it degrades by routing
+// through pid's expanded children list (§3) instead; the failed call has
+// already fed the detector, so the liveness bit catches up.
+func (p *Peer) deliver(v ptree.View, pid bitops.PID, prop *msg.Request, sem chan struct{}) int {
 	if pid == p.cfg.PID {
-		return p.propagateLocal(v, prop)
+		return p.propagateLocal(v, prop, sem)
 	}
 	p.stats.Broadcast.Add(1)
+	sem <- struct{}{}
+	p.stats.FanoutActive.Add(1)
 	resp, err := p.call(pid, prop)
+	p.stats.FanoutActive.Add(-1)
+	<-sem
 	if err == nil {
 		if !resp.OK {
 			return 0
 		}
 		return int(resp.Hops)
 	}
-	n := 0
+	kids := make([]bitops.PID, 0, 4)
 	for _, c := range v.ExpandedChildrenList(pid) {
-		if c == pid {
-			continue
+		if c != pid {
+			kids = append(kids, c)
 		}
-		n += p.deliver(v, c, prop)
 	}
-	return n
+	return p.deliverAll(v, kids, prop, sem)
 }
 
 // propagateLocal applies a propagation message at this peer.
-func (p *Peer) propagateLocal(v ptree.View, prop *msg.Request) int {
+func (p *Peer) propagateLocal(v ptree.View, prop *msg.Request, sem chan struct{}) int {
 	if prop.Kind == msg.KindDelete {
-		return p.propagateDelete(v, prop)
+		return p.propagateDelete(v, prop, sem)
 	}
-	return p.propagateUpdate(v, prop)
+	return p.propagateUpdate(v, prop, sem)
 }
 
 // propagateUpdate applies a propagation message locally: a holder rewrites
-// its copy and re-broadcasts to its expanded children list; a non-holder
-// discards. Returns copies updated in this subtree branch.
-func (p *Peer) propagateUpdate(v ptree.View, req *msg.Request) int {
-	p.mu.Lock()
-	holds := p.store.Has(req.Name)
-	applied := false
-	if holds {
-		applied = p.store.Update(req.Name, req.Data, req.Version)
-		if req.Version > p.clock {
-			p.clock = req.Version
-		}
-	}
-	p.mu.Unlock()
-	if !holds {
+// its copy and re-broadcasts to its expanded children list in parallel; a
+// non-holder discards. Returns copies updated in this subtree branch. A
+// nil sem sizes a fresh semaphore to this delivery's legs — the remote-
+// delivery entry point, where this peer is the recursion's root.
+func (p *Peer) propagateUpdate(v ptree.View, req *msg.Request, sem chan struct{}) int {
+	if !p.store.Has(req.Name) {
 		return 0
+	}
+	applied := p.store.Update(req.Name, req.Data, req.Version)
+	p.mergeClock(req.Version)
+	kids := p.childTargets(v)
+	if sem == nil {
+		sem = p.fanoutSem(len(kids))
 	}
 	n := 0
 	if applied {
 		n = 1
 	}
+	return n + p.deliverAll(v, kids, req, sem)
+}
+
+// childTargets is this peer's expanded children list minus itself — the
+// downstream legs of a local propagation.
+func (p *Peer) childTargets(v ptree.View) []bitops.PID {
+	var kids []bitops.PID
 	for _, c := range v.ExpandedChildrenList(p.cfg.PID) {
-		if c == p.cfg.PID {
-			continue
+		if c != p.cfg.PID {
+			kids = append(kids, c)
 		}
-		n += p.deliver(v, c, req)
 	}
-	return n
+	return kids
 }
 
 func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
@@ -654,7 +743,7 @@ func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
 	v := p.view(target)
 	if req.Flags&msg.FlagPropagate != 0 {
 		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID),
-			Hops: uint32(p.propagateDelete(v, req))}
+			Hops: uint32(p.propagateDelete(v, req, nil))}
 	}
 	prop := *req
 	prop.Flags |= msg.FlagPropagate
@@ -666,27 +755,22 @@ func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
 	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(removed)}
 }
 
-// propagateDelete erases a local copy and fans out to the children list;
+// propagateDelete fans out to the children list in parallel, then erases
+// the local copy — children first, so a concurrent get forwarded here
+// still finds the file while downstream copies are being erased;
 // non-holders discard. Returns copies removed downstream.
-func (p *Peer) propagateDelete(v ptree.View, req *msg.Request) int {
-	p.mu.Lock()
-	holds := p.store.Has(req.Name)
-	p.mu.Unlock()
-	if !holds {
+func (p *Peer) propagateDelete(v ptree.View, req *msg.Request, sem chan struct{}) int {
+	if !p.store.Has(req.Name) {
 		return 0
 	}
-	n := 0
-	for _, c := range v.ExpandedChildrenList(p.cfg.PID) {
-		if c == p.cfg.PID {
-			continue
-		}
-		n += p.deliver(v, c, req)
+	kids := p.childTargets(v)
+	if sem == nil {
+		sem = p.fanoutSem(len(kids))
 	}
-	p.mu.Lock()
+	n := p.deliverAll(v, kids, req, sem)
 	if p.store.Delete(req.Name) {
 		n++
 	}
-	p.mu.Unlock()
 	return n
 }
 
@@ -700,9 +784,7 @@ func (p *Peer) handleStat(req *msg.Request) *msg.Response {
 		}
 		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: data}
 	}
-	p.mu.Lock()
-	summary := fmt.Sprintf("pid=%d %s live=%d", p.cfg.PID, p.store, p.live.LiveCount())
-	p.mu.Unlock()
+	summary := fmt.Sprintf("pid=%d %s live=%d", p.cfg.PID, p.store, p.rt().live.LiveCount())
 	summary += fmt.Sprintf(" detector-down=%d peers-down=%d peers-up=%d %s",
 		p.det.DownCount(), p.stats.PeersDown.Load(), p.stats.PeersUp.Load(), p.tr.Counters())
 	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: []byte(summary)}
@@ -713,9 +795,7 @@ func (p *Peer) handleStat(req *msg.Request) *msg.Response {
 // failure detector: enough consecutive failures clear pid's liveness bit,
 // and a later success restores it.
 func (p *Peer) call(pid bitops.PID, req *msg.Request) (*msg.Response, error) {
-	p.mu.Lock()
-	addr, ok := p.addrs[pid]
-	p.mu.Unlock()
+	addr, ok := p.rt().addrs[pid]
 	if !ok {
 		return nil, fmt.Errorf("netnode: no address for P(%d)", pid)
 	}

@@ -86,15 +86,22 @@ type StatSnapshot struct {
 	KnownPeers   int      `json:"known_peers"`
 	DetectorDown []uint32 `json:"detector_down"`
 
-	Requests  uint64 `json:"requests"`
-	Forwards  uint64 `json:"forwards"`
-	Served    uint64 `json:"served"`
-	Faults    uint64 `json:"faults"`
-	Stored    uint64 `json:"stored"`
-	Updated   uint64 `json:"updated"`
-	Broadcast uint64 `json:"broadcast"`
-	PeersDown uint64 `json:"peers_down"`
-	PeersUp   uint64 `json:"peers_up"`
+	Requests    uint64 `json:"requests"`
+	Forwards    uint64 `json:"forwards"`
+	Served      uint64 `json:"served"`
+	Faults      uint64 `json:"faults"`
+	Stored      uint64 `json:"stored"`
+	Updated     uint64 `json:"updated"`
+	Broadcast   uint64 `json:"broadcast"`
+	PeersDown   uint64 `json:"peers_down"`
+	PeersUp     uint64 `json:"peers_up"`
+	ProtoErrors uint64 `json:"proto_errors"`
+
+	// PipelineDepth is the number of pipelined requests currently being
+	// handled across this peer's connections; FanoutActive is the number of
+	// broadcast RPC legs currently in flight. Both are instantaneous gauges.
+	PipelineDepth int64 `json:"pipeline_depth"`
+	FanoutActive  int64 `json:"fanout_active"`
 
 	Transport transport.CountersSnapshot `json:"transport"`
 
@@ -111,33 +118,35 @@ type StatSnapshot struct {
 
 // StatSnapshot captures the peer's current observable state.
 func (p *Peer) StatSnapshot() StatSnapshot {
-	p.mu.Lock()
+	rt := p.rt()
 	inserted := len(p.store.Names(store.Inserted))
 	total := p.store.Len()
-	live := p.live.LiveCount()
-	known := len(p.addrs)
-	p.mu.Unlock()
+	live := rt.live.LiveCount()
+	known := len(rt.addrs)
 
 	s := StatSnapshot{
-		PID:          uint32(p.cfg.PID),
-		Addr:         p.Addr(),
-		M:            p.cfg.M,
-		B:            p.cfg.B,
-		Inserted:     inserted,
-		Replicas:     total - inserted,
-		LivePeers:    live,
-		KnownPeers:   known,
-		DetectorDown: p.det.DownIDs(),
-		Requests:     p.stats.Requests.Load(),
-		Forwards:     p.stats.Forwards.Load(),
-		Served:       p.stats.Served.Load(),
-		Faults:       p.stats.Faults.Load(),
-		Stored:       p.stats.Stored.Load(),
-		Updated:      p.stats.Updated.Load(),
-		Broadcast:    p.stats.Broadcast.Load(),
-		PeersDown:    p.stats.PeersDown.Load(),
-		PeersUp:      p.stats.PeersUp.Load(),
-		Transport:    p.tr.Counters().Snapshot(),
+		PID:           uint32(p.cfg.PID),
+		Addr:          p.Addr(),
+		M:             p.cfg.M,
+		B:             p.cfg.B,
+		Inserted:      inserted,
+		Replicas:      total - inserted,
+		LivePeers:     live,
+		KnownPeers:    known,
+		DetectorDown:  p.det.DownIDs(),
+		Requests:      p.stats.Requests.Load(),
+		Forwards:      p.stats.Forwards.Load(),
+		Served:        p.stats.Served.Load(),
+		Faults:        p.stats.Faults.Load(),
+		Stored:        p.stats.Stored.Load(),
+		Updated:       p.stats.Updated.Load(),
+		Broadcast:     p.stats.Broadcast.Load(),
+		PeersDown:     p.stats.PeersDown.Load(),
+		PeersUp:       p.stats.PeersUp.Load(),
+		ProtoErrors:   p.stats.ProtoErrors.Load(),
+		PipelineDepth: p.stats.PipelineDepth.Load(),
+		FanoutActive:  p.stats.FanoutActive.Load(),
+		Transport:     p.tr.Counters().Snapshot(),
 
 		RPCLatencyMS:     map[string]DistStat{},
 		HandlerLatencyMS: map[string]DistStat{},
@@ -181,6 +190,8 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 	metrics.PrometheusFamily(w, "lesslog_detector_flips_total", "counter",
 		metrics.LabeledValue{Labels: mergePromLabels(self, `direction="down"`), Value: float64(s.PeersDown)},
 		metrics.LabeledValue{Labels: mergePromLabels(self, `direction="up"`), Value: float64(s.PeersUp)})
+	metrics.PrometheusFamily(w, "lesslog_proto_errors_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.ProtoErrors)})
 
 	tc := s.Transport
 	metrics.PrometheusFamily(w, "lesslog_transport_events_total", "counter",
@@ -199,6 +210,10 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 	metrics.PrometheusFamily(w, "lesslog_store_files", "gauge",
 		metrics.LabeledValue{Labels: mergePromLabels(self, `kind="inserted"`), Value: float64(s.Inserted)},
 		metrics.LabeledValue{Labels: mergePromLabels(self, `kind="replica"`), Value: float64(s.Replicas)})
+	metrics.PrometheusFamily(w, "lesslog_pipeline_depth", "gauge",
+		metrics.LabeledValue{Labels: self, Value: float64(s.PipelineDepth)})
+	metrics.PrometheusFamily(w, "lesslog_fanout_active_legs", "gauge",
+		metrics.LabeledValue{Labels: self, Value: float64(s.FanoutActive)})
 
 	var rpc []metrics.LabeledHistogram
 	for kind, snap := range p.tr.LatencySnapshots() {

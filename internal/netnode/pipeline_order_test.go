@@ -1,0 +1,91 @@
+package netnode
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+	"lesslog/internal/msg"
+	"lesslog/internal/store"
+	"lesslog/internal/transport"
+)
+
+// TestConnFastGetsOvertakeSlowForward pins the tentpole behavior on a real
+// peer: with one persistent connection, a get that must leave the node
+// (and is held up downstream) no longer head-of-line-blocks gets the peer
+// can answer from its local store. The slow get is issued first; every
+// fast get must complete while it is still in flight.
+func TestConnFastGetsOvertakeSlowForward(t *testing.T) {
+	const forwardDelay = 500 * time.Millisecond
+
+	// Delay every outbound get from the entry peer: "f" targets P(4)
+	// under the pinned hasher, so its forwarded lookup stalls, while
+	// locally held files never touch the transport.
+	faults := transport.NewFaults().Add(transport.Rule{Kind: msg.KindGet, Delay: forwardDelay})
+	peers := make(map[bitops.PID]*Peer, 16)
+	addrs := make(map[bitops.PID]string, 16)
+	for pid := bitops.PID(0); pid < 16; pid++ {
+		cfg := Config{PID: pid, M: 4, Hasher: hashring.Fixed(4)}
+		if pid == 8 {
+			cfg.Faults = faults
+		}
+		p, err := Listen(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		peers[pid] = p
+		addrs[pid] = p.Addr()
+	}
+	for _, p := range peers {
+		p.SetAddrs(addrs)
+	}
+	if err := NewClient(addrs[0]).Insert("f", []byte("remote")); err != nil {
+		t.Fatal(err)
+	}
+	peers[8].store.Put(store.File{Name: "local", Data: []byte("here")}, store.Inserted)
+
+	conn, err := DialConn(addrs[8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var slowDone atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := conn.Get("f")
+		slowDone.Store(true)
+		if err != nil {
+			t.Errorf("slow forwarded get: %v", err)
+			return
+		}
+		if string(res.Data) != "remote" {
+			t.Errorf("slow get data = %q", res.Data)
+		}
+	}()
+	// Give the slow get's frame time to hit the wire first.
+	time.Sleep(50 * time.Millisecond)
+
+	for i := 0; i < 16; i++ {
+		res, err := conn.Get("local")
+		if err != nil {
+			t.Fatalf("fast get %d: %v", i, err)
+		}
+		if string(res.Data) != "here" || res.ServedBy != 8 {
+			t.Fatalf("fast get %d = %+v", i, res)
+		}
+	}
+	if slowDone.Load() {
+		t.Fatal("slow forwarded get finished before the fast local gets — nothing was pipelined")
+	}
+	wg.Wait()
+	if !slowDone.Load() {
+		t.Fatal("slow get never completed")
+	}
+}

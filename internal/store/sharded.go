@@ -1,0 +1,245 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultShards is the shard count NewSharded picks when the caller does
+// not care; 16 keeps per-shard contention negligible at the fan-in one
+// pipelined connection can generate while costing one mutex word each.
+const DefaultShards = 16
+
+// Sharded is a concurrency-safe store: names are spread across power-of-2
+// Store shards by FNV-1a hash, each behind its own mutex, so gets of
+// distinct names stop contending on one lock. It mirrors the Store API;
+// aggregate reads (AllNames, Len, ColdReplicas, …) visit the shards in
+// order and are linearizable per shard, not across them — the same
+// guarantee the single global mutex gave concurrent observers in practice.
+type Sharded struct {
+	shards []shard
+	mask   uint32
+}
+
+type shard struct {
+	mu sync.Mutex
+	s  *Store
+}
+
+// NewSharded returns an empty sharded store with n shards rounded up to a
+// power of 2; n <= 0 selects DefaultShards.
+func NewSharded(n int) *Sharded {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Sharded{shards: make([]shard, size), mask: uint32(size - 1)}
+	for i := range s.shards {
+		s.shards[i].s = New()
+	}
+	return s
+}
+
+// ShardedFrom distributes src's copies (with their kinds; access counters
+// start fresh) across a new sharded store — the restore path from a disk
+// checkpoint, which loads into a plain Store.
+func ShardedFrom(src *Store, n int) *Sharded {
+	s := NewSharded(n)
+	for _, name := range src.AllNames() {
+		f, _ := src.Peek(name)
+		kind, _ := src.KindOf(name)
+		s.Put(f, kind)
+	}
+	return s
+}
+
+// fnv1a is the 32-bit FNV-1a hash of name.
+func fnv1a(name string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (s *Sharded) shardFor(name string) *shard {
+	return &s.shards[fnv1a(name)&s.mask]
+}
+
+// Put places a copy of f with the given kind; see Store.Put.
+func (s *Sharded) Put(f File, kind Kind) {
+	sh := s.shardFor(f.Name)
+	sh.mu.Lock()
+	sh.s.Put(f, kind)
+	sh.mu.Unlock()
+}
+
+// Get returns the copy of name, counting the access.
+func (s *Sharded) Get(name string) (File, bool) {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	f, ok := sh.s.Get(name)
+	sh.mu.Unlock()
+	return f, ok
+}
+
+// Peek returns the copy of name without counting an access.
+func (s *Sharded) Peek(name string) (File, bool) {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	f, ok := sh.s.Peek(name)
+	sh.mu.Unlock()
+	return f, ok
+}
+
+// Has reports whether a copy of name exists.
+func (s *Sharded) Has(name string) bool {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	ok := sh.s.Has(name)
+	sh.mu.Unlock()
+	return ok
+}
+
+// KindOf returns the kind of the stored copy of name.
+func (s *Sharded) KindOf(name string) (Kind, bool) {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	k, ok := sh.s.KindOf(name)
+	sh.mu.Unlock()
+	return k, ok
+}
+
+// Update overwrites an existing copy if newVersion is strictly newer; see
+// Store.Update.
+func (s *Sharded) Update(name string, data []byte, newVersion uint64) bool {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	ok := sh.s.Update(name, data, newVersion)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Delete removes the copy of name and reports whether one existed.
+func (s *Sharded) Delete(name string) bool {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	ok := sh.s.Delete(name)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Promote upgrades a replica of name to an inserted copy.
+func (s *Sharded) Promote(name string) {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	sh.s.Promote(name)
+	sh.mu.Unlock()
+}
+
+// Hits returns the access count of name in the current window.
+func (s *Sharded) Hits(name string) uint64 {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	h := sh.s.Hits(name)
+	sh.mu.Unlock()
+	return h
+}
+
+// ResetHits zeroes every access counter.
+func (s *Sharded) ResetHits() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.s.ResetHits()
+		sh.mu.Unlock()
+	}
+}
+
+// Names returns the sorted names of all copies of the given kind.
+func (s *Sharded) Names(kind Kind) []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.s.Names(kind)...)
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllNames returns the sorted names of every copy.
+func (s *Sharded) AllNames() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.s.AllNames()...)
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ColdReplicas returns the sorted names of replicas below minHits in the
+// current window.
+func (s *Sharded) ColdReplicas(minHits uint64) []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.s.ColdReplicas(minHits)...)
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored copies.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.s.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot merges the shards into one plain Store — the checkpoint path,
+// which persists through the unsharded diskstore format. Copies are
+// re-Put, so the snapshot shares no entry structure with the live store.
+func (s *Sharded) Snapshot() *Store {
+	out := New()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, name := range sh.s.AllNames() {
+			f, _ := sh.s.Peek(name)
+			kind, _ := sh.s.KindOf(name)
+			out.Put(f, kind)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// String summarizes the store in the same format as Store.String.
+func (s *Sharded) String() string {
+	ins, total := 0, 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		ins += len(sh.s.Names(Inserted))
+		total += sh.s.Len()
+		sh.mu.Unlock()
+	}
+	return fmt.Sprintf("store{inserted=%d replicas=%d}", ins, total-ins)
+}

@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lesslog/internal/msg"
+)
+
+// errMuxClosed reports an exchange attempted on (or interrupted by) a
+// multiplexed connection that has died.
+var errMuxClosed = errors.New("transport: multiplexed connection closed")
+
+// A mux call that outlives RPCTimeout fails with the same deadline-shaped
+// timeoutError (faults.go) injected hangs use, so isTimeout — and with it
+// the Timeouts counter and the retry loop — treats it exactly like a
+// socket deadline.
+
+// mux multiplexes concurrent request/response exchanges over one TCP
+// stream using the pipelined msg framing: every request carries a fresh
+// ID, and a single reader goroutine hands responses back to their callers
+// by the echoed ID, so a slow exchange no longer head-of-line-blocks the
+// fast ones sharing the stream.
+//
+// A pre-pipelining peer answers without IDs, strictly in request order;
+// the reader matches those responses FIFO to the oldest in-flight call,
+// which keeps old peers working through the same pool.
+type mux struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes onto conn
+
+	mu      sync.Mutex
+	pending map[uint64]chan *msg.Response
+	fifo    []uint64 // issue order, to match ID-less legacy responses
+	nextID  uint64
+	dead    bool
+	err     error
+
+	// inflight is the number of exchanges currently using this stream;
+	// the pool reads it to pick the least-loaded mux.
+	inflight atomic.Int64
+	// ephemeral marks an overflow stream dialed past the pool cap: used
+	// for one exchange and closed on release, never pooled.
+	ephemeral bool
+}
+
+func newMux(conn net.Conn) *mux {
+	m := &mux{conn: conn, pending: map[uint64]chan *msg.Response{}}
+	go m.readLoop()
+	return m
+}
+
+// readLoop is the stream's only reader: it demultiplexes responses until
+// the stream dies, then wakes every waiter with the error.
+func (m *mux) readLoop() {
+	br := bufio.NewReader(m.conn)
+	for {
+		resp, id, hasID, err := msg.ReadResponseID(br)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		if !m.deliver(resp, id, hasID) {
+			// A response nothing waits for means the stream lost sync;
+			// it cannot be trusted for another exchange.
+			m.fail(errMuxClosed)
+			return
+		}
+	}
+}
+
+// deliver routes one response to its waiting call and reports whether a
+// caller was found.
+func (m *mux) deliver(resp *msg.Response, id uint64, hasID bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hasID {
+		for i, v := range m.fifo {
+			if v == id {
+				m.fifo = append(m.fifo[:i], m.fifo[i+1:]...)
+				break
+			}
+		}
+	} else {
+		if len(m.fifo) == 0 {
+			return false
+		}
+		id = m.fifo[0]
+		m.fifo = m.fifo[1:]
+	}
+	ch, ok := m.pending[id]
+	if !ok {
+		return false
+	}
+	delete(m.pending, id)
+	ch <- resp
+	return true
+}
+
+// fail marks the mux dead, closes the stream and wakes every in-flight
+// call with err. Idempotent: only the first error sticks.
+func (m *mux) fail(err error) {
+	m.mu.Lock()
+	if m.dead {
+		m.mu.Unlock()
+		return
+	}
+	m.dead = true
+	m.err = err
+	pending := m.pending
+	m.pending = map[uint64]chan *msg.Response{}
+	m.fifo = nil
+	m.mu.Unlock()
+	m.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+func (m *mux) close() { m.fail(errMuxClosed) }
+
+// lastErr returns the error the mux died with.
+func (m *mux) lastErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	return errMuxClosed
+}
+
+// do performs one exchange: register the call, write the ID-framed
+// request, await the matched response under timeout (<= 0 waits forever).
+// A timeout kills the whole mux — the stream has an orphaned response in
+// flight and cannot be reused without desynchronizing every later call.
+func (m *mux) do(req *msg.Request, timeout time.Duration) (*msg.Response, error) {
+	m.mu.Lock()
+	if m.dead {
+		m.mu.Unlock()
+		return nil, m.lastErr()
+	}
+	m.nextID++
+	id := m.nextID
+	ch := make(chan *msg.Response, 1)
+	m.pending[id] = ch
+	m.fifo = append(m.fifo, id)
+	m.mu.Unlock()
+
+	m.wmu.Lock()
+	if timeout > 0 {
+		m.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	err := msg.WriteRequestID(m.conn, req, id)
+	m.wmu.Unlock()
+	if err != nil {
+		m.fail(err)
+		return nil, err
+	}
+
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, m.lastErr()
+		}
+		return resp, nil
+	case <-expired:
+		m.fail(timeoutError{})
+		return nil, timeoutError{}
+	}
+}
+
+// ClientConn is one multiplexed stream to a single peer — the persistent
+// client-connection shape: every exchange is pipelined over the same TCP
+// connection, concurrent callers overlap instead of queueing, and each
+// exchange is bounded by the connection's RPC deadline. A ClientConn does
+// not redial; once the stream dies every call fails and the caller
+// replaces the connection.
+type ClientConn struct {
+	m   *mux
+	rpc time.Duration
+}
+
+// DialMuxConn opens a multiplexed client connection to addr: dialTO
+// bounds connection establishment, rpcTO bounds each Do exchange (0 means
+// no exchange deadline).
+func DialMuxConn(addr string, dialTO, rpcTO time.Duration) (*ClientConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTO)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientConn{m: newMux(conn), rpc: rpcTO}, nil
+}
+
+// Do performs one pipelined exchange. Safe for concurrent use.
+func (c *ClientConn) Do(req *msg.Request) (*msg.Response, error) {
+	return c.m.do(req, c.rpc)
+}
+
+// Close shuts the stream; in-flight exchanges fail.
+func (c *ClientConn) Close() error {
+	c.m.close()
+	return nil
+}

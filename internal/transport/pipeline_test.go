@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lesslog/internal/msg"
+)
+
+// pipelinedServer serves every accepted connection through ServeLoop, so
+// tests exercise the full pipelined path: ID-framed requests dispatched to
+// a worker pool, responses written out of order by a single writer.
+func pipelinedServer(t testing.TB, handle func(*msg.Request) *msg.Response, opts ServeLoopOptions) (addr string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				ServeLoop(conn, handle, opts)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestMuxOverlapsSlowExchange pins the head-of-line fix: with one pooled
+// stream (PoolSize 1) a deliberately slow exchange must not delay the fast
+// exchanges pipelined behind it.
+func TestMuxOverlapsSlowExchange(t *testing.T) {
+	block := make(chan struct{})
+	var fastDone atomic.Int64
+	addr := pipelinedServer(t, func(req *msg.Request) *msg.Response {
+		if req.Name == "slow" {
+			<-block
+		}
+		return &msg.Response{OK: true, Data: []byte(req.Name)}
+	}, ServeLoopOptions{Workers: 8})
+
+	tr := New(Config{PoolSize: 1, Retries: -1}, nil)
+	defer tr.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	slowStarted := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(slowStarted)
+		resp, err := tr.Do(addr, &msg.Request{Kind: msg.KindGet, Name: "slow"})
+		if err != nil || !resp.OK {
+			t.Errorf("slow exchange: %v", err)
+		}
+	}()
+	<-slowStarted
+
+	// The fast exchanges share the single pooled stream with the parked
+	// slow one; all must complete while it is still blocked.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 16; i++ {
+			resp, err := tr.Do(addr, &msg.Request{Kind: msg.KindGet, Name: "fast"})
+			if err != nil || !resp.OK || string(resp.Data) != "fast" {
+				t.Errorf("fast exchange %d: %v %+v", i, err, resp)
+				return
+			}
+			fastDone.Add(1)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("fast exchanges stuck behind the slow one: %d/16 done", fastDone.Load())
+	}
+	close(block)
+	wg.Wait()
+	if got := fastDone.Load(); got != 16 {
+		t.Fatalf("fast exchanges done = %d, want 16", got)
+	}
+}
+
+// TestMuxConcurrentCallersOneStream hammers one pooled stream from many
+// goroutines and checks every response lands on its own request.
+func TestMuxConcurrentCallersOneStream(t *testing.T) {
+	addr := pipelinedServer(t, func(req *msg.Request) *msg.Response {
+		return &msg.Response{OK: true, Data: []byte(req.Name)}
+	}, ServeLoopOptions{})
+
+	tr := New(Config{PoolSize: 1}, nil)
+	defer tr.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := string(rune('a'+g)) + "-file"
+				resp, err := tr.Do(addr, &msg.Request{Kind: msg.KindGet, Name: name})
+				if err != nil {
+					t.Errorf("goroutine %d call %d: %v", g, i, err)
+					return
+				}
+				if string(resp.Data) != name {
+					t.Errorf("goroutine %d got %q, want %q — responses crossed", g, resp.Data, name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestServeLoopLegacyFIFO pins the compatibility contract: un-ID'd frames
+// written back-to-back (a legacy pipelining client) are answered strictly
+// in request order even though the server also runs a worker pool.
+func TestServeLoopLegacyFIFO(t *testing.T) {
+	addr := pipelinedServer(t, func(req *msg.Request) *msg.Response {
+		return &msg.Response{OK: true, Data: []byte(req.Name)}
+	}, ServeLoopOptions{})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := msg.WriteRequest(conn, &msg.Request{Kind: msg.KindGet, Name: string(rune('a' + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		resp, err := msg.ReadResponse(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := string(rune('a' + i)); string(resp.Data) != want {
+			t.Fatalf("response %d = %q, want %q (FIFO order broken)", i, resp.Data, want)
+		}
+	}
+}
+
+// TestServeLoopDepthGauge checks the pipeline-depth gauge rises while
+// handlers are parked and settles back to zero.
+func TestServeLoopDepthGauge(t *testing.T) {
+	var depth atomic.Int64
+	block := make(chan struct{})
+	addr := pipelinedServer(t, func(req *msg.Request) *msg.Response {
+		<-block
+		return &msg.Response{OK: true}
+	}, ServeLoopOptions{Workers: 4, Depth: &depth})
+
+	tr := New(Config{PoolSize: 1}, nil)
+	defer tr.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := tr.Do(addr, &msg.Request{Kind: msg.KindGet, Name: "f"}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for depth.Load() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("depth gauge = %d, want 4", depth.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	wg.Wait()
+	for depth.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("depth gauge did not settle: %d", depth.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lesslog/internal/metrics"
@@ -143,15 +144,22 @@ func kindIndex(k msg.Kind) int {
 }
 
 // Transport performs request/response exchanges with deadlines, retries and
-// per-address connection pooling. Safe for concurrent use.
+// per-address connection pooling. Pooled streams are multiplexed: many
+// exchanges run concurrently on one TCP connection using the pipelined msg
+// framing, so a slow peer-side forward no longer head-of-line-blocks the
+// fast calls sharing the stream. Safe for concurrent use.
 type Transport struct {
 	cfg    Config
 	faults *Faults
 
 	mu     sync.Mutex
-	idle   map[string][]net.Conn // per-address idle connection stacks
-	rng    *xrand.Rand           // backoff jitter; guarded by mu
+	muxes  map[string][]*mux // per-address multiplexed streams, ≤ PoolSize each
+	rng    *xrand.Rand       // backoff jitter; guarded by mu
 	closed bool
+
+	// inflight gauges client-side exchanges currently multiplexed onto
+	// pooled streams — the pipeline depth the /metrics endpoints surface.
+	inflight atomic.Int64
 
 	counters Counters
 	// latency records the full Do duration — retries and backoff included,
@@ -167,7 +175,7 @@ func New(cfg Config, faults *Faults) *Transport {
 	return &Transport{
 		cfg:    cfg,
 		faults: faults,
-		idle:   map[string][]net.Conn{},
+		muxes:  map[string][]*mux{},
 		rng:    xrand.New(cfg.Seed ^ 0x7472616e73706f72), // "transpor"
 	}
 }
@@ -197,17 +205,22 @@ func (t *Transport) LatencySnapshots() map[string]metrics.HistogramSnapshot {
 	return out
 }
 
-// Close shuts every idle pooled connection and stops further pooling.
-// In-flight exchanges finish on their own deadlines.
+// InFlight returns the number of exchanges currently multiplexed onto
+// pooled streams — the client-side pipeline depth.
+func (t *Transport) InFlight() int64 { return t.inflight.Load() }
+
+// Close shuts every pooled stream and stops further pooling. Exchanges
+// in flight on those streams fail promptly; later exchanges dial
+// single-use streams.
 func (t *Transport) Close() error {
 	t.mu.Lock()
-	idle := t.idle
-	t.idle = map[string][]net.Conn{}
+	muxes := t.muxes
+	t.muxes = map[string][]*mux{}
 	t.closed = true
 	t.mu.Unlock()
-	for _, conns := range idle {
-		for _, c := range conns {
-			c.Close()
+	for _, list := range muxes {
+		for _, m := range list {
+			m.close()
 		}
 	}
 	return nil
@@ -256,41 +269,56 @@ func (t *Transport) Do(addr string, req *msg.Request) (*msg.Response, error) {
 	return nil, lastErr
 }
 
-// exchange runs a single attempt: fault gate, connection acquisition, one
-// framed write+read under the RPC deadline. A reused connection that fails
-// is replaced by a fresh dial once — a parked stream may have been closed
-// by the peer between exchanges, which is not the peer's failure.
+// exchange runs a single attempt: fault gate, stream acquisition, one
+// multiplexed write+read under the RPC deadline. A reused stream that
+// fails is replaced by a fresh dial once — a pooled stream may have been
+// closed by the peer between exchanges, which is not the peer's failure.
 func (t *Transport) exchange(addr string, req *msg.Request) (*msg.Response, error) {
 	if err := t.faults.apply(addr, req.Kind, t.cfg.RPCTimeout); err != nil {
 		t.counters.Faults.Inc()
 		return nil, err
 	}
-	conn, reused, err := t.acquire(addr)
+	if t.cfg.PoolSize < 0 {
+		return t.exchangeDirect(addr, req)
+	}
+	m, reused, err := t.acquireMux(addr)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := t.roundTrip(conn, req)
+	resp, err := m.do(req, t.cfg.RPCTimeout)
 	if err == nil {
-		t.release(addr, conn)
+		t.releaseMux(m)
 		return resp, nil
 	}
-	conn.Close()
+	t.discardMux(addr, m)
 	if !reused {
 		return nil, err
 	}
 	// The pooled stream was stale; one fresh dial before giving up.
 	t.counters.Reconnects.Inc()
-	conn, _, derr := t.dial(addr)
-	if derr != nil {
-		return nil, derr
+	m, err2 := t.dialMux(addr)
+	if err2 != nil {
+		return nil, err2
 	}
-	resp, err = t.roundTrip(conn, req)
+	resp, err = m.do(req, t.cfg.RPCTimeout)
 	if err != nil {
-		conn.Close()
+		t.discardMux(addr, m)
 		return nil, err
 	}
-	t.release(addr, conn)
+	t.releaseMux(m)
 	return resp, nil
+}
+
+// exchangeDirect is the unpooled path (PoolSize < 0, as the seed did, but
+// still with deadlines): dial, one legacy-framed write+read, close.
+func (t *Transport) exchangeDirect(addr string, req *msg.Request) (*msg.Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	t.counters.Dials.Inc()
+	defer conn.Close()
+	return t.roundTrip(conn, req)
 }
 
 // roundTrip performs one framed write+read on conn under the RPC deadline.
@@ -309,56 +337,113 @@ func (t *Transport) roundTrip(conn net.Conn, req *msg.Request) (*msg.Response, e
 	return resp, nil
 }
 
-// acquire pops an idle pooled connection for addr or dials a fresh one.
-func (t *Transport) acquire(addr string) (conn net.Conn, reused bool, err error) {
+// acquireMux picks a pooled stream for addr — an idle one if any, else the
+// least-loaded once the pool is at PoolSize — or dials a fresh stream when
+// every pooled one is busy and the cap leaves room. A dead pooled stream
+// can be picked; its exchange fails fast and the reconnect path in
+// exchange replaces it, preserving the reuse/reconnect accounting.
+func (t *Transport) acquireMux(addr string) (m *mux, reused bool, err error) {
 	t.mu.Lock()
-	if stack := t.idle[addr]; len(stack) > 0 {
-		conn = stack[len(stack)-1]
-		t.idle[addr] = stack[:len(stack)-1]
+	list := t.muxes[addr]
+	var pick *mux
+	for _, c := range list {
+		if c.inflight.Load() == 0 {
+			pick = c
+			break
+		}
+	}
+	if pick == nil && len(list) >= t.cfg.PoolSize && len(list) > 0 {
+		pick = list[0]
+		for _, c := range list[1:] {
+			if c.inflight.Load() < pick.inflight.Load() {
+				pick = c
+			}
+		}
+	}
+	if pick != nil {
+		pick.inflight.Add(1)
+		t.inflight.Add(1)
 		t.mu.Unlock()
 		t.counters.Reuses.Inc()
-		return conn, true, nil
+		return pick, true, nil
 	}
 	t.mu.Unlock()
-	return t.dial(addr)
+	m, err = t.dialMux(addr)
+	return m, false, err
 }
 
-// dial establishes a fresh connection under the dial deadline.
-func (t *Transport) dial(addr string) (net.Conn, bool, error) {
+// dialMux establishes a fresh multiplexed stream under the dial deadline
+// and pools it, unless the pool filled meanwhile (or the transport is
+// closed) — then the stream is ephemeral: one exchange and closed.
+func (t *Transport) dialMux(addr string) (*mux, error) {
 	conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	t.counters.Dials.Inc()
-	return conn, false, nil
+	m := newMux(conn)
+	m.inflight.Add(1)
+	t.inflight.Add(1)
+	t.mu.Lock()
+	if !t.closed && len(t.muxes[addr]) < t.cfg.PoolSize {
+		t.muxes[addr] = append(t.muxes[addr], m)
+	} else {
+		m.ephemeral = true
+	}
+	t.mu.Unlock()
+	return m, nil
 }
 
-// release parks a healthy connection in addr's idle pool, or closes it when
-// pooling is disabled, the pool is full, or the transport is closed.
-func (t *Transport) release(addr string, conn net.Conn) {
-	if t.cfg.PoolSize < 0 {
-		conn.Close()
-		return
+// releaseMux ends one exchange's use of a stream. Pooled streams stay in
+// the pool for the next exchange; ephemeral overflow streams close.
+func (t *Transport) releaseMux(m *mux) {
+	m.inflight.Add(-1)
+	t.inflight.Add(-1)
+	if m.ephemeral {
+		m.close()
 	}
+}
+
+// discardMux ends one exchange's use of a failed stream and evicts it
+// from the pool so later exchanges do not keep tripping over it.
+func (t *Transport) discardMux(addr string, m *mux) {
+	m.inflight.Add(-1)
+	t.inflight.Add(-1)
+	m.close()
 	t.mu.Lock()
-	if t.closed || len(t.idle[addr]) >= t.cfg.PoolSize {
-		t.mu.Unlock()
-		conn.Close()
-		return
+	list := t.muxes[addr]
+	for i, c := range list {
+		if c == m {
+			t.muxes[addr] = append(list[:i], list[i+1:]...)
+			break
+		}
 	}
-	t.idle[addr] = append(t.idle[addr], conn)
 	t.mu.Unlock()
 }
 
-// DropIdle closes any idle pooled connections to addr — called when a peer
-// is declared dead so its parked streams don't linger until reuse fails.
+// DropIdle closes addr's pooled streams that have no exchange in flight —
+// called when a peer is declared dead so its parked streams don't linger
+// until reuse fails. Busy streams are left to fail on their own.
 func (t *Transport) DropIdle(addr string) {
 	t.mu.Lock()
-	conns := t.idle[addr]
-	delete(t.idle, addr)
+	list := t.muxes[addr]
+	var busy []*mux
+	var drop []*mux
+	for _, m := range list {
+		if m.inflight.Load() > 0 {
+			busy = append(busy, m)
+		} else {
+			drop = append(drop, m)
+		}
+	}
+	if len(busy) == 0 {
+		delete(t.muxes, addr)
+	} else {
+		t.muxes[addr] = busy
+	}
 	t.mu.Unlock()
-	for _, c := range conns {
-		c.Close()
+	for _, m := range drop {
+		m.close()
 	}
 }
 
