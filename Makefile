@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench transport-bench obs-bench gw-bench peer-bench figures examples cover clean
+.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench gw-bench peer-bench locate-bench figures examples cover clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# One-iteration pass over every benchmark — catches bit-rotted bench code
+# without measuring anything; CI runs this on every push.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
 # Pooled vs dial-per-call RPC throughput; the recorded run lives in
 # results/transport_bench.txt.
 transport-bench:
@@ -33,15 +38,25 @@ obs-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHistogramObserve' -benchmem ./internal/metrics/
 
 # Gateway vs direct per-op clients on the §6 80/20 hot-key read workload;
-# the recorded run lives in results/gateway_bench.txt.
+# the recorded run lives in results/gateway_bench.txt (machine-readable
+# twin: results/BENCH_gateway.json).
 gw-bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkHotKey' -benchtime 2s -count 3 ./internal/gateway/ | tee results/gateway_bench.txt
+	BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run '^$$' -bench 'BenchmarkHotKey' -benchtime 2s -count 3 ./internal/gateway/ | tee results/gateway_bench.txt
 
 # Pipelined peer hot path: concurrent 80/20 gets over one persistent
 # connection plus parallel broadcast fan-out; the before/after comparison
-# lives in results/pipeline_bench.txt.
+# lives in results/pipeline_bench.txt (machine-readable twin:
+# results/BENCH_pipeline.json).
 peer-bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkConnConcurrent8020|BenchmarkBroadcast' -benchtime 2s -count 3 ./internal/netnode/ | tee -a results/pipeline_bench.txt
+	BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run '^$$' -bench 'BenchmarkConnConcurrent8020|BenchmarkBroadcast' -benchtime 2s -count 3 ./internal/netnode/ | tee -a results/pipeline_bench.txt
+
+# Relay vs locate-then-fetch data plane: bytes on the wire and p50/p99
+# latency per payload size, with the single-RPC / zero-relay properties
+# asserted from the peer counters. The recorded comparison lives in
+# results/locate_bench.txt (machine-readable twin:
+# results/BENCH_locate.json).
+locate-bench:
+	LESSLOG_LOCATE_BENCH=1 BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run 'TestLocateBenchReport' -bench 'BenchmarkRelayGet|BenchmarkLocateGet' -benchtime 2s -v ./internal/netnode/ | tee results/locate_bench.txt
 
 # Regenerate every reproduced figure and extension table into results/.
 figures: build

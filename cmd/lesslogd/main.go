@@ -12,10 +12,18 @@
 //
 //	lesslogd -connect 127.0.0.1:7100 -op insert -name hello -data "world"
 //	lesslogd -connect 127.0.0.1:7101 -op get -name hello
+//	lesslogd -connect 127.0.0.1:7101 -op get -name hello -locate  # locate-then-fetch data plane
 //	lesslogd -connect 127.0.0.1:7101 -op get -name hello -trace   # print the live route
+//	lesslogd -connect 127.0.0.1:7101 -op locate -name hello       # resolve the holder, no payload
 //	lesslogd -connect 127.0.0.1:7101 -op update -name hello -data "again"
 //	lesslogd -connect 127.0.0.1:7100 -op stat
 //	lesslogd -connect 127.0.0.1:7100 -op stat -json               # structured snapshot
+//
+// With -locate, gets resolve the holder through a payload-free locate walk
+// and fetch the file in one direct hop, caching the route hint for later
+// gets in the same process; `-serve-locate=false` runs the server as a
+// pre-locate build (clients downgrade to the relay path automatically).
+// See docs/ROUTING.md.
 //
 // Observability: `-admin addr` exposes /metrics (Prometheus text),
 // /healthz, /trees and /debug/pprof/* over HTTP, and `-log-level` selects
@@ -65,17 +73,19 @@ func main() {
 		fanWk     = flag.Int("fanout-workers", netnode.DefaultFanoutWorkers, "server: concurrent broadcast RPC legs per update/delete")
 		admin     = flag.String("admin", "", "server: admin HTTP address for /metrics, /healthz, /trees, /debug/pprof ('' disables)")
 		logLevel  = flag.String("log-level", "info", "server: structured log threshold: debug, info, warn or error")
+		srvLocate = flag.Bool("serve-locate", true, "server: answer locate and local-only gets (false emulates a pre-locate build)")
 		connect   = flag.String("connect", "", "client: peer address to contact")
-		op        = flag.String("op", "get", "client: insert, get, update, delete or stat")
+		op        = flag.String("op", "get", "client: insert, get, update, delete, locate or stat")
 		name      = flag.String("name", "", "client: file name")
 		data      = flag.String("data", "", "client: file contents")
-		traced    = flag.Bool("trace", false, "client: with -op get, record and print the wire-level route")
+		traced    = flag.Bool("trace", false, "client: with -op get or locate, record and print the wire-level route")
+		locate    = flag.Bool("locate", false, "client: serve gets through the locate-then-fetch data plane")
 		asJSON    = flag.Bool("json", false, "client: with -op stat, print the structured snapshot as JSON")
 	)
 	flag.Parse()
 
 	if *connect != "" {
-		runClient(*connect, *op, *name, *data, *traced, *asJSON)
+		runClient(*connect, *op, *name, *data, *traced, *locate, *asJSON)
 		return
 	}
 
@@ -87,7 +97,8 @@ func main() {
 	peer, err := netnode.Listen(netnode.Config{
 		PID: bitops.PID(*pid), M: *m, B: *b, Addr: *listen, DataDir: *dataDir,
 		PipelineWorkers: *pipeWk, FanoutWorkers: *fanWk,
-		Logger: logger,
+		DisableLocate:   !*srvLocate,
+		Logger:          logger,
 		Transport: transport.Config{
 			DialTimeout: *dialTO,
 			RPCTimeout:  *rpcTO,
@@ -169,8 +180,11 @@ func waitForSignal(peer *netnode.Peer, log *slog.Logger) {
 	peer.Close()
 }
 
-func runClient(addr, op, name, data string, traced, asJSON bool) {
+func runClient(addr, op, name, data string, traced, locate, asJSON bool) {
 	cl := netnode.NewClient(addr)
+	if locate {
+		cl = netnode.NewLocateClient(addr)
+	}
 	switch op {
 	case "insert":
 		if err := cl.Insert(name, []byte(data)); err != nil {
@@ -187,6 +201,19 @@ func runClient(addr, op, name, data string, traced, asJSON bool) {
 			fatal(err)
 		}
 		fmt.Printf("served by P(%d) in %d hops (v%d): %s\n", res.ServedBy, res.Hops, res.Version, res.Data)
+		if traced {
+			fmt.Printf("route: %s\n%s", trace.HopRoute(res.Path), trace.HopTable(res.Path))
+		}
+	case "locate":
+		loc := cl.Locate
+		if traced {
+			loc = cl.LocateTraced
+		}
+		res, err := loc(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("held by P(%d) at %s (v%d) after %d hops\n", res.PID, res.Addr, res.Version, res.Hops)
 		if traced {
 			fmt.Printf("route: %s\n%s", trace.HopRoute(res.Path), trace.HopTable(res.Path))
 		}
@@ -222,6 +249,11 @@ func runClient(addr, op, name, data string, traced, asJSON bool) {
 		fmt.Println(out)
 	default:
 		fatal(fmt.Errorf("unknown op %q", op))
+	}
+	if locate {
+		st := cl.LocateStats()
+		fmt.Printf("data plane: %d locates, %d hint hits, %d relays, %d downgrades\n",
+			st.Locates.Load(), st.HintHits.Load(), st.Relays.Load(), st.Downgrades.Load())
 	}
 }
 

@@ -1,0 +1,58 @@
+// Package benchjson emits machine-readable benchmark results. A bench
+// target sets BENCH_JSON_DIR and the instrumented benchmarks drop
+// BENCH_<name>.json files there — ns/op, bytes-on-wire, speedups —
+// alongside the human-readable `go test -bench` text, so results can be
+// committed and diffed across PRs without scraping bench output. With
+// BENCH_JSON_DIR unset (the normal `go test` path) recording is a no-op.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// EnvDir is the environment variable naming the output directory.
+const EnvDir = "BENCH_JSON_DIR"
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesOnWire uint64  `json:"bytes_on_wire,omitempty"`
+	// Speedup is this result's improvement factor over its declared
+	// baseline (e.g. relay ns/op ÷ locate ns/op), when one applies.
+	Speedup float64 `json:"speedup,omitempty"`
+	// Extra carries measurement-specific values (p50/p99 latencies,
+	// counter deltas) without widening the schema per benchmark.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Record merges results by Name into $BENCH_JSON_DIR/BENCH_<file>.json.
+// Existing entries for other names are preserved, so benchmarks of one
+// suite can record independently into a shared file. No-op (and no error)
+// when BENCH_JSON_DIR is unset.
+func Record(file string, results ...Result) error {
+	dir := os.Getenv(EnvDir)
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+file+".json")
+	merged := map[string]Result{}
+	if old, err := os.ReadFile(path); err == nil {
+		// Best-effort merge: an unreadable or non-JSON file is replaced.
+		_ = json.Unmarshal(old, &merged)
+	}
+	for _, r := range results {
+		merged[r.Name] = r
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,47 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordNoopWithoutDir(t *testing.T) {
+	t.Setenv(EnvDir, "")
+	if err := Record("x", Result{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordMerges(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(EnvDir, dir)
+	if err := Record("suite", Result{Name: "relay", NsPerOp: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// A second Record must keep the first entry and overwrite by name.
+	if err := Record("suite",
+		Result{Name: "locate", NsPerOp: 25, Speedup: 4, Extra: map[string]float64{"p99_ms": 1.5}},
+		Result{Name: "relay", NsPerOp: 90, BytesOnWire: 4096},
+	); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_suite.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]Result
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if len(got) != 2 {
+		t.Fatalf("entries = %d, want 2: %v", len(got), got)
+	}
+	if got["relay"].NsPerOp != 90 || got["relay"].BytesOnWire != 4096 {
+		t.Fatalf("relay = %+v", got["relay"])
+	}
+	if got["locate"].Speedup != 4 || got["locate"].Extra["p99_ms"] != 1.5 {
+		t.Fatalf("locate = %+v", got["locate"])
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"lesslog/internal/benchjson"
 	"lesslog/internal/netnode"
 )
 
@@ -61,6 +62,13 @@ func BenchmarkHotKeyDirect(b *testing.B) {
 			}
 		}
 	})
+	b.StopTimer()
+	if err := benchjson.Record("gateway", benchjson.Result{
+		Name:    "hotkey/direct",
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	}); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkHotKeyGateway serves the same workload through one gateway:
@@ -86,4 +94,11 @@ func BenchmarkHotKeyGateway(b *testing.B) {
 	b.StopTimer()
 	c := g.Counters()
 	b.ReportMetric(float64(c.Hits.Value())/float64(b.N), "hits/op")
+	if err := benchjson.Record("gateway", benchjson.Result{
+		Name:    "hotkey/gateway",
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Extra:   map[string]float64{"hits_per_op": float64(c.Hits.Value()) / float64(b.N)},
+	}); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -38,6 +38,7 @@ import (
 
 	"lesslog/internal/metrics"
 	"lesslog/internal/msg"
+	"lesslog/internal/routehint"
 	"lesslog/internal/transport"
 )
 
@@ -52,6 +53,11 @@ const (
 // maxFetchAttempts bounds how many distinct entry peers one read tries
 // before giving up.
 const maxFetchAttempts = 4
+
+// locateRetryAfter is how long the gateway stays downgraded to the relay
+// path after the fabric answers locate with unknown-kind, before probing
+// again; a variable so interop tests can shorten the latch.
+var locateRetryAfter = 30 * time.Second
 
 // Errors surfaced by gateway operations (ErrOverloaded lives in
 // admission.go beside the gate that produces it).
@@ -93,6 +99,19 @@ type Config struct {
 	// PipelineWorkers caps concurrently handled pipelined requests per
 	// client connection; 0 selects transport.DefaultPipelineWorkers.
 	PipelineWorkers int
+	// DisableLocate turns the locate-then-fetch data plane off: every
+	// cache miss relays the payload through the lookup path, as pre-locate
+	// gateways did. With it on (the default), misses resolve the holder —
+	// route-hint cache first, then a locate walk — and fetch the payload
+	// in one direct hop; fabrics that answer locate with unknown-kind
+	// downgrade automatically. See docs/ROUTING.md.
+	DisableLocate bool
+	// HintSize bounds the route-hint cache in entries; 0 selects
+	// routehint.DefaultCapacity.
+	HintSize int
+	// HintTTL bounds how long a route hint may steer direct fetches
+	// without being re-learned; 0 selects routehint.DefaultTTL.
+	HintTTL time.Duration
 	// Logger receives structured gateway events; nil discards them.
 	Logger *slog.Logger
 }
@@ -177,6 +196,12 @@ type Gateway struct {
 	flights *flightGroup
 	adm     *admission
 
+	// hints is the data plane's name → holder cache; locateDown latches
+	// the relay fallback (unix-nanos until which the fabric is assumed not
+	// to speak locate). hints is nil iff Config.DisableLocate.
+	hints      *routehint.Cache
+	locateDown atomic.Int64
+
 	counters Counters
 	obs      gwObs
 	log      *slog.Logger
@@ -206,6 +231,9 @@ func New(cfg Config) (*Gateway, error) {
 		adm:     newAdmission(cfg.MaxInFlight, cfg.QueueTimeout),
 		log:     logger.With("component", "gateway"),
 	}
+	if !cfg.DisableLocate {
+		g.hints = routehint.New(cfg.HintSize, cfg.HintTTL)
+	}
 	g.det = transport.NewDetector(g.tr.Config().FailThreshold, g.peerDown, g.peerUp)
 	return g, nil
 }
@@ -218,6 +246,11 @@ func (g *Gateway) peerDown(idx uint32) {
 	if int(idx) < len(g.peers) {
 		addr = g.peers[idx]
 		g.tr.DropIdle(addr)
+		if g.hints != nil {
+			// Every route hint pointing at the dead peer reroutes now,
+			// instead of each paying its own failed direct fetch.
+			g.hints.PurgeHolder(addr)
+		}
 	}
 	g.log.Warn("entry peer declared down", "peer", addr)
 }
@@ -298,11 +331,111 @@ func (g *Gateway) Get(name string) (Result, error) {
 	return res, err
 }
 
-// fetch performs the fabric read behind a cache miss, trying distinct
-// entry peers on transport failure and refusing to return data older than
-// an acknowledged write.
+// fetch performs the fabric read behind a cache miss. The data plane goes
+// hint → direct fetch → locate → direct fetch, falling back to the
+// payload-relaying lookup path when the fabric does not speak locate (or
+// the locate chain cannot settle); every path funnels through admitFill,
+// so the version-floor guarantee is identical however the bytes arrive.
 func (g *Gateway) fetch(name string) (Result, error) {
 	g.counters.Misses.Inc()
+	if g.hints != nil {
+		if h, ok := g.hints.Get(name); ok {
+			if res, err, ok := g.fetchAt(name, h); ok {
+				g.counters.HintHits.Inc()
+				return res, err
+			}
+			g.counters.HintStale.Inc()
+		}
+		if res, err, ok := g.fetchViaLocate(name); ok {
+			return res, err
+		}
+	}
+	return g.fetchRelay(name)
+}
+
+// fetchAt is the one-hop data-plane fetch: a local-only get at h's
+// address, admitted through the version floor. ok=false means "resolve
+// again" — the holder refused (stale hint), was unreachable (hints at that
+// address are purged wholesale), or answered behind the floor.
+func (g *Gateway) fetchAt(name string, h routehint.Hint) (Result, error, bool) {
+	resp, rpcErr := g.tr.Do(h.Addr, &msg.Request{
+		Kind: msg.KindGet, Flags: msg.FlagLocalOnly, Name: name,
+	})
+	if rpcErr != nil {
+		// The holder itself is unreachable — the same evidence the failure
+		// detector acts on, one deadline earlier. Reroute every name
+		// hinted there at once.
+		g.hints.PurgeHolder(h.Addr)
+		g.counters.FetchErrors.Inc()
+		return Result{}, nil, false
+	}
+	if !resp.OK {
+		g.hints.Purge(name)
+		return Result{}, nil, false
+	}
+	if resp.ServedBy != h.PID {
+		// Served, but not by the hinted holder: a pre-locate peer ignored
+		// the local-only bit and relayed. Data is good; the hint is not.
+		g.hints.Purge(name)
+	} else {
+		g.hints.Put(name, routehint.Hint{PID: h.PID, Addr: h.Addr, Version: resp.Version})
+	}
+	res, err := g.admitFill(name, resp)
+	if err != nil && !errors.Is(err, ErrFault) {
+		// The holder runs behind a write this gateway acknowledged; its
+		// hint cannot serve this floor generation.
+		g.hints.Purge(name)
+		return Result{}, nil, false
+	}
+	return res, err, true
+}
+
+// fetchViaLocate resolves name's holder through a locate walk and fetches
+// directly there. ok=false falls back to the relay path: the fabric
+// answered locate with unknown-kind (latching the downgrade), or the
+// locate/fetch chain could not settle. A clean locate fault is final —
+// the relay walk would visit the same tree and find the same nothing.
+func (g *Gateway) fetchViaLocate(name string) (Result, error, bool) {
+	if time.Now().UnixNano() < g.locateDown.Load() {
+		return Result{}, nil, false
+	}
+	attempts := len(g.peers)
+	if attempts > maxFetchAttempts {
+		attempts = maxFetchAttempts
+	}
+	for i := 0; i < attempts; i++ {
+		idx := g.pickPeer()
+		g.counters.Locates.Inc()
+		resp, err := g.tr.Do(g.peers[idx], &msg.Request{Kind: msg.KindLocate, Name: name})
+		if err != nil {
+			g.det.Fail(uint32(idx))
+			g.counters.FetchErrors.Inc()
+			continue
+		}
+		g.det.Ok(uint32(idx))
+		if !resp.OK {
+			if msg.IsUnknownKind(resp.Err) {
+				g.counters.LocateFallbacks.Inc()
+				g.locateDown.Store(time.Now().Add(locateRetryAfter).UnixNano())
+				g.log.Info("fabric does not speak locate; relaying",
+					"peer", g.peers[idx], "retry_after", locateRetryAfter)
+				return Result{}, nil, false
+			}
+			return Result{}, fmt.Errorf("%w: %s", ErrFault, name), true
+		}
+		h := routehint.Hint{PID: resp.ServedBy, Addr: string(resp.Data), Version: resp.Version}
+		if res, ferr, ok := g.fetchAt(name, h); ok {
+			return res, ferr, true
+		}
+		// Holder vanished between locate and fetch; locate again.
+	}
+	return Result{}, nil, false
+}
+
+// fetchRelay is the pre-locate read path: the payload relays back through
+// the lookup walk, trying distinct entry peers on transport failure and
+// refusing to return data older than an acknowledged write.
+func (g *Gateway) fetchRelay(name string) (Result, error) {
 	attempts := len(g.peers)
 	if attempts > maxFetchAttempts {
 		attempts = maxFetchAttempts
@@ -497,6 +630,12 @@ func (g *Gateway) write(kind msg.Kind, name string, data []byte) (WriteResult, e
 		g.cache.ackDelete(name)
 		g.counters.Deletes.Inc()
 	}
+	if g.hints != nil {
+		// The write moved the name's version (or holder set); a later
+		// direct fetch off the old hint must re-prove itself against the
+		// raised floor, so drop the hint rather than risk the round-trip.
+		g.hints.Purge(name)
+	}
 	return WriteResult{Copies: int(resp.Hops), Version: resp.Version}, nil
 }
 
@@ -543,6 +682,15 @@ func resultOf(e entry, src Source) Result {
 
 // CacheLen returns the number of currently cached entries.
 func (g *Gateway) CacheLen() int { return g.cache.len() }
+
+// HintLen returns the number of cached route hints (0 with the locate
+// data plane disabled).
+func (g *Gateway) HintLen() int {
+	if g.hints == nil {
+		return 0
+	}
+	return g.hints.Len()
+}
 
 // Counters returns the gateway's counter set for inspection.
 func (g *Gateway) Counters() *Counters { return &g.counters }

@@ -35,6 +35,12 @@ type Counters struct {
 	PeersDown   metrics.AtomicCounter // entry peers declared down
 	PeersUp     metrics.AtomicCounter // entry peers restored
 	ProtoErrors metrics.AtomicCounter // client-connection decode/write failures
+
+	// Locate-then-fetch data plane (docs/ROUTING.md).
+	HintHits        metrics.AtomicCounter // misses served by a direct fetch off a cached hint
+	HintStale       metrics.AtomicCounter // cached hints that failed and were invalidated
+	Locates         metrics.AtomicCounter // locate RPCs issued
+	LocateFallbacks metrics.AtomicCounter // unknown-kind answers that latched the relay path
 }
 
 // CountersSnapshot is the plain-value copy of Counters plus the cache's
@@ -57,6 +63,11 @@ type CountersSnapshot struct {
 	Evictions     uint64 `json:"cache_evictions"`
 	Invalidations uint64 `json:"cache_invalidations"`
 	StaleRejected uint64 `json:"cache_stale_rejected"`
+
+	HintHits        uint64 `json:"hint_hits"`
+	HintStale       uint64 `json:"hint_stale"`
+	Locates         uint64 `json:"locates"`
+	LocateFallbacks uint64 `json:"locate_fallbacks"`
 }
 
 // StatSnapshot is the gateway's structured status, the edge counterpart
@@ -66,6 +77,7 @@ type StatSnapshot struct {
 	PeersDown   []uint32 `json:"peers_detector_down"` // entry-peer indexes
 	CacheLen    int      `json:"cache_len"`
 	CacheCap    int      `json:"cache_cap"`
+	HintLen     int      `json:"hint_len"`
 	CacheTTLMS  float64  `json:"cache_ttl_ms"`
 	MaxInFlight int      `json:"max_in_flight"`
 	InFlight    int      `json:"in_flight"`
@@ -131,6 +143,11 @@ func (g *Gateway) countersSnapshot() CountersSnapshot {
 		Evictions:     g.cache.c.evictions.Value(),
 		Invalidations: g.cache.c.invalidations.Value(),
 		StaleRejected: g.cache.c.staleRejected.Value(),
+
+		HintHits:        g.counters.HintHits.Value(),
+		HintStale:       g.counters.HintStale.Value(),
+		Locates:         g.counters.Locates.Value(),
+		LocateFallbacks: g.counters.LocateFallbacks.Value(),
 	}
 }
 
@@ -140,6 +157,7 @@ func (g *Gateway) StatSnapshot() StatSnapshot {
 		Peers:         append([]string(nil), g.peers...),
 		PeersDown:     g.det.DownIDs(),
 		CacheLen:      g.cache.len(),
+		HintLen:       g.HintLen(),
 		CacheCap:      g.cfg.CacheSize,
 		CacheTTLMS:    float64(g.cfg.CacheTTL) * nsToMS,
 		MaxInFlight:   g.cfg.MaxInFlight,
@@ -199,9 +217,16 @@ func (g *Gateway) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: `direction="up"`, Value: float64(c.PeersUp)})
 	metrics.PrometheusFamily(w, "lesslog_gateway_proto_errors_total", "counter",
 		metrics.LabeledValue{Value: float64(c.ProtoErrors)})
+	metrics.PrometheusFamily(w, "lesslog_gateway_locate_events_total", "counter",
+		metrics.LabeledValue{Labels: `event="hint_hit"`, Value: float64(c.HintHits)},
+		metrics.LabeledValue{Labels: `event="hint_stale"`, Value: float64(c.HintStale)},
+		metrics.LabeledValue{Labels: `event="locate"`, Value: float64(c.Locates)},
+		metrics.LabeledValue{Labels: `event="fallback"`, Value: float64(c.LocateFallbacks)})
 
 	metrics.PrometheusFamily(w, "lesslog_gateway_cache_entries", "gauge",
 		metrics.LabeledValue{Value: float64(g.cache.len())})
+	metrics.PrometheusFamily(w, "lesslog_gateway_route_hints", "gauge",
+		metrics.LabeledValue{Value: float64(g.HintLen())})
 	metrics.PrometheusFamily(w, "lesslog_gateway_in_flight", "gauge",
 		metrics.LabeledValue{Value: float64(g.adm.inFlight())})
 	metrics.PrometheusFamily(w, "lesslog_gateway_pipeline_depth", "gauge",

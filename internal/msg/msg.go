@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 )
@@ -59,11 +60,21 @@ const (
 	// a bounds-checked list of encoded Requests (AppendBatchRequests), the
 	// response's Data the matching Responses. Batches do not nest.
 	KindBatch
+	// KindLocate is the control half of the locate-then-fetch data plane:
+	// it is forwarded along the lookup tree exactly like KindGet (same
+	// ancestor walk, FINDLIVENODE fallback and subtree migration), but the
+	// serving holder answers with a tiny metadata frame — its PID in
+	// ServedBy, its listen address in Data, the copy's version in Version —
+	// never the file payload. Clients then fetch the data in one hop with a
+	// FlagLocalOnly get. Version-gated like the FrameIDBit precedent: a
+	// legacy peer answers with the unknown-kind error (IsUnknownKind), and
+	// the caller falls back to the relay path.
+	KindLocate
 )
 
 // KindCount sizes per-kind metric arrays: valid kinds index 1..KindCount-1,
 // slot 0 collects unknown kinds.
-const KindCount = int(KindBatch) + 1
+const KindCount = int(KindLocate) + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -88,8 +99,30 @@ func (k Kind) String() string {
 		return "delete"
 	case KindBatch:
 		return "batch"
+	case KindLocate:
+		return "locate"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// unknownKindPrefix is the wire phrasing every peer build has used for a
+// kind its dispatch does not know. It is part of the de-facto protocol:
+// locate-speaking callers detect a legacy relay-only peer by this prefix
+// and downgrade to the relay path, so the string must stay stable.
+const unknownKindPrefix = "netnode: unknown kind"
+
+// UnknownKindError renders the canonical unknown-kind response error for
+// k. Dispatchers answer requests they cannot serve with exactly this
+// string so IsUnknownKind recognizes them across versions.
+func UnknownKindError(k Kind) string {
+	return fmt.Sprintf("%s %v", unknownKindPrefix, k)
+}
+
+// IsUnknownKind reports whether a response error says the peer does not
+// speak the request's kind — the version gate the locate-then-fetch path
+// uses to fall back to relay gets against legacy peers.
+func IsUnknownKind(errStr string) bool {
+	return strings.HasPrefix(errStr, unknownKindPrefix)
 }
 
 // Limits protecting decoders.
@@ -123,6 +156,13 @@ const (
 	// FlagJSON asks KindStat for the structured JSON stats snapshot
 	// instead of the legacy one-line text summary.
 	FlagJSON
+	// FlagLocalOnly marks a KindGet that must be answered from the local
+	// store or with not-found — never forwarded. It is the fetch half of
+	// locate-then-fetch: the client already resolved the holder, so a stale
+	// route hint degrades into one cheap miss instead of re-amplifying into
+	// a relayed tree walk. Legacy peers ignore the bit (unknown flags were
+	// never rejected) and forward as usual, which is safe — just slower.
+	FlagLocalOnly
 )
 
 // HopAction classifies what one stop on a traced route did with the
@@ -139,6 +179,13 @@ const (
 	HopMigrate
 	// HopServe: answered from the local store; always the final hop.
 	HopServe
+	// HopLocate: answered with the holder's location instead of the data —
+	// the final hop of a traced KindLocate resolution.
+	HopLocate
+	// HopFault: the request died here — no copy and no next hop (or every
+	// forward attempt failed). Always the final hop of a faulted route;
+	// carrying it back makes dead routes debuggable with `-op get -trace`.
+	HopFault
 )
 
 // String names the action.
@@ -152,6 +199,10 @@ func (a HopAction) String() string {
 		return "migrate"
 	case HopServe:
 		return "serve"
+	case HopLocate:
+		return "locate"
+	case HopFault:
+		return "fault"
 	}
 	return fmt.Sprintf("action(%d)", uint8(a))
 }

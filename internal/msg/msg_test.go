@@ -93,7 +93,8 @@ func TestTooManyHopsRejected(t *testing.T) {
 func TestHopActionString(t *testing.T) {
 	for a, want := range map[HopAction]string{
 		HopForward: "forward", HopFallback: "fallback",
-		HopMigrate: "migrate", HopServe: "serve", HopAction(77): "action(77)",
+		HopMigrate: "migrate", HopServe: "serve",
+		HopLocate: "locate", HopFault: "fault", HopAction(77): "action(77)",
 	} {
 		if a.String() != want {
 			t.Fatalf("HopAction(%d).String() = %q", a, a.String())
@@ -205,10 +206,35 @@ func TestCorruptResponse(t *testing.T) {
 func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindInsert: "insert", KindGet: "get", KindUpdate: "update",
-		KindStore: "store", KindStat: "stat", Kind(99): "kind(99)",
+		KindStore: "store", KindStat: "stat", KindLocate: "locate",
+		Kind(99): "kind(99)",
 	} {
 		if k.String() != want {
 			t.Fatalf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestUnknownKindError(t *testing.T) {
+	// The exact phrasing is the version gate legacy peers already emit:
+	// their dispatch answers `netnode: unknown kind kind(N)`. A locate
+	// caller must classify both that historical string and the one
+	// UnknownKindError renders today.
+	if got := UnknownKindError(KindLocate); got != "netnode: unknown kind locate" {
+		t.Fatalf("UnknownKindError = %q", got)
+	}
+	for _, e := range []string{
+		UnknownKindError(KindLocate),
+		UnknownKindError(Kind(42)),
+		"netnode: unknown kind kind(11)", // a legacy build's verbatim answer
+	} {
+		if !IsUnknownKind(e) {
+			t.Fatalf("IsUnknownKind(%q) = false", e)
+		}
+	}
+	for _, e := range []string{"", "netnode: file not found (fault)", "gateway: overloaded"} {
+		if IsUnknownKind(e) {
+			t.Fatalf("IsUnknownKind(%q) = true", e)
 		}
 	}
 }

@@ -99,6 +99,7 @@ func TestEveryKindHasHandler(t *testing.T) {
 		msg.KindHas:    {Kind: msg.KindHas, Name: "seed"},
 		msg.KindDelete: {Kind: msg.KindDelete, Name: "k/store"},
 		msg.KindBatch:  {Kind: msg.KindBatch, Data: emptyBatch},
+		msg.KindLocate: {Kind: msg.KindLocate, Name: "seed"},
 	}
 	for k := 1; k < msg.KindCount; k++ {
 		kind := msg.Kind(k)

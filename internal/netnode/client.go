@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
+	"time"
 
 	"lesslog/internal/msg"
+	"lesslog/internal/routehint"
 	"lesslog/internal/transport"
 )
 
@@ -14,12 +17,49 @@ import (
 // be located — the paper's "fault".
 var ErrFault = errors.New("netnode: file not found (fault)")
 
+// DefaultLocateRetryAfter is how long a locate-mode client stays
+// downgraded to the relay path after a peer answers locate with the
+// unknown-kind error, before probing again — bounds the per-get cost of a
+// mixed-version fabric without freezing the downgrade across a rolling
+// upgrade.
+const DefaultLocateRetryAfter = 30 * time.Second
+
 // Client issues file operations against any peer of a networked LessLog
 // system. The zero value is unusable; construct with NewClient or
-// NewClientWith.
+// NewClientWith — or NewLocateClient for the locate-then-fetch data plane.
 type Client struct {
 	addr string
 	tr   *transport.Transport
+
+	// Locate mode (docs/ROUTING.md): gets resolve the holder through the
+	// hint cache or a locate RPC and fetch the payload in one direct hop;
+	// locateDown latches the relay fallback (unix-nanos until which locate
+	// is considered unsupported by the fabric).
+	locate     bool
+	hints      *routehint.Cache
+	retryAfter time.Duration
+	locateDown atomic.Int64
+	lstats     LocateStats
+}
+
+// LocateStats counts a locate-mode client's data-plane outcomes.
+type LocateStats struct {
+	HintHits   atomic.Uint64 // gets served by a direct fetch off a cached hint
+	HintStale  atomic.Uint64 // cached hints that failed and were invalidated
+	Locates    atomic.Uint64 // locate RPCs issued
+	Relays     atomic.Uint64 // gets that fell back to the relay path
+	Downgrades atomic.Uint64 // unknown-kind answers that latched locate off
+}
+
+// LocateOptions configure a locate-mode client.
+type LocateOptions struct {
+	// Hints is the route-hint cache; nil gives the client a private cache
+	// with routehint defaults. Pass a shared cache to pool hints across
+	// clients of the same fabric.
+	Hints *routehint.Cache
+	// RetryAfter bounds how long the client stays downgraded after an
+	// unknown-kind answer; <= 0 selects DefaultLocateRetryAfter.
+	RetryAfter time.Duration
 }
 
 // NewClient returns a client that contacts the peer at addr through the
@@ -33,9 +73,36 @@ func NewClientWith(addr string, tr *transport.Transport) *Client {
 	return &Client{addr: addr, tr: tr}
 }
 
+// NewLocateClient returns a client whose gets use the locate-then-fetch
+// data plane with default options and the default transport.
+func NewLocateClient(addr string) *Client {
+	return NewLocateClientWith(addr, defaultTransport(), LocateOptions{})
+}
+
+// NewLocateClientWith returns a locate-mode client over tr. Gets consult
+// the route-hint cache and fetch directly at the holder; misses pay one
+// locate walk; fabrics that answer locate with unknown-kind downgrade to
+// the relay path for RetryAfter.
+func NewLocateClientWith(addr string, tr *transport.Transport, opts LocateOptions) *Client {
+	hints := opts.Hints
+	if hints == nil {
+		hints = routehint.New(0, 0)
+	}
+	retry := opts.RetryAfter
+	if retry <= 0 {
+		retry = DefaultLocateRetryAfter
+	}
+	return &Client{addr: addr, tr: tr, locate: true, hints: hints, retryAfter: retry}
+}
+
+// LocateStats returns the client's data-plane counters; zero-valued (and
+// static) unless the client is in locate mode.
+func (c *Client) LocateStats() *LocateStats { return &c.lstats }
+
 // Insert stores a file in the system.
 func (c *Client) Insert(name string, data []byte) error {
 	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindInsert, Name: name, Data: data})
+	c.purgeHint(name)
 	if err != nil {
 		return err
 	}
@@ -43,6 +110,16 @@ func (c *Client) Insert(name string, data []byte) error {
 		return fmt.Errorf("netnode: insert %q: %s", name, resp.Err)
 	}
 	return nil
+}
+
+// purgeHint invalidates name's route hint after any write attempt — the
+// holder set or version may have moved, and a later get must not serve an
+// older copy off a hint than the acknowledged write produced. No-op
+// outside locate mode.
+func (c *Client) purgeHint(name string) {
+	if c.hints != nil {
+		c.hints.Purge(name)
+	}
 }
 
 // GetResult reports how a networked get was served.
@@ -57,18 +134,32 @@ type GetResult struct {
 }
 
 // Get fetches a file, reporting which peer served it and the hop count.
+// In locate mode the payload travels one direct hop from the holder
+// whenever a hint or locate resolves it; otherwise it relays back through
+// the lookup path.
 func (c *Client) Get(name string) (GetResult, error) {
-	return c.get(&msg.Request{Kind: msg.KindGet, Name: name})
+	req := &msg.Request{Kind: msg.KindGet, Name: name}
+	if c.locate {
+		return c.getLocate(req)
+	}
+	return c.get(req)
 }
 
 // GetTraced fetches a file with route tracing: every peer the request
 // visits appends a hop record, and the result's Path holds the actual
-// route — the live counterpart of internal/trace.Route's prediction.
+// route — the live counterpart of internal/trace.Route's prediction. A
+// locate-mode trace shows the locate walk followed by the direct fetch's
+// serve hop; a failed traced get returns the partial Path alongside the
+// error, ending in the fault hop.
 func (c *Client) GetTraced(name string) (GetResult, error) {
-	return c.get(&msg.Request{
+	req := &msg.Request{
 		Kind: msg.KindGet, Flags: msg.FlagTrace,
 		Name: name, TraceID: rand.Uint64(),
-	})
+	}
+	if c.locate {
+		return c.getLocate(req)
+	}
+	return c.get(req)
 }
 
 func (c *Client) get(req *msg.Request) (GetResult, error) {
@@ -77,7 +168,11 @@ func (c *Client) get(req *msg.Request) (GetResult, error) {
 		return GetResult{}, err
 	}
 	if !resp.OK {
-		return GetResult{}, fmt.Errorf("%w: %s", ErrFault, req.Name)
+		// A traced fault still carries the route walked so far — hand the
+		// partial path back with the error so the operator sees where
+		// routing died.
+		return GetResult{Hops: int(resp.Hops), Path: resp.Path},
+			fmt.Errorf("%w: %s", ErrFault, req.Name)
 	}
 	return GetResult{
 		Data: resp.Data, Version: resp.Version,
@@ -85,10 +180,140 @@ func (c *Client) get(req *msg.Request) (GetResult, error) {
 	}, nil
 }
 
+// getLocate is the locate-then-fetch get: warm hints go straight to the
+// holder; cold names pay one locate walk, then fetch directly; fabrics
+// that do not speak locate downgrade to the relay path.
+func (c *Client) getLocate(req *msg.Request) (GetResult, error) {
+	if h, ok := c.hints.Get(req.Name); ok {
+		if res, ok := c.directFetch(req, h); ok {
+			c.lstats.HintHits.Add(1)
+			return res, nil
+		}
+		c.lstats.HintStale.Add(1)
+	}
+	if time.Now().UnixNano() < c.locateDown.Load() {
+		c.lstats.Relays.Add(1)
+		return c.get(req)
+	}
+	c.lstats.Locates.Add(1)
+	resp, err := c.tr.Do(c.addr, &msg.Request{
+		Kind: msg.KindLocate, Name: req.Name,
+		Flags: req.Flags & msg.FlagTrace, TraceID: req.TraceID,
+	})
+	if err != nil {
+		return GetResult{}, err
+	}
+	if !resp.OK {
+		if msg.IsUnknownKind(resp.Err) {
+			// The entry peer (or a hop on the walk) predates locate:
+			// latch the relay path instead of paying a wasted RPC per
+			// get, and re-probe after the latch expires.
+			c.lstats.Downgrades.Add(1)
+			c.locateDown.Store(time.Now().Add(c.retryAfter).UnixNano())
+			c.lstats.Relays.Add(1)
+			return c.get(req)
+		}
+		return GetResult{Hops: int(resp.Hops), Path: resp.Path},
+			fmt.Errorf("%w: %s", ErrFault, req.Name)
+	}
+	h := routehint.Hint{PID: resp.ServedBy, Addr: string(resp.Data), Version: resp.Version}
+	freq := req
+	if req.Flags&msg.FlagTrace != 0 {
+		fr := *req
+		fr.Path = resp.Path // the fetch trace continues where the locate ended
+		freq = &fr
+	}
+	if res, ok := c.directFetch(freq, h); ok {
+		return res, nil
+	}
+	// The located holder lost the file — or died — between locate and
+	// fetch; serve this get through the relay path and let the next one
+	// re-locate.
+	c.lstats.Relays.Add(1)
+	return c.get(req)
+}
+
+// directFetch is the one-hop data-plane fetch: a local-only get at h's
+// address. On success the hint is refreshed; on refusal or transport
+// failure the stale hint state is invalidated — per name, or per holder
+// when the holder itself is unreachable — and ok is false so the caller
+// re-resolves.
+func (c *Client) directFetch(req *msg.Request, h routehint.Hint) (GetResult, bool) {
+	freq := *req
+	freq.Kind = msg.KindGet
+	freq.Flags |= msg.FlagLocalOnly
+	resp, err := c.tr.Do(h.Addr, &freq)
+	if err != nil {
+		c.hints.PurgeHolder(h.Addr)
+		return GetResult{}, false
+	}
+	if !resp.OK {
+		c.hints.Purge(req.Name)
+		return GetResult{}, false
+	}
+	res := GetResult{
+		Data: resp.Data, Version: resp.Version,
+		ServedBy: resp.ServedBy, Hops: int(resp.Hops), Path: resp.Path,
+	}
+	if resp.ServedBy != h.PID {
+		// Served, but not by the hinted holder: a pre-locate peer ignored
+		// the local-only bit and relayed. The data is good; the hint is not.
+		c.hints.Purge(req.Name)
+		return res, true
+	}
+	c.hints.Put(req.Name, routehint.Hint{PID: h.PID, Addr: h.Addr, Version: resp.Version})
+	return res, true
+}
+
+// LocateResult reports where a file lives: the serving holder's identity
+// and the copy version it held at locate time.
+type LocateResult struct {
+	PID     uint32
+	Addr    string
+	Version uint64
+	Hops    int
+	// Path is the observed locate route (LocateTraced), the holder's
+	// locate hop last. Nil for untraced locates.
+	Path []msg.Hop
+}
+
+// Locate resolves name to its serving holder without moving the payload.
+func (c *Client) Locate(name string) (LocateResult, error) {
+	return c.locateReq(&msg.Request{Kind: msg.KindLocate, Name: name})
+}
+
+// LocateTraced resolves name with route tracing; the result's Path is the
+// locate walk, one hop per stop.
+func (c *Client) LocateTraced(name string) (LocateResult, error) {
+	return c.locateReq(&msg.Request{
+		Kind: msg.KindLocate, Flags: msg.FlagTrace,
+		Name: name, TraceID: rand.Uint64(),
+	})
+}
+
+func (c *Client) locateReq(req *msg.Request) (LocateResult, error) {
+	resp, err := c.tr.Do(c.addr, req)
+	if err != nil {
+		return LocateResult{}, err
+	}
+	if !resp.OK {
+		if msg.IsUnknownKind(resp.Err) {
+			return LocateResult{}, fmt.Errorf("netnode: locate %q: %s", req.Name, resp.Err)
+		}
+		return LocateResult{Hops: int(resp.Hops), Path: resp.Path},
+			fmt.Errorf("%w: %s", ErrFault, req.Name)
+	}
+	return LocateResult{
+		PID: resp.ServedBy, Addr: string(resp.Data), Version: resp.Version,
+		Hops: int(resp.Hops), Path: resp.Path,
+	}, nil
+}
+
 // Update rewrites a file everywhere it is replicated. The returned count
 // is the number of copies rewritten.
 func (c *Client) Update(name string, data []byte) (int, error) {
 	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindUpdate, Name: name, Data: data})
+	c.purgeHint(name)
 	if err != nil {
 		return 0, err
 	}
@@ -102,6 +327,7 @@ func (c *Client) Update(name string, data []byte) (int, error) {
 // copies removed.
 func (c *Client) Delete(name string) (int, error) {
 	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindDelete, Name: name})
+	c.purgeHint(name)
 	if err != nil {
 		return 0, err
 	}
@@ -121,6 +347,7 @@ func (c *Client) Store(name string, data []byte, version uint64, replica bool) e
 	resp, err := c.tr.Do(c.addr, &msg.Request{
 		Kind: msg.KindStore, Flags: flags, Name: name, Data: data, Version: version,
 	})
+	c.purgeHint(name)
 	if err != nil {
 		return err
 	}

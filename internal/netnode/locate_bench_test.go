@@ -1,0 +1,282 @@
+package netnode
+
+// The acceptance benchmarks for the locate-then-fetch data plane (`make
+// locate-bench`; the recorded comparison lives in results/locate_bench.txt
+// and results/BENCH_locate.json):
+//
+//   - BenchmarkRelayGet fetches a payload through the pre-locate path: the
+//     entry peer walks the lookup tree and the file bytes relay back
+//     through every hop. Wire cost grows with path length × payload size.
+//   - BenchmarkLocateGet fetches the same payload through a warm route
+//     hint: one direct RPC at the holder, zero relayed payload bytes.
+//
+// Both paths pay benchRTT per RPC — including the client's own leg, via a
+// fault-injected client transport, so the warm-hint win is measured
+// against a relay path that also gets its first hop "free" on loopback.
+// TestLocateBenchReport (run by `make locate-bench`) drives both paths,
+// asserts the single-RPC / zero-relay properties via the peer counters,
+// and records p50/p99 latencies and bytes-on-wire through benchjson.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"lesslog/internal/benchjson"
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+	"lesslog/internal/transport"
+	"lesslog/internal/xrand"
+)
+
+// benchSizes are the payload sizes the data-plane comparison covers.
+var benchSizes = []struct {
+	label string
+	n     int
+}{
+	{"4KiB", 4 << 10}, {"64KiB", 64 << 10}, {"1MiB", 1 << 20},
+}
+
+// benchClientTransport pays benchRTT on every client-issued RPC, matching
+// the fabric's injected propagation delay.
+func benchClientTransport(b *testing.B) *transport.Transport {
+	b.Helper()
+	tr := transport.New(transport.Config{},
+		transport.NewFaults().Add(transport.Rule{Delay: benchRTT}))
+	b.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// benchPayload builds a deterministic payload of n bytes.
+func benchPayload(n int) []byte {
+	data := make([]byte, n)
+	r := xrand.New(uint64(n))
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	return data
+}
+
+// sumRelayed totals the relayed payload bytes across the fabric.
+func sumRelayed(peers map[bitops.PID]*Peer) uint64 {
+	var n uint64
+	for _, p := range peers {
+		n += p.Stats().RelayedBytes.Load()
+	}
+	return n
+}
+
+// sumRequests totals requests handled across the fabric.
+func sumRequests(peers map[bitops.PID]*Peer) uint64 {
+	var n uint64
+	for _, p := range peers {
+		n += p.Stats().Requests.Load()
+	}
+	return n
+}
+
+// startLocateBenchSystem boots the comparison fabric: 16 peers, lookup
+// trees pinned to target P(4), entry at P(8) — a guaranteed multi-hop
+// route (P(8) → P(0) → P(4)) so the relay path has bytes to relay.
+func startLocateBenchSystem(b *testing.B, name string, payload []byte) (map[bitops.PID]*Peer, string) {
+	b.Helper()
+	peers := startBenchSystem(b, 4, allPIDs(16), hashring.Fixed(4))
+	entry := peers[8].Addr()
+	if err := NewClient(entry).Insert(name, payload); err != nil {
+		b.Fatal(err)
+	}
+	return peers, entry
+}
+
+func BenchmarkRelayGet(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(size.label, func(b *testing.B) {
+			peers, entry := startLocateBenchSystem(b, "bench/payload", benchPayload(size.n))
+			cl := NewClientWith(entry, benchClientTransport(b))
+			if _, err := cl.Get("bench/payload"); err != nil {
+				b.Fatal(err)
+			}
+			relayed0 := sumRelayed(peers)
+			b.SetBytes(int64(size.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Get("bench/payload"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perOp := (sumRelayed(peers) - relayed0) / uint64(b.N)
+			if err := benchjson.Record("locate", benchjson.Result{
+				Name:        "relay/" + size.label,
+				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				BytesOnWire: uint64(size.n) + perOp,
+				Extra:       map[string]float64{"relayed_bytes_per_op": float64(perOp)},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkLocateGet(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(size.label, func(b *testing.B) {
+			peers, entry := startLocateBenchSystem(b, "bench/payload", benchPayload(size.n))
+			cl := NewLocateClientWith(entry, benchClientTransport(b), LocateOptions{})
+			// Warm the route hint: the first get pays the locate walk.
+			if _, err := cl.Get("bench/payload"); err != nil {
+				b.Fatal(err)
+			}
+			relayed0 := sumRelayed(peers)
+			b.SetBytes(int64(size.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Get("bench/payload"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if d := sumRelayed(peers) - relayed0; d != 0 {
+				b.Fatalf("warm-hint gets relayed %d payload bytes, want 0", d)
+			}
+			if err := benchjson.Record("locate", benchjson.Result{
+				Name:        "locate/" + size.label,
+				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				BytesOnWire: uint64(size.n),
+				Extra:       map[string]float64{"relayed_bytes_per_op": 0},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// quantile returns the q-quantile of the sorted sample set.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// TestLocateBenchReport is the acceptance run behind `make locate-bench`
+// (gated by LESSLOG_LOCATE_BENCH so plain `go test ./...` stays fast). For
+// each payload size it drives the relay and warm-hint paths side by side
+// and asserts the data-plane properties the counters expose:
+//
+//   - a warm-hint get is a single fabric RPC (requests delta == gets);
+//   - warm-hint gets relay zero payload bytes, while the relay path moves
+//     size × (path length) extra bytes across the fabric;
+//
+// then records p50/p99 and the speedup per size through benchjson.
+func TestLocateBenchReport(t *testing.T) {
+	if os.Getenv("LESSLOG_LOCATE_BENCH") == "" {
+		t.Skip("set LESSLOG_LOCATE_BENCH=1 (make locate-bench) to run the data-plane comparison")
+	}
+	const rounds = 40
+	for _, size := range benchSizes {
+		name := fmt.Sprintf("bench/%s", size.label)
+		peers := func() map[bitops.PID]*Peer {
+			// startBenchSystem wants *testing.B only for Cleanup/Fatal;
+			// reuse startSystem and inject the RTT by hand.
+			peers := make(map[bitops.PID]*Peer, 16)
+			addrs := make(map[bitops.PID]string, 16)
+			for _, pid := range allPIDs(16) {
+				p, err := Listen(Config{
+					PID: pid, M: 4, Hasher: hashring.Fixed(4),
+					Faults: transport.NewFaults().Add(transport.Rule{Delay: benchRTT}),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { p.Close() })
+				peers[pid] = p
+				addrs[pid] = p.Addr()
+			}
+			for _, p := range peers {
+				p.SetAddrs(addrs)
+			}
+			return peers
+		}()
+		entry := peers[8].Addr()
+		payload := benchPayload(size.n)
+		if err := NewClient(entry).Insert(name, payload); err != nil {
+			t.Fatal(err)
+		}
+		ctr := transport.New(transport.Config{},
+			transport.NewFaults().Add(transport.Rule{Delay: benchRTT}))
+		t.Cleanup(func() { ctr.Close() })
+
+		run := func(get func() error) (lat []time.Duration, relayed, reqs uint64) {
+			r0, q0 := sumRelayed(peers), sumRequests(peers)
+			for i := 0; i < rounds; i++ {
+				start := time.Now()
+				if err := get(); err != nil {
+					t.Fatal(err)
+				}
+				lat = append(lat, time.Since(start))
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			return lat, sumRelayed(peers) - r0, sumRequests(peers) - q0
+		}
+
+		relayCl := NewClientWith(entry, ctr)
+		relayLat, relayBytes, _ := run(func() error { _, err := relayCl.Get(name); return err })
+
+		locCl := NewLocateClientWith(entry, ctr, LocateOptions{})
+		if _, err := locCl.Get(name); err != nil { // cold: locate walk + fetch
+			t.Fatal(err)
+		}
+		locLat, locBytes, locReqs := run(func() error { _, err := locCl.Get(name); return err })
+
+		if locBytes != 0 {
+			t.Errorf("%s: warm-hint gets relayed %d payload bytes, want 0", size.label, locBytes)
+		}
+		if locReqs != rounds {
+			t.Errorf("%s: warm-hint gets cost %d fabric requests for %d gets, want one each",
+				size.label, locReqs, rounds)
+		}
+		if relayBytes == 0 {
+			t.Errorf("%s: relay path relayed no payload bytes; entry peer should not hold %s",
+				size.label, name)
+		}
+		hits := locCl.LocateStats().HintHits.Load()
+		if hits != rounds {
+			t.Errorf("%s: hint hits = %d, want %d", size.label, hits, rounds)
+		}
+
+		speedup := float64(relayLat[len(relayLat)/2]) / float64(locLat[len(locLat)/2])
+		if err := benchjson.Record("locate",
+			benchjson.Result{
+				Name:        "report/relay/" + size.label,
+				NsPerOp:     float64(relayLat[len(relayLat)/2].Nanoseconds()),
+				BytesOnWire: uint64(size.n) + relayBytes/rounds,
+				Extra: map[string]float64{
+					"p50_ms":               float64(relayLat[len(relayLat)/2].Nanoseconds()) / 1e6,
+					"p99_ms":               float64(quantile(relayLat, 0.99).Nanoseconds()) / 1e6,
+					"relayed_bytes_per_op": float64(relayBytes) / rounds,
+				},
+			},
+			benchjson.Result{
+				Name:        "report/locate/" + size.label,
+				NsPerOp:     float64(locLat[len(locLat)/2].Nanoseconds()),
+				BytesOnWire: uint64(size.n),
+				Speedup:     speedup,
+				Extra: map[string]float64{
+					"p50_ms":               float64(locLat[len(locLat)/2].Nanoseconds()) / 1e6,
+					"p99_ms":               float64(quantile(locLat, 0.99).Nanoseconds()) / 1e6,
+					"relayed_bytes_per_op": 0,
+				},
+			},
+		); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: relay p50=%v p99=%v relayed=%dB/op | locate p50=%v p99=%v relayed=0B/op | speedup=%.2fx",
+			size.label,
+			relayLat[len(relayLat)/2], quantile(relayLat, 0.99), relayBytes/rounds,
+			locLat[len(locLat)/2], quantile(locLat, 0.99), speedup)
+	}
+}

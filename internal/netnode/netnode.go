@@ -63,6 +63,12 @@ type Config struct {
 	// (each leg's subtree recursion runs on the remote peers, so the
 	// effective parallelism cascades); <= 0 selects DefaultFanoutWorkers.
 	FanoutWorkers int
+	// DisableLocate makes the peer behave like a pre-locate build: KindLocate
+	// is answered with the unknown-kind error and FlagLocalOnly is ignored
+	// (legacy peers never rejected unknown flag bits, so a local-only get
+	// forwards as an ordinary relay get). The version gate for rolling
+	// upgrades, and the legacy end of the interop tests; see docs/ROUTING.md.
+	DisableLocate bool
 }
 
 // DefaultFanoutWorkers bounds concurrent broadcast legs per propagation
@@ -87,6 +93,18 @@ type Stats struct {
 	// ProtoErrors counts decode and write failures on served connections —
 	// the drops that used to be silent.
 	ProtoErrors atomic.Uint64
+	// Locate-then-fetch data plane (docs/ROUTING.md). Located counts
+	// KindLocate requests this peer answered as the holder; DirectServed /
+	// DirectMisses count FlagLocalOnly gets served from the local store or
+	// refused (a miss is a stale route hint, deliberately never forwarded).
+	Located      atomic.Uint64
+	DirectServed atomic.Uint64
+	DirectMisses atomic.Uint64
+	// RelayedBytes counts file-payload bytes this peer relayed back through
+	// a forwarded get — the wire cost the locate path exists to remove. A
+	// multi-hop relay get of size S adds S at every intermediate peer; a
+	// locate-then-fetch get adds zero.
+	RelayedBytes atomic.Uint64
 	// PipelineDepth gauges pipelined requests currently being handled
 	// across this peer's served connections; FanoutActive gauges broadcast
 	// RPC legs currently in flight. Both are instantaneous, not monotonic.
@@ -405,8 +423,13 @@ func (p *Peer) dispatch(req *msg.Request) *msg.Response {
 		return p.handleDelete(req)
 	case msg.KindBatch:
 		return p.handleBatch(req)
+	case msg.KindLocate:
+		if p.cfg.DisableLocate {
+			break // legacy emulation: answer unknown-kind like a pre-locate build
+		}
+		return p.handleLocate(req)
 	}
-	return &msg.Response{Err: fmt.Sprintf("netnode: unknown kind %v", req.Kind)}
+	return &msg.Response{Err: msg.UnknownKindError(req.Kind)}
 }
 
 // handleBatch serves a pipelined frame: every sub-request runs through the
@@ -470,11 +493,19 @@ func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
 	return &msg.Response{OK: true, ServedBy: uint32(target), Version: version}
 }
 
+// ErrNotHolder is the answer to a local-only get at a peer that does not
+// hold the file — the direct-fetch path's "your route hint is stale"
+// signal. Clients match it to purge the hint and fall back to a locate.
+const ErrNotHolder = "netnode: not holding requested file"
+
 func (p *Peer) handleGet(req *msg.Request) *msg.Response {
 	start := time.Now()
 	f, ok := p.store.Get(req.Name)
 	if ok {
 		p.stats.Served.Add(1)
+		if req.Flags&msg.FlagLocalOnly != 0 && !p.cfg.DisableLocate {
+			p.stats.DirectServed.Add(1)
+		}
 		resp := &msg.Response{
 			OK: true, ServedBy: uint32(p.cfg.PID), Hops: req.Hops,
 			Version: f.Version, Data: f.Data,
@@ -486,21 +517,64 @@ func (p *Peer) handleGet(req *msg.Request) *msg.Response {
 		}
 		return resp
 	}
-	// Forward along the lookup tree. A failed forward is not final: the
-	// failure feeds the detector, and once the dead hop's liveness bit
-	// flips, recomputing the next hop routes around it (§3/§5 over the
-	// wire) — so a get survives a silently crashed peer within a bounded
-	// number of RPC deadlines. The attempt budget guarantees at least one
-	// recomputation after the detector threshold is crossed.
+	if req.Flags&msg.FlagLocalOnly != 0 && !p.cfg.DisableLocate {
+		// Direct fetch against a route hint: the holder either has the
+		// file or the hint is stale. Forwarding here would silently turn
+		// a one-hop data-plane fetch back into a payload relay, so refuse
+		// and let the caller re-locate. (A DisableLocate peer ignores the
+		// flag, exactly as a pre-locate build would, and relays.)
+		p.stats.DirectMisses.Add(1)
+		resp := &msg.Response{Hops: req.Hops, Err: ErrNotHolder}
+		if req.Flags&msg.FlagTrace != 0 {
+			resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFault, time.Since(start))
+		}
+		return resp
+	}
 	defer func() { p.obs.forward.ObserveDuration(time.Since(start)) }()
+	return p.forwardLookup(req, start)
+}
+
+// handleLocate resolves a name to its serving holder without moving the
+// payload — the control-plane half of the locate-then-fetch data plane
+// (docs/ROUTING.md). It walks the same lookup tree as a relay get — same
+// live-ancestor hops, same §3 FINDLIVENODE fallback, same §4 subtree
+// migration, same trace frames — but the holder answers with its identity
+// (PID, listen address, copy version) instead of the file bytes, so no
+// intermediate peer ever relays payload. Peek, not Get: a locate must not
+// count a store access, or locate-then-fetch would double-count a file's
+// popularity relative to one relay get.
+func (p *Peer) handleLocate(req *msg.Request) *msg.Response {
+	start := time.Now()
+	if f, ok := p.store.Peek(req.Name); ok {
+		p.stats.Located.Add(1)
+		resp := &msg.Response{
+			OK: true, ServedBy: uint32(p.cfg.PID), Hops: req.Hops,
+			Version: f.Version, Data: []byte(p.Addr()),
+		}
+		if req.Flags&msg.FlagTrace != 0 {
+			resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopLocate, time.Since(start))
+		}
+		return resp
+	}
+	return p.forwardLookup(req, start)
+}
+
+// forwardLookup relays an unserved lookup along the lookup tree — shared
+// by relay gets and locates, which walk identical hops and differ only in
+// what the holder answers (payload vs location). A failed forward is not
+// final: the failure feeds the detector, and once the dead hop's liveness
+// bit flips, recomputing the next hop routes around it (§3/§5 over the
+// wire) — so a lookup survives a silently crashed peer within a bounded
+// number of RPC deadlines. The attempt budget guarantees at least one
+// recomputation after the detector threshold is crossed.
+func (p *Peer) forwardLookup(req *msg.Request, start time.Time) *msg.Response {
 	attempts := p.tr.Config().FailThreshold + 1
 	var lastErr error
 	var lastHop bitops.PID
 	for attempt := 0; attempt < attempts; attempt++ {
 		next, flags, subtree, ok := p.nextHop(req)
 		if !ok {
-			p.stats.Faults.Add(1)
-			return &msg.Response{Hops: req.Hops, Err: "netnode: file not found (fault)"}
+			return p.faultResponse(req, start, "netnode: file not found (fault)")
 		}
 		fwd := *req
 		fwd.Hops++
@@ -516,13 +590,29 @@ func (p *Peer) handleGet(req *msg.Request) *msg.Response {
 		p.stats.Forwards.Add(1)
 		resp, err := p.call(next, &fwd)
 		if err == nil {
+			if resp.OK && req.Kind == msg.KindGet {
+				p.stats.RelayedBytes.Add(uint64(len(resp.Data)))
+			}
 			return resp
 		}
 		lastErr, lastHop = err, next
 	}
+	return p.faultResponse(req, start,
+		fmt.Sprintf("netnode: forward to P(%d) failed: %v", lastHop, lastErr))
+}
+
+// faultResponse finalizes a lookup this peer can neither serve nor
+// forward. A traced fault carries the path accumulated so far, closed with
+// a terminal fault hop — the partial route is exactly what an operator
+// needs to see where routing died, and exactly what an OK response would
+// have carried.
+func (p *Peer) faultResponse(req *msg.Request, start time.Time, errStr string) *msg.Response {
 	p.stats.Faults.Add(1)
-	return &msg.Response{Hops: req.Hops,
-		Err: fmt.Sprintf("netnode: forward to P(%d) failed: %v", lastHop, lastErr)}
+	resp := &msg.Response{Hops: req.Hops, Err: errStr}
+	if req.Flags&msg.FlagTrace != 0 {
+		resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFault, time.Since(start))
+	}
+	return resp
 }
 
 // hopAction classifies the forward a traced get is about to take by how
@@ -581,13 +671,13 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID),
 			Hops: uint32(p.propagateUpdate(v, req, nil))}
 	}
-	// Initiation: learn the file's current version through an ordinary
-	// lookup (the initiating peer may never have seen the file), then
-	// stamp a strictly newer one, Lamport-style, and start the top-down
-	// broadcast at each subtree's root position (or its expanded
-	// children when dead).
-	if probe := p.handleGet(&msg.Request{Kind: msg.KindGet, Name: req.Name}); probe.OK {
-		p.mergeClock(probe.Version)
+	// Initiation: learn the file's current version through a lookup (the
+	// initiating peer may never have seen the file), then stamp a
+	// strictly newer one, Lamport-style, and start the top-down broadcast
+	// at each subtree's root position (or its expanded children when
+	// dead).
+	if version, ok := p.probeVersion(req.Name); ok {
+		p.mergeClock(version)
 	}
 	version := p.clock.Add(1)
 	prop := *req
@@ -600,6 +690,24 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 	}
 	p.stats.Updated.Add(1)
 	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(updated), Version: version}
+}
+
+// probeVersion learns name's current version for the Lamport stamp on an
+// update. The locate path resolves it without relaying the payload back
+// through every hop; when any hop is a pre-locate build (unknown-kind
+// answer) — or this peer emulates one — it falls back to a full relay get.
+func (p *Peer) probeVersion(name string) (uint64, bool) {
+	if !p.cfg.DisableLocate {
+		resp := p.handleLocate(&msg.Request{Kind: msg.KindLocate, Name: name})
+		if resp.OK {
+			return resp.Version, true
+		}
+		if !msg.IsUnknownKind(resp.Err) {
+			return 0, false
+		}
+	}
+	resp := p.handleGet(&msg.Request{Kind: msg.KindGet, Name: name})
+	return resp.Version, resp.OK
 }
 
 // fanoutSem builds the bounded semaphore one broadcast's RPC legs share:

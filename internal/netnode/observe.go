@@ -97,6 +97,14 @@ type StatSnapshot struct {
 	PeersUp     uint64 `json:"peers_up"`
 	ProtoErrors uint64 `json:"proto_errors"`
 
+	// Locate-then-fetch data plane (docs/ROUTING.md): locates answered as
+	// holder, local-only gets served/refused, and payload bytes relayed
+	// through forwarded gets — the cost the locate path removes.
+	Located      uint64 `json:"located"`
+	DirectServed uint64 `json:"direct_served"`
+	DirectMisses uint64 `json:"direct_misses"`
+	RelayedBytes uint64 `json:"relayed_bytes"`
+
 	// PipelineDepth is the number of pipelined requests currently being
 	// handled across this peer's connections; FanoutActive is the number of
 	// broadcast RPC legs currently in flight. Both are instantaneous gauges.
@@ -144,6 +152,10 @@ func (p *Peer) StatSnapshot() StatSnapshot {
 		PeersDown:     p.stats.PeersDown.Load(),
 		PeersUp:       p.stats.PeersUp.Load(),
 		ProtoErrors:   p.stats.ProtoErrors.Load(),
+		Located:       p.stats.Located.Load(),
+		DirectServed:  p.stats.DirectServed.Load(),
+		DirectMisses:  p.stats.DirectMisses.Load(),
+		RelayedBytes:  p.stats.RelayedBytes.Load(),
 		PipelineDepth: p.stats.PipelineDepth.Load(),
 		FanoutActive:  p.stats.FanoutActive.Load(),
 		Transport:     p.tr.Counters().Snapshot(),
@@ -192,6 +204,13 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: mergePromLabels(self, `direction="up"`), Value: float64(s.PeersUp)})
 	metrics.PrometheusFamily(w, "lesslog_proto_errors_total", "counter",
 		metrics.LabeledValue{Labels: self, Value: float64(s.ProtoErrors)})
+	metrics.PrometheusFamily(w, "lesslog_located_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.Located)})
+	metrics.PrometheusFamily(w, "lesslog_direct_gets_total", "counter",
+		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="served"`), Value: float64(s.DirectServed)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="miss"`), Value: float64(s.DirectMisses)})
+	metrics.PrometheusFamily(w, "lesslog_relayed_payload_bytes_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.RelayedBytes)})
 
 	tc := s.Transport
 	metrics.PrometheusFamily(w, "lesslog_transport_events_total", "counter",

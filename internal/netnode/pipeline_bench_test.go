@@ -23,10 +23,23 @@ import (
 	"testing"
 	"time"
 
+	"lesslog/internal/benchjson"
 	"lesslog/internal/bitops"
 	"lesslog/internal/hashring"
 	"lesslog/internal/transport"
 )
+
+// recordPipelineBench drops the measurement into BENCH_pipeline.json when
+// a bench target exports BENCH_JSON_DIR.
+func recordPipelineBench(b *testing.B, name string) {
+	b.Helper()
+	if err := benchjson.Record("pipeline", benchjson.Result{
+		Name:    name,
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
 
 const benchRTT = 500 * time.Microsecond
 
@@ -91,6 +104,8 @@ func BenchmarkConnConcurrent8020(b *testing.B) {
 			}
 		}
 	})
+	b.StopTimer()
+	recordPipelineBench(b, "conn-concurrent-8020")
 }
 
 // replicateEverywhere places a copy of name on every peer so an update or
@@ -119,6 +134,8 @@ func benchBroadcastUpdate(b *testing.B, m, copies int) {
 			b.Fatalf("updated %d copies, want %d", n, copies)
 		}
 	}
+	b.StopTimer()
+	recordPipelineBench(b, fmt.Sprintf("broadcast-update/%d", copies))
 }
 
 // The 16- vs 32-copy pair shows what the update wall time scales with:
@@ -143,4 +160,6 @@ func BenchmarkBroadcastDelete(b *testing.B) {
 			b.Fatalf("deleted %d copies, want 32", n)
 		}
 	}
+	b.StopTimer()
+	recordPipelineBench(b, "broadcast-delete/32")
 }

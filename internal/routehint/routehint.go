@@ -1,0 +1,179 @@
+// Package routehint caches name → holder locations for the
+// locate-then-fetch data plane (docs/ROUTING.md). A hint remembers which
+// peer served a name's location — holder PID, listen address and the copy
+// version observed — so a warm client turns an O(log N) tree resolution
+// into one direct RPC at the holder.
+//
+// Hints are advisory, never authoritative: the data plane tolerates a
+// wrong hint (the holder answers not-found and the client re-resolves), so
+// the cache optimizes for cheap invalidation instead of strict coherence.
+// Three things bound staleness:
+//
+//   - a TTL, so replica migration and membership churn age hints out even
+//     when no signal arrives;
+//   - per-name purges on acknowledged updates, deletes and inserts (the
+//     writes that move a name's version or holder set);
+//   - per-holder purges (PurgeHolder) when a failure detector — or a
+//     failed direct fetch, which is the same evidence one deadline
+//     earlier — declares the holder dead, so every name hinted at a dead
+//     peer reroutes at once instead of each paying its own timeout.
+//
+// Capacity is LRU-bounded. All methods are safe for concurrent use.
+package routehint
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Defaults for consumers that do not care.
+const (
+	DefaultCapacity = 4096
+	DefaultTTL      = 10 * time.Second
+)
+
+// Hint locates one name's serving holder.
+type Hint struct {
+	PID     uint32 // holder's peer identifier
+	Addr    string // holder's listen address — where the direct fetch goes
+	Version uint64 // copy version observed at locate time
+}
+
+// entry is one cached hint plus its bookkeeping.
+type entry struct {
+	name    string
+	hint    Hint
+	expires time.Time
+}
+
+// Cache maps names to holder hints, bounded by TTL and LRU capacity.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ttl     time.Duration
+	entries map[string]*list.Element // of *entry
+	lru     *list.List               // front = most recently used
+	byAddr  map[string]map[string]struct{} // holder addr → names hinted there
+}
+
+// New returns a cache holding at most capacity hints, each valid for ttl
+// after its Put. capacity <= 0 selects DefaultCapacity; ttl <= 0 selects
+// DefaultTTL.
+func New(capacity int, ttl time.Duration) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Cache{
+		cap:     capacity,
+		ttl:     ttl,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+		byAddr:  map[string]map[string]struct{}{},
+	}
+}
+
+// Get returns the live hint for name. An expired hint is removed and
+// reported as a miss.
+func (c *Cache) Get(name string) (Hint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[name]
+	if !ok {
+		return Hint{}, false
+	}
+	e := el.Value.(*entry)
+	if !time.Now().Before(e.expires) {
+		c.removeLocked(el)
+		return Hint{}, false
+	}
+	c.lru.MoveToFront(el)
+	return e.hint, true
+}
+
+// Put records (or refreshes) the hint for name and restarts its TTL.
+func (c *Cache) Put(name string, h Hint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[name]; ok {
+		e := el.Value.(*entry)
+		c.unindexLocked(e)
+		e.hint = h
+		e.expires = time.Now().Add(c.ttl)
+		c.indexLocked(name, h.Addr)
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&entry{name: name, hint: h, expires: time.Now().Add(c.ttl)})
+	c.entries[name] = el
+	c.indexLocked(name, h.Addr)
+	for c.lru.Len() > c.cap {
+		c.removeLocked(c.lru.Back())
+	}
+}
+
+// Purge drops the hint for name, reporting whether one existed — called on
+// acknowledged writes, stale direct fetches and holder misses.
+func (c *Cache) Purge(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[name]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	return true
+}
+
+// PurgeHolder drops every hint pointing at addr and returns how many went —
+// the peer-down path: one detector event reroutes all of a dead holder's
+// names instead of each waiting out its own failed fetch.
+func (c *Cache) PurgeHolder(addr string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := c.byAddr[addr]
+	n := len(names)
+	for name := range names {
+		if el, ok := c.entries[name]; ok {
+			c.removeLocked(el)
+		}
+	}
+	return n
+}
+
+// Len returns the number of cached hints.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// indexLocked records name under its holder address.
+func (c *Cache) indexLocked(name, addr string) {
+	set, ok := c.byAddr[addr]
+	if !ok {
+		set = map[string]struct{}{}
+		c.byAddr[addr] = set
+	}
+	set[name] = struct{}{}
+}
+
+// unindexLocked removes e's name from its holder's set.
+func (c *Cache) unindexLocked(e *entry) {
+	set := c.byAddr[e.hint.Addr]
+	delete(set, e.name)
+	if len(set) == 0 {
+		delete(c.byAddr, e.hint.Addr)
+	}
+}
+
+// removeLocked unlinks one element from every index.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.lru.Remove(el)
+	delete(c.entries, e.name)
+	c.unindexLocked(e)
+}

@@ -1,0 +1,118 @@
+package routehint
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutGetPurge(t *testing.T) {
+	c := New(8, time.Minute)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	h := Hint{PID: 4, Addr: "127.0.0.1:7104", Version: 9}
+	c.Put("a", h)
+	got, ok := c.Get("a")
+	if !ok || got != h {
+		t.Fatalf("Get = %+v, %v; want %+v", got, ok, h)
+	}
+	if !c.Purge("a") {
+		t.Fatal("Purge found nothing")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("purged hint served")
+	}
+	if c.Purge("a") {
+		t.Fatal("double purge reported a hint")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New(8, 10*time.Millisecond)
+	c.Put("a", Hint{PID: 1, Addr: "x"})
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh hint missed")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("expired hint served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry retained, len=%d", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3, time.Minute)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("n%d", i), Hint{PID: uint32(i), Addr: "a"})
+	}
+	c.Get("n0") // refresh n0; n1 becomes the eviction candidate
+	c.Put("n3", Hint{PID: 3, Addr: "a"})
+	if _, ok := c.Get("n1"); ok {
+		t.Fatal("LRU victim survived")
+	}
+	for _, name := range []string{"n0", "n2", "n3"} {
+		if _, ok := c.Get(name); !ok {
+			t.Fatalf("%s evicted, want kept", name)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+}
+
+func TestPurgeHolder(t *testing.T) {
+	c := New(16, time.Minute)
+	c.Put("a", Hint{PID: 1, Addr: "dead:1"})
+	c.Put("b", Hint{PID: 1, Addr: "dead:1"})
+	c.Put("c", Hint{PID: 2, Addr: "live:2"})
+	// A re-Put moving a name to another holder must re-index it.
+	c.Put("b", Hint{PID: 2, Addr: "live:2"})
+	if n := c.PurgeHolder("dead:1"); n != 1 {
+		t.Fatalf("PurgeHolder = %d, want 1", n)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hint at dead holder served")
+	}
+	for _, name := range []string{"b", "c"} {
+		if _, ok := c.Get(name); !ok {
+			t.Fatalf("%s purged, want kept", name)
+		}
+	}
+	if n := c.PurgeHolder("dead:1"); n != 0 {
+		t.Fatalf("second PurgeHolder = %d, want 0", n)
+	}
+}
+
+// TestConcurrentMix hammers every mutation concurrently; run under -race
+// in CI it is the data-race check for the hint cache.
+func TestConcurrentMix(t *testing.T) {
+	c := New(64, time.Minute)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				name := fmt.Sprintf("n%d", i%100)
+				addr := fmt.Sprintf("h%d", i%7)
+				switch i % 5 {
+				case 0:
+					c.Put(name, Hint{PID: uint32(i), Addr: addr, Version: uint64(i)})
+				case 1:
+					c.Get(name)
+				case 2:
+					c.Purge(name)
+				case 3:
+					c.PurgeHolder(addr)
+				default:
+					c.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -59,6 +59,8 @@ func Route(origin, target bitops.PID, live *liveness.Set, b int) string {
 // the same arrow style as Route — "P(8) → P(0) → P(4)" — so the live route
 // a request actually took reads exactly like the predicted one. The §3
 // FINDLIVENODE step is drawn with "⇒", the §4 subtree migration with "↷".
+// A terminal fault hop is marked "P(x)✗" — the stop where routing died on
+// a traced lookup that ended in a fault.
 func HopRoute(hops []msg.Hop) string {
 	var b strings.Builder
 	for i, h := range hops {
@@ -73,6 +75,9 @@ func HopRoute(hops []msg.Hop) string {
 			}
 		}
 		fmt.Fprintf(&b, "P(%d)", h.PID)
+		if h.Action == msg.HopFault {
+			b.WriteString("✗")
+		}
 	}
 	return b.String()
 }

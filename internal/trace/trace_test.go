@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"lesslog/internal/liveness"
+	"lesslog/internal/msg"
 )
 
 func TestVirtual(t *testing.T) {
@@ -46,6 +47,35 @@ func TestRouteWithFallback(t *testing.T) {
 	got := Route(7, 4, live, 0)
 	if !strings.Contains(got, "P(7)") || !strings.Contains(got, "FINDLIVENODE") || !strings.Contains(got, "P(6)") {
 		t.Fatalf("route = %q", got)
+	}
+}
+
+func TestHopRouteArrowStyles(t *testing.T) {
+	hops := []msg.Hop{
+		{PID: 8, Action: msg.HopForward},
+		{PID: 0, Action: msg.HopFallback},
+		{PID: 4, Action: msg.HopMigrate},
+		{PID: 12, Action: msg.HopServe},
+	}
+	if got := HopRoute(hops); got != "P(8) → P(0) ⇒ P(4) ↷ P(12)" {
+		t.Fatalf("route = %q", got)
+	}
+	// A traced locate ends in the holder's locate hop — same arrows.
+	locate := []msg.Hop{
+		{PID: 8, Action: msg.HopForward},
+		{PID: 0, Action: msg.HopLocate},
+	}
+	if got := HopRoute(locate); got != "P(8) → P(0)" {
+		t.Fatalf("locate route = %q", got)
+	}
+	// A traced lookup that died carries its partial path with a terminal
+	// fault marker.
+	fault := []msg.Hop{
+		{PID: 8, Action: msg.HopForward},
+		{PID: 0, Action: msg.HopFault},
+	}
+	if got := HopRoute(fault); got != "P(8) → P(0)✗" {
+		t.Fatalf("fault route = %q", got)
 	}
 }
 
