@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench gw-bench peer-bench locate-bench figures examples cover clean
+.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench gw-bench peer-bench locate-bench repair-bench figures examples cover clean
 
 all: build vet test
 
@@ -57,6 +57,13 @@ peer-bench:
 # results/BENCH_locate.json).
 locate-bench:
 	LESSLOG_LOCATE_BENCH=1 BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run 'TestLocateBenchReport' -bench 'BenchmarkRelayGet|BenchmarkLocateGet' -benchtime 2s -v ./internal/netnode/ | tee results/locate_bench.txt
+
+# Sustained-churn repair harness: the same crash/rejoin schedule with
+# repair off (loses names) and on (loses none), recording loss
+# probability and time-to-full-replication per disruption to
+# results/BENCH_repair.json (docs/REPAIR.md).
+repair-bench:
+	BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run 'TestChurnRepairE2E' -count 1 -v ./internal/netnode/ | tee results/repair_bench.txt
 
 # Regenerate every reproduced figure and extension table into results/.
 figures: build

@@ -49,6 +49,7 @@ func main() {
 		locate   = flag.Bool("locate", true, "gateway: serve misses through the locate-then-fetch data plane (false relays payloads)")
 		hintSz   = flag.Int("hint-size", 0, "gateway: route-hint cache capacity in entries (0 selects the default)")
 		hintTTL  = flag.Duration("hint-ttl", 0, "gateway: max age a route hint steers direct fetches (0 selects the default)")
+		downTTL  = flag.Duration("downgrade-ttl", 0, "gateway: how long to stay on the relay path after an unknown-kind locate answer (0 selects the default)")
 		maxInFl  = flag.Int("max-inflight", gateway.DefaultMaxInFlight, "gateway: admitted request cap (-1 unlimited)")
 		queueTO  = flag.Duration("queue-timeout", gateway.DefaultQueueTimeout, "gateway: max wait for an admission slot before shedding")
 		admin    = flag.String("admin", "", "gateway: admin HTTP address for /metrics, /healthz, /debug/pprof ('' disables)")
@@ -90,6 +91,7 @@ func main() {
 		DisableLocate:   !*locate,
 		HintSize:        *hintSz,
 		HintTTL:         *hintTTL,
+		DowngradeTTL:    *downTTL,
 		MaxInFlight:     *maxInFl,
 		QueueTimeout:    *queueTO,
 		PipelineWorkers: *pipeWk,

@@ -34,6 +34,11 @@
 // -rpc-timeout (default 5s), -retries (default 2, idempotent ops only,
 // -1 disables) and -pool (idle connections kept per peer, default 4, -1
 // dials per call); see docs/TRANSPORT.md.
+//
+// Background replica repair (the anti-entropy loop of docs/REPAIR.md) is
+// enabled with -repair-interval; -repair-budget bounds its bandwidth in
+// bytes/sec. A locate client that hits a pre-locate fabric downgrades to
+// the relay path for -downgrade-ttl before probing again.
 package main
 
 import (
@@ -46,9 +51,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"lesslog/internal/bitops"
 	"lesslog/internal/netnode"
+	"lesslog/internal/repair"
 	"lesslog/internal/trace"
 	"lesslog/internal/transport"
 )
@@ -62,6 +69,8 @@ func main() {
 		peers     = flag.String("peers", "", "server: PID=addr pairs, comma separated (include self)")
 		bootstrap = flag.String("bootstrap", "", "server: join an existing system via this peer instead of -peers")
 		maintain  = flag.Duration("maintain", 0, "server: overload/eviction maintenance interval (0 disables)")
+		repairIv  = flag.Duration("repair-interval", 0, "server: anti-entropy replica repair interval (0 disables)")
+		repairBw  = flag.Int("repair-budget", 0, "server: repair bandwidth budget in bytes/sec (0 selects the default, -1 unlimited)")
 		dataDir   = flag.String("data-dir", "", "server: directory for durable storage (restored on start, checkpointed on exit)")
 		threshold = flag.Uint64("threshold", 100, "server: per-window serve count that triggers replication")
 		evictLow  = flag.Uint64("evict-below", 1, "server: replicas serving fewer gets per window are dropped")
@@ -80,12 +89,13 @@ func main() {
 		data      = flag.String("data", "", "client: file contents")
 		traced    = flag.Bool("trace", false, "client: with -op get or locate, record and print the wire-level route")
 		locate    = flag.Bool("locate", false, "client: serve gets through the locate-then-fetch data plane")
+		downTTL   = flag.Duration("downgrade-ttl", 0, "client: with -locate, how long to stay on the relay path after an unknown-kind answer (0 selects the default)")
 		asJSON    = flag.Bool("json", false, "client: with -op stat, print the structured snapshot as JSON")
 	)
 	flag.Parse()
 
 	if *connect != "" {
-		runClient(*connect, *op, *name, *data, *traced, *locate, *asJSON)
+		runClient(*connect, *op, *name, *data, *traced, *locate, *downTTL, *asJSON)
 		return
 	}
 
@@ -121,6 +131,10 @@ func main() {
 		peer.StartMaintenance(*maintain, *threshold, *evictLow)
 		log.Info("maintenance enabled",
 			"interval", *maintain, "threshold", *threshold, "evict_below", *evictLow)
+	}
+	if *repairIv > 0 {
+		peer.StartRepair(repair.Config{Interval: *repairIv, Budget: *repairBw})
+		log.Info("replica repair enabled", "interval", *repairIv, "budget", *repairBw)
 	}
 	if *bootstrap != "" {
 		if err := peer.Join(*bootstrap); err != nil {
@@ -180,10 +194,11 @@ func waitForSignal(peer *netnode.Peer, log *slog.Logger) {
 	peer.Close()
 }
 
-func runClient(addr, op, name, data string, traced, locate, asJSON bool) {
+func runClient(addr, op, name, data string, traced, locate bool, downTTL time.Duration, asJSON bool) {
 	cl := netnode.NewClient(addr)
 	if locate {
-		cl = netnode.NewLocateClient(addr)
+		cl = netnode.NewLocateClientWith(addr, transport.New(transport.Config{}, nil),
+			netnode.LocateOptions{RetryAfter: downTTL})
 	}
 	switch op {
 	case "insert":

@@ -48,16 +48,12 @@ const (
 	DefaultCacheTTL     = 2 * time.Second
 	DefaultMaxInFlight  = 1024
 	DefaultQueueTimeout = 100 * time.Millisecond
+	DefaultDowngradeTTL = 30 * time.Second
 )
 
 // maxFetchAttempts bounds how many distinct entry peers one read tries
 // before giving up.
 const maxFetchAttempts = 4
-
-// locateRetryAfter is how long the gateway stays downgraded to the relay
-// path after the fabric answers locate with unknown-kind, before probing
-// again; a variable so interop tests can shorten the latch.
-var locateRetryAfter = 30 * time.Second
 
 // Errors surfaced by gateway operations (ErrOverloaded lives in
 // admission.go beside the gate that produces it).
@@ -112,6 +108,12 @@ type Config struct {
 	// HintTTL bounds how long a route hint may steer direct fetches
 	// without being re-learned; 0 selects routehint.DefaultTTL.
 	HintTTL time.Duration
+	// DowngradeTTL is how long the gateway stays downgraded to the relay
+	// path after the fabric answers locate with unknown-kind, before
+	// probing again; 0 selects DefaultDowngradeTTL. Mixed-version fleets
+	// that upgrade quickly can shorten it so the gateway re-probes sooner
+	// (see the -downgrade-ttl flag on lesslog-gw and lesslogd).
+	DowngradeTTL time.Duration
 	// Logger receives structured gateway events; nil discards them.
 	Logger *slog.Logger
 }
@@ -132,6 +134,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PipelineWorkers == 0 {
 		c.PipelineWorkers = transport.DefaultPipelineWorkers
+	}
+	if c.DowngradeTTL == 0 {
+		c.DowngradeTTL = DefaultDowngradeTTL
 	}
 	return c
 }
@@ -416,9 +421,9 @@ func (g *Gateway) fetchViaLocate(name string) (Result, error, bool) {
 		if !resp.OK {
 			if msg.IsUnknownKind(resp.Err) {
 				g.counters.LocateFallbacks.Inc()
-				g.locateDown.Store(time.Now().Add(locateRetryAfter).UnixNano())
+				g.locateDown.Store(time.Now().Add(g.cfg.DowngradeTTL).UnixNano())
 				g.log.Info("fabric does not speak locate; relaying",
-					"peer", g.peers[idx], "retry_after", locateRetryAfter)
+					"peer", g.peers[idx], "retry_after", g.cfg.DowngradeTTL)
 				return Result{}, nil, false
 			}
 			return Result{}, fmt.Errorf("%w: %s", ErrFault, name), true

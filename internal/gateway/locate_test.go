@@ -100,11 +100,8 @@ func TestGatewayLocateDataPlane(t *testing.T) {
 }
 
 func TestGatewayLegacyFallbackLatch(t *testing.T) {
-	defer func(d time.Duration) { locateRetryAfter = d }(locateRetryAfter)
-	locateRetryAfter = 50 * time.Millisecond
-
 	addrs, _ := startLocateFabric(t, 4, 0, 16, true) // pre-locate fabric
-	g := newGateway(t, Config{Peers: addrs[:3], CacheSize: -1})
+	g := newGateway(t, Config{Peers: addrs[:3], CacheSize: -1, DowngradeTTL: 50 * time.Millisecond})
 	if _, err := g.Insert("g/legacy", []byte("old")); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,161 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestDigestRoundTrip(t *testing.T) {
+	buckets := []uint64{0, 1, 0xdeadbeefcafef00d, ^uint64(0)}
+	b, err := AppendDigest(nil, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDigest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(buckets) {
+		t.Fatalf("decoded %d buckets, want %d", len(got), len(buckets))
+	}
+	for i := range buckets {
+		if got[i] != buckets[i] {
+			t.Fatalf("bucket %d = %#x, want %#x", i, got[i], buckets[i])
+		}
+	}
+
+	// Empty vectors are legal (a rejoined peer with nothing yet).
+	b, err = AppendDigest(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err = DecodeDigest(b); err != nil || len(got) != 0 {
+		t.Fatalf("empty digest: got %v, err %v", got, err)
+	}
+}
+
+func TestDigestEntriesRoundTrip(t *testing.T) {
+	entries := []DigestEntry{
+		{Name: "a", Version: 0},
+		{Name: "files/long/path.bin", Version: 42},
+		{Name: "", Version: 7}, // empty names are the store's problem, not the codec's
+	}
+	b, err := AppendDigestEntries(nil, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDigestEntries(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestDigestLimits(t *testing.T) {
+	// Encoders reject oversize inputs.
+	if _, err := AppendDigest(nil, make([]uint64, MaxDigestBuckets+1)); err != ErrFrameTooLarge {
+		t.Fatalf("oversize bucket vector: err = %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := AppendDigestEntries(nil, make([]DigestEntry, MaxDigestEntries+1)); err != ErrFrameTooLarge {
+		t.Fatalf("oversize entry list: err = %v, want ErrFrameTooLarge", err)
+	}
+	long := DigestEntry{Name: strings.Repeat("x", MaxName+1)}
+	if _, err := AppendDigestEntries(nil, []DigestEntry{long}); err != ErrFrameTooLarge {
+		t.Fatalf("oversize entry name: err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// Decoders reject lying counts before allocating.
+	huge := binary.BigEndian.AppendUint32(nil, MaxDigestBuckets+1)
+	if _, err := DecodeDigest(huge); err != ErrCorrupt {
+		t.Fatalf("over-limit bucket count: err = %v, want ErrCorrupt", err)
+	}
+	lie := binary.BigEndian.AppendUint32(nil, 100) // 100 buckets claimed, none sent
+	if _, err := DecodeDigest(lie); err != ErrCorrupt {
+		t.Fatalf("lying bucket count: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := DecodeDigestEntries(binary.BigEndian.AppendUint32(nil, MaxDigestEntries+1)); err != ErrCorrupt {
+		t.Fatalf("over-limit entry count: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := DecodeDigestEntries(binary.BigEndian.AppendUint32(nil, 3)); err != ErrCorrupt {
+		t.Fatalf("lying entry count: err = %v, want ErrCorrupt", err)
+	}
+
+	// Trailing garbage after a valid body is corrupt, same as every frame.
+	ok, _ := AppendDigest(nil, []uint64{1, 2})
+	if _, err := DecodeDigest(append(ok, 0xFF)); err != ErrCorrupt {
+		t.Fatalf("trailing bytes after digest: err = %v, want ErrCorrupt", err)
+	}
+	okE, _ := AppendDigestEntries(nil, []DigestEntry{{Name: "a", Version: 1}})
+	if _, err := DecodeDigestEntries(append(okE, 0xFF)); err != ErrCorrupt {
+		t.Fatalf("trailing bytes after entries: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzDecodeDigest hammers the bucket-vector decoder with arbitrary
+// bytes: never panic, never over-allocate, and anything accepted must
+// re-encode to an equal decode.
+func FuzzDecodeDigest(f *testing.F) {
+	seed, _ := AppendDigest(nil, []uint64{1, 2, 3})
+	f.Add(seed)
+	empty, _ := AppendDigest(nil, nil)
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add(binary.BigEndian.AppendUint32(nil, MaxDigestBuckets)) // huge claim, nothing sent
+	f.Add(bytes.Repeat([]byte{0xFF}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buckets, err := DecodeDigest(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendDigest(nil, buckets)
+		if err != nil {
+			t.Fatalf("accepted digest failed to re-encode: %v", err)
+		}
+		again, err := DecodeDigest(re)
+		if err != nil || len(again) != len(buckets) {
+			t.Fatalf("digest not a fixpoint: %v / %v (err %v)", buckets, again, err)
+		}
+		for i := range buckets {
+			if again[i] != buckets[i] {
+				t.Fatalf("bucket %d not a fixpoint: %#x vs %#x", i, buckets[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeDigestEntries mirrors FuzzDecodeDigest for the response side.
+func FuzzDecodeDigestEntries(f *testing.F) {
+	seed, _ := AppendDigestEntries(nil, []DigestEntry{{Name: "a", Version: 1}, {Name: "b", Version: 2}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(binary.BigEndian.AppendUint32(nil, MaxDigestEntries)) // huge claim, nothing sent
+	f.Add(bytes.Repeat([]byte{0x00}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeDigestEntries(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendDigestEntries(nil, entries)
+		if err != nil {
+			t.Fatalf("accepted entries failed to re-encode: %v", err)
+		}
+		again, err := DecodeDigestEntries(re)
+		if err != nil || len(again) != len(entries) {
+			t.Fatalf("entries not a fixpoint: %v / %v (err %v)", entries, again, err)
+		}
+		for i := range entries {
+			if again[i] != entries[i] {
+				t.Fatalf("entry %d not a fixpoint: %+v vs %+v", i, entries[i], again[i])
+			}
+		}
+	})
+}

@@ -70,11 +70,21 @@ const (
 	// legacy peer answers with the unknown-kind error (IsUnknownKind), and
 	// the caller falls back to the relay path.
 	KindLocate
+	// KindDigest is the anti-entropy synchronization probe of the replica
+	// repair subsystem (docs/REPAIR.md): Data carries a bounds-checked
+	// bucket-hash digest of the sender's name set (AppendDigest), Origin the
+	// sender's PID. The responder compares the digest against its own
+	// holdings that belong on the sender and answers with the (name,
+	// version) entries falling into differing buckets (AppendDigestEntries)
+	// — so synchronization cost scales with divergence, not inventory.
+	// Version-gated like KindLocate: a pre-repair peer answers unknown-kind
+	// and the caller skips digest synchronization against it.
+	KindDigest
 )
 
 // KindCount sizes per-kind metric arrays: valid kinds index 1..KindCount-1,
 // slot 0 collects unknown kinds.
-const KindCount = int(KindLocate) + 1
+const KindCount = int(KindDigest) + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -101,6 +111,8 @@ func (k Kind) String() string {
 		return "batch"
 	case KindLocate:
 		return "locate"
+	case KindDigest:
+		return "digest"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -132,6 +144,14 @@ const (
 	MaxHops  = 512      // trace hop records per frame
 	MaxBatch = 256      // sub-requests per KindBatch frame
 	MaxFrame = MaxData + MaxName + 64 + MaxHops*hopWire
+
+	// MaxDigestBuckets bounds the bucket-hash vector of a KindDigest
+	// request (32 KiB of hashes at the cap); MaxDigestEntries bounds the
+	// (name, version) list of its response — enough to warm a rejoined
+	// peer in a handful of rounds without letting one frame carry an
+	// unbounded inventory.
+	MaxDigestBuckets = 4096
+	MaxDigestEntries = 1024
 )
 
 // Flag bits carried by requests.

@@ -85,6 +85,10 @@ func TestEveryKindHasHandler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	emptyDigest, err := msg.AppendDigest(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	reqs := map[msg.Kind]*msg.Request{
 		msg.KindInsert: {Kind: msg.KindInsert, Name: "k/insert", Data: []byte("v")},
 		msg.KindGet:    {Kind: msg.KindGet, Name: "seed"},
@@ -100,6 +104,7 @@ func TestEveryKindHasHandler(t *testing.T) {
 		msg.KindDelete: {Kind: msg.KindDelete, Name: "k/store"},
 		msg.KindBatch:  {Kind: msg.KindBatch, Data: emptyBatch},
 		msg.KindLocate: {Kind: msg.KindLocate, Name: "seed"},
+		msg.KindDigest: {Kind: msg.KindDigest, Origin: 1, Data: emptyDigest},
 	}
 	for k := 1; k < msg.KindCount; k++ {
 		kind := msg.Kind(k)

@@ -43,8 +43,14 @@ func (c netCtx) HasCopy(q bitops.PID) bool {
 func (c netCtx) ForwardedLoad(bitops.PID, bitops.PID) float64 { return 0 }
 func (c netCtx) Rand() *xrand.Rand                            { return c.rng }
 
+// handleHas answers copy-existence probes. The response carries the held
+// copy's version (Peek — a probe must not count as an access), so the
+// anti-entropy repair loop distinguishes "missing" from "stale" with the
+// same frame REPLICATEFILE always used; pre-repair callers ignore the
+// field.
 func (p *Peer) handleHas(req *msg.Request) *msg.Response {
-	return &msg.Response{OK: p.store.Has(req.Name), ServedBy: uint32(p.cfg.PID)}
+	f, ok := p.store.Peek(req.Name)
+	return &msg.Response{OK: ok, ServedBy: uint32(p.cfg.PID), Version: f.Version}
 }
 
 // MaintainOnce runs one §2.2/§6 maintenance window on this peer: if its

@@ -63,7 +63,24 @@ func (p *Peer) Join(bootstrapAddr string) error {
 // pushed to the primaries that take over once it is gone, its replicas
 // are discarded with it, and a dead registration is broadcast. The caller
 // should Close the peer afterwards.
+//
+// Leave holds propMu's write side across the whole handoff, so an
+// update/delete broadcast mid-fan-out at this peer finishes (or starts)
+// atomically with respect to the copies moving out — without it, a copy
+// handed to its new primary could miss the rewrite the in-flight
+// broadcast was still applying locally.
+//
+// A handoff target that fails mid-leave does not abort the departure:
+// the call is retried against a freshly computed primary (the failure
+// feeds the detector, so a dead successor's liveness bit flips and the
+// next attempt picks the §3 FINDLIVENODE fallback holder instead), and a
+// copy that still cannot be placed is skipped — the B > 0 sibling
+// subtrees keep serving it, and the repair loop re-establishes the
+// missing placement. The old behavior (abort the leave) left the peer
+// half-departed: marked dead locally, never broadcast, copies stranded.
 func (p *Peer) Leave() error {
+	p.propMu.Lock()
+	defer p.propMu.Unlock()
 	// Compute the post-departure placements against a view in which this
 	// peer is already dead (snapshot swap, as in applyRegister).
 	p.mutateRouting(func(addrs map[bitops.PID]string, live *liveness.Set) {
@@ -75,20 +92,33 @@ func (p *Peer) Leave() error {
 		f, _ := p.store.Peek(name)
 		files = append(files, f)
 	}
+	attempts := p.tr.Config().FailThreshold + 1
+	skipped := 0
 	for _, f := range files {
 		target := p.hasher.Target(f.Name, p.cfg.M)
-		v := p.view(target)
-		h, ok := v.PrimaryHolder(v.SubtreeID(p.cfg.PID))
-		if !ok {
-			continue // subtree dies with us; B > 0 siblings still serve
-		}
 		sreq := &msg.Request{Kind: msg.KindStore, Name: f.Name, Data: f.Data, Version: f.Version}
-		if _, err := p.call(h, sreq); err != nil {
-			return fmt.Errorf("netnode: leave: handoff %q to P(%d): %w", f.Name, h, err)
+		placed, tried := false, false
+		for attempt := 0; attempt < attempts && !placed; attempt++ {
+			// Fresh view each attempt: a failed call feeds the detector,
+			// so once the dead successor's bit flips, PrimaryHolder picks
+			// the next live holder in the subtree (§3 over the wire).
+			v := p.view(target)
+			h, ok := v.PrimaryHolder(v.SubtreeID(p.cfg.PID))
+			if !ok {
+				break // subtree dies with us; B > 0 siblings still serve
+			}
+			tried = true
+			if resp, err := p.call(h, sreq); err == nil && resp.OK {
+				placed = true
+			}
+		}
+		if tried && !placed {
+			skipped++
+			p.log.Warn("leave: handoff skipped, no reachable successor", "name", f.Name)
 		}
 	}
 	p.broadcastRegister(p.cfg.PID, nil, true)
-	p.log.Info("left system gracefully", "handed_off", len(files))
+	p.log.Info("left system gracefully", "handed_off", len(files)-skipped, "skipped", skipped)
 	return nil
 }
 

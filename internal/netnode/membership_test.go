@@ -2,7 +2,9 @@ package netnode
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
+	"time"
 
 	"lesslog/internal/bitops"
 	"lesslog/internal/hashring"
@@ -97,6 +99,84 @@ func TestLeaveHandsOffInsertedFiles(t *testing.T) {
 	res, err := NewClient(peers[11].Addr()).Get("f")
 	if err != nil || res.ServedBy != 5 {
 		t.Fatalf("get after leave = %+v, %v", res, err)
+	}
+}
+
+func TestLeaveFallsBackWhenSuccessorIsDead(t *testing.T) {
+	// Double failure during departure: P(4) leaves gracefully while its
+	// §5.2 handoff successor P(5) (VID 1110 in P(4)'s tree) has already
+	// crashed — silently, so P(4)'s first view still believes it live. The
+	// failed handoff call must feed the detector and the retry's fresh
+	// view must pick the §3 FINDLIVENODE fallback P(6) instead of
+	// aborting the leave or stranding the copy.
+	sys := startFaultSystem(t, 4, 0, 16, hashring.Fixed(4), tightTransport())
+	if err := NewClient(sys.addr(2)).Insert("f", []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.peers[4].store.Has("f") {
+		t.Fatal("precondition: file not at P(4)")
+	}
+	five := sys.peers[5]
+	delete(sys.peers, 5)
+	five.Close() // crash, no registration broadcast
+	if err := sys.peers[4].Leave(); err != nil {
+		t.Fatalf("leave with dead successor: %v", err)
+	}
+	f, ok := sys.peers[6].store.Peek("f")
+	if !ok || !bytes.Equal(f.Data, []byte("keep")) {
+		t.Fatalf("fallback copy at P(6) = %+v, %v", f, ok)
+	}
+	if k, _ := sys.peers[6].store.KindOf("f"); k != store.Inserted {
+		t.Fatal("fallback copy lost its inserted kind")
+	}
+	if sys.peers[4].rt().live.IsLive(5) {
+		t.Fatal("failed handoff did not flip the dead successor's liveness bit")
+	}
+}
+
+func TestLeaveDoesNotLoseRacingUpdate(t *testing.T) {
+	// Leave vs an in-flight update broadcast (the propMu serialization):
+	// a writer hammers rewrites of the one copy at P(4) while P(4) leaves.
+	// Every update the client saw succeed must be reflected at the
+	// successor — without the handoff/propagation serialization, Leave can
+	// snapshot the copy just before a rewrite lands and hand the stale
+	// bytes to P(5), which then silently masks the acknowledged write.
+	// Run with -race: the window is also a pure data race on the store.
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	cl := NewClient(peers[2].Addr())
+	if err := cl.Insert("f", []byte("v0000")); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	lastOK := "v0000" // zero-padded: payload order is lexicographic order
+	go func() {
+		defer close(done)
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			data := fmt.Sprintf("v%04d", i)
+			if _, err := cl.Update("f", []byte(data)); err == nil {
+				lastOK = data
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond) // let the writer reach mid-broadcast
+	if err := peers[4].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	peers[4].Close()
+	close(stop)
+	<-done
+	f, ok := peers[5].store.Peek("f")
+	if !ok {
+		t.Fatal("copy did not survive the leave")
+	}
+	if string(f.Data) < lastOK {
+		t.Fatalf("successor holds %q, older than acknowledged update %q", f.Data, lastOK)
 	}
 }
 

@@ -110,6 +110,20 @@ type Stats struct {
 	// RPC legs currently in flight. Both are instantaneous, not monotonic.
 	PipelineDepth atomic.Int64
 	FanoutActive  atomic.Int64
+	// Anti-entropy repair loop (docs/REPAIR.md). RepairProbes counts
+	// per-name liveness probes issued; Repaired counts copies this peer
+	// pushed back onto a holder that had lost (or staled) them;
+	// RepairPulled counts copies pulled in through a digest delta;
+	// RepairSkipped counts work deferred by the bandwidth budget or a
+	// legacy (unknown-kind) partner. DigestBytes counts digest frame
+	// bytes in both directions; RepairDeficit gauges the byte shortfall
+	// at the budget's most recent denial (0 when repair is keeping up).
+	RepairProbes  atomic.Uint64
+	Repaired      atomic.Uint64
+	RepairPulled  atomic.Uint64
+	RepairSkipped atomic.Uint64
+	DigestBytes   atomic.Uint64
+	RepairDeficit atomic.Int64
 }
 
 // routing is the peer's registration state — the PID→address table and
@@ -131,6 +145,16 @@ type Peer struct {
 
 	routing atomic.Pointer[routing]
 	regMu   sync.Mutex // serializes routing clone-and-swap mutations
+
+	// propMu serializes Leave's copy handoff (writer) against in-flight
+	// update/delete propagations (readers): a leave that runs mid-fan-out
+	// could hand a copy to its new primary and then have the still-running
+	// broadcast rewrite the local copy it just gave away, losing the
+	// update on the handed-off replica. Handlers take the read side once
+	// at entry (propagation recursion stays on the same goroutine and
+	// never re-locks); Leave holds the write side across handoff and the
+	// dead registration.
+	propMu sync.RWMutex
 
 	store *store.Sharded
 	clock atomic.Uint64 // Lamport clock; merged with CAS-max, ticked with Add
@@ -428,6 +452,11 @@ func (p *Peer) dispatch(req *msg.Request) *msg.Response {
 			break // legacy emulation: answer unknown-kind like a pre-locate build
 		}
 		return p.handleLocate(req)
+	case msg.KindDigest:
+		if p.cfg.DisableLocate {
+			break // legacy emulation: a pre-repair build answers unknown-kind
+		}
+		return p.handleDigest(req)
 	}
 	return &msg.Response{Err: msg.UnknownKindError(req.Kind)}
 }
@@ -818,11 +847,23 @@ func (p *Peer) propagateLocal(v ptree.View, prop *msg.Request, sem chan struct{}
 // nil sem sizes a fresh semaphore to this delivery's legs — the remote-
 // delivery entry point, where this peer is the recursion's root.
 func (p *Peer) propagateUpdate(v ptree.View, req *msg.Request, sem chan struct{}) int {
+	// The local apply serializes against Leave (propMu): without it, a
+	// leave racing this broadcast can snapshot the copy just before the
+	// rewrite lands and hand the stale version to its successor — and the
+	// fan-out below then finds the successor already holding a copy whose
+	// version masks the loss. Held only around local store mutations,
+	// never across an RPC, so a pending Leave cannot deadlock in-flight
+	// deliveries. Leave's write side runs either wholly before (the
+	// successor has no copy yet; our fan-out leg below installs the
+	// update there) or wholly after (the handed-off copy carries it).
+	p.propMu.RLock()
 	if !p.store.Has(req.Name) {
+		p.propMu.RUnlock()
 		return 0
 	}
 	applied := p.store.Update(req.Name, req.Data, req.Version)
 	p.mergeClock(req.Version)
+	p.propMu.RUnlock()
 	kids := p.childTargets(v)
 	if sem == nil {
 		sem = p.fanoutSem(len(kids))
@@ -876,9 +917,11 @@ func (p *Peer) propagateDelete(v ptree.View, req *msg.Request, sem chan struct{}
 		sem = p.fanoutSem(len(kids))
 	}
 	n := p.deliverAll(v, kids, req, sem)
+	p.propMu.RLock() // local erase serializes against Leave, as in propagateUpdate
 	if p.store.Delete(req.Name) {
 		n++
 	}
+	p.propMu.RUnlock()
 	return n
 }
 

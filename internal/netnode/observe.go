@@ -111,6 +111,16 @@ type StatSnapshot struct {
 	PipelineDepth int64 `json:"pipeline_depth"`
 	FanoutActive  int64 `json:"fanout_active"`
 
+	// Anti-entropy repair (docs/REPAIR.md): probes issued, copies pushed
+	// back / pulled in, work deferred by the budget, digest frame bytes,
+	// and the budget's current byte shortfall (gauge; 0 = keeping up).
+	RepairProbes  uint64 `json:"repair_probes"`
+	Repaired      uint64 `json:"repaired"`
+	RepairPulled  uint64 `json:"repair_pulled"`
+	RepairSkipped uint64 `json:"repair_skipped"`
+	DigestBytes   uint64 `json:"digest_bytes"`
+	RepairDeficit int64  `json:"repair_deficit"`
+
 	Transport transport.CountersSnapshot `json:"transport"`
 
 	// RPCLatencyMS is the outbound per-kind RPC latency seen by this
@@ -158,6 +168,12 @@ func (p *Peer) StatSnapshot() StatSnapshot {
 		RelayedBytes:  p.stats.RelayedBytes.Load(),
 		PipelineDepth: p.stats.PipelineDepth.Load(),
 		FanoutActive:  p.stats.FanoutActive.Load(),
+		RepairProbes:  p.stats.RepairProbes.Load(),
+		Repaired:      p.stats.Repaired.Load(),
+		RepairPulled:  p.stats.RepairPulled.Load(),
+		RepairSkipped: p.stats.RepairSkipped.Load(),
+		DigestBytes:   p.stats.DigestBytes.Load(),
+		RepairDeficit: p.stats.RepairDeficit.Load(),
 		Transport:     p.tr.Counters().Snapshot(),
 
 		RPCLatencyMS:     map[string]DistStat{},
@@ -211,6 +227,14 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="miss"`), Value: float64(s.DirectMisses)})
 	metrics.PrometheusFamily(w, "lesslog_relayed_payload_bytes_total", "counter",
 		metrics.LabeledValue{Labels: self, Value: float64(s.RelayedBytes)})
+	metrics.PrometheusFamily(w, "lesslog_repair_total", "counter",
+		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="pushed"`), Value: float64(s.Repaired)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="pulled"`), Value: float64(s.RepairPulled)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="skipped"`), Value: float64(s.RepairSkipped)})
+	metrics.PrometheusFamily(w, "lesslog_repair_probes_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.RepairProbes)})
+	metrics.PrometheusFamily(w, "lesslog_digest_bytes_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.DigestBytes)})
 
 	tc := s.Transport
 	metrics.PrometheusFamily(w, "lesslog_transport_events_total", "counter",
@@ -233,6 +257,8 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: self, Value: float64(s.PipelineDepth)})
 	metrics.PrometheusFamily(w, "lesslog_fanout_active_legs", "gauge",
 		metrics.LabeledValue{Labels: self, Value: float64(s.FanoutActive)})
+	metrics.PrometheusFamily(w, "lesslog_repair_deficit_bytes", "gauge",
+		metrics.LabeledValue{Labels: self, Value: float64(s.RepairDeficit)})
 
 	var rpc []metrics.LabeledHistogram
 	for kind, snap := range p.tr.LatencySnapshots() {

@@ -1,0 +1,309 @@
+package netnode
+
+// The anti-entropy repair loop (docs/REPAIR.md): §7's self-organization
+// handles one polite leave or one detected failure, but under sustained
+// churn the 2^b subtree copies silently erode — a crash during another
+// crash's recovery leaves names under-replicated with nobody assigned to
+// notice. This file makes every peer notice for itself: a background
+// loop samples names the peer holds, verifies each required subtree
+// still has a live copy (cheap version-carrying KindHas probes at the
+// placement the bit arithmetic names), and re-inserts what is missing —
+// all under a token-bucket byte budget so repair never starves
+// foreground traffic. A digest exchange (msg.KindDigest) between subtree
+// peers bounds the rejoin cost: a peer that comes back empty pulls only
+// the delta its partner's bucket folds flag, instead of waiting for
+// per-name probes to find every hole.
+
+import (
+	"sync"
+	"time"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/msg"
+	"lesslog/internal/ptree"
+	"lesslog/internal/repair"
+	"lesslog/internal/store"
+)
+
+// requiredHolder reports whether q is a required placement under view v
+// — the primary holder of its own subtree for the viewed name's tree.
+// This is the §2.2 placement rule run in reverse: repair pushes only to
+// (and digests only cover) positions the insert path itself would pick.
+func requiredHolder(v ptree.View, q bitops.PID) bool {
+	h, ok := v.PrimaryHolder(v.SubtreeID(q))
+	return ok && h == q
+}
+
+// RepairOnce runs one anti-entropy round: up to sample names from the
+// local inventory are verified — for every subtree of their lookup tree,
+// the current primary holder must hold a copy at least as new as ours —
+// and divergent holders are repaired (missing or stale: push; newer:
+// pull). Probes and pushes spend from budget; denied work is deferred to
+// a later round. Returns the number of copies repaired (pushed or
+// pulled). Exposed for tests and tooling; StartRepair drives it.
+func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample int) int {
+	repaired := 0
+	for _, name := range sampler.Next(p.store.AllNames(), sample) {
+		f, ok := p.store.Peek(name)
+		if !ok {
+			continue // evicted since sampling
+		}
+		target := p.hasher.Target(name, p.cfg.M)
+		v := p.view(target)
+		for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
+			h, live := v.PrimaryHolder(sid)
+			if !live || h == p.cfg.PID {
+				continue
+			}
+			if !budget.Allow(repair.ProbeCost) {
+				p.stats.RepairSkipped.Add(1)
+				continue
+			}
+			p.stats.RepairProbes.Add(1)
+			resp, err := p.call(h, &msg.Request{Kind: msg.KindHas, Name: name})
+			if err != nil {
+				continue // detector fed; next round sees the updated view
+			}
+			switch {
+			case !resp.OK, resp.Version < f.Version:
+				// Missing or stale at its required holder: push our copy.
+				if !budget.Allow(len(f.Data)) {
+					p.stats.RepairSkipped.Add(1)
+					continue
+				}
+				sreq := &msg.Request{Kind: msg.KindStore, Name: f.Name, Data: f.Data, Version: f.Version}
+				if r, err := p.call(h, sreq); err == nil && r.OK {
+					p.stats.Repaired.Add(1)
+					repaired++
+					p.log.Info("repair: re-established copy", "name", name, "on", uint32(h))
+				}
+			case resp.Version > f.Version:
+				// The holder is newer than us — we missed an update
+				// broadcast. Pull rather than clobber.
+				if p.pullCopy(name, h, budget) {
+					repaired++
+				}
+			}
+		}
+	}
+	p.stats.RepairDeficit.Store(budget.Deficit())
+	return repaired
+}
+
+// pullCopy fetches name's payload directly from holder h (local-only
+// get, the locate-then-fetch data plane's fetch half) and applies it
+// locally: Update for an existing copy (strictly-newer semantics, so a
+// concurrent broadcast cannot be clobbered by a stale pull) or an
+// inserted Put when we hold nothing.
+func (p *Peer) pullCopy(name string, h bitops.PID, budget *repair.Budget) bool {
+	if !budget.Allow(repair.ProbeCost) {
+		p.stats.RepairSkipped.Add(1)
+		return false
+	}
+	resp, err := p.call(h, &msg.Request{Kind: msg.KindGet, Flags: msg.FlagLocalOnly, Name: name})
+	if err != nil || !resp.OK {
+		return false
+	}
+	budget.Allow(len(resp.Data)) // charge the payload after the fact; overdraft, not a stall
+	if _, have := p.store.Peek(name); have {
+		if !p.store.Update(name, resp.Data, resp.Version) {
+			return false // a concurrent update already caught us up further
+		}
+	} else {
+		p.store.Put(store.File{Name: name, Data: resp.Data, Version: resp.Version}, store.Inserted)
+	}
+	p.mergeClock(resp.Version)
+	p.stats.RepairPulled.Add(1)
+	p.log.Info("repair: pulled newer copy", "name", name, "from", uint32(h))
+	return true
+}
+
+// DigestSync runs one digest exchange with partner: our whole name-set,
+// folded into width buckets, goes out in one KindDigest frame; the
+// partner answers with the (name, version) entries it holds — restricted
+// to names this peer is a required holder for — in buckets whose folds
+// differ; we pull the ones we are missing or hold stale. Cost scales
+// with divergence: identical inventories exchange width*8 bytes and stop.
+// Returns copies pulled. A legacy partner (unknown-kind answer) is
+// counted skipped and left for per-name probes to cover.
+func (p *Peer) DigestSync(partner bitops.PID, budget *repair.Budget, width int) int {
+	digest := make([]uint64, width)
+	for _, name := range p.store.AllNames() {
+		if f, ok := p.store.Peek(name); ok {
+			repair.Fold(digest, name, f.Version)
+		}
+	}
+	data, err := msg.AppendDigest(nil, digest)
+	if err != nil {
+		return 0
+	}
+	if !budget.Allow(repair.ProbeCost + len(data)) {
+		p.stats.RepairSkipped.Add(1)
+		return 0
+	}
+	resp, err := p.call(partner, &msg.Request{
+		Kind: msg.KindDigest, Origin: uint32(p.cfg.PID), Data: data,
+	})
+	if err != nil {
+		return 0
+	}
+	p.stats.DigestBytes.Add(uint64(len(data)))
+	if !resp.OK {
+		if msg.IsUnknownKind(resp.Err) {
+			p.stats.RepairSkipped.Add(1) // pre-repair partner; probes still cover us
+		}
+		return 0
+	}
+	p.stats.DigestBytes.Add(uint64(len(resp.Data)))
+	entries, err := msg.DecodeDigestEntries(resp.Data)
+	if err != nil {
+		p.log.Warn("digest: corrupt entry frame", "from", uint32(partner), "err", err)
+		return 0
+	}
+	pulled := 0
+	for _, e := range entries {
+		// The responder filtered to names we should hold, but its view may
+		// lag ours: re-check placement locally before storing, so a stale
+		// responder cannot plant copies on a peer that no longer owns them.
+		v := p.view(p.hasher.Target(e.Name, p.cfg.M))
+		if !requiredHolder(v, p.cfg.PID) {
+			continue
+		}
+		if f, have := p.store.Peek(e.Name); have && f.Version >= e.Version {
+			continue
+		}
+		if p.pullCopy(e.Name, partner, budget) {
+			pulled++
+		}
+	}
+	p.stats.RepairDeficit.Store(budget.Deficit())
+	return pulled
+}
+
+// handleDigest answers a partner's digest exchange: fold our own
+// holdings — restricted to names the requester is a required holder for —
+// into the requester's bucket partition, and return the (name, version)
+// entries in buckets whose folds differ. Restricting to the requester's
+// required names is what makes the digest converge: without it, two
+// peers with legitimately disjoint inventories would re-flag the same
+// buckets forever.
+func (p *Peer) handleDigest(req *msg.Request) *msg.Response {
+	remote, err := msg.DecodeDigest(req.Data)
+	if err != nil {
+		return &msg.Response{Err: "netnode: digest decode: " + err.Error()}
+	}
+	p.stats.DigestBytes.Add(uint64(len(req.Data)))
+	requester := bitops.PID(req.Origin)
+	type held struct {
+		name    string
+		version uint64
+	}
+	local := make([]uint64, len(remote))
+	var candidates []held
+	for _, name := range p.store.AllNames() {
+		f, ok := p.store.Peek(name)
+		if !ok {
+			continue
+		}
+		v := p.view(p.hasher.Target(name, p.cfg.M))
+		if !requiredHolder(v, requester) {
+			continue
+		}
+		repair.Fold(local, name, f.Version)
+		candidates = append(candidates, held{name: name, version: f.Version})
+	}
+	diff := repair.DiffBuckets(local, remote)
+	if len(diff) == 0 {
+		empty, _ := msg.AppendDigestEntries(nil, nil)
+		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: empty}
+	}
+	inDiff := make(map[int]bool, len(diff))
+	for _, b := range diff {
+		inDiff[b] = true
+	}
+	var entries []msg.DigestEntry
+	for _, c := range candidates {
+		if !inDiff[repair.BucketOf(c.name, len(remote))] {
+			continue
+		}
+		entries = append(entries, msg.DigestEntry{Name: c.name, Version: c.version})
+		if len(entries) == msg.MaxDigestEntries {
+			break // the rest rides a later round once these converge
+		}
+	}
+	data, err := msg.AppendDigestEntries(nil, entries)
+	if err != nil {
+		return &msg.Response{Err: "netnode: digest encode: " + err.Error()}
+	}
+	p.stats.DigestBytes.Add(uint64(len(data)))
+	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: data}
+}
+
+// StartRepair runs the anti-entropy loop every cfg.Interval until the
+// peer closes: a digest exchange with the next live partner on round 0
+// (so a rejoined peer warms up within one interval) and every
+// cfg.DigestEvery rounds after, plus a RepairOnce probe pass each round.
+// The returned stop function halts the loop early; calling it more than
+// once is safe.
+func (p *Peer) StartRepair(cfg repair.Config) (stop func()) {
+	cfg = cfg.WithDefaults()
+	budget := repair.NewBudget(cfg.Budget, 0)
+	sampler := &repair.Sampler{}
+	done := make(chan struct{})
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		ticker := time.NewTicker(cfg.Interval)
+		defer ticker.Stop()
+		round := 0
+		var partnerCursor int
+		for {
+			select {
+			case <-done:
+				return
+			case <-p.quit:
+				return
+			case <-ticker.C:
+				if cfg.DigestEvery > 0 && round%cfg.DigestEvery == 0 {
+					if partner, ok := p.nextRepairPartner(&partnerCursor); ok {
+						p.DigestSync(partner, budget, cfg.Buckets)
+					}
+				}
+				p.RepairOnce(sampler, budget, cfg.SampleSize)
+				round++
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// nextRepairPartner round-robins over the live peers this node knows,
+// excluding itself. The cursor advances by PID order so every live peer
+// is digested against within len(peers) digest rounds.
+func (p *Peer) nextRepairPartner(cursor *int) (bitops.PID, bool) {
+	rt := p.rt()
+	var live []bitops.PID
+	for q := range rt.addrs {
+		if q != p.cfg.PID && rt.live.IsLive(q) {
+			live = append(live, q)
+		}
+	}
+	if len(live) == 0 {
+		return 0, false
+	}
+	sortPIDs(live)
+	q := live[*cursor%len(live)]
+	*cursor++
+	return q, true
+}
+
+// sortPIDs orders a PID slice ascending (insertion sort: partner lists
+// are a handful of entries).
+func sortPIDs(pids []bitops.PID) {
+	for i := 1; i < len(pids); i++ {
+		for j := i; j > 0 && pids[j] < pids[j-1]; j-- {
+			pids[j], pids[j-1] = pids[j-1], pids[j]
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package repair holds the policy pieces of the anti-entropy replica
+// repair loop (docs/REPAIR.md): a token-bucket bandwidth budget so
+// background repair never starves foreground traffic, the bucket-fold
+// digest arithmetic behind msg.KindDigest, and a round-robin sampler
+// that walks a peer's inventory a slice at a time. The loop itself lives
+// in internal/netnode (it needs the routing view and the transport);
+// everything here is deterministic, single-node, and testable without a
+// network — the same split internal/hashring and internal/trace use.
+package repair
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Defaults for Config fields left zero; see WithDefaults.
+const (
+	DefaultInterval    = 2 * time.Second
+	DefaultSampleSize  = 32
+	DefaultBudget      = 256 << 10 // bytes/sec of repair traffic
+	DefaultBuckets     = 64
+	DefaultDigestEvery = 4
+)
+
+// ProbeCost is the bytes-equivalent charge for one repair probe (a
+// KindHas or digest frame): the real frames are tiny, but charging a
+// fixed floor keeps a probe storm inside the same budget that bounds
+// payload pushes.
+const ProbeCost = 64
+
+// Config tunes one peer's repair loop. The zero value means "defaults";
+// explicit zero-disables go through the value -1 where meaningful.
+type Config struct {
+	// Interval between repair rounds.
+	Interval time.Duration
+	// SampleSize is how many held names one round verifies. 0 means
+	// DefaultSampleSize; negative means the whole inventory every round.
+	SampleSize int
+	// Budget is the repair bandwidth in bytes/second (probes are charged
+	// ProbeCost). 0 means DefaultBudget; negative means unlimited.
+	Budget int
+	// Buckets is the digest partition width. More buckets localize
+	// divergence better per round at 8 bytes of frame each.
+	Buckets int
+	// DigestEvery runs a digest exchange every Nth round (round 0 always
+	// digests, so a rejoined peer warms up within one interval). 0 means
+	// DefaultDigestEvery; negative disables digest exchange.
+	DigestEvery int
+}
+
+// WithDefaults returns c with zero fields replaced by the defaults.
+func (c Config) WithDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = DefaultSampleSize
+	}
+	if c.Budget == 0 {
+		c.Budget = DefaultBudget
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = DefaultBuckets
+	}
+	if c.DigestEvery == 0 {
+		c.DigestEvery = DefaultDigestEvery
+	}
+	return c
+}
+
+// Budget is a token-bucket rate limiter in bytes: repair work calls
+// Allow(n) before each wire exchange and skips the exchange (to retry a
+// later round) when the bucket is dry. Non-blocking by design — repair
+// has no deadline, so waiting would only pin goroutines; the loop's
+// ticker is the retry timer.
+type Budget struct {
+	mu      sync.Mutex
+	rate    float64 // tokens (bytes) added per second; <= 0 means unlimited
+	burst   float64 // bucket capacity
+	tokens  float64
+	last    time.Time
+	deficit int64 // shortfall at the most recent denial; 0 after a grant
+}
+
+// NewBudget returns a bucket refilling at bytesPerSec with the given
+// burst capacity (<= 0 defaults to one second of rate). bytesPerSec <= 0
+// disables limiting: every Allow succeeds.
+func NewBudget(bytesPerSec, burst int) *Budget {
+	if burst <= 0 {
+		burst = bytesPerSec
+	}
+	b := &Budget{rate: float64(bytesPerSec), burst: float64(burst)}
+	b.tokens = b.burst
+	b.last = time.Now()
+	return b
+}
+
+// Allow spends n bytes if the bucket holds them and reports whether it
+// did. A denial records the shortfall, readable via Deficit until the
+// next grant.
+func (b *Budget) Allow(n int) bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if float64(n) > b.tokens {
+		b.deficit = int64(float64(n) - b.tokens)
+		return false
+	}
+	b.tokens -= float64(n)
+	b.deficit = 0
+	return true
+}
+
+// Deficit returns the byte shortfall of the most recent denied Allow, or
+// 0 if the last call was granted — the gauge the repair loop exports so
+// a starved budget is visible in /metrics.
+func (b *Budget) Deficit() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.deficit
+}
+
+// fnv1a64 is the 64-bit FNV-1a hash, the fold primitive of the digest.
+func fnv1a64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// entryHash folds one (name, version) pair into a single word. Version
+// participates so a stale copy diverges the same way a missing one does.
+func entryHash(name string, version uint64) uint64 {
+	h := fnv1a64(name)
+	// Mix the version through one more round of FNV so (name, v) and
+	// (name, v+1) land far apart.
+	for i := 0; i < 8; i++ {
+		h ^= version >> (8 * i) & 0xFF
+		h *= 1099511628211
+	}
+	return h
+}
+
+// BucketOf maps name to its digest bucket in an n-bucket partition.
+// Buckets partition by name only (not version), so the same copy lands
+// in the same bucket on both sides regardless of staleness.
+func BucketOf(name string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(fnv1a64(name) % uint64(n))
+}
+
+// Fold XOR-accumulates the entry hash of (name, version) into the
+// digest vector d. XOR makes the fold order-independent and incremental:
+// two peers holding the same (name, version) sets produce identical
+// vectors however they iterated.
+func Fold(d []uint64, name string, version uint64) {
+	if len(d) == 0 {
+		return
+	}
+	d[BucketOf(name, len(d))] ^= entryHash(name, version)
+}
+
+// DiffBuckets reports which buckets differ between a local digest and a
+// remote one. Vectors of different lengths (peers configured with
+// different widths) diff as "everything" — correctness over thrift.
+func DiffBuckets(local, remote []uint64) []int {
+	if len(local) != len(remote) {
+		all := make([]int, len(remote))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var diff []int
+	for i := range local {
+		if local[i] != remote[i] {
+			diff = append(diff, i)
+		}
+	}
+	return diff
+}
+
+// Sampler walks an inventory in sorted order a slice at a time,
+// remembering its cursor across rounds so every held name is verified
+// within inventory/sampleSize rounds even as the inventory changes.
+type Sampler struct {
+	mu     sync.Mutex
+	cursor string // last name handed out; "" restarts from the top
+}
+
+// Next returns up to n names from the sorted inventory, resuming after
+// the previous round's cursor and wrapping at the end. n <= 0 returns
+// the whole inventory. Names that vanished since the last round are
+// skipped naturally (the cursor is a name, not an index).
+func (s *Sampler) Next(inventory []string, n int) []string {
+	if len(inventory) == 0 {
+		return nil
+	}
+	if n <= 0 || n >= len(inventory) {
+		return inventory
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// First name strictly after the cursor, wrapping to 0.
+	start := sort.SearchStrings(inventory, s.cursor)
+	if start < len(inventory) && inventory[start] == s.cursor {
+		start++
+	}
+	if start >= len(inventory) {
+		start = 0
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, inventory[(start+i)%len(inventory)])
+	}
+	s.cursor = out[len(out)-1]
+	return out
+}

@@ -1,0 +1,130 @@
+package repair
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Interval != DefaultInterval || c.SampleSize != DefaultSampleSize ||
+		c.Budget != DefaultBudget || c.Buckets != DefaultBuckets || c.DigestEvery != DefaultDigestEvery {
+		t.Fatalf("zero config did not default: %+v", c)
+	}
+	c = Config{Interval: time.Minute, SampleSize: -1, Budget: -1, Buckets: 8, DigestEvery: -1}.WithDefaults()
+	if c.Interval != time.Minute || c.SampleSize != -1 || c.Budget != -1 || c.Buckets != 8 || c.DigestEvery != -1 {
+		t.Fatalf("explicit config was overridden: %+v", c)
+	}
+}
+
+func TestBudgetSpendAndRefill(t *testing.T) {
+	b := NewBudget(1000, 100) // 1000 B/s, 100 B burst
+	if !b.Allow(100) {
+		t.Fatal("full bucket denied its burst")
+	}
+	if b.Allow(100) {
+		t.Fatal("empty bucket granted a burst immediately")
+	}
+	if d := b.Deficit(); d <= 0 || d > 100 {
+		t.Fatalf("deficit after denial = %d, want in (0, 100]", d)
+	}
+	// ~50ms refills ~50 tokens at 1000 B/s.
+	time.Sleep(60 * time.Millisecond)
+	if !b.Allow(40) {
+		t.Fatal("refilled bucket denied an affordable spend")
+	}
+	if d := b.Deficit(); d != 0 {
+		t.Fatalf("deficit after grant = %d, want 0", d)
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	for _, b := range []*Budget{nil, NewBudget(-1, 0), NewBudget(0, 0)} {
+		for i := 0; i < 100; i++ {
+			if !b.Allow(1 << 20) {
+				t.Fatalf("unlimited budget %+v denied a spend", b)
+			}
+		}
+		if b.Deficit() != 0 {
+			t.Fatalf("unlimited budget reported a deficit")
+		}
+	}
+}
+
+func TestFoldOrderIndependent(t *testing.T) {
+	a := make([]uint64, 16)
+	b := make([]uint64, 16)
+	Fold(a, "x", 1)
+	Fold(a, "y", 2)
+	Fold(a, "z", 3)
+	Fold(b, "z", 3)
+	Fold(b, "x", 1)
+	Fold(b, "y", 2)
+	if len(DiffBuckets(a, b)) != 0 {
+		t.Fatal("same set folded in different orders diverged")
+	}
+}
+
+func TestFoldDetectsDivergence(t *testing.T) {
+	base := make([]uint64, 16)
+	Fold(base, "common", 1)
+
+	// A missing name diverges.
+	more := make([]uint64, 16)
+	Fold(more, "common", 1)
+	Fold(more, "extra", 1)
+	diff := DiffBuckets(base, more)
+	if len(diff) != 1 || diff[0] != BucketOf("extra", 16) {
+		t.Fatalf("missing name: diff = %v, want [%d]", diff, BucketOf("extra", 16))
+	}
+
+	// A stale version diverges in the same bucket as the name.
+	stale := make([]uint64, 16)
+	Fold(stale, "common", 2)
+	diff = DiffBuckets(base, stale)
+	if len(diff) != 1 || diff[0] != BucketOf("common", 16) {
+		t.Fatalf("stale version: diff = %v, want [%d]", diff, BucketOf("common", 16))
+	}
+
+	// Width mismatch diffs as everything.
+	if got := DiffBuckets(make([]uint64, 8), make([]uint64, 16)); len(got) != 16 {
+		t.Fatalf("width mismatch: %d buckets flagged, want 16", len(got))
+	}
+}
+
+func TestSamplerCoversInventory(t *testing.T) {
+	inv := []string{"a", "b", "c", "d", "e"}
+	var s Sampler
+	seen := map[string]int{}
+	for round := 0; round < 5; round++ {
+		for _, name := range s.Next(inv, 2) {
+			seen[name]++
+		}
+	}
+	// 5 rounds × 2 names over 5 items: every name exactly twice.
+	for _, name := range inv {
+		if seen[name] != 2 {
+			t.Fatalf("uneven coverage: %v", seen)
+		}
+	}
+}
+
+func TestSamplerHandlesChurnAndEdges(t *testing.T) {
+	var s Sampler
+	if got := s.Next(nil, 4); got != nil {
+		t.Fatalf("empty inventory returned %v", got)
+	}
+	inv := []string{"a", "b", "c"}
+	if got := s.Next(inv, -1); len(got) != 3 {
+		t.Fatalf("n<0 should return all: %v", got)
+	}
+	if got := s.Next(inv, 10); len(got) != 3 {
+		t.Fatalf("n>len should return all: %v", got)
+	}
+	// Cursor survives the sampled name vanishing.
+	s.Next(inv, 1) // cursor = "a"
+	shrunk := []string{"b", "c"}
+	if got := s.Next(shrunk, 1); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("cursor after churn: %v, want [b]", got)
+	}
+}

@@ -1,0 +1,118 @@
+package transport
+
+// Churn drives a scheduled crash/rejoin sequence over a Faults table:
+// the deterministic fault core extended from single scripted failures to
+// sustained membership turbulence. A crash is an unlimited Drop rule for
+// every kind at the victim's address (the wire shape of a dead process);
+// a rejoin cancels it. Steps are advanced explicitly by the harness, not
+// by wall clock, so a schedule replays identically under the race
+// detector and on loaded CI machines — the same philosophy that keeps
+// Faults free of time.Sleep scripting.
+
+import (
+	"sync"
+
+	"lesslog/internal/msg"
+)
+
+// ChurnEvent is one step of a churn schedule. All fields compose: a step
+// can crash some peers, rejoin others, and inject repair-RPC loss at
+// once (the correlated-failure shapes §7's single-failure handling never
+// sees).
+type ChurnEvent struct {
+	// Crash lists addresses that go dark at this step: every request to
+	// them fails with ErrInjected until a later step Rejoins them.
+	Crash []string
+	// Rejoin lists addresses whose earlier Crash rule is lifted.
+	Rejoin []string
+	// LoseKind, when nonzero, drops the next LoseTimes requests of that
+	// kind to any address — the "repair RPC lost in flight" fault
+	// (LoseTimes 0 with a nonzero LoseKind drops one).
+	LoseKind  msg.Kind
+	LoseTimes int
+}
+
+// Churn applies a ChurnEvent schedule to a fault table one explicit step
+// at a time. Concurrency-safe; the zero value is unusable, construct
+// with NewChurn.
+type Churn struct {
+	mu      sync.Mutex
+	faults  *Faults
+	events  []ChurnEvent
+	step    int
+	crashed map[string]func() // live Crash rule cancels by address
+}
+
+// NewChurn returns a driver that will play events over faults.
+func NewChurn(faults *Faults, events []ChurnEvent) *Churn {
+	return &Churn{faults: faults, events: events, crashed: make(map[string]func())}
+}
+
+// Step reports how many events have been applied.
+func (c *Churn) Step() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.step
+}
+
+// Done reports whether the schedule is exhausted.
+func (c *Churn) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.step >= len(c.events)
+}
+
+// Crashed reports whether addr is currently dark.
+func (c *Churn) Crashed(addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.crashed[addr]
+	return ok
+}
+
+// Advance applies the next event and reports false once the schedule is
+// exhausted (no event applied). Crashing an already-dark address or
+// rejoining a live one is a no-op, so schedules compose without
+// bookkeeping.
+func (c *Churn) Advance() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.step >= len(c.events) {
+		return false
+	}
+	ev := c.events[c.step]
+	c.step++
+	for _, addr := range ev.Rejoin {
+		if cancel, ok := c.crashed[addr]; ok {
+			cancel()
+			delete(c.crashed, addr)
+		}
+	}
+	for _, addr := range ev.Crash {
+		if _, ok := c.crashed[addr]; ok {
+			continue
+		}
+		c.crashed[addr] = c.faults.AddCancel(Rule{Addr: addr, Drop: true})
+	}
+	if ev.LoseKind != 0 {
+		times := ev.LoseTimes
+		if times <= 0 {
+			times = 1
+		}
+		c.faults.Add(Rule{Kind: ev.LoseKind, Drop: true, Times: times})
+	}
+	return true
+}
+
+// Reset lifts every Crash rule the driver still holds (loss rules expire
+// on their own Times budget) and rewinds the schedule — the cleanup hook
+// a harness defers so a failed test does not leave peers dark.
+func (c *Churn) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr, cancel := range c.crashed {
+		cancel()
+		delete(c.crashed, addr)
+	}
+	c.step = 0
+}

@@ -55,6 +55,27 @@ func (f *Faults) Add(r Rule) *Faults {
 	return f
 }
 
+// AddCancel installs a rule and returns a cancel func that removes it —
+// the primitive scheduled fault drivers (Churn) build on: a crash is an
+// unlimited Drop rule held until the rejoin step cancels it. Cancel is
+// idempotent and safe after Clear.
+func (f *Faults) AddCancel(r Rule) (cancel func()) {
+	f.mu.Lock()
+	rp := &r
+	f.rules = append(f.rules, rp)
+	f.mu.Unlock()
+	return func() {
+		f.mu.Lock()
+		for i, cur := range f.rules {
+			if cur == rp {
+				f.rules = append(f.rules[:i], f.rules[i+1:]...)
+				break
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
 // Clear removes every rule.
 func (f *Faults) Clear() {
 	f.mu.Lock()
