@@ -37,8 +37,9 @@
 //
 // Background replica repair (the anti-entropy loop of docs/REPAIR.md) is
 // enabled with -repair-interval; -repair-budget bounds its bandwidth in
-// bytes/sec. A locate client that hits a pre-locate fabric downgrades to
-// the relay path for -downgrade-ttl before probing again.
+// bytes/sec and -repair-tomb-ttl sets the delete-tombstone GC horizon. A
+// locate client that hits a pre-locate fabric downgrades to the relay
+// path for -downgrade-ttl before probing again.
 package main
 
 import (
@@ -71,6 +72,7 @@ func main() {
 		maintain  = flag.Duration("maintain", 0, "server: overload/eviction maintenance interval (0 disables)")
 		repairIv  = flag.Duration("repair-interval", 0, "server: anti-entropy replica repair interval (0 disables)")
 		repairBw  = flag.Int("repair-budget", 0, "server: repair bandwidth budget in bytes/sec (0 selects the default, -1 unlimited)")
+		repairTT  = flag.Duration("repair-tomb-ttl", 0, "server: delete-tombstone GC horizon (0 selects the default, -1 keeps them until restart)")
 		dataDir   = flag.String("data-dir", "", "server: directory for durable storage (restored on start, checkpointed on exit)")
 		threshold = flag.Uint64("threshold", 100, "server: per-window serve count that triggers replication")
 		evictLow  = flag.Uint64("evict-below", 1, "server: replicas serving fewer gets per window are dropped")
@@ -133,8 +135,8 @@ func main() {
 			"interval", *maintain, "threshold", *threshold, "evict_below", *evictLow)
 	}
 	if *repairIv > 0 {
-		peer.StartRepair(repair.Config{Interval: *repairIv, Budget: *repairBw})
-		log.Info("replica repair enabled", "interval", *repairIv, "budget", *repairBw)
+		peer.StartRepair(repair.Config{Interval: *repairIv, Budget: *repairBw, TombstoneTTL: *repairTT})
+		log.Info("replica repair enabled", "interval", *repairIv, "budget", *repairBw, "tomb_ttl", *repairTT)
 	}
 	if *bootstrap != "" {
 		if err := peer.Join(*bootstrap); err != nil {

@@ -114,13 +114,17 @@ type Stats struct {
 	// per-name liveness probes issued; Repaired counts copies this peer
 	// pushed back onto a holder that had lost (or staled) them;
 	// RepairPulled counts copies pulled in through a digest delta;
-	// RepairSkipped counts work deferred by the bandwidth budget or a
-	// legacy (unknown-kind) partner. DigestBytes counts digest frame
-	// bytes in both directions; RepairDeficit gauges the byte shortfall
-	// at the budget's most recent denial (0 when repair is keeping up).
+	// RepairErased counts local copies erased because a probe found the
+	// name tombstoned (deleted) at a required holder; RepairSkipped
+	// counts work deferred by the bandwidth budget or a legacy partner
+	// (unknown-kind digest answer, version-less has answer). DigestBytes
+	// counts digest frame bytes in both directions; RepairDeficit gauges
+	// the byte shortfall at the budget's most recent denial (0 when
+	// repair is keeping up).
 	RepairProbes  atomic.Uint64
 	Repaired      atomic.Uint64
 	RepairPulled  atomic.Uint64
+	RepairErased  atomic.Uint64
 	RepairSkipped atomic.Uint64
 	DigestBytes   atomic.Uint64
 	RepairDeficit atomic.Int64
@@ -481,13 +485,34 @@ func (p *Peer) handleBatch(req *msg.Request) *msg.Response {
 	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: data}
 }
 
+// ErrTombstoned is the answer to a store of a name this peer has seen
+// deleted at a version at least as new as the pushed copy. The response
+// carries the tombstone version, so an insert racing a delete can merge
+// it into its clock and restamp (handleInsert), while a repair push just
+// learns its copy is deleted rather than missing.
+const ErrTombstoned = "netnode: name deleted (tombstoned)"
+
+// handleStore applies a direct copy placement through the version- and
+// tombstone-gated PutNewer: a probe-then-push repair (or a leave handoff)
+// races foreground updates and deletes, so a stale push must neither
+// clobber a copy that went newer between the probe and the push, nor
+// resurrect a name a delete broadcast erased. The response always carries
+// the surviving version; a kept-newer copy still answers OK (the name is
+// present at least as new — the push's goal holds), a tombstone refusal
+// answers ErrTombstoned.
 func (p *Peer) handleStore(req *msg.Request) *msg.Response {
 	kind := store.Inserted
 	if req.Flags&msg.FlagReplica != 0 {
 		kind = store.Replica
 	}
-	p.store.Put(store.File{Name: req.Name, Data: req.Data, Version: req.Version}, kind)
+	survived, res := p.store.PutNewer(store.File{Name: req.Name, Data: req.Data, Version: req.Version}, kind)
 	p.mergeClock(req.Version)
+	switch res {
+	case store.PutTombstoned:
+		return &msg.Response{ServedBy: uint32(p.cfg.PID), Version: survived, Err: ErrTombstoned}
+	case store.PutStale:
+		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Version: survived}
+	}
 	p.stats.Stored.Add(1)
 	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Version: req.Version}
 }
@@ -497,23 +522,46 @@ func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
 	v := p.view(target)
 	version := p.clock.Add(1)
 	stored := 0
-	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
-		h, ok := v.PrimaryHolder(sid)
-		if !ok {
-			continue
+	// A tombstone refusal means the name was deleted at a version this
+	// peer's clock has never seen (the deleting peer may never have talked
+	// to us). Merge the tombstone version and restamp strictly above it,
+	// then re-place everywhere, so the re-insert supersedes the delete at
+	// every holder instead of landing below it at some and being erased by
+	// anti-entropy later. Bounded retries cover a concurrent delete
+	// landing an even newer tombstone mid-insert.
+	for attempt := 0; attempt < 3; attempt++ {
+		stored = 0
+		var tombV uint64
+		for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
+			h, ok := v.PrimaryHolder(sid)
+			if !ok {
+				continue
+			}
+			sreq := &msg.Request{
+				Kind: msg.KindStore, Origin: req.Origin,
+				Version: version, Name: req.Name, Data: req.Data,
+			}
+			var resp *msg.Response
+			if h == p.cfg.PID {
+				resp = p.handleStore(sreq)
+			} else {
+				var err error
+				if resp, err = p.call(h, sreq); err != nil {
+					continue
+				}
+			}
+			switch {
+			case resp.OK:
+				stored++
+			case resp.Err == ErrTombstoned && resp.Version > tombV:
+				tombV = resp.Version
+			}
 		}
-		sreq := &msg.Request{
-			Kind: msg.KindStore, Origin: req.Origin,
-			Version: version, Name: req.Name, Data: req.Data,
+		if tombV < version {
+			break
 		}
-		if h == p.cfg.PID {
-			p.handleStore(sreq)
-			stored++
-			continue
-		}
-		if resp, err := p.call(h, sreq); err == nil && resp.OK {
-			stored++
-		}
+		p.mergeClock(tombV)
+		version = p.clock.Add(1)
 	}
 	if stored == 0 {
 		p.stats.Faults.Add(1)
@@ -894,35 +942,47 @@ func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
 		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID),
 			Hops: uint32(p.propagateDelete(v, req, nil))}
 	}
+	// Initiation: stamp the deletion strictly above the file's current
+	// version, Lamport-style like an update, so every erased copy leaves a
+	// tombstone that dominates it — the version anti-entropy compares
+	// against before re-propagating a copy a partitioned peer brings back
+	// (docs/REPAIR.md). Legacy initiators send Version 0; propagateDelete
+	// then tombstones at the erased copy's own version instead.
+	if version, ok := p.probeVersion(req.Name); ok {
+		p.mergeClock(version)
+	}
 	prop := *req
 	prop.Flags |= msg.FlagPropagate
+	prop.Version = p.clock.Add(1)
 	removed := p.broadcast(v, &prop)
 	if removed == 0 {
 		p.stats.Faults.Add(1)
 		return &msg.Response{Err: "netnode: delete found no copy"}
 	}
-	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(removed)}
+	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(removed), Version: prop.Version}
 }
 
-// propagateDelete fans out to the children list in parallel, then erases
-// the local copy — children first, so a concurrent get forwarded here
-// still finds the file while downstream copies are being erased;
-// non-holders discard. Returns copies removed downstream.
+// propagateDelete erases the local copy first — under propMu's read side
+// and before the fan-out, so a racing Leave snapshots either the
+// pre-delete copy or the fully post-delete state, never a copy the
+// children have already erased (handing that to a successor would
+// resurrect the name); non-holders discard without forwarding. The erase
+// leaves a versioned tombstone behind, so a stale push cannot re-plant
+// the copy and anti-entropy propagates the deletion rather than the
+// corpse. Returns copies removed in this branch.
 func (p *Peer) propagateDelete(v ptree.View, req *msg.Request, sem chan struct{}) int {
-	if !p.store.Has(req.Name) {
+	p.propMu.RLock() // serializes against Leave, as in propagateUpdate
+	removed := p.store.Tombstone(req.Name, req.Version, time.Now())
+	p.propMu.RUnlock()
+	if !removed {
 		return 0
 	}
+	p.mergeClock(req.Version)
 	kids := p.childTargets(v)
 	if sem == nil {
 		sem = p.fanoutSem(len(kids))
 	}
-	n := p.deliverAll(v, kids, req, sem)
-	p.propMu.RLock() // local erase serializes against Leave, as in propagateUpdate
-	if p.store.Delete(req.Name) {
-		n++
-	}
-	p.propMu.RUnlock()
-	return n
+	return 1 + p.deliverAll(v, kids, req, sem)
 }
 
 // handleStat serves the status snapshot: the legacy one-line "k=v" text by

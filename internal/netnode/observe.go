@@ -112,11 +112,14 @@ type StatSnapshot struct {
 	FanoutActive  int64 `json:"fanout_active"`
 
 	// Anti-entropy repair (docs/REPAIR.md): probes issued, copies pushed
-	// back / pulled in, work deferred by the budget, digest frame bytes,
-	// and the budget's current byte shortfall (gauge; 0 = keeping up).
+	// back / pulled in, local copies erased after a tombstone answer
+	// (deletion propagated by repair), work deferred by the budget or a
+	// legacy partner, digest frame bytes, and the budget's current byte
+	// shortfall (gauge; 0 = keeping up).
 	RepairProbes  uint64 `json:"repair_probes"`
 	Repaired      uint64 `json:"repaired"`
 	RepairPulled  uint64 `json:"repair_pulled"`
+	RepairErased  uint64 `json:"repair_erased"`
 	RepairSkipped uint64 `json:"repair_skipped"`
 	DigestBytes   uint64 `json:"digest_bytes"`
 	RepairDeficit int64  `json:"repair_deficit"`
@@ -171,6 +174,7 @@ func (p *Peer) StatSnapshot() StatSnapshot {
 		RepairProbes:  p.stats.RepairProbes.Load(),
 		Repaired:      p.stats.Repaired.Load(),
 		RepairPulled:  p.stats.RepairPulled.Load(),
+		RepairErased:  p.stats.RepairErased.Load(),
 		RepairSkipped: p.stats.RepairSkipped.Load(),
 		DigestBytes:   p.stats.DigestBytes.Load(),
 		RepairDeficit: p.stats.RepairDeficit.Load(),
@@ -230,6 +234,7 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 	metrics.PrometheusFamily(w, "lesslog_repair_total", "counter",
 		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="pushed"`), Value: float64(s.Repaired)},
 		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="pulled"`), Value: float64(s.RepairPulled)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="erased"`), Value: float64(s.RepairErased)},
 		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="skipped"`), Value: float64(s.RepairSkipped)})
 	metrics.PrometheusFamily(w, "lesslog_repair_probes_total", "counter",
 		metrics.LabeledValue{Labels: self, Value: float64(s.RepairProbes)})

@@ -37,10 +37,16 @@ func requiredHolder(v ptree.View, q bitops.PID) bool {
 // RepairOnce runs one anti-entropy round: up to sample names from the
 // local inventory are verified — for every subtree of their lookup tree,
 // the current primary holder must hold a copy at least as new as ours —
-// and divergent holders are repaired (missing or stale: push; newer:
-// pull). Probes and pushes spend from budget; denied work is deferred to
-// a later round. Returns the number of copies repaired (pushed or
-// pulled). Exposed for tests and tooling; StartRepair drives it.
+// and divergence is repaired in whichever direction the versions say:
+// missing or stale at the holder pushes our copy; newer at the holder
+// pulls; tombstoned at the holder (deleted at a version our copy does
+// not supersede) erases our copy, so a peer that slept through a delete
+// broadcast propagates the deletion instead of resurrecting the name. A
+// version-less has answer (a pre-repair responder) proves existence but
+// cannot be compared, so only the existence half is enforced against it.
+// Probes and pushes spend from budget; denied work is deferred to a
+// later round. Returns the number of copies repaired (pushed, pulled or
+// erased). Exposed for tests and tooling; StartRepair drives it.
 func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample int) int {
 	repaired := 0
 	for _, name := range sampler.Next(p.store.AllNames(), sample) {
@@ -50,6 +56,7 @@ func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample
 		}
 		target := p.hasher.Target(name, p.cfg.M)
 		v := p.view(target)
+	subtrees:
 		for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
 			h, live := v.PrimaryHolder(sid)
 			if !live || h == p.cfg.PID {
@@ -65,18 +72,36 @@ func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample
 				continue // detector fed; next round sees the updated view
 			}
 			switch {
-			case !resp.OK, resp.Version < f.Version:
-				// Missing or stale at its required holder: push our copy.
+			case !resp.OK && resp.Version > 0 && resp.Version >= f.Version:
+				// The holder tombstoned the name at a version our copy does
+				// not supersede: the delete reached it but missed us. Apply
+				// the deletion locally — push the tombstone on, not the corpse.
+				if p.applyTombstone(name, resp.Version) {
+					repaired++
+				}
+				break subtrees // the name is gone locally; stop probing its subtrees
+			case !resp.OK, resp.Version > 0 && resp.Version < f.Version:
+				// Missing at its required holder (or tombstoned older than
+				// our copy — a re-insert the holder missed), or versioned
+				// stale: push our copy. The holder re-gates the apply
+				// (handleStore), so a copy that went newer between this
+				// probe and the push survives.
 				if !budget.Allow(len(f.Data)) {
 					p.stats.RepairSkipped.Add(1)
 					continue
 				}
 				sreq := &msg.Request{Kind: msg.KindStore, Name: f.Name, Data: f.Data, Version: f.Version}
-				if r, err := p.call(h, sreq); err == nil && r.OK {
+				if r, err := p.call(h, sreq); err == nil && r.OK && r.Version == f.Version {
 					p.stats.Repaired.Add(1)
 					repaired++
 					p.log.Info("repair: re-established copy", "name", name, "on", uint32(h))
 				}
+			case resp.OK && resp.Version == 0:
+				// A pre-repair responder: the copy exists but carries no
+				// version to compare. Pushing would re-push every round
+				// (the answer never changes), so leave staleness to the
+				// update broadcast and count the deferred comparison.
+				p.stats.RepairSkipped.Add(1)
 			case resp.Version > f.Version:
 				// The holder is newer than us — we missed an update
 				// broadcast. Pull rather than clobber.
@@ -90,11 +115,33 @@ func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample
 	return repaired
 }
 
+// applyTombstone erases the local copy of name because a required holder
+// reported it deleted at version; the local tombstone then propagates
+// the deletion onward through this peer's own has answers. Serialized
+// against Leave like every local store mutation on a propagation path.
+func (p *Peer) applyTombstone(name string, version uint64) bool {
+	p.propMu.RLock()
+	removed := p.store.Tombstone(name, version, time.Now())
+	p.propMu.RUnlock()
+	if !removed {
+		return false
+	}
+	p.mergeClock(version)
+	p.stats.RepairErased.Add(1)
+	p.log.Info("repair: erased deleted copy", "name", name, "version", version)
+	return true
+}
+
 // pullCopy fetches name's payload directly from holder h (local-only
 // get, the locate-then-fetch data plane's fetch half) and applies it
 // locally: Update for an existing copy (strictly-newer semantics, so a
-// concurrent broadcast cannot be clobbered by a stale pull) or an
-// inserted Put when we hold nothing.
+// concurrent broadcast cannot be clobbered by a stale pull) or a
+// tombstone-gated inserted PutNewer when we hold nothing — a pull must
+// not resurrect a name this peer saw deleted after the partner wrote its
+// copy. The payload is charged to the budget after the fact with Spend
+// (its size is only known on arrival): the bucket goes negative and
+// repays itself from refill, so large pulls stall later rounds instead
+// of riding free past the budget.
 func (p *Peer) pullCopy(name string, h bitops.PID, budget *repair.Budget) bool {
 	if !budget.Allow(repair.ProbeCost) {
 		p.stats.RepairSkipped.Add(1)
@@ -104,13 +151,18 @@ func (p *Peer) pullCopy(name string, h bitops.PID, budget *repair.Budget) bool {
 	if err != nil || !resp.OK {
 		return false
 	}
-	budget.Allow(len(resp.Data)) // charge the payload after the fact; overdraft, not a stall
+	budget.Spend(len(resp.Data))
+	p.propMu.RLock() // local apply serializes against Leave, as on broadcast paths
+	applied := false
 	if _, have := p.store.Peek(name); have {
-		if !p.store.Update(name, resp.Data, resp.Version) {
-			return false // a concurrent update already caught us up further
-		}
+		applied = p.store.Update(name, resp.Data, resp.Version)
 	} else {
-		p.store.Put(store.File{Name: name, Data: resp.Data, Version: resp.Version}, store.Inserted)
+		_, res := p.store.PutNewer(store.File{Name: name, Data: resp.Data, Version: resp.Version}, store.Inserted)
+		applied = res == store.PutApplied
+	}
+	p.propMu.RUnlock()
+	if !applied {
+		return false // a concurrent update or deletion already superseded the pull
 	}
 	p.mergeClock(resp.Version)
 	p.stats.RepairPulled.Add(1)
@@ -170,6 +222,12 @@ func (p *Peer) DigestSync(partner bitops.PID, budget *repair.Budget, width int) 
 			continue
 		}
 		if f, have := p.store.Peek(e.Name); have && f.Version >= e.Version {
+			continue
+		}
+		// A tombstone at least as new as the offer means this peer saw the
+		// name deleted after the partner wrote that copy — a partner that
+		// slept through the delete must not push the corpse back.
+		if tv, dead := p.store.TombVersion(e.Name); dead && tv >= e.Version {
 			continue
 		}
 		if p.pullCopy(e.Name, partner, budget) {
@@ -264,6 +322,11 @@ func (p *Peer) StartRepair(cfg repair.Config) (stop func()) {
 			case <-p.quit:
 				return
 			case <-ticker.C:
+				if cfg.TombstoneTTL > 0 {
+					// GC horizon: a deletion old enough to have reached every
+					// replica no longer needs its tombstone (docs/REPAIR.md).
+					p.store.PruneTombstones(time.Now().Add(-cfg.TombstoneTTL))
+				}
 				if cfg.DigestEvery > 0 && round%cfg.DigestEvery == 0 {
 					if partner, ok := p.nextRepairPartner(&partnerCursor); ok {
 						p.DigestSync(partner, budget, cfg.Buckets)

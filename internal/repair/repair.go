@@ -16,11 +16,12 @@ import (
 
 // Defaults for Config fields left zero; see WithDefaults.
 const (
-	DefaultInterval    = 2 * time.Second
-	DefaultSampleSize  = 32
-	DefaultBudget      = 256 << 10 // bytes/sec of repair traffic
-	DefaultBuckets     = 64
-	DefaultDigestEvery = 4
+	DefaultInterval     = 2 * time.Second
+	DefaultSampleSize   = 32
+	DefaultBudget       = 256 << 10 // bytes/sec of repair traffic
+	DefaultBuckets      = 64
+	DefaultDigestEvery  = 4
+	DefaultTombstoneTTL = 10 * time.Minute
 )
 
 // ProbeCost is the bytes-equivalent charge for one repair probe (a
@@ -47,6 +48,13 @@ type Config struct {
 	// digests, so a rejoined peer warms up within one interval). 0 means
 	// DefaultDigestEvery; negative disables digest exchange.
 	DigestEvery int
+	// TombstoneTTL is the GC horizon for delete tombstones: each round
+	// prunes tombstones older than this, on the assumption the deletion
+	// has reached every replica by then. Longer horizons tolerate longer
+	// partitions before a deleted name can be resurrected by a returning
+	// stale copy. 0 means DefaultTombstoneTTL; negative keeps tombstones
+	// until the peer restarts.
+	TombstoneTTL time.Duration
 }
 
 // WithDefaults returns c with zero fields replaced by the defaults.
@@ -65,6 +73,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.DigestEvery == 0 {
 		c.DigestEvery = DefaultDigestEvery
+	}
+	if c.TombstoneTTL == 0 {
+		c.TombstoneTTL = DefaultTombstoneTTL
 	}
 	return c
 }
@@ -118,6 +129,27 @@ func (b *Budget) Allow(n int) bool {
 	b.tokens -= float64(n)
 	b.deficit = 0
 	return true
+}
+
+// Spend unconditionally debits n bytes, letting the bucket go negative —
+// the after-the-fact charge for bytes already on the wire (a pulled
+// payload's size is only known once it arrives). The overdraft is repaid
+// by refill before any further Allow succeeds, so repeated large pulls
+// cannot bypass the budget the way a denied Allow (which leaves tokens
+// untouched) would.
+func (b *Budget) Spend(n int) {
+	if b == nil || b.rate <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	b.tokens -= float64(n)
 }
 
 // Deficit returns the byte shortfall of the most recent denied Allow, or

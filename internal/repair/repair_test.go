@@ -8,11 +8,13 @@ import (
 func TestWithDefaults(t *testing.T) {
 	c := Config{}.WithDefaults()
 	if c.Interval != DefaultInterval || c.SampleSize != DefaultSampleSize ||
-		c.Budget != DefaultBudget || c.Buckets != DefaultBuckets || c.DigestEvery != DefaultDigestEvery {
+		c.Budget != DefaultBudget || c.Buckets != DefaultBuckets || c.DigestEvery != DefaultDigestEvery ||
+		c.TombstoneTTL != DefaultTombstoneTTL {
 		t.Fatalf("zero config did not default: %+v", c)
 	}
-	c = Config{Interval: time.Minute, SampleSize: -1, Budget: -1, Buckets: 8, DigestEvery: -1}.WithDefaults()
-	if c.Interval != time.Minute || c.SampleSize != -1 || c.Budget != -1 || c.Buckets != 8 || c.DigestEvery != -1 {
+	c = Config{Interval: time.Minute, SampleSize: -1, Budget: -1, Buckets: 8, DigestEvery: -1, TombstoneTTL: -1}.WithDefaults()
+	if c.Interval != time.Minute || c.SampleSize != -1 || c.Budget != -1 || c.Buckets != 8 || c.DigestEvery != -1 ||
+		c.TombstoneTTL != -1 {
 		t.Fatalf("explicit config was overridden: %+v", c)
 	}
 }
@@ -35,6 +37,29 @@ func TestBudgetSpendAndRefill(t *testing.T) {
 	}
 	if d := b.Deficit(); d != 0 {
 		t.Fatalf("deficit after grant = %d, want 0", d)
+	}
+}
+
+func TestBudgetSpendOverdrafts(t *testing.T) {
+	b := NewBudget(1000, 100)
+	// An after-the-fact charge larger than the bucket drives it negative;
+	// the overdraft must gate subsequent Allow calls (a denied Allow alone
+	// would have left the tokens untouched and let every pull through).
+	b.Spend(50_000)
+	if b.Allow(1) {
+		t.Fatal("overdrafted bucket granted a spend")
+	}
+	if d := b.Deficit(); d <= 0 {
+		t.Fatalf("deficit after overdraft denial = %d, want > 0", d)
+	}
+}
+
+func TestBudgetSpendUnlimited(t *testing.T) {
+	for _, b := range []*Budget{nil, NewBudget(-1, 0)} {
+		b.Spend(1 << 30) // must be a no-op, not a panic or an overdraft
+		if !b.Allow(1 << 20) {
+			t.Fatal("unlimited budget denied a spend after Spend")
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // DefaultShards is the shard count NewSharded picks when the caller does
@@ -79,6 +80,18 @@ func (s *Sharded) Put(f File, kind Kind) {
 	sh.mu.Unlock()
 }
 
+// PutNewer places a copy of f unless an existing copy or tombstone is at
+// least as new; see Store.PutNewer. The check and the write are one
+// atomic step under the shard's mutex, so a concurrent newer write
+// cannot be clobbered between them.
+func (s *Sharded) PutNewer(f File, kind Kind) (uint64, PutResult) {
+	sh := s.shardFor(f.Name)
+	sh.mu.Lock()
+	v, res := sh.s.PutNewer(f, kind)
+	sh.mu.Unlock()
+	return v, res
+}
+
 // Get returns the copy of name, counting the access.
 func (s *Sharded) Get(name string) (File, bool) {
 	sh := s.shardFor(name)
@@ -132,6 +145,38 @@ func (s *Sharded) Delete(name string) bool {
 	ok := sh.s.Delete(name)
 	sh.mu.Unlock()
 	return ok
+}
+
+// Tombstone erases the copy of name and records a versioned tombstone;
+// see Store.Tombstone.
+func (s *Sharded) Tombstone(name string, version uint64, at time.Time) bool {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	ok := sh.s.Tombstone(name, version, at)
+	sh.mu.Unlock()
+	return ok
+}
+
+// TombVersion returns the tombstone version of name, if tombstoned.
+func (s *Sharded) TombVersion(name string) (uint64, bool) {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	v, ok := sh.s.TombVersion(name)
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// PruneTombstones drops tombstones recorded before cutoff across every
+// shard and returns how many were dropped.
+func (s *Sharded) PruneTombstones(cutoff time.Time) int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.s.PruneTombstones(cutoff)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Promote upgrades a replica of name to an inserted copy.

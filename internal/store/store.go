@@ -10,6 +10,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Kind distinguishes the two copy classes of §5.2.
@@ -43,25 +44,70 @@ type entry struct {
 	hits uint64
 }
 
+// tomb records a deletion: the version the delete carried (or the erased
+// copy's own version when the delete was unversioned) and when it was
+// recorded, for horizon-based pruning. A name never carries both a live
+// copy and a tombstone: Tombstone erases the copy, and any write that
+// supersedes the tombstone clears it.
+type tomb struct {
+	version uint64
+	at      time.Time
+}
+
 // Store is one node's local storage. It is not safe for concurrent use;
 // the cluster engine serializes access per node, and the networked node
 // wraps it in its own mutex.
 type Store struct {
 	files map[string]*entry
+	tombs map[string]tomb
 }
 
 // New returns an empty store.
-func New() *Store { return &Store{files: make(map[string]*entry)} }
+func New() *Store {
+	return &Store{files: make(map[string]*entry), tombs: make(map[string]tomb)}
+}
 
 // Put places a copy of f with the given kind, replacing any existing copy
-// of the same name (and resetting its access counter). Replacing an
+// of the same name (and resetting its access counter) and clearing any
+// tombstone — the unconditional, authoritative write. Replacing an
 // inserted copy with a replica is rejected: an authoritative copy never
-// loses its status to a load-shedding one.
+// loses its status to a load-shedding one. Callers that may race newer
+// writes or deletions should use PutNewer instead.
 func (s *Store) Put(f File, kind Kind) {
 	if old, ok := s.files[f.Name]; ok && old.kind == Inserted && kind == Replica {
 		kind = Inserted
 	}
+	delete(s.tombs, f.Name)
 	s.files[f.Name] = &entry{file: f, kind: kind}
+}
+
+// PutResult says what PutNewer did with a copy.
+type PutResult uint8
+
+const (
+	// PutApplied: the copy was stored.
+	PutApplied PutResult = iota
+	// PutStale: an existing copy at least as new was kept instead.
+	PutStale
+	// PutTombstoned: the name was deleted at a version at least as new as
+	// the offered copy; the write was refused.
+	PutTombstoned
+)
+
+// PutNewer places f with kind unless the name's history already dominates
+// it: a tombstone at or above f.Version refuses the write (the name was
+// deleted at least as recently as this copy was written), and an existing
+// copy at or above f.Version is kept. The surviving version is returned
+// either way; a write that goes through clears any older tombstone.
+func (s *Store) PutNewer(f File, kind Kind) (uint64, PutResult) {
+	if t, ok := s.tombs[f.Name]; ok && f.Version <= t.version {
+		return t.version, PutTombstoned
+	}
+	if old, ok := s.files[f.Name]; ok && old.file.Version >= f.Version {
+		return old.file.Version, PutStale
+	}
+	s.Put(f, kind)
+	return f.Version, PutApplied
 }
 
 // Get returns the copy of name, counting the access, and reports whether
@@ -112,13 +158,68 @@ func (s *Store) Update(name string, data []byte, newVersion uint64) bool {
 	return true
 }
 
-// Delete removes the copy of name and reports whether one existed.
+// Delete removes the copy of name and reports whether one existed. No
+// tombstone is left behind: this is the local-only removal (replica
+// eviction, post-handoff cleanup), not a cluster-wide deletion — the file
+// still exists elsewhere and may legitimately be pushed back. Cluster
+// deletions go through Tombstone.
 func (s *Store) Delete(name string) bool {
 	if _, ok := s.files[name]; !ok {
 		return false
 	}
 	delete(s.files, name)
 	return true
+}
+
+// Tombstone erases the copy of name (if any) and records a versioned
+// tombstone so the deletion wins against later stale writes: PutNewer
+// refuses any copy at or below the tombstone's version until a newer
+// write supersedes it or PruneTombstones drops it. The recorded version
+// is the largest of version, the erased copy's own version, and any
+// existing tombstone's, so the exact copy a delete erased can never be
+// re-planted by a lagging push. Reports whether a copy was erased.
+// Nothing is recorded for a name this store neither holds nor has
+// already tombstoned, bounding tombstone growth to names actually held.
+func (s *Store) Tombstone(name string, version uint64, at time.Time) bool {
+	e, had := s.files[name]
+	if had {
+		if e.file.Version > version {
+			version = e.file.Version
+		}
+		delete(s.files, name)
+	}
+	t, marked := s.tombs[name]
+	if !had && !marked {
+		return false
+	}
+	if t.version > version {
+		version = t.version
+	}
+	s.tombs[name] = tomb{version: version, at: at}
+	return had
+}
+
+// TombVersion returns the tombstone version of name and whether name is
+// currently tombstoned.
+func (s *Store) TombVersion(name string) (uint64, bool) {
+	t, ok := s.tombs[name]
+	return t.version, ok
+}
+
+// PruneTombstones drops tombstones recorded before cutoff — the GC
+// horizon after which a deletion is assumed to have reached every
+// replica — and returns how many were dropped. Tombstones are in-memory
+// only (a checkpoint does not persist them); the horizon bounds how long
+// a busy deleting peer carries them.
+func (s *Store) PruneTombstones(cutoff time.Time) int {
+	n := 0
+	for name, t := range s.tombs {
+		if t.at.Before(cutoff) {
+			delete(s.tombs, name)
+			n++
+		}
+	}
+	return n
 }
 
 // Promote upgrades a replica of name to an inserted copy (used when a

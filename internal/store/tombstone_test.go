@@ -1,0 +1,138 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestTombstoneBlocksStaleWrites(t *testing.T) {
+	s := New()
+	s.Put(File{Name: "f", Data: []byte("a"), Version: 3}, Inserted)
+	now := time.Now()
+	if !s.Tombstone("f", 5, now) {
+		t.Fatal("Tombstone did not erase the copy")
+	}
+	if s.Has("f") {
+		t.Fatal("copy survived the tombstone")
+	}
+	if v, ok := s.TombVersion("f"); !ok || v != 5 {
+		t.Fatalf("TombVersion = %d, %v; want 5, true", v, ok)
+	}
+	// A write at or below the tombstone version is refused.
+	if v, res := s.PutNewer(File{Name: "f", Data: []byte("b"), Version: 5}, Inserted); res != PutTombstoned || v != 5 {
+		t.Fatalf("stale write: %v, %d; want PutTombstoned, 5", res, v)
+	}
+	if s.Has("f") {
+		t.Fatal("refused write still landed")
+	}
+	// A strictly newer write supersedes the deletion and clears the mark.
+	if _, res := s.PutNewer(File{Name: "f", Data: []byte("c"), Version: 6}, Inserted); res != PutApplied {
+		t.Fatalf("superseding write: %v, want PutApplied", res)
+	}
+	if _, ok := s.TombVersion("f"); ok {
+		t.Fatal("tombstone survived a superseding write")
+	}
+	f, _ := s.Peek("f")
+	if !bytes.Equal(f.Data, []byte("c")) || f.Version != 6 {
+		t.Fatalf("surviving copy: %+v", f)
+	}
+}
+
+func TestTombstoneDominatesErasedCopy(t *testing.T) {
+	// An unversioned (legacy) delete still records a tombstone at the
+	// erased copy's own version, so that exact copy cannot be re-planted.
+	s := New()
+	s.Put(File{Name: "f", Data: []byte("a"), Version: 7}, Inserted)
+	if !s.Tombstone("f", 0, time.Now()) {
+		t.Fatal("copy not erased")
+	}
+	if v, ok := s.TombVersion("f"); !ok || v != 7 {
+		t.Fatalf("TombVersion = %d, %v; want 7, true", v, ok)
+	}
+	if _, res := s.PutNewer(File{Name: "f", Version: 7}, Inserted); res != PutTombstoned {
+		t.Fatalf("erased copy re-planted: %v", res)
+	}
+	if _, res := s.PutNewer(File{Name: "f", Version: 8}, Inserted); res != PutApplied {
+		t.Fatalf("newer re-insert refused: %v", res)
+	}
+}
+
+func TestTombstoneUnknownNameNotRecorded(t *testing.T) {
+	s := New()
+	if s.Tombstone("ghost", 3, time.Now()) {
+		t.Fatal("Tombstone of unknown name reported an erase")
+	}
+	if _, ok := s.TombVersion("ghost"); ok {
+		t.Fatal("tombstone recorded for a name never held")
+	}
+}
+
+func TestPutNewerKeepsNewerCopy(t *testing.T) {
+	s := New()
+	s.Put(File{Name: "f", Data: []byte("new"), Version: 5}, Inserted)
+	if v, res := s.PutNewer(File{Name: "f", Data: []byte("old"), Version: 4}, Inserted); res != PutStale || v != 5 {
+		t.Fatalf("stale put: %v, %d; want PutStale, 5", res, v)
+	}
+	if v, res := s.PutNewer(File{Name: "f", Data: []byte("dup"), Version: 5}, Inserted); res != PutStale || v != 5 {
+		t.Fatalf("equal put: %v, %d; want PutStale, 5", res, v)
+	}
+	f, _ := s.Peek("f")
+	if !bytes.Equal(f.Data, []byte("new")) {
+		t.Fatalf("newer copy clobbered: %q", f.Data)
+	}
+	if _, res := s.PutNewer(File{Name: "f", Data: []byte("newer"), Version: 6}, Inserted); res != PutApplied {
+		t.Fatal("strictly newer put refused")
+	}
+}
+
+func TestPlainDeleteLeavesNoTombstone(t *testing.T) {
+	// Delete is the local-only removal (replica eviction, post-handoff
+	// cleanup); the file still exists cluster-wide and may come back.
+	s := New()
+	s.Put(File{Name: "f", Version: 2}, Replica)
+	s.Delete("f")
+	if _, ok := s.TombVersion("f"); ok {
+		t.Fatal("plain Delete left a tombstone")
+	}
+	if _, res := s.PutNewer(File{Name: "f", Version: 2}, Replica); res != PutApplied {
+		t.Fatalf("re-placement after eviction refused: %v", res)
+	}
+}
+
+func TestPruneTombstones(t *testing.T) {
+	s := New()
+	s.Put(File{Name: "f", Version: 1}, Inserted)
+	s.Tombstone("f", 2, time.Now().Add(-time.Hour))
+	s.Put(File{Name: "g", Version: 1}, Inserted)
+	s.Tombstone("g", 2, time.Now())
+	if n := s.PruneTombstones(time.Now().Add(-time.Minute)); n != 1 {
+		t.Fatalf("pruned %d tombstones, want 1", n)
+	}
+	if _, ok := s.TombVersion("f"); ok {
+		t.Fatal("expired tombstone survived pruning")
+	}
+	if _, ok := s.TombVersion("g"); !ok {
+		t.Fatal("fresh tombstone pruned")
+	}
+}
+
+func TestShardedTombstones(t *testing.T) {
+	s := NewSharded(4)
+	s.Put(File{Name: "f", Data: []byte("a"), Version: 3}, Inserted)
+	if !s.Tombstone("f", 4, time.Now().Add(-time.Hour)) {
+		t.Fatal("copy not erased")
+	}
+	if v, ok := s.TombVersion("f"); !ok || v != 4 {
+		t.Fatalf("TombVersion = %d, %v", v, ok)
+	}
+	if v, res := s.PutNewer(File{Name: "f", Version: 4}, Inserted); res != PutTombstoned || v != 4 {
+		t.Fatalf("stale write: %v, %d", res, v)
+	}
+	if n := s.PruneTombstones(time.Now()); n != 1 {
+		t.Fatalf("pruned %d, want 1", n)
+	}
+	if _, res := s.PutNewer(File{Name: "f", Version: 1}, Inserted); res != PutApplied {
+		t.Fatal("write refused after pruning")
+	}
+}
