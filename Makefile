@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench gw-bench peer-bench locate-bench repair-bench figures examples cover clean
+.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench obs-cluster-bench gw-bench peer-bench locate-bench repair-bench figures examples cover clean
 
 all: build vet test
 
@@ -36,6 +36,13 @@ transport-bench:
 obs-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGet(Traced)?OverTCP' -benchtime 2s -count 3 ./internal/netnode/
 	$(GO) test -run '^$$' -bench 'BenchmarkHistogramObserve' -benchmem ./internal/metrics/
+
+# Fleet aggregation end to end: an 8-peer fabric under traffic, scraped
+# and merged the way `lesslog-top -json` does it, with the merged view
+# checked against hand-merged per-peer snapshots and recorded to
+# results/BENCH_obs_cluster.json (docs/OBSERVABILITY.md).
+obs-cluster-bench:
+	BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run 'TestFleetScrapeEightPeers' -count 1 -v ./internal/fleet/ | tee results/obs_cluster_bench.txt
 
 # Gateway vs direct per-op clients on the §6 80/20 hot-key read workload;
 # the recorded run lives in results/gateway_bench.txt (machine-readable

@@ -52,7 +52,10 @@ func main() {
 		downTTL  = flag.Duration("downgrade-ttl", 0, "gateway: how long to stay on the relay path after an unknown-kind locate answer (0 selects the default)")
 		maxInFl  = flag.Int("max-inflight", gateway.DefaultMaxInFlight, "gateway: admitted request cap (-1 unlimited)")
 		queueTO  = flag.Duration("queue-timeout", gateway.DefaultQueueTimeout, "gateway: max wait for an admission slot before shedding")
-		admin    = flag.String("admin", "", "gateway: admin HTTP address for /metrics, /healthz, /debug/pprof ('' disables)")
+		admin    = flag.String("admin", "", "gateway: admin HTTP address for /metrics, /healthz, /traces, /debug/pprof ('' disables)")
+		trEvery  = flag.Int("trace-every", 0, "gateway: head-sample 1-in-N admitted requests into the edge trace ring (0 selects the default, <0 disables)")
+		trSlow   = flag.Duration("trace-slow", 0, "gateway: tail-retain requests at least this slow even when unsampled (0 selects the default)")
+		trRing   = flag.Int("trace-ring", 0, "gateway: edge trace ring capacity in traces (0 selects the default)")
 		logLevel = flag.String("log-level", "info", "gateway: structured log threshold: debug, info, warn or error")
 		dialTO   = flag.Duration("dial-timeout", transport.DefaultDialTimeout, "gateway: peer connection establishment deadline")
 		rpcTO    = flag.Duration("rpc-timeout", transport.DefaultRPCTimeout, "gateway: per-RPC write+read deadline")
@@ -85,17 +88,20 @@ func main() {
 		}
 	}
 	g, err := gateway.New(gateway.Config{
-		Peers:           entry,
-		CacheSize:       *cacheSz,
-		CacheTTL:        *cacheTTL,
-		DisableLocate:   !*locate,
-		HintSize:        *hintSz,
-		HintTTL:         *hintTTL,
-		DowngradeTTL:    *downTTL,
-		MaxInFlight:     *maxInFl,
-		QueueTimeout:    *queueTO,
-		PipelineWorkers: *pipeWk,
-		Logger:          logger,
+		Peers:            entry,
+		CacheSize:        *cacheSz,
+		CacheTTL:         *cacheTTL,
+		DisableLocate:    !*locate,
+		HintSize:         *hintSz,
+		HintTTL:          *hintTTL,
+		DowngradeTTL:     *downTTL,
+		MaxInFlight:      *maxInFl,
+		QueueTimeout:     *queueTO,
+		PipelineWorkers:  *pipeWk,
+		TraceSampleEvery: *trEvery,
+		TraceSlow:        *trSlow,
+		TraceRingSize:    *trRing,
+		Logger:           logger,
 		Transport: transport.Config{
 			DialTimeout: *dialTO,
 			RPCTimeout:  *rpcTO,

@@ -16,8 +16,10 @@
 //	lesslogd -connect 127.0.0.1:7101 -op get -name hello -trace   # print the live route
 //	lesslogd -connect 127.0.0.1:7101 -op locate -name hello       # resolve the holder, no payload
 //	lesslogd -connect 127.0.0.1:7101 -op update -name hello -data "again"
+//	lesslogd -connect 127.0.0.1:7101 -op update -name hello -data "x" -trace  # print the fan-out tree
 //	lesslogd -connect 127.0.0.1:7100 -op stat
 //	lesslogd -connect 127.0.0.1:7100 -op stat -json               # structured snapshot
+//	lesslogd -connect 127.0.0.1:7100 -op traces                   # the peer's sampled trace ring
 //
 // With -locate, gets resolve the holder through a payload-free locate walk
 // and fetch the file in one direct hop, caching the route hint for later
@@ -26,8 +28,12 @@
 // See docs/ROUTING.md.
 //
 // Observability: `-admin addr` exposes /metrics (Prometheus text),
-// /healthz, /trees and /debug/pprof/* over HTTP, and `-log-level` selects
-// the structured-log threshold (debug, info, warn, error); see
+// /healthz, /trees, /traces and /debug/pprof/* over HTTP, and
+// `-log-level` selects the structured-log threshold (debug, info, warn,
+// error). The always-on trace plane head-samples 1-in-N entry requests
+// (-trace-every, -1 disables), tail-retains slow or errored ones past
+// -trace-slow, and keeps -trace-ring of them in memory; `lesslog-top`
+// aggregates the stat snapshots of a whole fleet. See
 // docs/OBSERVABILITY.md.
 //
 // Peer-to-peer RPC behavior is tunable with -dial-timeout (default 2s),
@@ -58,6 +64,7 @@ import (
 	"lesslog/internal/netnode"
 	"lesslog/internal/repair"
 	"lesslog/internal/trace"
+	"lesslog/internal/tracering"
 	"lesslog/internal/transport"
 )
 
@@ -85,11 +92,14 @@ func main() {
 		admin     = flag.String("admin", "", "server: admin HTTP address for /metrics, /healthz, /trees, /debug/pprof ('' disables)")
 		logLevel  = flag.String("log-level", "info", "server: structured log threshold: debug, info, warn or error")
 		srvLocate = flag.Bool("serve-locate", true, "server: answer locate and local-only gets (false emulates a pre-locate build)")
+		trEvery   = flag.Int("trace-every", 0, "server: head-sample 1-in-N entry requests into the trace ring (0 selects the default, -1 disables tracing)")
+		trSlow    = flag.Duration("trace-slow", 0, "server: latency past which unsampled requests are tail-retained anyway (0 selects the default)")
+		trRing    = flag.Int("trace-ring", 0, "server: retained trace capacity (0 selects the default)")
 		connect   = flag.String("connect", "", "client: peer address to contact")
-		op        = flag.String("op", "get", "client: insert, get, update, delete, locate or stat")
+		op        = flag.String("op", "get", "client: insert, get, update, delete, locate, stat or traces")
 		name      = flag.String("name", "", "client: file name")
 		data      = flag.String("data", "", "client: file contents")
-		traced    = flag.Bool("trace", false, "client: with -op get or locate, record and print the wire-level route")
+		traced    = flag.Bool("trace", false, "client: with -op get, locate, update or delete, record and print the wire-level route")
 		locate    = flag.Bool("locate", false, "client: serve gets through the locate-then-fetch data plane")
 		downTTL   = flag.Duration("downgrade-ttl", 0, "client: with -locate, how long to stay on the relay path after an unknown-kind answer (0 selects the default)")
 		asJSON    = flag.Bool("json", false, "client: with -op stat, print the structured snapshot as JSON")
@@ -109,8 +119,9 @@ func main() {
 	peer, err := netnode.Listen(netnode.Config{
 		PID: bitops.PID(*pid), M: *m, B: *b, Addr: *listen, DataDir: *dataDir,
 		PipelineWorkers: *pipeWk, FanoutWorkers: *fanWk,
-		DisableLocate:   !*srvLocate,
-		Logger:          logger,
+		DisableLocate:    !*srvLocate,
+		TraceSampleEvery: *trEvery, TraceSlow: *trSlow, TraceRingSize: *trRing,
+		Logger: logger,
 		Transport: transport.Config{
 			DialTimeout: *dialTO,
 			RPCTimeout:  *rpcTO,
@@ -235,12 +246,30 @@ func runClient(addr, op, name, data string, traced, locate bool, downTTL time.Du
 			fmt.Printf("route: %s\n%s", trace.HopRoute(res.Path), trace.HopTable(res.Path))
 		}
 	case "update":
+		if traced {
+			n, path, err := cl.UpdateTraced(name, []byte(data))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("updated %d copies of %q\n", n, name)
+			fmt.Printf("fan-out:\n%s", trace.HopTable(path))
+			break
+		}
 		n, err := cl.Update(name, []byte(data))
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("updated %d copies of %q\n", n, name)
 	case "delete":
+		if traced {
+			n, path, err := cl.DeleteTraced(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("deleted %d copies of %q\n", n, name)
+			fmt.Printf("fan-out:\n%s", trace.HopTable(path))
+			break
+		}
 		n, err := cl.Delete(name)
 		if err != nil {
 			fatal(err)
@@ -264,6 +293,32 @@ func runClient(addr, op, name, data string, traced, locate bool, downTTL time.Du
 			fatal(err)
 		}
 		fmt.Println(out)
+	case "traces":
+		snap, err := cl.Traces()
+		if err != nil {
+			fatal(err)
+		}
+		if asJSON {
+			out, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Printf("trace ring: %d recorded, %d notable (slow >= %s)\n",
+			snap.Recorded, snap.Noted, time.Duration(snap.SlowNS))
+		for _, t := range append(append([]tracering.Trace(nil), snap.Recent...), snap.Notable...) {
+			status := "ok"
+			if t.Err != "" {
+				status = "err: " + t.Err
+			}
+			fmt.Printf("\n%016x %-8s %-24s %8.3fms %s\n", t.ID, t.Kind, t.Name,
+				float64(t.Dur)/1e6, status)
+			if len(t.Hops) > 0 {
+				fmt.Print(trace.HopTable(t.Hops))
+			}
+		}
 	default:
 		fatal(fmt.Errorf("unknown op %q", op))
 	}

@@ -1,0 +1,107 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func promFamilies(t *testing.T, text string) []string {
+	t.Helper()
+	var fams []string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			fams = append(fams, fields[2])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("no # TYPE lines in Prometheus output")
+	}
+	return fams
+}
+
+func jsonKeys(t *testing.T, v any) map[string]bool {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for k, inner := range m {
+		keys[k] = true
+		var nested map[string]json.RawMessage
+		if json.Unmarshal(inner, &nested) == nil {
+			for nk := range nested {
+				keys[k+"."+nk] = true
+			}
+		}
+	}
+	return keys
+}
+
+// gatewayFamilyJSON maps every gateway Prometheus family to a JSON key of
+// the gateway stat snapshot ("counters.x" reaches into the nested counter
+// block). Any family landing on one surface without the other fails here.
+var gatewayFamilyJSON = map[string]string{
+	"lesslog_gateway_requests_total":         "counters.hits",
+	"lesslog_gateway_writes_total":           "counters.inserts",
+	"lesslog_gateway_fetch_errors_total":     "counters.fetch_errors",
+	"lesslog_gateway_batches_total":          "counters.batches",
+	"lesslog_gateway_passthrough_total":      "counters.passthrough",
+	"lesslog_gateway_cache_events_total":     "counters.cache_evictions",
+	"lesslog_gateway_peer_flips_total":       "counters.peers_down",
+	"lesslog_gateway_proto_errors_total":     "counters.proto_errors",
+	"lesslog_gateway_traces_total":           "trace_recorded",
+	"lesslog_gateway_locate_events_total":    "counters.locates",
+	"lesslog_gateway_cache_entries":          "cache_len",
+	"lesslog_gateway_route_hints":            "hint_len",
+	"lesslog_gateway_in_flight":              "in_flight",
+	"lesslog_gateway_pipeline_depth":         "pipeline_depth",
+	"lesslog_gateway_entry_peers_down":       "peers_detector_down",
+	"lesslog_gateway_get_latency_seconds":    "get_latency_ms",
+	"lesslog_gateway_write_latency_seconds":  "write_latency_ms",
+	"lesslog_gateway_batch_latency_seconds":  "batch_latency_ms",
+	"lesslog_gateway_batch_size_subrequests": "batch_size",
+	"lesslog_gateway_queue_wait_seconds":     "queue_wait_ms",
+}
+
+// TestGatewayMetricsExhaustive checks that every counter and gauge family
+// the gateway exports to Prometheus also appears in its JSON stat
+// snapshot, and that the mapping table has no stale entries.
+func TestGatewayMetricsExhaustive(t *testing.T) {
+	addrs := startFabric(t, 3, 4)
+	g := newGateway(t, Config{Peers: addrs})
+	var buf bytes.Buffer
+	g.WritePrometheus(&buf)
+	fams := promFamilies(t, buf.String())
+	keys := jsonKeys(t, g.StatSnapshot())
+
+	seen := map[string]bool{}
+	for _, fam := range fams {
+		key, ok := gatewayFamilyJSON[fam]
+		if !ok {
+			t.Errorf("Prometheus family %s has no JSON stat-snapshot mapping — add it to both surfaces", fam)
+			continue
+		}
+		if !keys[key] {
+			t.Errorf("family %s maps to JSON key %q, absent from the snapshot", fam, key)
+		}
+		seen[fam] = true
+	}
+	for fam := range gatewayFamilyJSON {
+		if !seen[fam] {
+			t.Errorf("mapping table lists %s but WritePrometheus no longer emits it", fam)
+		}
+	}
+}

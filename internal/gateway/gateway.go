@@ -39,6 +39,7 @@ import (
 	"lesslog/internal/metrics"
 	"lesslog/internal/msg"
 	"lesslog/internal/routehint"
+	"lesslog/internal/tracering"
 	"lesslog/internal/transport"
 )
 
@@ -114,6 +115,17 @@ type Config struct {
 	// that upgrade quickly can shorten it so the gateway re-probes sooner
 	// (see the -downgrade-ttl flag on lesslog-gw and lesslogd).
 	DowngradeTTL time.Duration
+	// TraceSampleEvery head-samples 1-in-N admitted client requests into
+	// the edge trace ring (docs/OBSERVABILITY.md); 0 selects
+	// tracering.DefaultSampleEvery, 1 samples everything, < 0 disables
+	// the trace plane.
+	TraceSampleEvery int
+	// TraceSlow is the latency past which an unsampled request is
+	// tail-retained anyway; 0 selects tracering.DefaultSlow.
+	TraceSlow time.Duration
+	// TraceRingSize bounds the retained traces; 0 selects
+	// tracering.DefaultRingSize.
+	TraceRingSize int
 	// Logger receives structured gateway events; nil discards them.
 	Logger *slog.Logger
 }
@@ -211,6 +223,13 @@ type Gateway struct {
 	obs      gwObs
 	log      *slog.Logger
 
+	// sampler/ring are the edge trace plane; both nil with tracing
+	// disabled (every touch point is nil-safe). traceSeq feeds fresh
+	// trace IDs.
+	sampler  *tracering.Sampler
+	ring     *tracering.Ring
+	traceSeq atomic.Uint64
+
 	// pipelineDepth is the number of pipelined client requests currently
 	// being handled across the gateway's wire connections.
 	pipelineDepth atomic.Int64
@@ -238,6 +257,15 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if !cfg.DisableLocate {
 		g.hints = routehint.New(cfg.HintSize, cfg.HintTTL)
+	}
+	if cfg.TraceSampleEvery >= 0 {
+		slow := cfg.TraceSlow
+		if slow <= 0 {
+			slow = tracering.DefaultSlow
+		}
+		g.sampler = tracering.NewSampler(cfg.TraceSampleEvery)
+		g.ring = tracering.NewRing(cfg.TraceRingSize, slow)
+		g.traceSeq.Store(uint64(time.Now().UnixNano()) ^ uint64(msg.GatewayPID)<<32)
 	}
 	g.det = transport.NewDetector(g.tr.Config().FailThreshold, g.peerDown, g.peerUp)
 	return g, nil
@@ -606,23 +634,39 @@ func (g *Gateway) Delete(name string) (WriteResult, error) {
 // transport error means "outcome unknown", which the caller must resolve
 // (typically by reading back).
 func (g *Gateway) write(kind msg.Kind, name string, data []byte) (WriteResult, error) {
+	wr, _, err := g.writeTraced(kind, name, data, 0, nil)
+	return wr, err
+}
+
+// writeTraced is write carrying the trace section: with a non-zero
+// traceID the mutation goes out traced over the given root path
+// (typically the gateway's edge hop), and the fan-out tree the fabric
+// assembled comes back as hops. The floor bookkeeping is identical —
+// tracing is additive, never a separate write path.
+func (g *Gateway) writeTraced(kind msg.Kind, name string, data []byte, traceID uint64, path []msg.Hop) (WriteResult, []msg.Hop, error) {
 	release, err := g.admit()
 	if err != nil {
-		return WriteResult{}, err
+		return WriteResult{}, nil, err
 	}
 	defer release()
 	start := time.Now()
 	defer func() { g.obs.write.ObserveDuration(time.Since(start)) }()
 
+	req := &msg.Request{Kind: kind, Name: name, Data: data}
+	if traceID != 0 {
+		req.Flags |= msg.FlagTrace
+		req.TraceID = traceID
+		req.Path = path
+	}
 	idx := g.pickPeer()
-	resp, err := g.tr.Do(g.peers[idx], &msg.Request{Kind: kind, Name: name, Data: data})
+	resp, err := g.tr.Do(g.peers[idx], req)
 	if err != nil {
 		g.det.Fail(uint32(idx))
-		return WriteResult{}, fmt.Errorf("gateway: %v %q: %w", kind, name, err)
+		return WriteResult{}, nil, fmt.Errorf("gateway: %v %q: %w", kind, name, err)
 	}
 	g.det.Ok(uint32(idx))
 	if !resp.OK {
-		return WriteResult{}, fmt.Errorf("gateway: %v %q: %s", kind, name, resp.Err)
+		return WriteResult{}, resp.Path, fmt.Errorf("gateway: %v %q: %s", kind, name, resp.Err)
 	}
 	switch kind {
 	case msg.KindInsert:
@@ -641,7 +685,7 @@ func (g *Gateway) write(kind msg.Kind, name string, data []byte) (WriteResult, e
 		// raised floor, so drop the hint rather than risk the round-trip.
 		g.hints.Purge(name)
 	}
-	return WriteResult{Copies: int(resp.Hops), Version: resp.Version}, nil
+	return WriteResult{Copies: int(resp.Hops), Version: resp.Version}, resp.Path, nil
 }
 
 // Forward passes an arbitrary request through to an entry peer, bypassing

@@ -2,9 +2,9 @@ package gateway
 
 // The gateway's operator surface: the counter set, a JSON-ready stats
 // snapshot, Prometheus text exposition, and a small admin HTTP server
-// (/metrics, /healthz, /debug/pprof) — the same shape a netnode peer
-// exposes, specialized to edge concerns: hit ratio, coalescing rate, shed
-// rate, queue wait.
+// (/metrics, /healthz, /traces, /debug/pprof) — the same shape a netnode
+// peer exposes, specialized to edge concerns: hit ratio, coalescing rate,
+// shed rate, queue wait, edge traces.
 
 import (
 	"encoding/json"
@@ -86,6 +86,12 @@ type StatSnapshot struct {
 	// being handled across the gateway's wire connections.
 	PipelineDepth int64 `json:"pipeline_depth"`
 
+	// TraceRecorded/TraceNoted count traces retained in the edge trace
+	// ring: head-sampled, and tail-retained slow/errored (both 0 with the
+	// trace plane disabled).
+	TraceRecorded uint64 `json:"trace_recorded"`
+	TraceNoted    uint64 `json:"trace_noted"`
+
 	Counters CountersSnapshot `json:"counters"`
 
 	GetLatencyMS   DistStat `json:"get_latency_ms"`
@@ -163,6 +169,8 @@ func (g *Gateway) StatSnapshot() StatSnapshot {
 		MaxInFlight:   g.cfg.MaxInFlight,
 		InFlight:      g.adm.inFlight(),
 		PipelineDepth: g.pipelineDepth.Load(),
+		TraceRecorded: g.ring.Recorded(),
+		TraceNoted:    g.ring.Noted(),
 		Counters:      g.countersSnapshot(),
 
 		GetLatencyMS:   distStat(g.obs.get.Snapshot(), nsToMS),
@@ -217,6 +225,9 @@ func (g *Gateway) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: `direction="up"`, Value: float64(c.PeersUp)})
 	metrics.PrometheusFamily(w, "lesslog_gateway_proto_errors_total", "counter",
 		metrics.LabeledValue{Value: float64(c.ProtoErrors)})
+	metrics.PrometheusFamily(w, "lesslog_gateway_traces_total", "counter",
+		metrics.LabeledValue{Labels: `class="recorded"`, Value: float64(g.ring.Recorded())},
+		metrics.LabeledValue{Labels: `class="noted"`, Value: float64(g.ring.Noted())})
 	metrics.PrometheusFamily(w, "lesslog_gateway_locate_events_total", "counter",
 		metrics.LabeledValue{Labels: `event="hint_hit"`, Value: float64(c.HintHits)},
 		metrics.LabeledValue{Labels: `event="hint_stale"`, Value: float64(c.HintStale)},
@@ -269,6 +280,10 @@ func (g *Gateway) ServeAdmin(addr string) (*Admin, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(g.StatSnapshot())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(g.TraceSnapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

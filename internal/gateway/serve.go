@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"lesslog/internal/msg"
 	"lesslog/internal/transport"
@@ -109,8 +110,34 @@ func (s *Server) serveConn(conn net.Conn) {
 	})
 }
 
-// handle dispatches one client frame through the gateway.
+// handle serves one client frame: edge trace sampling around the
+// dispatch. Sampled (or client-traced) requests are recorded in the
+// gateway's trace ring with whatever route the fabric assembled;
+// sampler-promoted ones get the trace section stripped off the response
+// again, so sampling stays invisible to clients that never asked.
 func (s *Server) handle(req *msg.Request) *msg.Response {
+	g := s.g
+	if g.ring == nil || !isEdgeRequest(req) {
+		return s.dispatch(req)
+	}
+	start := time.Now()
+	sampled, promoted := g.sampleEdge(req)
+	resp := s.dispatch(req)
+	d := time.Since(start)
+	if len(resp.Path) > 0 && resp.Path[0].PID == msg.GatewayPID {
+		// The edge hop went out with zero duration; the response knows the
+		// full edge latency.
+		resp.Path[0].Dur = d
+	}
+	g.recordEdgeTrace(req, resp, start, d, sampled)
+	if promoted {
+		resp.Path = nil
+	}
+	return resp
+}
+
+// dispatch routes one client frame through the gateway.
+func (s *Server) dispatch(req *msg.Request) *msg.Response {
 	switch req.Kind {
 	case msg.KindGet:
 		if req.Flags&msg.FlagTrace != 0 {
@@ -127,22 +154,24 @@ func (s *Server) handle(req *msg.Request) *msg.Response {
 			Version: res.Version, Data: res.Data,
 		}
 	case msg.KindInsert, msg.KindUpdate, msg.KindDelete:
-		var wr WriteResult
-		var err error
-		switch req.Kind {
-		case msg.KindInsert:
-			wr, err = s.g.Insert(req.Name, req.Data)
-		case msg.KindUpdate:
-			wr, err = s.g.Update(req.Name, req.Data)
-		case msg.KindDelete:
-			wr, err = s.g.Delete(req.Name)
+		// Traced writes run the same floor-keeping path with the trace
+		// section riding along, so the broadcast fan-out tree the fabric
+		// assembles comes back to the edge.
+		traceID := uint64(0)
+		if req.Flags&msg.FlagTrace != 0 {
+			if traceID = req.TraceID; traceID == 0 {
+				traceID = s.g.nextTraceID()
+			}
 		}
+		wr, hops, err := s.g.writeTraced(req.Kind, req.Name, req.Data, traceID, req.Path)
 		if err != nil {
 			return errResponse(err)
 		}
-		return &msg.Response{OK: true, Hops: uint32(wr.Copies), Version: wr.Version}
+		return &msg.Response{OK: true, Hops: uint32(wr.Copies), Version: wr.Version, Path: hops}
 	case msg.KindBatch:
 		return s.handleBatch(req)
+	case msg.KindTraces:
+		return s.g.handleTraces()
 	case msg.KindStat:
 		if req.Flags&msg.FlagJSON != 0 {
 			return s.statJSON()
@@ -162,15 +191,35 @@ func (s *Server) handleBatch(req *msg.Request) *msg.Response {
 	if err != nil {
 		return &msg.Response{Err: fmt.Sprintf("gateway: batch decode: %v", err)}
 	}
+	// A traced batch spreads its trace onto every sub-request — one ID,
+	// one edge root — and splices each sub-route back into the outer
+	// response, so the client sees the whole batch as one trace tree.
+	traced := req.Flags&msg.FlagTrace != 0
+	var hops []msg.Hop
 	resps := make([]*msg.Response, len(subs))
 	for i, sub := range subs {
-		resps[i] = s.handle(sub)
+		if traced {
+			sub.Flags |= msg.FlagTrace
+			sub.TraceID = req.TraceID
+			sub.Path = req.Path
+		}
+		resps[i] = s.dispatch(sub)
+		if sp := resps[i].Path; traced && len(sp) > len(req.Path) {
+			hops = append(hops, sp[len(req.Path):]...)
+		}
 	}
 	data, err := msg.AppendBatchResponses(nil, resps)
 	if err != nil {
 		return &msg.Response{Err: fmt.Sprintf("gateway: batch encode: %v", err)}
 	}
-	return &msg.Response{OK: true, Data: data}
+	resp := &msg.Response{OK: true, Data: data}
+	if traced {
+		resp.Path = append(append([]msg.Hop(nil), req.Path...), hops...)
+		if len(resp.Path) > msg.MaxHops {
+			resp.Path = resp.Path[:msg.MaxHops]
+		}
+	}
+	return resp
 }
 
 func (s *Server) statJSON() *msg.Response {

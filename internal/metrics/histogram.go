@@ -98,11 +98,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 
 // HistogramSnapshot is a point-in-time copy of a Histogram: a plain value
 // that can be merged, quantiled and serialized without further locking.
+// The JSON shape is part of the stat-snapshot wire contract — lesslog-top
+// decodes these off every peer and Merges them into fleet distributions.
 type HistogramSnapshot struct {
-	Count   uint64
-	Sum     uint64
-	Max     uint64
-	Buckets [HistBuckets]uint64
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
+	Max     uint64              `json:"max"`
+	Buckets [HistBuckets]uint64 `json:"buckets"`
 }
 
 // Merge folds o into s, as if every sample observed by o had been

@@ -11,9 +11,12 @@
 //	payload (Request or Response encoding)
 //
 // Both payloads end with a trace section — a trace ID (requests only) and
-// a list of Hop records (PID, action, duration) — that carries the live
-// route of a FlagTrace request across the wire; see docs/OBSERVABILITY.md
-// for the exact byte layout.
+// a list of Hop records (PID, parent PID, action, duration) — that carries
+// the live route of a FlagTrace request across the wire. The parent field
+// turns the hop list into a tree: linear lookups chain each hop to the one
+// before it, while broadcast fan-outs attach every delivery to the stop
+// that forwarded to it, so one trace can describe an entire update's
+// fan-out shape. See docs/OBSERVABILITY.md for the exact byte layout.
 //
 // Sizes are bounded (MaxName, MaxData, MaxHops) so a malicious or corrupt
 // peer cannot make a node allocate unboundedly.
@@ -80,11 +83,17 @@ const (
 	// Version-gated like KindLocate: a pre-repair peer answers unknown-kind
 	// and the caller skips digest synchronization against it.
 	KindDigest
+	// KindTraces asks a node for its sampled-trace ring (docs/
+	// OBSERVABILITY.md): the response's Data carries the ring snapshot as
+	// JSON — recent traces plus the retained slow/error tail. Version-gated
+	// like KindLocate: a pre-telemetry peer answers unknown-kind and the
+	// caller reports the node as trace-less rather than failing.
+	KindTraces
 )
 
 // KindCount sizes per-kind metric arrays: valid kinds index 1..KindCount-1,
 // slot 0 collects unknown kinds.
-const KindCount = int(KindDigest) + 1
+const KindCount = int(KindTraces) + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -113,6 +122,8 @@ func (k Kind) String() string {
 		return "locate"
 	case KindDigest:
 		return "digest"
+	case KindTraces:
+		return "traces"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -183,6 +194,13 @@ const (
 	// a relayed tree walk. Legacy peers ignore the bit (unknown flags were
 	// never rejected) and forward as usual, which is safe — just slower.
 	FlagLocalOnly
+	// FlagInventory asks KindStat (with FlagJSON) to include the node's
+	// full per-name inventory — name, version, kind, §6 serve count — in
+	// the snapshot, so a fleet scraper can compute replica-count
+	// distributions and exact top-K hot names. Off by default because the
+	// inventory scales with the store while the rest of the snapshot is
+	// O(1); legacy peers ignore the bit and answer the plain snapshot.
+	FlagInventory
 )
 
 // HopAction classifies what one stop on a traced route did with the
@@ -206,6 +224,23 @@ const (
 	// forward attempt failed). Always the final hop of a faulted route;
 	// carrying it back makes dead routes debuggable with `-op get -trace`.
 	HopFault
+	// HopFanout: this stop initiated a top-down broadcast (update/delete):
+	// the root of a fan-out trace tree. Its duration covers the whole
+	// synchronous fan-out.
+	HopFanout
+	// HopDeliver: a broadcast delivery applied here — the copy was
+	// rewritten (update) or tombstoned (delete) before fanning out to the
+	// children list. Deliver hops parent onto the stop that forwarded to
+	// them, so the trace reconstructs the fan-out tree.
+	HopDeliver
+	// HopRepair: the anti-entropy loop at this stop initiated a traced
+	// exchange (a KindHas probe round, KindStore push, or KindDigest
+	// sync); the root of a repair trace.
+	HopRepair
+	// HopEdge: the gateway edge admitted the request and stamped the trace
+	// — always the first hop of a gateway-originated trace, carried with
+	// PID GatewayPID so fabric hops correlate back to the edge.
+	HopEdge
 )
 
 // String names the action.
@@ -223,26 +258,49 @@ func (a HopAction) String() string {
 		return "locate"
 	case HopFault:
 		return "fault"
+	case HopFanout:
+		return "fanout"
+	case HopDeliver:
+		return "deliver"
+	case HopRepair:
+		return "repair"
+	case HopEdge:
+		return "edge"
 	}
 	return fmt.Sprintf("action(%d)", uint8(a))
 }
 
-// Hop is one stop of a traced route: which node handled the request, what
-// it did with it, and how long it held it (from handler entry to the
-// forward, or to the response for a serve).
+// NoParent is the Parent value of a root hop — the stop where a trace
+// began. PID 0 is a valid node, so the sentinel lives at the top of the
+// range, far above any real PID (identifier widths cap out at m=32).
+const NoParent = ^uint32(0)
+
+// GatewayPID is the PID a gateway stamps on its edge hop. Gateways sit
+// outside the identifier space, so the sentinel cannot collide with a
+// fabric node; one below NoParent keeps both distinguishable.
+const GatewayPID = ^uint32(0) - 1
+
+// Hop is one stop of a traced route: which node handled the request, which
+// stop forwarded to it (NoParent at the root), what it did with it, and
+// how long it held it (from handler entry to the forward, or to the
+// response for a serve). Parent pointers are PIDs, not indices, so hops
+// collected concurrently from a fan-out merge in any order.
 type Hop struct {
 	PID    uint32
+	Parent uint32
 	Action HopAction
 	Dur    time.Duration
 }
 
-// hopWire is one encoded Hop: PID u32, action u8, duration i64 (ns).
-const hopWire = 4 + 1 + 8
+// hopWire is one encoded Hop: PID u32, parent u32, action u8, duration
+// i64 (ns).
+const hopWire = 4 + 4 + 1 + 8
 
 func appendHops(b []byte, hops []Hop) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(len(hops)))
 	for _, h := range hops {
 		b = binary.BigEndian.AppendUint32(b, h.PID)
+		b = binary.BigEndian.AppendUint32(b, h.Parent)
 		b = append(b, byte(h.Action))
 		b = binary.BigEndian.AppendUint64(b, uint64(h.Dur))
 	}
@@ -263,8 +321,9 @@ func takeHops(b []byte) ([]Hop, []byte, error) {
 	hops := make([]Hop, n)
 	for i := range hops {
 		hops[i].PID = binary.BigEndian.Uint32(b)
-		hops[i].Action = HopAction(b[4])
-		hops[i].Dur = time.Duration(binary.BigEndian.Uint64(b[5:]))
+		hops[i].Parent = binary.BigEndian.Uint32(b[4:])
+		hops[i].Action = HopAction(b[8])
+		hops[i].Dur = time.Duration(binary.BigEndian.Uint64(b[9:]))
 		b = b[hopWire:]
 	}
 	return hops, b, nil

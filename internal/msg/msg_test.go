@@ -42,9 +42,9 @@ func TestTracedRequestRoundTrip(t *testing.T) {
 		Kind: KindGet, Flags: FlagTrace, Origin: 8, Hops: 2, Name: "f",
 		TraceID: 0xDEADBEEFCAFE,
 		Path: []Hop{
-			{PID: 8, Action: HopForward, Dur: 120 * time.Microsecond},
-			{PID: 0, Action: HopFallback, Dur: 45 * time.Microsecond},
-			{PID: 4, Action: HopServe, Dur: 310 * time.Microsecond},
+			{PID: 8, Parent: NoParent, Action: HopForward, Dur: 120 * time.Microsecond},
+			{PID: 0, Parent: 8, Action: HopFallback, Dur: 45 * time.Microsecond},
+			{PID: 4, Parent: 0, Action: HopServe, Dur: 310 * time.Microsecond},
 		},
 	}
 	b, err := AppendRequest(nil, in)
@@ -94,7 +94,10 @@ func TestHopActionString(t *testing.T) {
 	for a, want := range map[HopAction]string{
 		HopForward: "forward", HopFallback: "fallback",
 		HopMigrate: "migrate", HopServe: "serve",
-		HopLocate: "locate", HopFault: "fault", HopAction(77): "action(77)",
+		HopLocate: "locate", HopFault: "fault",
+		HopFanout: "fanout", HopDeliver: "deliver",
+		HopRepair: "repair", HopEdge: "edge",
+		HopAction(77): "action(77)",
 	} {
 		if a.String() != want {
 			t.Fatalf("HopAction(%d).String() = %q", a, a.String())
@@ -207,7 +210,8 @@ func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindInsert: "insert", KindGet: "get", KindUpdate: "update",
 		KindStore: "store", KindStat: "stat", KindLocate: "locate",
-		Kind(99): "kind(99)",
+		KindTraces: "traces",
+		Kind(99):   "kind(99)",
 	} {
 		if k.String() != want {
 			t.Fatalf("Kind(%d).String() = %q", k, k.String())

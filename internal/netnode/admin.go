@@ -8,6 +8,7 @@ package netnode
 //	/healthz        JSON liveness view: status word + failure-detector state
 //	/trees          the physical lookup tree of this (or ?root=N) node,
 //	                dead positions marked — Figures 2/3 for the live system
+//	/traces         the sampled trace ring as JSON (docs/OBSERVABILITY.md)
 //	/debug/pprof/*  the standard Go profiler endpoints
 //
 // Everything read here is lock-free or briefly locked; scraping cannot
@@ -46,6 +47,7 @@ func (p *Peer) ServeAdmin(addr string) (*Admin, error) {
 	mux.HandleFunc("/metrics", a.metrics)
 	mux.HandleFunc("/healthz", a.healthz)
 	mux.HandleFunc("/trees", a.trees)
+	mux.HandleFunc("/traces", a.traces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -66,6 +68,14 @@ func (a *Admin) Close() error { return a.srv.Close() }
 func (a *Admin) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	a.p.WritePrometheus(w)
+}
+
+// traces serves the peer's sampled trace ring: recent traces oldest
+// first, plus the notable (slow/errored) retention tier. Empty when the
+// trace plane is disabled.
+func (a *Admin) traces(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(a.p.TraceSnapshot())
 }
 
 // adminHealth is the /healthz body.

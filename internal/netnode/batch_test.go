@@ -105,6 +105,7 @@ func TestEveryKindHasHandler(t *testing.T) {
 		msg.KindBatch:  {Kind: msg.KindBatch, Data: emptyBatch},
 		msg.KindLocate: {Kind: msg.KindLocate, Name: "seed"},
 		msg.KindDigest: {Kind: msg.KindDigest, Origin: 1, Data: emptyDigest},
+		msg.KindTraces: {Kind: msg.KindTraces},
 	}
 	for k := 1; k < msg.KindCount; k++ {
 		kind := msg.Kind(k)

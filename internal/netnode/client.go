@@ -10,6 +10,7 @@ import (
 
 	"lesslog/internal/msg"
 	"lesslog/internal/routehint"
+	"lesslog/internal/tracering"
 	"lesslog/internal/transport"
 )
 
@@ -312,29 +313,46 @@ func (c *Client) locateReq(req *msg.Request) (LocateResult, error) {
 // Update rewrites a file everywhere it is replicated. The returned count
 // is the number of copies rewritten.
 func (c *Client) Update(name string, data []byte) (int, error) {
-	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindUpdate, Name: name, Data: data})
-	c.purgeHint(name)
-	if err != nil {
-		return 0, err
-	}
-	if !resp.OK {
-		return 0, fmt.Errorf("netnode: update %q: %s", name, resp.Err)
-	}
-	return int(resp.Hops), nil
+	n, _, err := c.write(msg.KindUpdate, name, data, false)
+	return n, err
+}
+
+// UpdateTraced rewrites a file everywhere with route tracing: the
+// returned path is the assembled broadcast fan-out tree — the initiator's
+// HopFanout root, one HopDeliver per holder reached, each hop carrying
+// its parent's PID.
+func (c *Client) UpdateTraced(name string, data []byte) (int, []msg.Hop, error) {
+	return c.write(msg.KindUpdate, name, data, true)
 }
 
 // Delete erases a file everywhere. The returned count is the number of
 // copies removed.
 func (c *Client) Delete(name string) (int, error) {
-	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindDelete, Name: name})
+	n, _, err := c.write(msg.KindDelete, name, nil, false)
+	return n, err
+}
+
+// DeleteTraced erases a file everywhere with route tracing; the returned
+// path is the delete broadcast's fan-out tree, like UpdateTraced's.
+func (c *Client) DeleteTraced(name string) (int, []msg.Hop, error) {
+	return c.write(msg.KindDelete, name, nil, true)
+}
+
+func (c *Client) write(kind msg.Kind, name string, data []byte, traced bool) (int, []msg.Hop, error) {
+	req := &msg.Request{Kind: kind, Name: name, Data: data}
+	if traced {
+		req.Flags = msg.FlagTrace
+		req.TraceID = rand.Uint64()
+	}
+	resp, err := c.tr.Do(c.addr, req)
 	c.purgeHint(name)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if !resp.OK {
-		return 0, fmt.Errorf("netnode: delete %q: %s", name, resp.Err)
+		return 0, resp.Path, fmt.Errorf("netnode: %s %q: %s", kind, name, resp.Err)
 	}
-	return int(resp.Hops), nil
+	return int(resp.Hops), resp.Path, nil
 }
 
 // Store places a copy directly on the contacted peer; test and tooling
@@ -369,7 +387,18 @@ func (c *Client) Stat() (string, error) {
 // StatSnapshot returns the contacted peer's structured stats snapshot —
 // the JSON form behind `lesslogd -op stat -json`.
 func (c *Client) StatSnapshot() (StatSnapshot, error) {
-	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindStat, Flags: msg.FlagJSON})
+	return c.statSnapshot(msg.FlagJSON)
+}
+
+// StatSnapshotFull returns the stats snapshot with the peer's full
+// per-name inventory included — the fleet scraper's request shape
+// (FlagInventory), too heavy for routine stat polls.
+func (c *Client) StatSnapshotFull() (StatSnapshot, error) {
+	return c.statSnapshot(msg.FlagJSON | msg.FlagInventory)
+}
+
+func (c *Client) statSnapshot(flags uint8) (StatSnapshot, error) {
+	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindStat, Flags: flags})
 	if err != nil {
 		return StatSnapshot{}, err
 	}
@@ -379,6 +408,24 @@ func (c *Client) StatSnapshot() (StatSnapshot, error) {
 	var s StatSnapshot
 	if err := json.Unmarshal(resp.Data, &s); err != nil {
 		return StatSnapshot{}, fmt.Errorf("netnode: stat: decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Traces returns the contacted peer's sampled trace ring — the wire form
+// of the admin endpoint's /traces page. Peers predating the trace plane
+// answer unknown-kind, surfaced as an error.
+func (c *Client) Traces() (tracering.Snapshot, error) {
+	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindTraces})
+	if err != nil {
+		return tracering.Snapshot{}, err
+	}
+	if !resp.OK {
+		return tracering.Snapshot{}, fmt.Errorf("netnode: traces: %s", resp.Err)
+	}
+	var s tracering.Snapshot
+	if err := json.Unmarshal(resp.Data, &s); err != nil {
+		return tracering.Snapshot{}, fmt.Errorf("netnode: traces: decode snapshot: %w", err)
 	}
 	return s, nil
 }

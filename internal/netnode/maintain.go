@@ -55,6 +55,7 @@ func (c netCtx) Rand() *xrand.Rand                            { return c.rng }
 // compare" rather than "older than everything"; a DisableLocate peer
 // emulates that legacy shape.
 func (p *Peer) handleHas(req *msg.Request) *msg.Response {
+	start := time.Now()
 	f, ok := p.store.Peek(req.Name)
 	if p.cfg.DisableLocate {
 		return &msg.Response{OK: ok, ServedBy: uint32(p.cfg.PID)}
@@ -65,7 +66,13 @@ func (p *Peer) handleHas(req *msg.Request) *msg.Response {
 			version = tv
 		}
 	}
-	return &msg.Response{OK: ok, ServedBy: uint32(p.cfg.PID), Version: version}
+	resp := &msg.Response{OK: ok, ServedBy: uint32(p.cfg.PID), Version: version}
+	if req.Flags&msg.FlagTrace != 0 {
+		// A traced repair probe records the answering holder as one hop,
+		// parented on the repairing peer's root (the tail of req.Path).
+		resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopServe, time.Since(start))
+	}
+	return resp
 }
 
 // MaintainOnce runs one §2.2/§6 maintenance window on this peer: if its

@@ -30,7 +30,9 @@ import (
 	"lesslog/internal/liveness"
 	"lesslog/internal/msg"
 	"lesslog/internal/ptree"
+	"lesslog/internal/repair"
 	"lesslog/internal/store"
+	"lesslog/internal/tracering"
 	"lesslog/internal/transport"
 	"lesslog/internal/xrand"
 )
@@ -69,6 +71,17 @@ type Config struct {
 	// forwards as an ordinary relay get). The version gate for rolling
 	// upgrades, and the legacy end of the interop tests; see docs/ROUTING.md.
 	DisableLocate bool
+	// TraceSampleEvery head-samples 1 in N entry requests (and repair
+	// rounds) into the trace ring; 0 selects tracering.DefaultSampleEvery,
+	// 1 traces everything, negative disables the trace plane entirely.
+	TraceSampleEvery int
+	// TraceSlow is the tail-retention threshold: entry requests at least
+	// this slow (and all errored ones) are kept even when the head sampler
+	// passed them by. 0 selects tracering.DefaultSlow.
+	TraceSlow time.Duration
+	// TraceRingSize bounds the in-memory trace ring; 0 selects
+	// tracering.DefaultRingSize.
+	TraceRingSize int
 }
 
 // DefaultFanoutWorkers bounds concurrent broadcast legs per propagation
@@ -176,6 +189,17 @@ type Peer struct {
 	stats Stats
 	obs   peerObs
 	log   *slog.Logger
+
+	// Trace plane (docs/OBSERVABILITY.md): head sampler, bounded trace
+	// ring, and the trace-ID sequence. ring == nil means tracing is off
+	// (Config.TraceSampleEvery < 0); every trace-plane entry point checks
+	// it once and degrades to the untraced fast path.
+	sampler  *tracering.Sampler
+	ring     *tracering.Ring
+	traceSeq atomic.Uint64
+
+	// ttfr tracks time-to-full-replication across repair rounds.
+	ttfr repair.TTFR
 }
 
 // rt loads the current routing snapshot; never nil after Listen.
@@ -247,6 +271,15 @@ func Listen(cfg Config) (*Peer, error) {
 	p.fanoutWorkers = cfg.FanoutWorkers
 	if p.fanoutWorkers <= 0 {
 		p.fanoutWorkers = DefaultFanoutWorkers
+	}
+	if cfg.TraceSampleEvery >= 0 {
+		slow := cfg.TraceSlow
+		if slow <= 0 {
+			slow = tracering.DefaultSlow
+		}
+		p.sampler = tracering.NewSampler(cfg.TraceSampleEvery)
+		p.ring = tracering.NewRing(cfg.TraceRingSize, slow)
+		p.traceSeq.Store(uint64(time.Now().UnixNano()) ^ uint64(cfg.PID)<<32)
 	}
 	logger := cfg.Logger
 	if logger == nil {
@@ -421,11 +454,38 @@ func (p *Peer) view(target bitops.PID) ptree.View {
 
 // handle times and dispatches one decoded request; every handler's full
 // latency — forwarded and fanned-out work included — lands in the
-// per-kind histogram.
+// per-kind histogram. Requests entering the fabric here are head-sampled
+// into the trace plane (promoting them to traced so the downstream route
+// cooperates), and finished entry requests land in the trace ring —
+// sampled ones always, slow or errored ones regardless.
 func (p *Peer) handle(req *msg.Request) *msg.Response {
+	return p.handleTimed(req, true)
+}
+
+// handleSub is handle for batch sub-requests: same histograms, no entry
+// sampling or recording — the batch frame is the entry request; its subs
+// inherit whatever trace it carries.
+func (p *Peer) handleSub(req *msg.Request) *msg.Response {
+	return p.handleTimed(req, false)
+}
+
+func (p *Peer) handleTimed(req *msg.Request, entry bool) *msg.Response {
 	start := time.Now()
+	var sampled, promoted bool
+	if entry {
+		sampled, promoted = p.maybeSampleEntry(req)
+	}
 	resp := p.dispatch(req)
-	p.obs.handleHist(req.Kind).ObserveDuration(time.Since(start))
+	elapsed := time.Since(start)
+	p.obs.handleHist(req.Kind).ObserveDuration(elapsed)
+	if entry {
+		p.recordEntryTrace(req, resp, start, elapsed, sampled)
+		if promoted {
+			// The client never asked for a trace; the stamped route was for
+			// the ring only.
+			resp.Path = nil
+		}
+	}
 	return resp
 }
 
@@ -461,6 +521,11 @@ func (p *Peer) dispatch(req *msg.Request) *msg.Response {
 			break // legacy emulation: a pre-repair build answers unknown-kind
 		}
 		return p.handleDigest(req)
+	case msg.KindTraces:
+		if p.cfg.DisableLocate {
+			break // legacy emulation: a pre-trace-plane build answers unknown-kind
+		}
+		return p.handleTraces()
 	}
 	return &msg.Response{Err: msg.UnknownKindError(req.Kind)}
 }
@@ -468,21 +533,41 @@ func (p *Peer) dispatch(req *msg.Request) *msg.Response {
 // handleBatch serves a pipelined frame: every sub-request runs through the
 // ordinary handler (so forwarding, fan-out, stats and histograms all apply
 // per sub-request) and the sub-responses travel back in one frame. The
-// decoder rejects nested batches, so this cannot recurse.
+// decoder rejects nested batches, so this cannot recurse. A traced batch
+// spreads its trace onto every sub-request — each sub walks its own route
+// under the shared TraceID — and the outer response concatenates the sub
+// routes, so the assembled trace shows every lookup the batch fanned into.
 func (p *Peer) handleBatch(req *msg.Request) *msg.Response {
 	subs, err := msg.DecodeBatchRequests(req.Data)
 	if err != nil {
 		return &msg.Response{Err: fmt.Sprintf("netnode: batch decode: %v", err)}
 	}
+	traced := req.Flags&msg.FlagTrace != 0
+	var col *hopCollector
+	if traced {
+		col = &hopCollector{}
+	}
 	resps := make([]*msg.Response, len(subs))
 	for i, sub := range subs {
-		resps[i] = p.handle(sub)
+		if traced {
+			sub.Flags |= msg.FlagTrace
+			sub.TraceID = req.TraceID
+			sub.Path = req.Path
+		}
+		resps[i] = p.handleSub(sub)
+		if sp := resps[i].Path; traced && len(sp) > len(req.Path) {
+			col.add(sp[len(req.Path):]...)
+		}
 	}
 	data, err := msg.AppendBatchResponses(nil, resps)
 	if err != nil {
 		return &msg.Response{Err: fmt.Sprintf("netnode: batch encode: %v", err)}
 	}
-	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: data}
+	resp := &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: data}
+	if traced {
+		resp.Path = append(append([]msg.Hop(nil), req.Path...), col.take()...)
+	}
+	return resp
 }
 
 // ErrTombstoned is the answer to a store of a name this peer has seen
@@ -501,27 +586,44 @@ const ErrTombstoned = "netnode: name deleted (tombstoned)"
 // present at least as new — the push's goal holds), a tombstone refusal
 // answers ErrTombstoned.
 func (p *Peer) handleStore(req *msg.Request) *msg.Response {
+	start := time.Now()
 	kind := store.Inserted
 	if req.Flags&msg.FlagReplica != 0 {
 		kind = store.Replica
 	}
 	survived, res := p.store.PutNewer(store.File{Name: req.Name, Data: req.Data, Version: req.Version}, kind)
 	p.mergeClock(req.Version)
+	var resp *msg.Response
 	switch res {
 	case store.PutTombstoned:
-		return &msg.Response{ServedBy: uint32(p.cfg.PID), Version: survived, Err: ErrTombstoned}
+		resp = &msg.Response{ServedBy: uint32(p.cfg.PID), Version: survived, Err: ErrTombstoned}
 	case store.PutStale:
-		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Version: survived}
+		resp = &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Version: survived}
+	default:
+		p.stats.Stored.Add(1)
+		resp = &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Version: req.Version}
 	}
-	p.stats.Stored.Add(1)
-	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Version: req.Version}
+	if req.Flags&msg.FlagTrace != 0 {
+		// A traced placement (insert fan-out, repair push) records where
+		// the copy landed, parented on the pushing peer's hop.
+		resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopServe, time.Since(start))
+	}
+	return resp
 }
 
 func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
+	start := time.Now()
 	target := p.hasher.Target(req.Name, p.cfg.M)
 	v := p.view(target)
 	version := p.clock.Add(1)
 	stored := 0
+	// A traced insert spreads its trace onto every placement leg: the
+	// fan-out root here, one HopServe per holder that took the copy.
+	col := newHopCollector(req)
+	var rootPath []msg.Hop
+	if col != nil {
+		rootPath = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFanout, 0)
+	}
 	// A tombstone refusal means the name was deleted at a version this
 	// peer's clock has never seen (the deleting peer may never have talked
 	// to us). Merge the tombstone version and restamp strictly above it,
@@ -541,6 +643,11 @@ func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
 				Kind: msg.KindStore, Origin: req.Origin,
 				Version: version, Name: req.Name, Data: req.Data,
 			}
+			if col != nil {
+				sreq.Flags |= msg.FlagTrace
+				sreq.TraceID = req.TraceID
+				sreq.Path = rootPath
+			}
 			var resp *msg.Response
 			if h == p.cfg.PID {
 				resp = p.handleStore(sreq)
@@ -556,6 +663,9 @@ func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
 			case resp.Err == ErrTombstoned && resp.Version > tombV:
 				tombV = resp.Version
 			}
+			if len(resp.Path) > len(rootPath) {
+				col.add(resp.Path[len(rootPath):]...)
+			}
 		}
 		if tombV < version {
 			break
@@ -565,9 +675,18 @@ func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
 	}
 	if stored == 0 {
 		p.stats.Faults.Add(1)
-		return &msg.Response{Err: "netnode: no live holder for insert"}
+		resp := &msg.Response{Err: "netnode: no live holder for insert"}
+		if col != nil {
+			resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFault, time.Since(start))
+		}
+		return resp
 	}
-	return &msg.Response{OK: true, ServedBy: uint32(target), Version: version}
+	resp := &msg.Response{OK: true, ServedBy: uint32(target), Version: version}
+	if col != nil {
+		root := appendHop(req.Path, uint32(p.cfg.PID), msg.HopFanout, time.Since(start))
+		resp.Path = append(root, col.take()...)
+	}
+	return resp
 }
 
 // ErrNotHolder is the answer to a local-only get at a peer that does not
@@ -741,18 +860,25 @@ func (p *Peer) nextHop(req *msg.Request) (next bitops.PID, flags uint8, subtree 
 }
 
 func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
+	start := time.Now()
 	target := p.hasher.Target(req.Name, p.cfg.M)
 	v := p.view(target)
 	if req.Flags&msg.FlagPropagate != 0 {
-		// Propagation delivery: apply if holding, then fan out.
+		// Propagation delivery: apply if holding, then fan out. A traced
+		// delivery answers with only its branch's new hops — the initiator
+		// (or upstream parent) splices them into the assembled tree.
+		col := newHopCollector(req)
+		n := p.propagateUpdate(v, req, nil, col)
 		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID),
-			Hops: uint32(p.propagateUpdate(v, req, nil))}
+			Hops: uint32(n), Path: col.take()}
 	}
 	// Initiation: learn the file's current version through a lookup (the
 	// initiating peer may never have seen the file), then stamp a
 	// strictly newer one, Lamport-style, and start the top-down broadcast
 	// at each subtree's root position (or its expanded children when
-	// dead).
+	// dead). A traced initiation roots the fan-out tree here: the HopFanout
+	// record travels in prop.Path so every delivery parents correctly, and
+	// the response carries the whole assembled tree.
 	if version, ok := p.probeVersion(req.Name); ok {
 		p.mergeClock(version)
 	}
@@ -760,13 +886,26 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 	prop := *req
 	prop.Flags |= msg.FlagPropagate
 	prop.Version = version
-	updated := p.broadcast(v, &prop)
+	col := newHopCollector(req)
+	if col != nil {
+		prop.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFanout, 0)
+	}
+	updated := p.broadcast(v, &prop, col)
 	if updated == 0 {
 		p.stats.Faults.Add(1)
-		return &msg.Response{Err: "netnode: update found no copy"}
+		resp := &msg.Response{Err: "netnode: update found no copy"}
+		if col != nil {
+			resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFault, time.Since(start))
+		}
+		return resp
 	}
 	p.stats.Updated.Add(1)
-	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(updated), Version: version}
+	resp := &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(updated), Version: version}
+	if col != nil {
+		root := appendHop(req.Path, uint32(p.cfg.PID), msg.HopFanout, time.Since(start))
+		resp.Path = append(root, col.take()...)
+	}
+	return resp
 }
 
 // probeVersion learns name's current version for the Lamport stamp on an
@@ -810,7 +949,7 @@ func (p *Peer) fanoutSem(legs int) chan struct{} {
 // latency tracks the tree depth instead of the copy count. Update and
 // delete share this path exactly, so neither can loop by delivering to
 // itself over the wire where the other would not.
-func (p *Peer) broadcast(v ptree.View, prop *msg.Request) int {
+func (p *Peer) broadcast(v ptree.View, prop *msg.Request, col *hopCollector) int {
 	// One immutable liveness snapshot covers every subtree-root check.
 	live := p.rt().live
 	var starts []bitops.PID
@@ -823,18 +962,18 @@ func (p *Peer) broadcast(v ptree.View, prop *msg.Request) int {
 		}
 	}
 	p.obs.fanout.Observe(uint64(len(starts)))
-	return p.deliverAll(v, starts, prop, p.fanoutSem(len(starts)))
+	return p.deliverAll(v, starts, prop, p.fanoutSem(len(starts)), col)
 }
 
 // deliverAll delivers a propagation message to every target concurrently
 // and returns the exact sum of copies touched. A single target is
 // delivered inline — no goroutine for the common narrow case.
-func (p *Peer) deliverAll(v ptree.View, targets []bitops.PID, prop *msg.Request, sem chan struct{}) int {
+func (p *Peer) deliverAll(v ptree.View, targets []bitops.PID, prop *msg.Request, sem chan struct{}, col *hopCollector) int {
 	switch len(targets) {
 	case 0:
 		return 0
 	case 1:
-		return p.deliver(v, targets[0], prop, sem)
+		return p.deliver(v, targets[0], prop, sem, col)
 	}
 	var total atomic.Int64
 	var wg sync.WaitGroup
@@ -842,7 +981,7 @@ func (p *Peer) deliverAll(v ptree.View, targets []bitops.PID, prop *msg.Request,
 		wg.Add(1)
 		go func(t bitops.PID) {
 			defer wg.Done()
-			total.Add(int64(p.deliver(v, t, prop, sem)))
+			total.Add(int64(p.deliver(v, t, prop, sem, col)))
 		}(t)
 	}
 	wg.Wait()
@@ -856,9 +995,9 @@ func (p *Peer) deliverAll(v ptree.View, targets []bitops.PID, prop *msg.Request,
 // would silently lose pid's whole branch, so it degrades by routing
 // through pid's expanded children list (§3) instead; the failed call has
 // already fed the detector, so the liveness bit catches up.
-func (p *Peer) deliver(v ptree.View, pid bitops.PID, prop *msg.Request, sem chan struct{}) int {
+func (p *Peer) deliver(v ptree.View, pid bitops.PID, prop *msg.Request, sem chan struct{}, col *hopCollector) int {
 	if pid == p.cfg.PID {
-		return p.propagateLocal(v, prop, sem)
+		return p.propagateLocal(v, prop, sem, col)
 	}
 	p.stats.Broadcast.Add(1)
 	sem <- struct{}{}
@@ -870,6 +1009,9 @@ func (p *Peer) deliver(v ptree.View, pid bitops.PID, prop *msg.Request, sem chan
 		if !resp.OK {
 			return 0
 		}
+		// A traced delivery answers with its branch's new hops only;
+		// splice them into this fan-out's assembly.
+		col.add(resp.Path...)
 		return int(resp.Hops)
 	}
 	kids := make([]bitops.PID, 0, 4)
@@ -878,23 +1020,26 @@ func (p *Peer) deliver(v ptree.View, pid bitops.PID, prop *msg.Request, sem chan
 			kids = append(kids, c)
 		}
 	}
-	return p.deliverAll(v, kids, prop, sem)
+	return p.deliverAll(v, kids, prop, sem, col)
 }
 
 // propagateLocal applies a propagation message at this peer.
-func (p *Peer) propagateLocal(v ptree.View, prop *msg.Request, sem chan struct{}) int {
+func (p *Peer) propagateLocal(v ptree.View, prop *msg.Request, sem chan struct{}, col *hopCollector) int {
 	if prop.Kind == msg.KindDelete {
-		return p.propagateDelete(v, prop, sem)
+		return p.propagateDelete(v, prop, sem, col)
 	}
-	return p.propagateUpdate(v, prop, sem)
+	return p.propagateUpdate(v, prop, sem, col)
 }
 
 // propagateUpdate applies a propagation message locally: a holder rewrites
 // its copy and re-broadcasts to its expanded children list in parallel; a
 // non-holder discards. Returns copies updated in this subtree branch. A
 // nil sem sizes a fresh semaphore to this delivery's legs — the remote-
-// delivery entry point, where this peer is the recursion's root.
-func (p *Peer) propagateUpdate(v ptree.View, req *msg.Request, sem chan struct{}) int {
+// delivery entry point, where this peer is the recursion's root. A traced
+// holder contributes one HopDeliver record (parented on the upstream
+// peer's hop, the tail of req.Path) and forwards with its own hop
+// appended, so the collected records assemble into the fan-out tree.
+func (p *Peer) propagateUpdate(v ptree.View, req *msg.Request, sem chan struct{}, col *hopCollector) int {
 	// The local apply serializes against Leave (propMu): without it, a
 	// leave racing this broadcast can snapshot the copy just before the
 	// rewrite lands and hand the stale version to its successor — and the
@@ -904,6 +1049,7 @@ func (p *Peer) propagateUpdate(v ptree.View, req *msg.Request, sem chan struct{}
 	// deliveries. Leave's write side runs either wholly before (the
 	// successor has no copy yet; our fan-out leg below installs the
 	// update there) or wholly after (the handed-off copy carries it).
+	start := time.Now()
 	p.propMu.RLock()
 	if !p.store.Has(req.Name) {
 		p.propMu.RUnlock()
@@ -916,11 +1062,19 @@ func (p *Peer) propagateUpdate(v ptree.View, req *msg.Request, sem chan struct{}
 	if sem == nil {
 		sem = p.fanoutSem(len(kids))
 	}
+	if col != nil {
+		fwd := *req
+		fwd.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopDeliver, time.Since(start))
+		if len(fwd.Path) > len(req.Path) {
+			col.add(fwd.Path[len(fwd.Path)-1])
+		}
+		req = &fwd
+	}
 	n := 0
 	if applied {
 		n = 1
 	}
-	return n + p.deliverAll(v, kids, req, sem)
+	return n + p.deliverAll(v, kids, req, sem, col)
 }
 
 // childTargets is this peer's expanded children list minus itself — the
@@ -936,11 +1090,14 @@ func (p *Peer) childTargets(v ptree.View) []bitops.PID {
 }
 
 func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
+	start := time.Now()
 	target := p.hasher.Target(req.Name, p.cfg.M)
 	v := p.view(target)
 	if req.Flags&msg.FlagPropagate != 0 {
+		col := newHopCollector(req)
+		n := p.propagateDelete(v, req, nil, col)
 		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID),
-			Hops: uint32(p.propagateDelete(v, req, nil))}
+			Hops: uint32(n), Path: col.take()}
 	}
 	// Initiation: stamp the deletion strictly above the file's current
 	// version, Lamport-style like an update, so every erased copy leaves a
@@ -954,12 +1111,25 @@ func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
 	prop := *req
 	prop.Flags |= msg.FlagPropagate
 	prop.Version = p.clock.Add(1)
-	removed := p.broadcast(v, &prop)
+	col := newHopCollector(req)
+	if col != nil {
+		prop.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFanout, 0)
+	}
+	removed := p.broadcast(v, &prop, col)
 	if removed == 0 {
 		p.stats.Faults.Add(1)
-		return &msg.Response{Err: "netnode: delete found no copy"}
+		resp := &msg.Response{Err: "netnode: delete found no copy"}
+		if col != nil {
+			resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFault, time.Since(start))
+		}
+		return resp
 	}
-	return &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(removed), Version: prop.Version}
+	resp := &msg.Response{OK: true, ServedBy: uint32(target), Hops: uint32(removed), Version: prop.Version}
+	if col != nil {
+		root := appendHop(req.Path, uint32(p.cfg.PID), msg.HopFanout, time.Since(start))
+		resp.Path = append(root, col.take()...)
+	}
+	return resp
 }
 
 // propagateDelete erases the local copy first — under propMu's read side
@@ -970,7 +1140,8 @@ func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
 // leaves a versioned tombstone behind, so a stale push cannot re-plant
 // the copy and anti-entropy propagates the deletion rather than the
 // corpse. Returns copies removed in this branch.
-func (p *Peer) propagateDelete(v ptree.View, req *msg.Request, sem chan struct{}) int {
+func (p *Peer) propagateDelete(v ptree.View, req *msg.Request, sem chan struct{}, col *hopCollector) int {
+	start := time.Now()
 	p.propMu.RLock() // serializes against Leave, as in propagateUpdate
 	removed := p.store.Tombstone(req.Name, req.Version, time.Now())
 	p.propMu.RUnlock()
@@ -982,14 +1153,25 @@ func (p *Peer) propagateDelete(v ptree.View, req *msg.Request, sem chan struct{}
 	if sem == nil {
 		sem = p.fanoutSem(len(kids))
 	}
-	return 1 + p.deliverAll(v, kids, req, sem)
+	if col != nil {
+		fwd := *req
+		fwd.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopDeliver, time.Since(start))
+		if len(fwd.Path) > len(req.Path) {
+			col.add(fwd.Path[len(fwd.Path)-1])
+		}
+		req = &fwd
+	}
+	return 1 + p.deliverAll(v, kids, req, sem, col)
 }
 
 // handleStat serves the status snapshot: the legacy one-line "k=v" text by
 // default, or — with FlagJSON — the structured StatSnapshot as JSON.
+// FlagInventory additionally includes the full per-name inventory (the
+// fleet scraper's replica-count and hot-name substrate), which is too
+// large to ship on every stat poll.
 func (p *Peer) handleStat(req *msg.Request) *msg.Response {
 	if req != nil && req.Flags&msg.FlagJSON != 0 {
-		data, err := json.Marshal(p.StatSnapshot())
+		data, err := json.Marshal(p.statSnapshot(req.Flags&msg.FlagInventory != 0))
 		if err != nil {
 			return &msg.Response{Err: fmt.Sprintf("netnode: stat snapshot: %v", err)}
 		}

@@ -11,6 +11,7 @@ package netnode
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"lesslog/internal/metrics"
@@ -124,6 +125,19 @@ type StatSnapshot struct {
 	DigestBytes   uint64 `json:"digest_bytes"`
 	RepairDeficit int64  `json:"repair_deficit"`
 
+	// Tombstones gauges live delete tombstones (deletion debt not yet
+	// pruned); RepairTTFRMS is the last completed time-to-full-replication
+	// episode — how long the inventory stayed divergent before
+	// anti-entropy converged it (0 until an episode completes).
+	Tombstones   int     `json:"tombstones"`
+	RepairTTFRMS float64 `json:"repair_ttfr_ms"`
+
+	// Trace plane (docs/OBSERVABILITY.md): entry requests and repair
+	// rounds recorded into the trace ring, and how many of those were
+	// retained as notable (slow or errored).
+	TraceRecorded uint64 `json:"trace_recorded"`
+	TraceNoted    uint64 `json:"trace_noted"`
+
 	Transport transport.CountersSnapshot `json:"transport"`
 
 	// RPCLatencyMS is the outbound per-kind RPC latency seen by this
@@ -135,10 +149,28 @@ type StatSnapshot struct {
 	ServeLatencyMS   DistStat            `json:"serve_latency_ms"`
 	ForwardLatencyMS DistStat            `json:"forward_latency_ms"`
 	BroadcastFanout  DistStat            `json:"broadcast_fanout"`
+
+	// HandlerLatencyHist is the raw per-kind handler histogram — unlike
+	// the DistStat summaries above, raw bucket vectors merge exactly
+	// across peers, which is what lesslog-top aggregates into
+	// cluster-wide percentiles (internal/fleet).
+	HandlerLatencyHist map[string]metrics.HistogramSnapshot `json:"handler_latency_hist"`
+
+	// HotNames is the top of the per-name §6 serve-counter table — the
+	// store's hottest copies this counting window, at most hotNamesTopK
+	// rows. Inventory is the full per-name table, included only when the
+	// stat request carried msg.FlagInventory.
+	HotNames  []store.Record `json:"hot_names,omitempty"`
+	Inventory []store.Record `json:"inventory,omitempty"`
 }
 
+// hotNamesTopK bounds the HotNames list every JSON stat snapshot carries.
+const hotNamesTopK = 16
+
 // StatSnapshot captures the peer's current observable state.
-func (p *Peer) StatSnapshot() StatSnapshot {
+func (p *Peer) StatSnapshot() StatSnapshot { return p.statSnapshot(false) }
+
+func (p *Peer) statSnapshot(withInventory bool) StatSnapshot {
 	rt := p.rt()
 	inserted := len(p.store.Names(store.Inserted))
 	total := p.store.Len()
@@ -178,13 +210,18 @@ func (p *Peer) StatSnapshot() StatSnapshot {
 		RepairSkipped: p.stats.RepairSkipped.Load(),
 		DigestBytes:   p.stats.DigestBytes.Load(),
 		RepairDeficit: p.stats.RepairDeficit.Load(),
+		Tombstones:    p.store.TombstoneCount(),
+		RepairTTFRMS:  float64(p.ttfr.Last()) * nsToMS,
+		TraceRecorded: p.ring.Recorded(),
+		TraceNoted:    p.ring.Noted(),
 		Transport:     p.tr.Counters().Snapshot(),
 
-		RPCLatencyMS:     map[string]DistStat{},
-		HandlerLatencyMS: map[string]DistStat{},
-		ServeLatencyMS:   distStat(p.obs.serve.Snapshot(), nsToMS),
-		ForwardLatencyMS: distStat(p.obs.forward.Snapshot(), nsToMS),
-		BroadcastFanout:  distStat(p.obs.fanout.Snapshot(), 1),
+		RPCLatencyMS:       map[string]DistStat{},
+		HandlerLatencyMS:   map[string]DistStat{},
+		HandlerLatencyHist: map[string]metrics.HistogramSnapshot{},
+		ServeLatencyMS:     distStat(p.obs.serve.Snapshot(), nsToMS),
+		ForwardLatencyMS:   distStat(p.obs.forward.Snapshot(), nsToMS),
+		BroadcastFanout:    distStat(p.obs.fanout.Snapshot(), 1),
 	}
 	for kind, snap := range p.tr.LatencySnapshots() {
 		s.RPCLatencyMS[kind] = distStat(snap, nsToMS)
@@ -193,9 +230,37 @@ func (p *Peer) StatSnapshot() StatSnapshot {
 		if p.obs.handle[i].Count() == 0 {
 			continue
 		}
-		s.HandlerLatencyMS[msg.Kind(i).String()] = distStat(p.obs.handle[i].Snapshot(), nsToMS)
+		snap := p.obs.handle[i].Snapshot()
+		s.HandlerLatencyMS[msg.Kind(i).String()] = distStat(snap, nsToMS)
+		s.HandlerLatencyHist[msg.Kind(i).String()] = snap
+	}
+	records := p.store.Records()
+	s.HotNames = hotNames(records, hotNamesTopK)
+	if withInventory {
+		s.Inventory = records
 	}
 	return s
+}
+
+// hotNames returns the top-k records by hits (ties by name for
+// determinism), skipping cold copies — an all-zero window yields nothing.
+func hotNames(records []store.Record, k int) []store.Record {
+	hot := make([]store.Record, 0, len(records))
+	for _, r := range records {
+		if r.Hits > 0 {
+			hot = append(hot, r)
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Hits != hot[j].Hits {
+			return hot[i].Hits > hot[j].Hits
+		}
+		return hot[i].Name < hot[j].Name
+	})
+	if len(hot) > k {
+		hot = hot[:k]
+	}
+	return hot
 }
 
 // WritePrometheus writes the peer's metrics in Prometheus text format —
@@ -240,6 +305,9 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: self, Value: float64(s.RepairProbes)})
 	metrics.PrometheusFamily(w, "lesslog_digest_bytes_total", "counter",
 		metrics.LabeledValue{Labels: self, Value: float64(s.DigestBytes)})
+	metrics.PrometheusFamily(w, "lesslog_traces_total", "counter",
+		metrics.LabeledValue{Labels: mergePromLabels(self, `class="recorded"`), Value: float64(s.TraceRecorded)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `class="noted"`), Value: float64(s.TraceNoted)})
 
 	tc := s.Transport
 	metrics.PrometheusFamily(w, "lesslog_transport_events_total", "counter",
@@ -264,6 +332,10 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: self, Value: float64(s.FanoutActive)})
 	metrics.PrometheusFamily(w, "lesslog_repair_deficit_bytes", "gauge",
 		metrics.LabeledValue{Labels: self, Value: float64(s.RepairDeficit)})
+	metrics.PrometheusFamily(w, "lesslog_tombstones", "gauge",
+		metrics.LabeledValue{Labels: self, Value: float64(s.Tombstones)})
+	metrics.PrometheusFamily(w, "lesslog_repair_ttfr_seconds", "gauge",
+		metrics.LabeledValue{Labels: self, Value: s.RepairTTFRMS / 1e3})
 
 	var rpc []metrics.LabeledHistogram
 	for kind, snap := range p.tr.LatencySnapshots() {
@@ -297,14 +369,21 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 func mergePromLabels(a, b string) string { return a + "," + b }
 
 // appendHop extends a traced route with this stop's record, copying so
-// retries and downstream appends never alias the caller's slice. A path
-// already at the frame limit is passed through unchanged — the route stays
-// truncated rather than failing the request.
+// retries and downstream appends never alias the caller's slice. The new
+// hop's parent is the path's tail — on a linear walk that reproduces the
+// old implicit ordering; on a fan-out each branch carries its parent's
+// hop at the tail, so concurrently collected records still assemble into
+// the right tree. A path already at the frame limit is passed through
+// unchanged — the route stays truncated rather than failing the request.
 func appendHop(path []msg.Hop, pid uint32, action msg.HopAction, d time.Duration) []msg.Hop {
 	if len(path) >= msg.MaxHops {
 		return path
 	}
+	parent := msg.NoParent
+	if len(path) > 0 {
+		parent = path[len(path)-1].PID
+	}
 	out := make([]msg.Hop, len(path), len(path)+1)
 	copy(out, path)
-	return append(out, msg.Hop{PID: pid, Action: action, Dur: d})
+	return append(out, msg.Hop{PID: pid, Parent: parent, Action: action, Dur: d})
 }

@@ -48,6 +48,11 @@ func requiredHolder(v ptree.View, q bitops.PID) bool {
 // later round. Returns the number of copies repaired (pushed, pulled or
 // erased). Exposed for tests and tooling; StartRepair drives it.
 func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample int) int {
+	// Head-sample the whole round into the trace plane: every probe and
+	// push this round carries the round's TraceID and the HopRepair root,
+	// and each responder's hop comes back in its answer — assembling a
+	// star rooted at this peer (docs/OBSERVABILITY.md).
+	tr := p.newRepairTrace()
 	repaired := 0
 	for _, name := range sampler.Next(p.store.AllNames(), sample) {
 		f, ok := p.store.Peek(name)
@@ -67,10 +72,13 @@ func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample
 				continue
 			}
 			p.stats.RepairProbes.Add(1)
-			resp, err := p.call(h, &msg.Request{Kind: msg.KindHas, Name: name})
+			probe := &msg.Request{Kind: msg.KindHas, Name: name}
+			tr.stamp(probe)
+			resp, err := p.call(h, probe)
 			if err != nil {
 				continue // detector fed; next round sees the updated view
 			}
+			tr.collect(resp)
 			switch {
 			case !resp.OK && resp.Version > 0 && resp.Version >= f.Version:
 				// The holder tombstoned the name at a version our copy does
@@ -91,10 +99,14 @@ func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample
 					continue
 				}
 				sreq := &msg.Request{Kind: msg.KindStore, Name: f.Name, Data: f.Data, Version: f.Version}
-				if r, err := p.call(h, sreq); err == nil && r.OK && r.Version == f.Version {
-					p.stats.Repaired.Add(1)
-					repaired++
-					p.log.Info("repair: re-established copy", "name", name, "on", uint32(h))
+				tr.stamp(sreq)
+				if r, err := p.call(h, sreq); err == nil {
+					tr.collect(r)
+					if r.OK && r.Version == f.Version {
+						p.stats.Repaired.Add(1)
+						repaired++
+						p.log.Info("repair: re-established copy", "name", name, "on", uint32(h))
+					}
 				}
 			case resp.OK && resp.Version == 0:
 				// A pre-repair responder: the copy exists but carries no
@@ -112,6 +124,10 @@ func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample
 		}
 	}
 	p.stats.RepairDeficit.Store(budget.Deficit())
+	// TTFR bookkeeping: a round that moved copies opens (or extends) a
+	// divergence episode; a clean round closes it.
+	p.ttfr.Note(repaired > 0, time.Now())
+	tr.record(p, "repair", "")
 	return repaired
 }
 
@@ -179,6 +195,7 @@ func (p *Peer) pullCopy(name string, h bitops.PID, budget *repair.Budget) bool {
 // Returns copies pulled. A legacy partner (unknown-kind answer) is
 // counted skipped and left for per-name probes to cover.
 func (p *Peer) DigestSync(partner bitops.PID, budget *repair.Budget, width int) int {
+	tr := p.newRepairTrace()
 	digest := make([]uint64, width)
 	for _, name := range p.store.AllNames() {
 		if f, ok := p.store.Peek(name); ok {
@@ -193,12 +210,13 @@ func (p *Peer) DigestSync(partner bitops.PID, budget *repair.Budget, width int) 
 		p.stats.RepairSkipped.Add(1)
 		return 0
 	}
-	resp, err := p.call(partner, &msg.Request{
-		Kind: msg.KindDigest, Origin: uint32(p.cfg.PID), Data: data,
-	})
+	dreq := &msg.Request{Kind: msg.KindDigest, Origin: uint32(p.cfg.PID), Data: data}
+	tr.stamp(dreq)
+	resp, err := p.call(partner, dreq)
 	if err != nil {
 		return 0
 	}
+	tr.collect(resp)
 	p.stats.DigestBytes.Add(uint64(len(data)))
 	if !resp.OK {
 		if msg.IsUnknownKind(resp.Err) {
@@ -235,6 +253,13 @@ func (p *Peer) DigestSync(partner bitops.PID, budget *repair.Budget, width int) 
 		}
 	}
 	p.stats.RepairDeficit.Store(budget.Deficit())
+	if pulled > 0 {
+		// Only divergence is noted here: convergence calls belong to the
+		// per-name probe pass (RepairOnce), so a clean digest cannot close
+		// an episode the probes still see open.
+		p.ttfr.Note(true, time.Now())
+	}
+	tr.record(p, "digest", "")
 	return pulled
 }
 
@@ -246,6 +271,7 @@ func (p *Peer) DigestSync(partner bitops.PID, budget *repair.Budget, width int) 
 // peers with legitimately disjoint inventories would re-flag the same
 // buckets forever.
 func (p *Peer) handleDigest(req *msg.Request) *msg.Response {
+	start := time.Now()
 	remote, err := msg.DecodeDigest(req.Data)
 	if err != nil {
 		return &msg.Response{Err: "netnode: digest decode: " + err.Error()}
@@ -273,7 +299,11 @@ func (p *Peer) handleDigest(req *msg.Request) *msg.Response {
 	diff := repair.DiffBuckets(local, remote)
 	if len(diff) == 0 {
 		empty, _ := msg.AppendDigestEntries(nil, nil)
-		return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: empty}
+		resp := &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: empty}
+		if req.Flags&msg.FlagTrace != 0 {
+			resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopServe, time.Since(start))
+		}
+		return resp
 	}
 	inDiff := make(map[int]bool, len(diff))
 	for _, b := range diff {
@@ -294,7 +324,11 @@ func (p *Peer) handleDigest(req *msg.Request) *msg.Response {
 		return &msg.Response{Err: "netnode: digest encode: " + err.Error()}
 	}
 	p.stats.DigestBytes.Add(uint64(len(data)))
-	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: data}
+	resp := &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Data: data}
+	if req.Flags&msg.FlagTrace != 0 {
+		resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopServe, time.Since(start))
+	}
+	return resp
 }
 
 // StartRepair runs the anti-entropy loop every cfg.Interval until the

@@ -1,0 +1,287 @@
+package netnode
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+	"lesslog/internal/msg"
+	"lesslog/internal/repair"
+	"lesslog/internal/tracering"
+)
+
+// startTracedSystem is startSystem with the trace-plane knobs pinned, so
+// tests control exactly which requests the head sampler picks.
+func startTracedSystem(t testing.TB, m, b int, pids []bitops.PID, hasher hashring.Hasher, every int) map[bitops.PID]*Peer {
+	t.Helper()
+	peers := make(map[bitops.PID]*Peer, len(pids))
+	addrs := make(map[bitops.PID]string, len(pids))
+	for _, pid := range pids {
+		p, err := Listen(Config{PID: pid, M: m, B: b, Hasher: hasher, TraceSampleEvery: every})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		peers[pid] = p
+		addrs[pid] = p.Addr()
+	}
+	for _, p := range peers {
+		p.SetAddrs(addrs)
+	}
+	return peers
+}
+
+// hopSet collects the PIDs appearing in hops with the given action.
+func hopSet(hops []msg.Hop, action msg.HopAction) map[uint32]bool {
+	out := map[uint32]bool{}
+	for _, h := range hops {
+		if h.Action == action {
+			out[h.PID] = true
+		}
+	}
+	return out
+}
+
+// assertTree fails unless every hop's parent is NoParent (a root) or a
+// PID that itself appears in the trace — the connectivity a fan-out trace
+// must keep however its branches interleave.
+func assertTree(t *testing.T, hops []msg.Hop) {
+	t.Helper()
+	pids := map[uint32]bool{}
+	for _, h := range hops {
+		pids[h.PID] = true
+	}
+	for _, h := range hops {
+		if h.Parent != msg.NoParent && !pids[h.Parent] {
+			t.Fatalf("hop %+v parents onto P(%d), absent from the trace %v", h, h.Parent, hops)
+		}
+	}
+}
+
+// TestTracedUpdateBroadcastTree drives a traced update through a fan-out
+// over hand-placed holders and checks the assembled trace is the
+// broadcast tree: one HopFanout root at the entry peer, one HopDeliver
+// per live holder, every hop parented inside the trace.
+func TestTracedUpdateBroadcastTree(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	if err := NewClient(peers[2].Addr()).Insert("f", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Replicas at P(5) (root's first child) and P(7) (child of P(5)) —
+	// the canonical copy from the insert sits at P(4).
+	NewClient(peers[5].Addr()).Store("f", []byte("v1"), 1, true)
+	NewClient(peers[7].Addr()).Store("f", []byte("v1"), 1, true)
+
+	n, path, err := NewClient(peers[3].Addr()).UpdateTraced("f", []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("updated %d copies, want 3", n)
+	}
+	if len(path) == 0 || path[0].Action != msg.HopFanout || path[0].PID != 3 || path[0].Parent != msg.NoParent {
+		t.Fatalf("trace root = %+v, want HopFanout at P(3)", path)
+	}
+	delivered := hopSet(path, msg.HopDeliver)
+	if len(delivered) != 3 || !delivered[4] || !delivered[5] || !delivered[7] {
+		t.Fatalf("HopDeliver set = %v, want {4, 5, 7} — the live holder set", delivered)
+	}
+	assertTree(t, path)
+
+	// The same shape for a traced delete: one deliver hop per erased copy.
+	n, path, err = NewClient(peers[3].Addr()).DeleteTraced("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("deleted %d copies, want 3", n)
+	}
+	if len(path) == 0 || path[0].Action != msg.HopFanout {
+		t.Fatalf("delete trace root = %+v", path)
+	}
+	if erased := hopSet(path, msg.HopDeliver); len(erased) != 3 || !erased[4] || !erased[5] || !erased[7] {
+		t.Fatalf("delete HopDeliver set = %v, want {4, 5, 7}", erased)
+	}
+	assertTree(t, path)
+
+	// An untraced update of the same system carries no route.
+	if err := NewClient(peers[2].Addr()).Insert("f", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Call(peers[3].Addr(), &msg.Request{Kind: msg.KindUpdate, Name: "f", Data: []byte("v3")})
+	if err != nil || !resp.OK {
+		t.Fatalf("untraced update: %+v, %v", resp, err)
+	}
+	if resp.Path != nil {
+		t.Fatalf("untraced update carried a route: %v", resp.Path)
+	}
+}
+
+// TestTracedBatchSpreadsTrace sends a traced KindBatch frame and expects
+// the sub-request routes spliced into the outer response under the
+// batch's single trace ID.
+func TestTracedBatchSpreadsTrace(t *testing.T) {
+	peers := startSystem(t, 4, 0, allPIDs(16), hashring.Fixed(4))
+	if err := NewClient(peers[0].Addr()).Insert("tb/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	subs := []*msg.Request{
+		{Kind: msg.KindGet, Name: "tb/f"},
+		{Kind: msg.KindGet, Name: "tb/f"},
+	}
+	data, err := msg.AppendBatchRequests(nil, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Call(peers[9].Addr(), &msg.Request{
+		Kind: msg.KindBatch, Data: data, Flags: msg.FlagTrace, TraceID: 42,
+	})
+	if err != nil || !resp.OK {
+		t.Fatalf("traced batch: %+v, %v", resp, err)
+	}
+	serves := 0
+	for _, h := range resp.Path {
+		if h.Action == msg.HopServe {
+			serves++
+		}
+	}
+	if serves < 2 {
+		t.Fatalf("traced batch route has %d serve hops, want one per sub-get: %v", serves, resp.Path)
+	}
+	assertTree(t, resp.Path)
+}
+
+// TestRepairRoundTraceStar samples one anti-entropy round and checks its
+// trace is the star the repair plane produces: a HopRepair root at the
+// repairing peer, every responder hop parented directly onto it, and the
+// responder set drawn from the name's sibling holders.
+func TestRepairRoundTraceStar(t *testing.T) {
+	peers := startTracedSystem(t, 4, 1, allPIDs(16), hashring.FNV{}, 1)
+	if err := NewClient(peers[0].Addr()).Insert("f", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	holders := holdersOf(peers, "f")
+	if len(holders) != 2 {
+		t.Fatalf("holders = %v, want 2", holders)
+	}
+	lost, intact := holders[0], holders[1]
+	peers[lost].store.Delete("f")
+
+	var sampler repair.Sampler
+	if n := peers[intact].RepairOnce(&sampler, nil, -1); n != 1 {
+		t.Fatalf("RepairOnce repaired %d copies, want 1", n)
+	}
+	snap := peers[intact].TraceSnapshot()
+	var star *tracering.Trace
+	for i := range snap.Recent {
+		if snap.Recent[i].Kind == "repair" {
+			star = &snap.Recent[i]
+		}
+	}
+	if star == nil {
+		t.Fatalf("no repair trace in ring: %+v", snap.Recent)
+	}
+	root := star.Hops[0]
+	if root.Action != msg.HopRepair || root.PID != uint32(intact) || root.Parent != msg.NoParent {
+		t.Fatalf("repair trace root = %+v, want HopRepair at P(%d)", root, intact)
+	}
+	if len(star.Hops) < 2 {
+		t.Fatal("repair star has no responder hops")
+	}
+	for _, h := range star.Hops[1:] {
+		if h.Parent != uint32(intact) || h.Action != msg.HopServe {
+			t.Fatalf("responder hop %+v, want HopServe parented on P(%d)", h, intact)
+		}
+		if h.PID != uint32(lost) {
+			t.Fatalf("responder P(%d) outside the sibling holder set {%d}", h.PID, lost)
+		}
+	}
+
+	// A second, clean round closes the divergence episode: the TTFR gauge
+	// reports how long the fleet ran under-replicated.
+	if n := peers[intact].RepairOnce(&sampler, nil, -1); n != 0 {
+		t.Fatal("steady-state round still repaired")
+	}
+	if ttfr := peers[intact].StatSnapshot().RepairTTFRMS; ttfr <= 0 {
+		t.Fatalf("RepairTTFRMS = %v after a completed episode, want > 0", ttfr)
+	}
+}
+
+// TestTraceSamplingAndTailRetention pins the head sampler to 1-in-1000:
+// the first request is the sampler's pick (and must stay invisible to the
+// untraced client), later errored requests are tail-retained anyway, and
+// healthy unsampled ones are not kept.
+func TestTraceSamplingAndTailRetention(t *testing.T) {
+	peers := startTracedSystem(t, 3, 0, allPIDs(8), hashring.Fixed(4), 1000)
+	NewClient(peers[0].Addr()).Store("s/f", []byte("x"), 1, true)
+
+	// Request 1: head-sampled (promoted). The client asked for no trace,
+	// so no route may leak onto its response.
+	res, err := NewClient(peers[0].Addr()).Get("s/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Path != nil {
+		t.Fatalf("promoted get leaked its route to the client: %v", res.Path)
+	}
+	// Request 2: unsampled but errored — tail-retained.
+	if _, err := NewClient(peers[0].Addr()).Get("s/missing"); err == nil {
+		t.Fatal("get of missing name succeeded")
+	}
+	// Request 3: unsampled, healthy, fast — dropped.
+	if _, err := NewClient(peers[0].Addr()).Get("s/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := NewClient(peers[0].Addr()).Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Recorded != 2 || snap.Noted != 1 {
+		t.Fatalf("ring totals = %d recorded / %d noted, want 2/1", snap.Recorded, snap.Noted)
+	}
+	if len(snap.Recent) != 2 || len(snap.Notable) != 1 {
+		t.Fatalf("ring tiers = %d recent / %d notable, want 2/1", len(snap.Recent), len(snap.Notable))
+	}
+	// The promoted trace kept its route in the ring even though the
+	// client never saw it.
+	if got := snap.Recent[0]; got.ID == 0 || len(got.Hops) == 0 {
+		t.Fatalf("promoted trace in ring = %+v, want a trace ID and hops", got)
+	}
+	if got := snap.Notable[0]; got.Err == "" {
+		t.Fatalf("notable trace = %+v, want the errored get", got)
+	}
+}
+
+// TestTracesAdminEndpoint scrapes /traces over HTTP and expects the same
+// snapshot the wire kind serves.
+func TestTracesAdminEndpoint(t *testing.T) {
+	peers := startTracedSystem(t, 3, 0, allPIDs(8), hashring.Fixed(4), 1)
+	NewClient(peers[0].Addr()).Store("a/f", []byte("x"), 1, true)
+	if _, err := NewClient(peers[0].Addr()).Get("a/f"); err != nil {
+		t.Fatal(err)
+	}
+	adm, err := peers[0].ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	resp, err := http.Get("http://" + adm.Addr() + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap tracering.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Recorded == 0 || len(snap.Recent) == 0 {
+		t.Fatalf("/traces snapshot = %+v, want the sampled get", snap)
+	}
+	if snap.SlowNS != int64(tracering.DefaultSlow) {
+		t.Fatalf("slow threshold = %s, want the default", time.Duration(snap.SlowNS))
+	}
+}

@@ -228,6 +228,63 @@ func DiffBuckets(local, remote []uint64) []int {
 	return diff
 }
 
+// TTFR tracks time-to-full-replication: how long the peer's inventory
+// stayed divergent before anti-entropy converged it. Each repair round
+// reports whether it moved any copies (Note(true)) or found nothing to do
+// (Note(false)); a run of divergent rounds closed by a clean one is an
+// episode, and the last episode's length is the gauge operators read. A
+// clean round with no preceding divergence keeps the gauge untouched —
+// steady state is "last repair took X", not zero.
+type TTFR struct {
+	mu    sync.Mutex
+	since time.Time     // start of the current divergent episode; zero when converged
+	last  time.Duration // length of the last completed episode
+}
+
+// Note records one repair round's outcome at time now.
+func (t *TTFR) Note(divergent bool, now time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if divergent {
+		if t.since.IsZero() {
+			t.since = now
+		}
+		return
+	}
+	if !t.since.IsZero() {
+		t.last = now.Sub(t.since)
+		t.since = time.Time{}
+	}
+}
+
+// Last returns the length of the last completed divergence episode, 0 if
+// none has completed yet.
+func (t *TTFR) Last() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.last
+}
+
+// Repairing returns how long the current episode has been open as of now,
+// or 0 when the peer is converged.
+func (t *TTFR) Repairing(now time.Time) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.since.IsZero() {
+		return 0
+	}
+	return now.Sub(t.since)
+}
+
 // Sampler walks an inventory in sorted order a slice at a time,
 // remembering its cursor across rounds so every held name is verified
 // within inventory/sampleSize rounds even as the inventory changes.

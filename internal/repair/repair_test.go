@@ -153,3 +153,41 @@ func TestSamplerHandlesChurnAndEdges(t *testing.T) {
 		t.Fatalf("cursor after churn: %v, want [b]", got)
 	}
 }
+
+func TestTTFREpisodes(t *testing.T) {
+	var tr TTFR
+	t0 := time.Unix(100, 0)
+	if tr.Last() != 0 || tr.Repairing(t0) != 0 {
+		t.Fatal("zero TTFR not zero")
+	}
+	// Clean rounds before any divergence leave the gauge untouched.
+	tr.Note(false, t0)
+	if tr.Last() != 0 {
+		t.Fatal("clean round completed an episode")
+	}
+	// Three divergent rounds, then convergence: episode spans first
+	// divergence to the closing clean round.
+	tr.Note(true, t0.Add(1*time.Second))
+	tr.Note(true, t0.Add(3*time.Second))
+	if got := tr.Repairing(t0.Add(4 * time.Second)); got != 3*time.Second {
+		t.Fatalf("Repairing = %v", got)
+	}
+	tr.Note(false, t0.Add(5*time.Second))
+	if got := tr.Last(); got != 4*time.Second {
+		t.Fatalf("Last = %v", got)
+	}
+	if tr.Repairing(t0.Add(6*time.Second)) != 0 {
+		t.Fatal("converged TTFR still repairing")
+	}
+	// Steady state keeps the last episode readable.
+	tr.Note(false, t0.Add(7*time.Second))
+	if got := tr.Last(); got != 4*time.Second {
+		t.Fatalf("steady-state Last = %v", got)
+	}
+	// Nil receiver is inert.
+	var nilT *TTFR
+	nilT.Note(true, t0)
+	if nilT.Last() != 0 || nilT.Repairing(t0) != 0 {
+		t.Fatal("nil TTFR not inert")
+	}
+}

@@ -52,8 +52,8 @@ type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	ttl     time.Duration
-	entries map[string]*list.Element // of *entry
-	lru     *list.List               // front = most recently used
+	entries map[string]*list.Element       // of *entry
+	lru     *list.List                     // front = most recently used
 	byAddr  map[string]map[string]struct{} // holder addr → names hinted there
 }
 

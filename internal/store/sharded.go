@@ -258,6 +258,32 @@ func (s *Sharded) Len() int {
 	return n
 }
 
+// TombstoneCount returns the number of live tombstones across shards.
+func (s *Sharded) TombstoneCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.s.TombstoneCount()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Records returns the store's full inventory, sorted by name. Per-shard
+// consistency only, like every other aggregate read.
+func (s *Sharded) Records() []Record {
+	var out []Record
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.s.Records()...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Snapshot merges the shards into one plain Store — the checkpoint path,
 // which persists through the unsharded diskstore format. Copies are
 // re-Put, so the snapshot shares no entry structure with the live store.

@@ -285,6 +285,31 @@ func (s *Store) ColdReplicas(minHits uint64) []string {
 // Len returns the number of stored copies.
 func (s *Store) Len() int { return len(s.files) }
 
+// TombstoneCount returns the number of live tombstones — deletions
+// recorded but not yet pruned. Surfaced as a gauge so operators can see
+// delete propagation debt instead of inferring it from memory growth.
+func (s *Store) TombstoneCount() int { return len(s.tombs) }
+
+// Record is one inventory row: a copy's identity plus its §6 access count
+// in the current window. The fleet scraper aggregates these into
+// replica-count distributions and top-K hot-name lists.
+type Record struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	Kind    string `json:"kind"`
+	Hits    uint64 `json:"hits"`
+}
+
+// Records returns the store's full inventory, sorted by name.
+func (s *Store) Records() []Record {
+	out := make([]Record, 0, len(s.files))
+	for n, e := range s.files {
+		out = append(out, Record{Name: n, Version: e.file.Version, Kind: e.kind.String(), Hits: e.hits})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // String summarizes the store for debugging.
 func (s *Store) String() string {
 	ins, rep := 0, 0

@@ -232,7 +232,7 @@ func (t *Transport) Close() error {
 // exchange is never replayed.
 func Idempotent(k msg.Kind) bool {
 	switch k {
-	case msg.KindGet, msg.KindHas, msg.KindStat, msg.KindTable, msg.KindLocate, msg.KindDigest:
+	case msg.KindGet, msg.KindHas, msg.KindStat, msg.KindTable, msg.KindLocate, msg.KindDigest, msg.KindTraces:
 		return true
 	}
 	return false
