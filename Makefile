@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench obs-cluster-bench gw-bench peer-bench locate-bench repair-bench figures examples cover clean
+.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench obs-cluster-bench gw-bench peer-bench locate-bench repair-bench storage-bench figures examples cover clean
 
 all: build vet test
 
@@ -71,6 +71,12 @@ locate-bench:
 # results/BENCH_repair.json (docs/REPAIR.md).
 repair-bench:
 	BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run 'TestChurnRepairE2E' -count 1 -v ./internal/netnode/ | tee results/repair_bench.txt
+
+# Durable storage engine: sustained write throughput under each fsync
+# policy (never / interval / group-commit always) and cold recovery time
+# at 1M names, recorded to results/BENCH_storage.json (docs/STORAGE.md).
+storage-bench:
+	LESSLOG_STORAGE_BENCH=1 BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run 'TestStorageBenchReport' -count 1 -v -timeout 600s ./internal/wal/ | tee results/storage_bench.txt
 
 # Regenerate every reproduced figure and extension table into results/.
 figures: build

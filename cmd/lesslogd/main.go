@@ -46,6 +46,15 @@
 // bytes/sec and -repair-tomb-ttl sets the delete-tombstone GC horizon. A
 // locate client that hits a pre-locate fabric downgrades to the relay
 // path for -downgrade-ttl before probing again.
+//
+// Durable storage (docs/STORAGE.md): `-data-dir` gives the peer a
+// segmented write-ahead log — every mutation is appended there, a
+// restart replays it (truncating any torn tail) and re-announces the
+// recovered inventory through the repair plane. `-fsync` picks the
+// durability policy (always / interval / never), `-fsync-every` the
+// interval flush period, `-segment-size` the rotation threshold.
+// SIGTERM/SIGINT leaves gracefully and fsyncs the log before exit; a
+// second signal exits immediately.
 package main
 
 import (
@@ -66,6 +75,7 @@ import (
 	"lesslog/internal/trace"
 	"lesslog/internal/tracering"
 	"lesslog/internal/transport"
+	"lesslog/internal/wal"
 )
 
 func main() {
@@ -80,7 +90,10 @@ func main() {
 		repairIv  = flag.Duration("repair-interval", 0, "server: anti-entropy replica repair interval (0 disables)")
 		repairBw  = flag.Int("repair-budget", 0, "server: repair bandwidth budget in bytes/sec (0 selects the default, -1 unlimited)")
 		repairTT  = flag.Duration("repair-tomb-ttl", 0, "server: delete-tombstone GC horizon (0 selects the default, -1 keeps them until restart)")
-		dataDir   = flag.String("data-dir", "", "server: directory for durable storage (restored on start, checkpointed on exit)")
+		dataDir   = flag.String("data-dir", "", "server: directory for the durable write-ahead log (replayed on start, flushed on exit)")
+		segSize   = flag.Int64("segment-size", 0, "server: log segment rotation size in bytes (0 selects the default)")
+		fsyncPol  = flag.String("fsync", "interval", "server: log durability policy: always (ack = on disk), interval or never")
+		fsyncIv   = flag.Duration("fsync-every", 0, "server: flush period for -fsync interval (0 selects the default)")
 		threshold = flag.Uint64("threshold", 100, "server: per-window serve count that triggers replication")
 		evictLow  = flag.Uint64("evict-below", 1, "server: replicas serving fewer gets per window are dropped")
 		dialTO    = flag.Duration("dial-timeout", transport.DefaultDialTimeout, "server: peer connection establishment deadline")
@@ -115,9 +128,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	policy, err := wal.ParsePolicy(*fsyncPol)
+	if err != nil {
+		fatal(err)
+	}
 
 	peer, err := netnode.Listen(netnode.Config{
 		PID: bitops.PID(*pid), M: *m, B: *b, Addr: *listen, DataDir: *dataDir,
+		SegmentSize: *segSize, Fsync: policy, FsyncEvery: *fsyncIv,
 		PipelineWorkers: *pipeWk, FanoutWorkers: *fanWk,
 		DisableLocate:    !*srvLocate,
 		TraceSampleEvery: *trEvery, TraceSlow: *trSlow, TraceRingSize: *trRing,
@@ -194,17 +212,35 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
 }
 
-// waitForSignal blocks until SIGINT/SIGTERM, then leaves gracefully —
-// handing inserted files to their new primaries — and shuts down.
+// waitForSignal blocks until SIGINT/SIGTERM, then shuts down gracefully:
+// Leave hands inserted copies to their new primaries, Close drains the
+// listener and in-flight handlers and — with -data-dir — flushes and
+// fsyncs the open log segment, so a signalled exit never leaves an
+// unsynced tail for the next start to truncate. A second signal skips
+// the graceful path and exits immediately (the log stays crash-safe:
+// recovery replay handles whatever was not yet flushed).
 func waitForSignal(peer *netnode.Peer, log *slog.Logger) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Info("leaving and shutting down")
-	if err := peer.Leave(); err != nil {
-		log.Error("leave failed", "err", err)
+	s := <-sig
+	log.Info("signal received; leaving and shutting down", "signal", s.String())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := peer.Leave(); err != nil {
+			log.Error("leave failed", "err", err)
+		}
+		if err := peer.Close(); err != nil {
+			log.Error("shutdown flush failed", "err", err)
+		}
+	}()
+	select {
+	case <-done:
+		log.Info("shutdown complete")
+	case s := <-sig:
+		log.Warn("second signal; exiting without graceful leave", "signal", s.String())
+		os.Exit(1)
 	}
-	peer.Close()
 }
 
 func runClient(addr, op, name, data string, traced, locate bool, downTTL time.Duration, asJSON bool) {

@@ -9,10 +9,12 @@ package netnode
 //	/trees          the physical lookup tree of this (or ?root=N) node,
 //	                dead positions marked — Figures 2/3 for the live system
 //	/traces         the sampled trace ring as JSON (docs/OBSERVABILITY.md)
+//	/checkpoint     POST: compact the durable log to its live state
+//	                (docs/STORAGE.md; 409 without -data-dir)
 //	/debug/pprof/*  the standard Go profiler endpoints
 //
 // Everything read here is lock-free or briefly locked; scraping cannot
-// stall the request path.
+// stall the request path (checkpoint compaction runs off it too).
 
 import (
 	"encoding/json"
@@ -48,6 +50,7 @@ func (p *Peer) ServeAdmin(addr string) (*Admin, error) {
 	mux.HandleFunc("/healthz", a.healthz)
 	mux.HandleFunc("/trees", a.trees)
 	mux.HandleFunc("/traces", a.traces)
+	mux.HandleFunc("/checkpoint", a.checkpoint)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -76,6 +79,25 @@ func (a *Admin) metrics(w http.ResponseWriter, _ *http.Request) {
 func (a *Admin) traces(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(a.p.TraceSnapshot())
+}
+
+// checkpoint compacts the durable log down to live state on demand —
+// the operator's "shrink the data dir now" button. POST only (it
+// rewrites disk); peers without a data directory answer 409.
+func (a *Admin) checkpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := a.p.Checkpoint(); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	sealed, active := a.p.eng.Segments()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"checkpointed": true, "sealed_segments": sealed, "active_bytes": active,
+	})
 }
 
 // adminHealth is the /healthz body.

@@ -1,0 +1,221 @@
+package netnode
+
+// Restart-warming and tombstone-persistence regressions for the durable
+// storage engine (docs/STORAGE.md): a peer that restarts from its log
+// must re-announce recovered copies through the repair plane, and a
+// crash/restart between propagateDelete and tombstone-TTL expiry must
+// not resurrect the deleted name.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/hashring"
+	"lesslog/internal/msg"
+	"lesslog/internal/repair"
+	"lesslog/internal/store"
+	"lesslog/internal/wal"
+)
+
+// startDurableSystem is startSystem with a data directory for pid 0.
+func startDurableSystem(t *testing.T, m, b int, n int, hasher hashring.Hasher, dir string) map[bitops.PID]*Peer {
+	t.Helper()
+	peers := make(map[bitops.PID]*Peer, n)
+	addrs := make(map[bitops.PID]string, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{PID: bitops.PID(i), M: m, B: b, Hasher: hasher}
+		if i == 0 {
+			cfg.DataDir = dir
+			cfg.Fsync = wal.FsyncAlways
+		}
+		p, err := Listen(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		peers[bitops.PID(i)] = p
+		addrs[bitops.PID(i)] = p.Addr()
+	}
+	for _, p := range peers {
+		p.SetAddrs(addrs)
+	}
+	return peers
+}
+
+// restartPeer closes p and brings it back from the same data directory,
+// rejoining through bootstrap (which re-broadcasts the new address).
+func restartPeer(t *testing.T, p *Peer, bootstrap *Peer) *Peer {
+	t.Helper()
+	cfg := p.cfg
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p2.Close() })
+	if err := p2.Join(bootstrap.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	return p2
+}
+
+// A crash/restart between the delete broadcast and tombstone-TTL expiry
+// must not resurrect the name: the tombstone is replayed from the log,
+// refuses stale pushes, and propagates the deletion through repair to a
+// peer that slept through the broadcast holding an old copy.
+func TestTombstoneSurvivesRestartAndBlocksResurrection(t *testing.T) {
+	dir := t.TempDir()
+	peers := startDurableSystem(t, 2, 0, 4, hashring.Fixed(0), dir)
+
+	if err := NewClient(peers[1].Addr()).Insert("doomed", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if !peers[0].store.Has("doomed") {
+		t.Fatal("setup: copy not at its target")
+	}
+	if _, err := NewClient(peers[1].Addr()).Delete("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	tv, dead := peers[0].store.TombVersion("doomed")
+	if !dead {
+		t.Fatal("setup: delete left no tombstone")
+	}
+	// Peer 3 slept through the delete while holding a pre-delete copy.
+	peers[3].store.Put(store.File{Name: "doomed", Data: []byte("data"), Version: 1}, store.Inserted)
+
+	// Crash/restart the deleting peer before the tombstone TTL expires.
+	p0 := restartPeer(t, peers[0], peers[1])
+	if v, ok := p0.store.TombVersion("doomed"); !ok || v != tv {
+		t.Fatalf("tombstone after restart = (%d, %v), want (%d, true)", v, ok, tv)
+	}
+	if p0.store.Has("doomed") {
+		t.Fatal("restart resurrected the deleted copy")
+	}
+
+	// A stale push at the restarted peer is refused by the replayed
+	// tombstone, not applied.
+	resp, err := Call(p0.Addr(), &msg.Request{Kind: msg.KindStore, Name: "doomed", Data: []byte("data"), Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || p0.store.Has("doomed") {
+		t.Fatalf("stale push after restart accepted: %+v", resp)
+	}
+
+	// The sleeper's own repair round probes the restarted primary, learns
+	// of the deletion, and erases its copy instead of re-pushing it.
+	peers[3].RepairOnce(&repair.Sampler{}, repair.NewBudget(-1, 0), -1)
+	if peers[3].store.Has("doomed") {
+		t.Fatal("repair re-established a deleted name against a restarted tombstone")
+	}
+	if _, dead := peers[3].store.TombVersion("doomed"); !dead {
+		t.Fatal("deletion did not propagate to the sleeper")
+	}
+	if peers[3].Stats().RepairErased.Load() == 0 {
+		t.Fatal("erase not counted")
+	}
+}
+
+// POST /checkpoint on a durable peer compacts its log to live state and
+// reports the resulting segment shape.
+func TestAdminCheckpointCompactsDurablePeer(t *testing.T) {
+	peers := startDurableSystem(t, 2, 0, 4, hashring.Fixed(0), t.TempDir())
+
+	// Many superseded versions of one name: plenty for compaction to drop.
+	cl := NewClient(peers[1].Addr())
+	if err := cl.Insert("hot", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	for v := 2; v <= 40; v++ {
+		if _, err := cl.Update("hot", []byte(fmt.Sprintf("v%d", v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	adm, err := peers[0].ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	resp, err := http.Post("http://"+adm.Addr()+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /checkpoint = %d", resp.StatusCode)
+	}
+	var body struct {
+		Checkpointed   bool  `json:"checkpointed"`
+		SealedSegments int   `json:"sealed_segments"`
+		ActiveBytes    int64 `json:"active_bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Checkpointed || body.SealedSegments != 1 || body.ActiveBytes != 0 {
+		t.Fatalf("checkpoint response = %+v", body)
+	}
+	if f, ok := peers[0].store.Peek("hot"); !ok || f.Version != 40 {
+		t.Fatalf("post-checkpoint copy = %+v, %v", f, ok)
+	}
+}
+
+// A restarting peer replays its log and re-announces the recovered
+// inventory through the repair plane: copies the fabric lost while it
+// was down are pushed back without any client re-insert.
+func TestRestartWarmRejoinReannouncesInventory(t *testing.T) {
+	dir := t.TempDir()
+	peers := startDurableSystem(t, 2, 1, 4, hashring.Fixed(0), dir)
+
+	if err := NewClient(peers[1].Addr()).Insert("warm", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// b=1: the insert placed a second copy at the sibling subtree's
+	// primary; find which peer that is.
+	var sib *Peer
+	for pid, p := range peers {
+		if pid != 0 && p.store.Has("warm") {
+			sib = p
+		}
+	}
+	if !peers[0].store.Has("warm") || sib == nil {
+		t.Fatal("setup: expected copies at peer 0 and one sibling-subtree primary")
+	}
+
+	// The sibling holder loses its copy while peer 0 is down — the
+	// correlated-failure case §5.3 cannot see (nobody was up to notice).
+	p0 := restartPeer(t, peers[0], peers[1])
+	sib.store.Delete("warm")
+
+	if !p0.store.Has("warm") {
+		t.Fatal("restart lost the recovered copy")
+	}
+	// Join already announces in the background; call it directly for a
+	// deterministic assertion.
+	p0.AnnounceInventory()
+	if !sib.store.Has("warm") {
+		t.Fatal("warm rejoin did not re-establish the sibling copy")
+	}
+	f, _ := sib.store.Peek("warm")
+	if string(f.Data) != "payload" {
+		t.Fatalf("re-established copy = %q", f.Data)
+	}
+
+	// And the background announce from Join itself converges too: lose the
+	// copy again, restart again, and wait for the async warming round.
+	sib.store.Delete("warm")
+	restartPeer(t, p0, peers[1])
+	deadline := time.Now().Add(5 * time.Second)
+	for !sib.store.Has("warm") && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sib.store.Has("warm") {
+		t.Fatal("background announce after Join never re-established the copy")
+	}
+}

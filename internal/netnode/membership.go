@@ -56,6 +56,19 @@ func (p *Peer) Join(bootstrapAddr string) error {
 		return fmt.Errorf("netnode: join: register: %s", rresp.Err)
 	}
 	p.log.Info("joined system", "bootstrap", bootstrapAddr, "peers", len(table))
+	// Restart warming: a peer rejoining with recovered state (or live
+	// tombstones) re-announces it through the repair plane instead of
+	// waiting for the steady-state loop to stumble across each name —
+	// pushes restore lost placements, tombstones propagate deletions the
+	// crash interrupted. Background, so Join returns at the same point it
+	// always did; tests needing determinism call AnnounceInventory directly.
+	if p.store.Len() > 0 || p.store.TombstoneCount() > 0 {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.AnnounceInventory()
+		}()
+	}
 	return nil
 }
 

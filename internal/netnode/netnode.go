@@ -25,7 +25,6 @@ import (
 	"time"
 
 	"lesslog/internal/bitops"
-	"lesslog/internal/diskstore"
 	"lesslog/internal/hashring"
 	"lesslog/internal/liveness"
 	"lesslog/internal/msg"
@@ -34,6 +33,7 @@ import (
 	"lesslog/internal/store"
 	"lesslog/internal/tracering"
 	"lesslog/internal/transport"
+	"lesslog/internal/wal"
 	"lesslog/internal/xrand"
 )
 
@@ -44,10 +44,21 @@ type Config struct {
 	B      int
 	Hasher hashring.Hasher // nil selects hashring.Default
 	Addr   string          // listen address; "" means 127.0.0.1:0
-	// DataDir, when set, makes the peer durable: the store is restored
-	// from this directory at startup and checkpointed there on Close
-	// (and whenever Checkpoint is called).
+	// DataDir, when set, makes the peer durable: every store mutation is
+	// appended to a segmented write-ahead log in this directory
+	// (internal/wal, docs/STORAGE.md), the store is rebuilt from it by
+	// crash-recovery replay at startup, and Close flushes and fsyncs the
+	// open segment. Empty keeps the peer memory-only.
 	DataDir string
+	// SegmentSize rotates the log's active segment at this many bytes;
+	// <= 0 selects wal.DefaultSegmentSize. Ignored without DataDir.
+	SegmentSize int64
+	// Fsync is the log's durability policy (wal.FsyncAlways /
+	// FsyncInterval / FsyncNever); the zero value is FsyncInterval.
+	Fsync wal.Policy
+	// FsyncEvery is the FsyncInterval flush period; <= 0 selects
+	// wal.DefaultFsyncEvery.
+	FsyncEvery time.Duration
 	// Transport carries the RPC robustness knobs (deadlines, retries,
 	// pooling, failure threshold); zero fields take transport defaults.
 	Transport transport.Config
@@ -174,6 +185,7 @@ type Peer struct {
 	propMu sync.RWMutex
 
 	store *store.Sharded
+	eng   *wal.Engine   // nil without Config.DataDir
 	clock atomic.Uint64 // Lamport clock; merged with CAS-max, ticked with Add
 
 	pipelineWorkers int
@@ -243,16 +255,37 @@ func Listen(cfg Config) (*Peer, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	st := store.NewSharded(0)
+	var eng *wal.Engine
 	if cfg.DataDir != "" {
-		restored, err := diskstore.Load(cfg.DataDir)
+		// Recovery replay rebuilds a plain Store from the log, then the
+		// engine attaches as the sharded store's persister — strictly in
+		// that order, so replayed state is not re-appended to the log.
+		var restored *store.Store
+		var err error
+		eng, restored, err = wal.Open(wal.Options{
+			Dir:         cfg.DataDir,
+			SegmentSize: cfg.SegmentSize,
+			Fsync:       cfg.Fsync,
+			FsyncEvery:  cfg.FsyncEvery,
+			TombstoneGC: repair.DefaultTombstoneTTL,
+			Logger:      logger.With("pid", uint32(cfg.PID)),
+		})
 		if err != nil {
 			return nil, fmt.Errorf("netnode: restore %s: %w", cfg.DataDir, err)
 		}
 		st = store.ShardedFrom(restored, 0)
+		st.SetPersister(eng)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if eng != nil {
+			eng.Close()
+		}
 		return nil, err
 	}
 	p := &Peer{
@@ -260,6 +293,7 @@ func Listen(cfg Config) (*Peer, error) {
 		hasher: h,
 		ln:     ln,
 		store:  st,
+		eng:    eng,
 		conns:  map[net.Conn]struct{}{},
 		quit:   make(chan struct{}),
 	}
@@ -280,10 +314,6 @@ func Listen(cfg Config) (*Peer, error) {
 		p.sampler = tracering.NewSampler(cfg.TraceSampleEvery)
 		p.ring = tracering.NewRing(cfg.TraceRingSize, slow)
 		p.traceSeq.Store(uint64(time.Now().UnixNano()) ^ uint64(cfg.PID)<<32)
-	}
-	logger := cfg.Logger
-	if logger == nil {
-		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	p.log = logger.With("component", "netnode", "pid", uint32(cfg.PID))
 	p.tr = transport.New(cfg.Transport, cfg.Faults)
@@ -381,20 +411,26 @@ func (p *Peer) Close() error {
 	}
 	p.tr.Close()
 	p.wg.Wait()
-	if p.cfg.DataDir != "" {
-		if cerr := p.Checkpoint(); cerr != nil && err == nil {
+	if p.eng != nil {
+		// All handlers have drained, so no store mutation can race the
+		// engine shutdown; Close flushes and fsyncs the open segment and
+		// surfaces any write failure the engine went degraded on.
+		if cerr := p.eng.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}
 	return err
 }
 
-// Checkpoint persists the peer's store to its data directory.
+// Checkpoint compacts the peer's log down to its live state — one
+// segment holding the latest version of every name plus unexpired
+// tombstones. Recovery stays fast without it (segments replay at
+// startup); this just caps the replay work.
 func (p *Peer) Checkpoint() error {
-	if p.cfg.DataDir == "" {
+	if p.eng == nil {
 		return fmt.Errorf("netnode: peer has no data directory")
 	}
-	return diskstore.Save(p.cfg.DataDir, p.store.Snapshot())
+	return p.eng.Checkpoint()
 }
 
 func (p *Peer) acceptLoop() {

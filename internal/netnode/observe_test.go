@@ -240,6 +240,20 @@ func TestAdminEndpoint(t *testing.T) {
 	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/ = %d", code)
 	}
+
+	// /checkpoint is POST-only and 409s on a peer without a data dir (the
+	// durable-peer happy path lives in durable_test.go).
+	if code, _ = get("/checkpoint"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /checkpoint = %d, want 405", code)
+	}
+	resp, err := http.Post("http://"+adm.Addr()+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST /checkpoint without data dir = %d, want 409", resp.StatusCode)
+	}
 }
 
 // benchSystem boots a 16-node system holding one file at P(4) for the

@@ -331,6 +331,30 @@ func (p *Peer) handleDigest(req *msg.Request) *msg.Response {
 	return resp
 }
 
+// AnnounceInventory pushes this peer's entire inventory through the
+// repair plane in one pass — the restart-warming half of the durable
+// storage engine (docs/STORAGE.md). A peer that recovered its store from
+// the log rejoins holding names the rest of the system may have
+// re-replicated, aged past, or deleted while it was down; one full
+// unbudgeted RepairOnce round reconciles every name in both directions
+// (push what the holders lost, pull what went newer, erase what was
+// deleted — recovered tombstones propagate the same way), and a digest
+// exchange with the next live partner pulls back anything this peer
+// should hold but its log never saw. Returns copies repaired. Join runs
+// this in the background after a rejoin with recovered state; the
+// steady-state loop (StartRepair) then keeps the peer converged.
+func (p *Peer) AnnounceInventory() int {
+	budget := repair.NewBudget(-1, 0) // one-shot warming round: unbudgeted
+	repaired := p.RepairOnce(&repair.Sampler{}, budget, -1)
+	var cursor int
+	if partner, ok := p.nextRepairPartner(&cursor); ok {
+		repaired += p.DigestSync(partner, budget, repair.DefaultBuckets)
+	}
+	p.log.Info("announced recovered inventory",
+		"names", p.store.Len(), "tombstones", p.store.TombstoneCount(), "repaired", repaired)
+	return repaired
+}
+
 // StartRepair runs the anti-entropy loop every cfg.Interval until the
 // peer closes: a digest exchange with the next live partner on round 0
 // (so a rejoined peer warms up within one interval) and every

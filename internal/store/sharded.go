@@ -46,8 +46,10 @@ func NewSharded(n int) *Sharded {
 }
 
 // ShardedFrom distributes src's copies (with their kinds; access counters
-// start fresh) across a new sharded store — the restore path from a disk
-// checkpoint, which loads into a plain Store.
+// start fresh) and tombstones across a new sharded store — the restore
+// path from recovery replay, which rebuilds into a plain Store. Carrying
+// the tombstones is what stops a restart from resurrecting deletions the
+// repair plane hasn't finished propagating.
 func ShardedFrom(src *Store, n int) *Sharded {
 	s := NewSharded(n)
 	for _, name := range src.AllNames() {
@@ -55,7 +57,23 @@ func ShardedFrom(src *Store, n int) *Sharded {
 		kind, _ := src.KindOf(name)
 		s.Put(f, kind)
 	}
+	for _, t := range src.Tombstones() {
+		s.RestoreTombstone(t.Name, t.Version, t.At)
+	}
 	return s
+}
+
+// SetPersister attaches the durability hook to every shard. Mutators call
+// it under the shard mutex, so per-name persist order equals apply order.
+// Attach only after ShardedFrom has rebuilt recovered state, or the
+// replay would be re-logged.
+func (s *Sharded) SetPersister(p Persister) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.s.SetPersister(p)
+		sh.mu.Unlock()
+	}
 }
 
 // fnv1a is the 32-bit FNV-1a hash of name.
@@ -155,6 +173,28 @@ func (s *Sharded) Tombstone(name string, version uint64, at time.Time) bool {
 	ok := sh.s.Tombstone(name, version, at)
 	sh.mu.Unlock()
 	return ok
+}
+
+// RestoreTombstone records a tombstone unconditionally; see
+// Store.RestoreTombstone.
+func (s *Sharded) RestoreTombstone(name string, version uint64, at time.Time) {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	sh.s.RestoreTombstone(name, version, at)
+	sh.mu.Unlock()
+}
+
+// Tombstones returns every live tombstone across shards, sorted by name.
+func (s *Sharded) Tombstones() []TombRecord {
+	var out []TombRecord
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.s.Tombstones()...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // TombVersion returns the tombstone version of name, if tombstoned.
@@ -284,9 +324,9 @@ func (s *Sharded) Records() []Record {
 	return out
 }
 
-// Snapshot merges the shards into one plain Store — the checkpoint path,
-// which persists through the unsharded diskstore format. Copies are
-// re-Put, so the snapshot shares no entry structure with the live store.
+// Snapshot merges the shards — copies and tombstones — into one plain
+// Store. Copies are re-Put, so the snapshot shares no entry structure
+// with the live store. Per-shard consistency only.
 func (s *Sharded) Snapshot() *Store {
 	out := New()
 	for i := range s.shards {
@@ -296,6 +336,9 @@ func (s *Sharded) Snapshot() *Store {
 			f, _ := sh.s.Peek(name)
 			kind, _ := sh.s.KindOf(name)
 			out.Put(f, kind)
+		}
+		for _, t := range sh.s.Tombstones() {
+			out.RestoreTombstone(t.Name, t.Version, t.At)
 		}
 		sh.mu.Unlock()
 	}

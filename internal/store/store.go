@@ -54,18 +54,48 @@ type tomb struct {
 	at      time.Time
 }
 
+// Persister receives every durable mutation the store applies, in apply
+// order — the hook a write-ahead log (internal/wal) attaches through
+// SetPersister. Calls happen synchronously inside the mutator, under
+// whatever lock serializes the store (the shard mutex for Sharded), so
+// the persisted order per name is exactly the applied order, and a
+// persister that blocks until the record is on disk makes "applied"
+// imply "durable". A nil persister — the default — keeps the store
+// memory-only, which is what tests and the simulation engine want.
+//
+// Access counters (hits) and tombstone pruning are deliberately not
+// persisted: counters are a per-window load signal, and replayed
+// tombstones carry their record time, so the repair loop's next TTL
+// prune re-drops anything pruned before the restart.
+type Persister interface {
+	// PersistPut logs a copy placement or overwrite (Put, Update,
+	// Promote — kind is the effective stored kind).
+	PersistPut(f File, kind Kind)
+	// PersistTombstone logs a versioned deletion marker with its merged
+	// (winning) version.
+	PersistTombstone(name string, version uint64, at time.Time)
+	// PersistDelete logs a local-only removal (no tombstone).
+	PersistDelete(name string)
+}
+
 // Store is one node's local storage. It is not safe for concurrent use;
 // the cluster engine serializes access per node, and the networked node
 // wraps it in its own mutex.
 type Store struct {
 	files map[string]*entry
 	tombs map[string]tomb
+	p     Persister
 }
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{files: make(map[string]*entry), tombs: make(map[string]tomb)}
 }
+
+// SetPersister attaches (or, with nil, detaches) the durability hook.
+// Attach only after any recovery replay has filled the store, or the
+// replay itself would be re-appended to the log it came from.
+func (s *Store) SetPersister(p Persister) { s.p = p }
 
 // Put places a copy of f with the given kind, replacing any existing copy
 // of the same name (and resetting its access counter) and clearing any
@@ -79,6 +109,9 @@ func (s *Store) Put(f File, kind Kind) {
 	}
 	delete(s.tombs, f.Name)
 	s.files[f.Name] = &entry{file: f, kind: kind}
+	if s.p != nil {
+		s.p.PersistPut(f, kind)
+	}
 }
 
 // PutResult says what PutNewer did with a copy.
@@ -155,6 +188,9 @@ func (s *Store) Update(name string, data []byte, newVersion uint64) bool {
 	}
 	e.file.Data = data
 	e.file.Version = newVersion
+	if s.p != nil {
+		s.p.PersistPut(e.file, e.kind)
+	}
 	return true
 }
 
@@ -168,6 +204,9 @@ func (s *Store) Delete(name string) bool {
 		return false
 	}
 	delete(s.files, name)
+	if s.p != nil {
+		s.p.PersistDelete(name)
+	}
 	return true
 }
 
@@ -196,7 +235,30 @@ func (s *Store) Tombstone(name string, version uint64, at time.Time) bool {
 		version = t.version
 	}
 	s.tombs[name] = tomb{version: version, at: at}
+	if s.p != nil {
+		s.p.PersistTombstone(name, version, at)
+	}
 	return had
+}
+
+// RestoreTombstone records a tombstone for name unconditionally, erasing
+// any copy it dominates — the recovery-replay path (internal/wal). Unlike
+// Tombstone it does not require the name to be held or already marked:
+// after log compaction a tombstone may be the only record a name has
+// left, and Tombstone would drop it as a no-op. Versions still merge
+// upward so replay order quirks can never lower a mark. Nothing is
+// persisted — the record being restored is already in the log.
+func (s *Store) RestoreTombstone(name string, version uint64, at time.Time) {
+	if e, ok := s.files[name]; ok {
+		if e.file.Version > version {
+			version = e.file.Version
+		}
+		delete(s.files, name)
+	}
+	if t, ok := s.tombs[name]; ok && t.version > version {
+		version = t.version
+	}
+	s.tombs[name] = tomb{version: version, at: at}
 }
 
 // TombVersion returns the tombstone version of name and whether name is
@@ -208,9 +270,9 @@ func (s *Store) TombVersion(name string) (uint64, bool) {
 
 // PruneTombstones drops tombstones recorded before cutoff — the GC
 // horizon after which a deletion is assumed to have reached every
-// replica — and returns how many were dropped. Tombstones are in-memory
-// only (a checkpoint does not persist them); the horizon bounds how long
-// a busy deleting peer carries them.
+// replica — and returns how many were dropped. The prune itself is not
+// persisted: replay may briefly restore pruned marks, but they carry
+// their original record time, so the next TTL prune drops them again.
 func (s *Store) PruneTombstones(cutoff time.Time) int {
 	n := 0
 	for name, t := range s.tombs {
@@ -225,8 +287,16 @@ func (s *Store) PruneTombstones(cutoff time.Time) int {
 // Promote upgrades a replica of name to an inserted copy (used when a
 // leaving node's files are re-inserted at their new holder).
 func (s *Store) Promote(name string) {
-	if e, ok := s.files[name]; ok {
-		e.kind = Inserted
+	e, ok := s.files[name]
+	if !ok || e.kind == Inserted {
+		return
+	}
+	e.kind = Inserted
+	// Kind is durable state: an inserted copy must be migrated on Leave
+	// where a replica is discarded, so a promotion that only lived in
+	// memory would demote back across a restart.
+	if s.p != nil {
+		s.p.PersistPut(e.file, Inserted)
 	}
 }
 
@@ -289,6 +359,26 @@ func (s *Store) Len() int { return len(s.files) }
 // recorded but not yet pruned. Surfaced as a gauge so operators can see
 // delete propagation debt instead of inferring it from memory growth.
 func (s *Store) TombstoneCount() int { return len(s.tombs) }
+
+// TombRecord is one live tombstone: the deleted name, the winning
+// version, and when the mark was recorded (the TTL-prune clock).
+type TombRecord struct {
+	Name    string
+	Version uint64
+	At      time.Time
+}
+
+// Tombstones returns every live tombstone, sorted by name — the
+// enumeration checkpointing and compaction need to carry deletions
+// across restarts.
+func (s *Store) Tombstones() []TombRecord {
+	out := make([]TombRecord, 0, len(s.tombs))
+	for n, t := range s.tombs {
+		out = append(out, TombRecord{Name: n, Version: t.version, At: t.at})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
 
 // Record is one inventory row: a copy's identity plus its §6 access count
 // in the current window. The fleet scraper aggregates these into

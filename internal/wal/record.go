@@ -1,0 +1,168 @@
+// Record codec for the write-ahead log (docs/STORAGE.md). Every durable
+// mutation of a peer's store is one length-prefixed, CRC32C-checksummed
+// record appended to the active segment:
+//
+//	length  uint32  body length in bytes (big endian, like the wire codec)
+//	crc     uint32  CRC32C (Castagnoli) of the body
+//	body:
+//	  op      uint8   opPut / opTombstone / opDelete
+//	  kind    uint8   store.Inserted / store.Replica (put only, else 0)
+//	  version uint64  copy or tombstone version (delete: 0)
+//	  at      int64   tombstone record time, unix nanoseconds (else 0)
+//	  nameLen uint16, name bytes
+//	  dataLen uint32, data bytes (put only; absent otherwise)
+//
+// The checksum is what makes crash recovery honest: a torn tail write
+// fails the CRC (or the length runs past EOF) and replay truncates there,
+// so the rebuilt index is exactly the longest valid record prefix — no
+// half-applied mutation is ever served.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"lesslog/internal/store"
+)
+
+// op discriminates the mutation a record carries.
+type op uint8
+
+const (
+	// opPut stores (or overwrites) a copy: name, data, version, kind.
+	opPut op = 1
+	// opTombstone erases a copy and records a versioned delete marker
+	// that survives restart, so a crash cannot resurrect a deleted name.
+	opTombstone op = 2
+	// opDelete removes a copy locally with no tombstone — the replica
+	// eviction / post-handoff cleanup path (store.Delete semantics).
+	opDelete op = 3
+)
+
+// Size limits mirror the wire protocol's (internal/msg): nothing larger
+// can arrive over the network, so nothing larger belongs in the log.
+const (
+	maxName = 4 << 10
+	maxData = 16 << 20
+)
+
+// bodyHeader is the fixed prefix of every record body:
+// op(1) + kind(1) + version(8) + at(8) + nameLen(2).
+const bodyHeader = 1 + 1 + 8 + 8 + 2
+
+// recHeader is the length + crc prefix before every body.
+const recHeader = 4 + 4
+
+// maxBody bounds a plausible record body; replay treats anything larger
+// as corruption rather than attempting the allocation.
+const maxBody = bodyHeader + maxName + 4 + maxData
+
+// castagnoli is the CRC32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one decoded log entry.
+type record struct {
+	op      op
+	kind    store.Kind
+	version uint64
+	at      int64 // unix nanoseconds; tombstones only
+	name    string
+	data    []byte
+}
+
+// errCorrupt marks a record replay must stop at.
+var errCorrupt = errors.New("wal: corrupt record")
+
+// appendRecord encodes r (header + crc + body) onto b and returns the
+// extended slice. Oversize names or payloads are a caller bug surfaced as
+// an error, never a silently truncated record.
+func appendRecord(b []byte, r record) ([]byte, error) {
+	if len(r.name) > maxName {
+		return nil, fmt.Errorf("wal: name %.40q... exceeds %d bytes", r.name, maxName)
+	}
+	if len(r.data) > maxData {
+		return nil, fmt.Errorf("wal: payload of %q exceeds %d bytes", r.name, maxData)
+	}
+	bodyLen := bodyHeader + len(r.name)
+	if r.op == opPut {
+		bodyLen += 4 + len(r.data)
+	}
+	start := len(b)
+	b = binary.BigEndian.AppendUint32(b, uint32(bodyLen))
+	b = binary.BigEndian.AppendUint32(b, 0) // crc backfilled below
+	bodyStart := len(b)
+	b = append(b, byte(r.op), byte(r.kind))
+	b = binary.BigEndian.AppendUint64(b, r.version)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.at))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.name)))
+	b = append(b, r.name...)
+	if r.op == opPut {
+		b = binary.BigEndian.AppendUint32(b, uint32(len(r.data)))
+		b = append(b, r.data...)
+	}
+	crc := crc32.Checksum(b[bodyStart:], castagnoli)
+	binary.BigEndian.PutUint32(b[start+4:], crc)
+	return b, nil
+}
+
+// decodeBody parses one record body (already CRC-verified).
+func decodeBody(body []byte) (record, error) {
+	if len(body) < bodyHeader {
+		return record{}, errCorrupt
+	}
+	r := record{
+		op:      op(body[0]),
+		kind:    store.Kind(body[1]),
+		version: binary.BigEndian.Uint64(body[2:10]),
+		at:      int64(binary.BigEndian.Uint64(body[10:18])),
+	}
+	nameLen := int(binary.BigEndian.Uint16(body[18:20]))
+	rest := body[bodyHeader:]
+	if nameLen > maxName || nameLen > len(rest) {
+		return record{}, errCorrupt
+	}
+	r.name = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	switch r.op {
+	case opPut:
+		if r.kind != store.Inserted && r.kind != store.Replica {
+			return record{}, errCorrupt
+		}
+		if len(rest) < 4 {
+			return record{}, errCorrupt
+		}
+		dataLen := int(binary.BigEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if dataLen > maxData || dataLen != len(rest) {
+			return record{}, errCorrupt
+		}
+		r.data = make([]byte, dataLen)
+		copy(r.data, rest)
+	case opTombstone, opDelete:
+		if len(rest) != 0 {
+			return record{}, errCorrupt
+		}
+	default:
+		return record{}, errCorrupt
+	}
+	return r, nil
+}
+
+// apply replays one record into st — the recovery half of the engine.
+// Replay order is log order, so a plain Put is correct (later records
+// supersede earlier ones the same way they did live). Tombstones restore
+// unconditionally: after compaction a tombstone may be the only record a
+// name has, and store.Tombstone would drop it as a no-op.
+func (r record) apply(st *store.Store) {
+	switch r.op {
+	case opPut:
+		st.Put(store.File{Name: r.name, Data: r.data, Version: r.version}, r.kind)
+	case opTombstone:
+		st.RestoreTombstone(r.name, r.version, time.Unix(0, r.at))
+	case opDelete:
+		st.Delete(r.name)
+	}
+}
