@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench obs-cluster-bench gw-bench peer-bench locate-bench repair-bench storage-bench figures examples cover clean
+.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench obs-cluster-bench gw-bench peer-bench locate-bench repair-bench storage-bench stream-bench figures examples cover clean
 
 all: build vet test
 
@@ -77,6 +77,14 @@ repair-bench:
 # at 1M names, recorded to results/BENCH_storage.json (docs/STORAGE.md).
 storage-bench:
 	LESSLOG_STORAGE_BENCH=1 BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run 'TestStorageBenchReport' -count 1 -v -timeout 600s ./internal/wal/ | tee results/storage_bench.txt
+
+# Chunked streaming data plane: single-frame vs replica-striped chunked
+# fetch latency at 1-64 MiB (above one frame only the chunked plane can
+# serve at all) and aggregate hot-file throughput against replica count
+# with holders modeled as serial servers, recorded to
+# results/BENCH_stream.json (docs/ROUTING.md).
+stream-bench:
+	LESSLOG_STREAM_BENCH=1 BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run 'TestStreamBenchReport' -count 1 -v -timeout 600s ./internal/netnode/ | tee results/stream_bench.txt
 
 # Regenerate every reproduced figure and extension table into results/.
 figures: build

@@ -121,6 +121,14 @@ type Cluster struct {
 	Tombstones      int     `json:"tombstones"`
 	RepairTTFRMSMax float64 `json:"repair_ttfr_ms_max"`
 
+	// Chunked data plane totals (docs/ROUTING.md): ranged chunks served
+	// across the fleet, payload bytes they moved, version-pin refusals,
+	// and replica-set locate answers.
+	ChunksServed  uint64 `json:"chunks_served"`
+	ChunkBytes    uint64 `json:"chunk_bytes"`
+	ChunkRefusals uint64 `json:"chunk_refusals"`
+	LocateSets    uint64 `json:"locate_sets"`
+
 	// Trace plane totals.
 	TraceRecorded uint64 `json:"trace_recorded"`
 	TraceNoted    uint64 `json:"trace_noted"`
@@ -182,6 +190,10 @@ func Aggregate(stats []PeerStat, topK int) Cluster {
 		if s.RepairTTFRMS > c.RepairTTFRMSMax {
 			c.RepairTTFRMSMax = s.RepairTTFRMS
 		}
+		c.ChunksServed += s.ChunksServed
+		c.ChunkBytes += s.ChunkBytes
+		c.ChunkRefusals += s.ChunkRefusals
+		c.LocateSets += s.LocateSets
 		c.TraceRecorded += s.TraceRecorded
 		c.TraceNoted += s.TraceNoted
 		c.PipelineDepth = c.PipelineDepth.fold(s.PipelineDepth, first)
@@ -250,6 +262,8 @@ func RecordBench(c Cluster) error {
 		"faults":          float64(c.Faults),
 		"repair_probes":   float64(c.RepairProbes),
 		"tombstones":      float64(c.Tombstones),
+		"chunks_served":   float64(c.ChunksServed),
+		"chunk_bytes":     float64(c.ChunkBytes),
 		"trace_recorded":  float64(c.TraceRecorded),
 		"trace_noted":     float64(c.TraceNoted),
 		"repair_ttfr_max": c.RepairTTFRMSMax,
@@ -288,6 +302,8 @@ func Render(w io.Writer, c Cluster) {
 	fmt.Fprintf(w, "repair: probes=%d pushed=%d pulled=%d erased=%d skipped=%d deficit=%dB tombstones=%d ttfr-max=%.1fms\n",
 		c.RepairProbes, c.Repaired, c.RepairPulled, c.RepairErased, c.RepairSkipped,
 		c.RepairDeficit, c.Tombstones, c.RepairTTFRMSMax)
+	fmt.Fprintf(w, "chunks: served=%d bytes=%d refused=%d locate-sets=%d\n",
+		c.ChunksServed, c.ChunkBytes, c.ChunkRefusals, c.LocateSets)
 	fmt.Fprintf(w, "traces: recorded=%d noted=%d   pipeline depth: min=%d mean=%.1f max=%d   fanout legs: min=%d mean=%.1f max=%d\n",
 		c.TraceRecorded, c.TraceNoted,
 		c.PipelineDepth.Min, c.PipelineDepth.Mean, c.PipelineDepth.Max,

@@ -36,10 +36,17 @@ func TestAggregateMergesHistograms(t *testing.T) {
 	stats := []PeerStat{
 		{Addr: "a", Stat: netnode.StatSnapshot{
 			Served:             4,
+			ChunksServed:       3,
+			ChunkBytes:         3 << 20,
+			LocateSets:         2,
 			HandlerLatencyHist: map[string]metrics.HistogramSnapshot{"get": snapOf(a...)},
 		}},
 		{Addr: "b", Stat: netnode.StatSnapshot{
 			Served:             5,
+			ChunksServed:       5,
+			ChunkBytes:         5 << 20,
+			ChunkRefusals:      1,
+			LocateSets:         1,
 			HandlerLatencyHist: map[string]metrics.HistogramSnapshot{"get": snapOf(b...)},
 		}},
 		{Addr: "down", Err: errors.New("connection refused")},
@@ -51,6 +58,10 @@ func TestAggregateMergesHistograms(t *testing.T) {
 	}
 	if c.Served != 9 {
 		t.Fatalf("summed served = %d, want 9", c.Served)
+	}
+	if c.ChunksServed != 8 || c.ChunkBytes != 8<<20 || c.ChunkRefusals != 1 || c.LocateSets != 3 {
+		t.Fatalf("chunk plane merge = served %d bytes %d refused %d locate-sets %d, want 8/%d/1/3",
+			c.ChunksServed, c.ChunkBytes, c.ChunkRefusals, c.LocateSets, 8<<20)
 	}
 
 	want := snapOf(append(append([]uint64{}, a...), b...)...)

@@ -54,26 +54,30 @@ func jsonKeys(t *testing.T, v any) map[string]bool {
 // the gateway stat snapshot ("counters.x" reaches into the nested counter
 // block). Any family landing on one surface without the other fails here.
 var gatewayFamilyJSON = map[string]string{
-	"lesslog_gateway_requests_total":         "counters.hits",
-	"lesslog_gateway_writes_total":           "counters.inserts",
-	"lesslog_gateway_fetch_errors_total":     "counters.fetch_errors",
-	"lesslog_gateway_batches_total":          "counters.batches",
-	"lesslog_gateway_passthrough_total":      "counters.passthrough",
-	"lesslog_gateway_cache_events_total":     "counters.cache_evictions",
-	"lesslog_gateway_peer_flips_total":       "counters.peers_down",
-	"lesslog_gateway_proto_errors_total":     "counters.proto_errors",
-	"lesslog_gateway_traces_total":           "trace_recorded",
-	"lesslog_gateway_locate_events_total":    "counters.locates",
-	"lesslog_gateway_cache_entries":          "cache_len",
-	"lesslog_gateway_route_hints":            "hint_len",
-	"lesslog_gateway_in_flight":              "in_flight",
-	"lesslog_gateway_pipeline_depth":         "pipeline_depth",
-	"lesslog_gateway_entry_peers_down":       "peers_detector_down",
-	"lesslog_gateway_get_latency_seconds":    "get_latency_ms",
-	"lesslog_gateway_write_latency_seconds":  "write_latency_ms",
-	"lesslog_gateway_batch_latency_seconds":  "batch_latency_ms",
-	"lesslog_gateway_batch_size_subrequests": "batch_size",
-	"lesslog_gateway_queue_wait_seconds":     "queue_wait_ms",
+	"lesslog_gateway_requests_total":          "counters.hits",
+	"lesslog_gateway_writes_total":            "counters.inserts",
+	"lesslog_gateway_fetch_errors_total":      "counters.fetch_errors",
+	"lesslog_gateway_batches_total":           "counters.batches",
+	"lesslog_gateway_passthrough_total":       "counters.passthrough",
+	"lesslog_gateway_cache_events_total":      "counters.cache_evictions",
+	"lesslog_gateway_peer_flips_total":        "counters.peers_down",
+	"lesslog_gateway_proto_errors_total":      "counters.proto_errors",
+	"lesslog_gateway_traces_total":            "trace_recorded",
+	"lesslog_gateway_locate_events_total":     "counters.locates",
+	"lesslog_gateway_chunk_events_total":      "counters.chunked_fills",
+	"lesslog_gateway_oversize_rejected_total": "counters.oversize_rejected",
+	"lesslog_gateway_transfers_in_flight":     "transfers_in_flight",
+	"lesslog_gateway_stripe_width":            "stripe_width",
+	"lesslog_gateway_cache_entries":           "cache_len",
+	"lesslog_gateway_route_hints":             "hint_len",
+	"lesslog_gateway_in_flight":               "in_flight",
+	"lesslog_gateway_pipeline_depth":          "pipeline_depth",
+	"lesslog_gateway_entry_peers_down":        "peers_detector_down",
+	"lesslog_gateway_get_latency_seconds":     "get_latency_ms",
+	"lesslog_gateway_write_latency_seconds":   "write_latency_ms",
+	"lesslog_gateway_batch_latency_seconds":   "batch_latency_ms",
+	"lesslog_gateway_batch_size_subrequests":  "batch_size",
+	"lesslog_gateway_queue_wait_seconds":      "queue_wait_ms",
 }
 
 // TestGatewayMetricsExhaustive checks that every counter and gauge family

@@ -39,6 +39,7 @@ import (
 	"lesslog/internal/metrics"
 	"lesslog/internal/msg"
 	"lesslog/internal/routehint"
+	"lesslog/internal/stream"
 	"lesslog/internal/tracering"
 	"lesslog/internal/transport"
 )
@@ -65,6 +66,10 @@ var (
 	// than a write this gateway already acknowledged and no cached copy
 	// could bridge the gap.
 	ErrStaleRead = errors.New("gateway: fabric behind acknowledged writes")
+	// ErrTooLarge rejects a write whose payload exceeds one wire frame's
+	// data cap (msg.MaxData), at the edge, before any bytes move — a typed
+	// answer instead of a mid-stream frame-encoding failure.
+	ErrTooLarge = errors.New("gateway: payload exceeds msg.MaxData")
 	// errNoPeers reports an empty or fully-failed entry-peer set.
 	errNoPeers = errors.New("gateway: no entry peer reachable")
 )
@@ -113,8 +118,18 @@ type Config struct {
 	// path after the fabric answers locate with unknown-kind, before
 	// probing again; 0 selects DefaultDowngradeTTL. Mixed-version fleets
 	// that upgrade quickly can shorten it so the gateway re-probes sooner
-	// (see the -downgrade-ttl flag on lesslog-gw and lesslogd).
+	// (see the -downgrade-ttl flag on lesslog-gw and lesslogd). The same
+	// TTL governs the chunk plane's independent downgrade latch.
 	DowngradeTTL time.Duration
+	// ChunkSize and ChunkWindow tune the striped chunk plane on the miss
+	// path (bytes per ranged fetch, in-flight chunks per transfer); <= 0
+	// selects the stream package defaults.
+	ChunkSize   int
+	ChunkWindow int
+	// DisableChunks turns the chunked data plane off: every miss fetches
+	// whole frames from a single holder, as pre-chunking gateways did.
+	// Implied by DisableLocate (the chunk plane rides the locate plane).
+	DisableChunks bool
 	// TraceSampleEvery head-samples 1-in-N admitted client requests into
 	// the edge trace ring (docs/OBSERVABILITY.md); 0 selects
 	// tracering.DefaultSampleEvery, 1 samples everything, < 0 disables
@@ -213,11 +228,15 @@ type Gateway struct {
 	flights *flightGroup
 	adm     *admission
 
-	// hints is the data plane's name → holder cache; locateDown latches
+	// hints is the data plane's name → holder-set cache; locateDown latches
 	// the relay fallback (unix-nanos until which the fabric is assumed not
-	// to speak locate). hints is nil iff Config.DisableLocate.
+	// to speak locate). hints is nil iff Config.DisableLocate. fetcher is
+	// the chunked striped transfer engine with its own downgrade latch
+	// chunkDown — nil when chunking (or locate) is disabled.
 	hints      *routehint.Cache
 	locateDown atomic.Int64
+	fetcher    *stream.Fetcher
+	chunkDown  atomic.Int64
 
 	counters Counters
 	obs      gwObs
@@ -257,6 +276,21 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if !cfg.DisableLocate {
 		g.hints = routehint.New(cfg.HintSize, cfg.HintTTL)
+		if !cfg.DisableChunks {
+			g.fetcher = stream.New(g.tr, stream.Config{
+				ChunkSize: cfg.ChunkSize,
+				Window:    cfg.ChunkWindow,
+				// A transport-dead holder loses every hint pointing at it;
+				// a not-holder refusal only loses this name's hint there.
+				Evict: func(name, addr string, hard bool) {
+					if hard {
+						g.hints.PurgeHolder(addr)
+					} else {
+						g.hints.PurgeFrom(name, addr)
+					}
+				},
+			})
+		}
 	}
 	if cfg.TraceSampleEvery >= 0 {
 		slow := cfg.TraceSlow
@@ -364,26 +398,134 @@ func (g *Gateway) Get(name string) (Result, error) {
 	return res, err
 }
 
-// fetch performs the fabric read behind a cache miss. The data plane goes
-// hint → direct fetch → locate → direct fetch, falling back to the
-// payload-relaying lookup path when the fabric does not speak locate (or
-// the locate chain cannot settle); every path funnels through admitFill,
-// so the version-floor guarantee is identical however the bytes arrive.
+// fetch performs the fabric read behind a cache miss. The data plane
+// degrades one level at a time: chunked striped fetch across the hinted
+// replica set → locate-set walk + chunked fetch → whole-frame direct fetch
+// off a single hint → locate walk + direct fetch → the payload-relaying
+// lookup path. Every path funnels through the admitFill floor check, so
+// the version-floor guarantee is identical however the bytes arrive.
 func (g *Gateway) fetch(name string) (Result, error) {
 	g.counters.Misses.Inc()
 	if g.hints != nil {
-		if h, ok := g.hints.Get(name); ok {
+		chunked := g.chunksUp()
+		if chunked {
+			if set, ok := g.hints.GetSet(name); ok {
+				if res, err, ok := g.chunkFill(name, set); ok {
+					g.counters.HintHits.Inc()
+					return res, err
+				}
+				g.counters.HintStale.Inc()
+				chunked = g.chunksUp() // an all-legacy set latches mid-flight
+			}
+		} else if h, ok := g.hints.Get(name); ok {
 			if res, err, ok := g.fetchAt(name, h); ok {
 				g.counters.HintHits.Inc()
 				return res, err
 			}
 			g.counters.HintStale.Inc()
 		}
+		if chunked {
+			if res, err, ok := g.fetchViaLocateSet(name); ok {
+				return res, err
+			}
+		}
 		if res, err, ok := g.fetchViaLocate(name); ok {
 			return res, err
 		}
 	}
 	return g.fetchRelay(name)
+}
+
+// chunksUp reports whether the chunked data plane is currently usable.
+func (g *Gateway) chunksUp() bool {
+	return g.fetcher != nil && time.Now().UnixNano() >= g.chunkDown.Load()
+}
+
+// chunkFill runs one striped chunked transfer across set and admits the
+// reassembled payload through the version floor. ok=false means "resolve
+// another way": the set was stale or raced a write (re-locate), the fabric
+// does not speak chunked fetch (downgrade latched), or the fill ran behind
+// the floor.
+func (g *Gateway) chunkFill(name string, set []routehint.Hint) (Result, error, bool) {
+	srcs := make([]stream.Source, len(set))
+	for i, h := range set {
+		srcs[i] = stream.Source{PID: h.PID, Addr: h.Addr}
+	}
+	data, ver, err := g.fetcher.Fetch(name, 0, srcs)
+	if err != nil {
+		switch {
+		case errors.Is(err, stream.ErrUnsupported):
+			g.counters.ChunkDowngrades.Inc()
+			g.chunkDown.Store(time.Now().Add(g.cfg.DowngradeTTL).UnixNano())
+			g.log.Info("fabric does not speak chunked fetch; downgrading",
+				"retry_after", g.cfg.DowngradeTTL)
+		case errors.Is(err, stream.ErrNotFound), errors.Is(err, stream.ErrVersionGone):
+			// Stale set or a write raced the transfer: re-resolve.
+		default:
+			g.counters.FetchErrors.Inc()
+		}
+		return Result{}, nil, false
+	}
+	g.counters.ChunkedFills.Inc()
+	res, ferr := g.admitFillData(name, data, ver, set[0].PID, 0)
+	if ferr != nil && !errors.Is(ferr, ErrFault) {
+		// The whole set runs behind a write this gateway acknowledged.
+		g.hints.Purge(name)
+		return Result{}, nil, false
+	}
+	return res, ferr, true
+}
+
+// fetchViaLocateSet resolves name's replica set through a locate-set walk,
+// caches it, and fills via a chunked striped transfer. ok=false falls one
+// level down (single-holder locate, then relay): the fabric answered
+// unknown-kind (latching the chunk downgrade) or the chain could not
+// settle. A clean fault is final, exactly like fetchViaLocate's.
+func (g *Gateway) fetchViaLocateSet(name string) (Result, error, bool) {
+	attempts := len(g.peers)
+	if attempts > maxFetchAttempts {
+		attempts = maxFetchAttempts
+	}
+	for i := 0; i < attempts; i++ {
+		idx := g.pickPeer()
+		g.counters.Locates.Inc()
+		resp, err := g.tr.Do(g.peers[idx], &msg.Request{Kind: msg.KindLocateSet, Name: name})
+		if err != nil {
+			g.det.Fail(uint32(idx))
+			g.counters.FetchErrors.Inc()
+			continue
+		}
+		g.det.Ok(uint32(idx))
+		if !resp.OK {
+			if msg.IsUnknownKind(resp.Err) {
+				g.counters.ChunkDowngrades.Inc()
+				g.chunkDown.Store(time.Now().Add(g.cfg.DowngradeTTL).UnixNano())
+				g.log.Info("fabric does not speak locate-set; downgrading",
+					"peer", g.peers[idx], "retry_after", g.cfg.DowngradeTTL)
+				return Result{}, nil, false
+			}
+			return Result{}, fmt.Errorf("%w: %s", ErrFault, name), true
+		}
+		hs, derr := msg.DecodeHolders(resp.Data)
+		if derr != nil {
+			g.counters.FetchErrors.Inc()
+			continue
+		}
+		set := make([]routehint.Hint, len(hs))
+		for j, h := range hs {
+			set[j] = routehint.Hint{PID: h.PID, Addr: h.Addr, Version: h.Version}
+		}
+		g.hints.PutSet(name, set)
+		if res, ferr, ok := g.chunkFill(name, set); ok {
+			return res, ferr, true
+		}
+		if !g.chunksUp() {
+			return Result{}, nil, false
+		}
+		// The set went stale between locate and transfer (churn, or a
+		// concurrent write moved the pinned version); locate again.
+	}
+	return Result{}, nil, false
 }
 
 // fetchAt is the one-hop data-plane fetch: a local-only get at h's
@@ -504,10 +646,16 @@ func (g *Gateway) admitFill(name string, resp *msg.Response) (Result, error) {
 	if !resp.OK {
 		return Result{}, fmt.Errorf("%w: %s", ErrFault, name)
 	}
-	if g.cache.put(name, resp.Data, resp.Version, resp.ServedBy, resp.Hops) {
+	return g.admitFillData(name, resp.Data, resp.Version, resp.ServedBy, uint32(resp.Hops))
+}
+
+// admitFillData is admitFill below the response envelope — the shared
+// floor gate for whole-frame and chunk-reassembled fills alike.
+func (g *Gateway) admitFillData(name string, data []byte, version uint64, servedBy, hops uint32) (Result, error) {
+	if g.cache.put(name, data, version, servedBy, hops) {
 		return Result{
-			Data: resp.Data, Version: resp.Version,
-			ServedBy: resp.ServedBy, Hops: int(resp.Hops), Source: SourceFabric,
+			Data: data, Version: version,
+			ServedBy: servedBy, Hops: int(hops), Source: SourceFabric,
 		}, nil
 	}
 	if e, _, ok := g.cache.get(name); ok {
@@ -644,6 +792,13 @@ func (g *Gateway) write(kind msg.Kind, name string, data []byte) (WriteResult, e
 // assembled comes back as hops. The floor bookkeeping is identical —
 // tracing is additive, never a separate write path.
 func (g *Gateway) writeTraced(kind msg.Kind, name string, data []byte, traceID uint64, path []msg.Hop) (WriteResult, []msg.Hop, error) {
+	if len(data) > msg.MaxData {
+		// Refused before admission: no slot, no fabric round-trip, no
+		// partially-encoded frame on the wire.
+		g.counters.OversizeRejected.Inc()
+		return WriteResult{}, nil, fmt.Errorf("%w: %v %q is %d bytes, cap %d",
+			ErrTooLarge, kind, name, len(data), msg.MaxData)
+	}
 	release, err := g.admit()
 	if err != nil {
 		return WriteResult{}, nil, err

@@ -115,25 +115,27 @@ func TestGatewayLegacyFallbackLatch(t *testing.T) {
 		t.Fatalf("get against legacy fabric = %+v", res)
 	}
 	c := g.Counters()
-	if c.Locates.Value() != 1 || c.LocateFallbacks.Value() != 1 {
-		t.Fatalf("downgrade counters: locates=%d fallbacks=%d, want 1/1",
-			c.Locates.Value(), c.LocateFallbacks.Value())
+	// The cold miss probes both planes top-down — locate-set for the
+	// chunked path, then locate — and each latches its own downgrade.
+	if c.Locates.Value() != 2 || c.LocateFallbacks.Value() != 1 || c.ChunkDowngrades.Value() != 1 {
+		t.Fatalf("downgrade counters: locates=%d fallbacks=%d chunk-downgrades=%d, want 2/1/1",
+			c.Locates.Value(), c.LocateFallbacks.Value(), c.ChunkDowngrades.Value())
 	}
-	// Latched: the next miss relays without re-probing.
+	// Latched: the next miss relays without re-probing either plane.
 	if _, err := g.Get("g/legacy"); err != nil {
 		t.Fatal(err)
 	}
-	if c.Locates.Value() != 1 {
+	if c.Locates.Value() != 2 {
 		t.Fatalf("latched miss re-probed locate (locates=%d)", c.Locates.Value())
 	}
-	// After the latch expires the gateway probes again (and re-latches).
+	// After the latches expire the gateway probes again (and re-latches).
 	time.Sleep(60 * time.Millisecond)
 	if _, err := g.Get("g/legacy"); err != nil {
 		t.Fatal(err)
 	}
-	if c.Locates.Value() != 2 || c.LocateFallbacks.Value() != 2 {
-		t.Fatalf("post-latch counters: locates=%d fallbacks=%d, want 2/2",
-			c.Locates.Value(), c.LocateFallbacks.Value())
+	if c.Locates.Value() != 4 || c.LocateFallbacks.Value() != 2 || c.ChunkDowngrades.Value() != 2 {
+		t.Fatalf("post-latch counters: locates=%d fallbacks=%d chunk-downgrades=%d, want 4/2/2",
+			c.Locates.Value(), c.LocateFallbacks.Value(), c.ChunkDowngrades.Value())
 	}
 }
 
@@ -172,11 +174,15 @@ func TestGatewayHintPurgeOnPeerDown(t *testing.T) {
 	for i := 0; i < g.Transport().Config().FailThreshold; i++ {
 		g.Detector().Fail(uint32(holder))
 	}
-	if g.HintLen() != 0 {
-		t.Fatalf("peer-down left %d hints pointing at a dead holder", g.HintLen())
+	// The dead holder is pruned from every hinted replica set; the set
+	// itself survives with the remaining copy, so the next read reroutes
+	// without even paying a re-locate (pre-PR-9, single-holder hints were
+	// dropped wholesale here and HintLen went to 0).
+	if g.HintLen() != 1 {
+		t.Fatalf("peer-down left %d hint entries, want the pruned survivor set", g.HintLen())
 	}
 
-	// The next read re-locates and lands on the surviving copy.
+	// The next read lands on the surviving copy.
 	res, err = g.Get("g/ha")
 	if err != nil {
 		t.Fatal(err)

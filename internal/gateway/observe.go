@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"lesslog/internal/metrics"
+	"lesslog/internal/stream"
 	"lesslog/internal/transport"
 )
 
@@ -41,6 +42,11 @@ type Counters struct {
 	HintStale       metrics.AtomicCounter // cached hints that failed and were invalidated
 	Locates         metrics.AtomicCounter // locate RPCs issued
 	LocateFallbacks metrics.AtomicCounter // unknown-kind answers that latched the relay path
+
+	// Chunked data plane (docs/ROUTING.md).
+	ChunkedFills     metrics.AtomicCounter // misses filled by a striped chunked transfer
+	ChunkDowngrades  metrics.AtomicCounter // unknown-kind answers that latched chunking off
+	OversizeRejected metrics.AtomicCounter // writes refused at the edge for exceeding msg.MaxData
 }
 
 // CountersSnapshot is the plain-value copy of Counters plus the cache's
@@ -68,6 +74,12 @@ type CountersSnapshot struct {
 	HintStale       uint64 `json:"hint_stale"`
 	Locates         uint64 `json:"locates"`
 	LocateFallbacks uint64 `json:"locate_fallbacks"`
+
+	ChunkedFills     uint64 `json:"chunked_fills"`
+	ChunkDowngrades  uint64 `json:"chunk_downgrades"`
+	OversizeRejected uint64 `json:"oversize_rejected"`
+	ChunksFetched    uint64 `json:"chunks_fetched"`
+	ChunkRetries     uint64 `json:"chunk_retries"`
 }
 
 // StatSnapshot is the gateway's structured status, the edge counterpart
@@ -85,6 +97,11 @@ type StatSnapshot struct {
 	// PipelineDepth is the number of pipelined client requests currently
 	// being handled across the gateway's wire connections.
 	PipelineDepth int64 `json:"pipeline_depth"`
+
+	// TransfersInFlight gauges chunked transfers currently reassembling;
+	// StripeWidth is the replica fan-out of the most recent transfer.
+	TransfersInFlight int64 `json:"transfers_in_flight"`
+	StripeWidth       int64 `json:"stripe_width"`
 
 	// TraceRecorded/TraceNoted count traces retained in the edge trace
 	// ring: head-sampled, and tail-retained slow/errored (both 0 with the
@@ -154,24 +171,48 @@ func (g *Gateway) countersSnapshot() CountersSnapshot {
 		HintStale:       g.counters.HintStale.Value(),
 		Locates:         g.counters.Locates.Value(),
 		LocateFallbacks: g.counters.LocateFallbacks.Value(),
+
+		ChunkedFills:     g.counters.ChunkedFills.Value(),
+		ChunkDowngrades:  g.counters.ChunkDowngrades.Value(),
+		OversizeRejected: g.counters.OversizeRejected.Value(),
+		ChunksFetched:    g.streamStat(func(s *stream.Stats) uint64 { return s.ChunksFetched.Load() }),
+		ChunkRetries:     g.streamStat(func(s *stream.Stats) uint64 { return s.ChunkRetries.Load() }),
 	}
+}
+
+// streamStat reads one fetcher counter, zero when chunking is disabled.
+func (g *Gateway) streamStat(read func(*stream.Stats) uint64) uint64 {
+	if g.fetcher == nil {
+		return 0
+	}
+	return read(g.fetcher.Stats())
+}
+
+// streamGauge reads one fetcher gauge, zero when chunking is disabled.
+func (g *Gateway) streamGauge(read func(*stream.Stats) int64) int64 {
+	if g.fetcher == nil {
+		return 0
+	}
+	return read(g.fetcher.Stats())
 }
 
 // StatSnapshot captures the gateway's current observable state.
 func (g *Gateway) StatSnapshot() StatSnapshot {
 	s := StatSnapshot{
-		Peers:         append([]string(nil), g.peers...),
-		PeersDown:     g.det.DownIDs(),
-		CacheLen:      g.cache.len(),
-		HintLen:       g.HintLen(),
-		CacheCap:      g.cfg.CacheSize,
-		CacheTTLMS:    float64(g.cfg.CacheTTL) * nsToMS,
-		MaxInFlight:   g.cfg.MaxInFlight,
-		InFlight:      g.adm.inFlight(),
-		PipelineDepth: g.pipelineDepth.Load(),
-		TraceRecorded: g.ring.Recorded(),
-		TraceNoted:    g.ring.Noted(),
-		Counters:      g.countersSnapshot(),
+		Peers:             append([]string(nil), g.peers...),
+		PeersDown:         g.det.DownIDs(),
+		CacheLen:          g.cache.len(),
+		HintLen:           g.HintLen(),
+		CacheCap:          g.cfg.CacheSize,
+		CacheTTLMS:        float64(g.cfg.CacheTTL) * nsToMS,
+		MaxInFlight:       g.cfg.MaxInFlight,
+		InFlight:          g.adm.inFlight(),
+		PipelineDepth:     g.pipelineDepth.Load(),
+		TransfersInFlight: g.streamGauge(func(s *stream.Stats) int64 { return s.InFlight.Load() }),
+		StripeWidth:       g.streamGauge(func(s *stream.Stats) int64 { return s.StripeWidth.Load() }),
+		TraceRecorded:     g.ring.Recorded(),
+		TraceNoted:        g.ring.Noted(),
+		Counters:          g.countersSnapshot(),
 
 		GetLatencyMS:   distStat(g.obs.get.Snapshot(), nsToMS),
 		WriteLatencyMS: distStat(g.obs.write.Snapshot(), nsToMS),
@@ -233,6 +274,13 @@ func (g *Gateway) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: `event="hint_stale"`, Value: float64(c.HintStale)},
 		metrics.LabeledValue{Labels: `event="locate"`, Value: float64(c.Locates)},
 		metrics.LabeledValue{Labels: `event="fallback"`, Value: float64(c.LocateFallbacks)})
+	metrics.PrometheusFamily(w, "lesslog_gateway_chunk_events_total", "counter",
+		metrics.LabeledValue{Labels: `event="fill"`, Value: float64(c.ChunkedFills)},
+		metrics.LabeledValue{Labels: `event="chunk"`, Value: float64(c.ChunksFetched)},
+		metrics.LabeledValue{Labels: `event="retry"`, Value: float64(c.ChunkRetries)},
+		metrics.LabeledValue{Labels: `event="downgrade"`, Value: float64(c.ChunkDowngrades)})
+	metrics.PrometheusFamily(w, "lesslog_gateway_oversize_rejected_total", "counter",
+		metrics.LabeledValue{Value: float64(c.OversizeRejected)})
 
 	metrics.PrometheusFamily(w, "lesslog_gateway_cache_entries", "gauge",
 		metrics.LabeledValue{Value: float64(g.cache.len())})
@@ -244,6 +292,10 @@ func (g *Gateway) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Value: float64(g.pipelineDepth.Load())})
 	metrics.PrometheusFamily(w, "lesslog_gateway_entry_peers_down", "gauge",
 		metrics.LabeledValue{Value: float64(g.det.DownCount())})
+	metrics.PrometheusFamily(w, "lesslog_gateway_transfers_in_flight", "gauge",
+		metrics.LabeledValue{Value: float64(g.streamGauge(func(s *stream.Stats) int64 { return s.InFlight.Load() }))})
+	metrics.PrometheusFamily(w, "lesslog_gateway_stripe_width", "gauge",
+		metrics.LabeledValue{Value: float64(g.streamGauge(func(s *stream.Stats) int64 { return s.StripeWidth.Load() }))})
 
 	metrics.PrometheusHistogram(w, "lesslog_gateway_get_latency_seconds", 1e-9,
 		metrics.LabeledHistogram{Snap: g.obs.get.Snapshot()})

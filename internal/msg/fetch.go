@@ -1,0 +1,162 @@
+package msg
+
+// The chunked data plane payloads (docs/ROUTING.md): a KindFetch request's
+// Data carries a byte range (offset + length), its response's Data one
+// verified chunk plus the transfer-level facts every chunk restates; a
+// KindLocateSet response's Data carries the replica set of a name as
+// (PID, address, version) holder records. All three follow the
+// digest/batch decoding discipline — every nested length is checked
+// against its limit and against the bytes actually present, a lying
+// prefix is ErrCorrupt, never an allocation.
+
+import "encoding/binary"
+
+// fetchRespWire is the fixed part of an encoded FetchResp: total size u64,
+// file CRC u32, chunk CRC u32, chunk length prefix u32. A chunk plus this
+// overhead must fit the MaxData bound of the Response.Data field carrying
+// it, so MaxChunkBytes is the hard per-chunk ceiling.
+const fetchRespWire = 8 + 4 + 4 + 4
+
+// MaxChunkBytes is the largest chunk one KindFetch response can carry:
+// the response Data bound minus the fixed FetchResp framing.
+const MaxChunkBytes = MaxData - fetchRespWire
+
+// FetchReq is the range of a KindFetch request: Length bytes starting at
+// Offset. The holder truncates the final chunk at end-of-file, so a
+// request may extend past the total size without being an error.
+type FetchReq struct {
+	Offset uint64
+	Length uint32
+}
+
+func fetchReqSane(r FetchReq) bool {
+	return r.Offset <= MaxFileSize && r.Length != 0 && int64(r.Length) <= MaxChunkBytes
+}
+
+// AppendFetchReq encodes a KindFetch range onto b.
+func AppendFetchReq(b []byte, r FetchReq) ([]byte, error) {
+	if !fetchReqSane(r) {
+		return nil, ErrFrameTooLarge
+	}
+	b = binary.BigEndian.AppendUint64(b, r.Offset)
+	b = binary.BigEndian.AppendUint32(b, r.Length)
+	return b, nil
+}
+
+// DecodeFetchReq parses a KindFetch request payload.
+func DecodeFetchReq(b []byte) (FetchReq, error) {
+	var r FetchReq
+	var err error
+	if r.Offset, b, err = takeUint64(b); err != nil {
+		return FetchReq{}, err
+	}
+	if r.Length, b, err = takeUint32(b); err != nil {
+		return FetchReq{}, err
+	}
+	if len(b) != 0 || !fetchReqSane(r) {
+		return FetchReq{}, ErrCorrupt
+	}
+	return r, nil
+}
+
+// FetchResp is one chunk of a KindFetch response: the bytes at the
+// requested offset with their own CRC-32C, plus the transfer-level facts
+// restated on every chunk — the file's total size and whole-file CRC-32C
+// — so a client can pin the transfer shape off whichever chunk answers
+// first and verify the reassembled file end to end.
+type FetchResp struct {
+	TotalSize uint64
+	FileCRC   uint32
+	ChunkCRC  uint32
+	Chunk     []byte
+}
+
+// AppendFetchResp encodes a KindFetch response payload onto b.
+func AppendFetchResp(b []byte, r *FetchResp) ([]byte, error) {
+	if r.TotalSize > MaxFileSize || len(r.Chunk) > MaxChunkBytes {
+		return nil, ErrFrameTooLarge
+	}
+	b = binary.BigEndian.AppendUint64(b, r.TotalSize)
+	b = binary.BigEndian.AppendUint32(b, r.FileCRC)
+	b = binary.BigEndian.AppendUint32(b, r.ChunkCRC)
+	b = appendBytes(b, r.Chunk)
+	return b, nil
+}
+
+// DecodeFetchResp parses a KindFetch response payload.
+func DecodeFetchResp(b []byte) (*FetchResp, error) {
+	r := &FetchResp{}
+	var err error
+	if r.TotalSize, b, err = takeUint64(b); err != nil {
+		return nil, err
+	}
+	if r.FileCRC, b, err = takeUint32(b); err != nil {
+		return nil, err
+	}
+	if r.ChunkCRC, b, err = takeUint32(b); err != nil {
+		return nil, err
+	}
+	if r.Chunk, b, err = takeBytes(b, MaxChunkBytes); err != nil {
+		return nil, err
+	}
+	if len(b) != 0 || r.TotalSize > MaxFileSize || uint64(len(r.Chunk)) > r.TotalSize {
+		return nil, ErrCorrupt
+	}
+	return r, nil
+}
+
+// Holder is one replica-set member of a KindLocateSet answer: the PID and
+// listen address of a peer expected to hold the name, and the version it
+// is known to hold (0 for a required holder whose copy was not probed).
+type Holder struct {
+	PID     uint32
+	Addr    string
+	Version uint64
+}
+
+// AppendHolders encodes a KindLocateSet response payload onto b. The
+// serving holder lists itself first; the set is never empty.
+func AppendHolders(b []byte, hs []Holder) ([]byte, error) {
+	if len(hs) == 0 || len(hs) > MaxHolders {
+		return nil, ErrFrameTooLarge
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(hs)))
+	for _, h := range hs {
+		if len(h.Addr) > MaxName {
+			return nil, ErrFrameTooLarge
+		}
+		b = binary.BigEndian.AppendUint32(b, h.PID)
+		b = appendString(b, h.Addr)
+		b = binary.BigEndian.AppendUint64(b, h.Version)
+	}
+	return b, nil
+}
+
+// DecodeHolders parses a KindLocateSet response payload.
+func DecodeHolders(b []byte) ([]Holder, error) {
+	n, b, err := takeUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > MaxHolders {
+		return nil, ErrCorrupt
+	}
+	hs := make([]Holder, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var h Holder
+		if h.PID, b, err = takeUint32(b); err != nil {
+			return nil, err
+		}
+		if h.Addr, b, err = takeString(b, MaxName); err != nil {
+			return nil, err
+		}
+		if h.Version, b, err = takeUint64(b); err != nil {
+			return nil, err
+		}
+		hs = append(hs, h)
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return hs, nil
+}

@@ -89,11 +89,31 @@ const (
 	// like KindLocate: a pre-telemetry peer answers unknown-kind and the
 	// caller reports the node as trace-less rather than failing.
 	KindTraces
+	// KindFetch is the ranged read of the chunked data plane
+	// (docs/ROUTING.md): a direct client↔holder request for Length bytes at
+	// Offset of Name — never forwarded, serve-or-refuse like a FlagLocalOnly
+	// get. The request's Data carries the range (AppendFetchReq); its
+	// Version pins the copy's version (0 accepts any), so a transfer striped
+	// across replicas can never splice bytes from two versions. The
+	// response's Data carries the chunk with its CRC-32C plus the file's
+	// total size and whole-file CRC (AppendFetchResp); the response Version
+	// reports the version actually served. Version-gated like KindLocate: a
+	// pre-chunking peer answers unknown-kind and the caller falls back to
+	// whole-frame fetches.
+	KindFetch
+	// KindLocateSet is the replica-set locate: forwarded along the lookup
+	// tree exactly like KindLocate, but the serving holder answers with the
+	// known replica set — its own copy first (PID, address, real version),
+	// then the other required primary holders of the name's subtree
+	// placements — encoded as AppendHolders in the response's Data. Clients
+	// stripe chunk fetches round-robin across the set and cache it as a
+	// multi-holder route hint. Version-gated like KindLocate.
+	KindLocateSet
 )
 
 // KindCount sizes per-kind metric arrays: valid kinds index 1..KindCount-1,
 // slot 0 collects unknown kinds.
-const KindCount = int(KindTraces) + 1
+const KindCount = int(KindLocateSet) + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -124,6 +144,10 @@ func (k Kind) String() string {
 		return "digest"
 	case KindTraces:
 		return "traces"
+	case KindFetch:
+		return "fetch"
+	case KindLocateSet:
+		return "locate-set"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -148,6 +172,19 @@ func IsUnknownKind(errStr string) bool {
 	return strings.HasPrefix(errStr, unknownKindPrefix)
 }
 
+// Like unknownKindPrefix, these response strings are de-facto protocol:
+// data-plane clients match them verbatim to classify a refused direct
+// fetch, so the phrasing must stay stable across builds. netnode re-exports
+// them as ErrNotHolder / ErrWrongVersion.
+const (
+	// NotHolderError answers a local-only get or ranged fetch at a peer not
+	// holding the file — the "your route hint is stale" signal.
+	NotHolderError = "netnode: not holding requested file"
+	// WrongVersionError answers a version-pinned fetch whose pin no longer
+	// matches the held copy — the splice guard of chunked transfers.
+	WrongVersionError = "netnode: version no longer held"
+)
+
 // Limits protecting decoders.
 const (
 	MaxName  = 4 << 10  // 4 KiB file names
@@ -163,6 +200,15 @@ const (
 	// unbounded inventory.
 	MaxDigestBuckets = 4096
 	MaxDigestEntries = 1024
+
+	// MaxFileSize bounds the total size a chunked transfer (KindFetch) may
+	// declare: 64 MiB — four single-frame payloads — keeps client
+	// reassembly buffers bounded while raising the effective file-size
+	// ceiling well past one frame. Chunked *writes* have not landed, so
+	// single-frame inserts remain capped at MaxData.
+	MaxFileSize = 64 << 20
+	// MaxHolders bounds the replica set a KindLocateSet answer may carry.
+	MaxHolders = 64
 )
 
 // Flag bits carried by requests.

@@ -210,8 +210,8 @@ func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindInsert: "insert", KindGet: "get", KindUpdate: "update",
 		KindStore: "store", KindStat: "stat", KindLocate: "locate",
-		KindTraces: "traces",
-		Kind(99):   "kind(99)",
+		KindTraces: "traces", KindFetch: "fetch", KindLocateSet: "locate-set",
+		Kind(99): "kind(99)",
 	} {
 		if k.String() != want {
 			t.Fatalf("Kind(%d).String() = %q", k, k.String())

@@ -89,6 +89,10 @@ func TestEveryKindHasHandler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	headRange, err := msg.AppendFetchReq(nil, msg.FetchReq{Offset: 0, Length: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	reqs := map[msg.Kind]*msg.Request{
 		msg.KindInsert: {Kind: msg.KindInsert, Name: "k/insert", Data: []byte("v")},
 		msg.KindGet:    {Kind: msg.KindGet, Name: "seed"},
@@ -99,13 +103,15 @@ func TestEveryKindHasHandler(t *testing.T) {
 		// locally, no relays, no membership change.
 		msg.KindRegister: {Kind: msg.KindRegister, Flags: msg.FlagPropagate,
 			Origin: 1, Data: []byte(peers[1].Addr())},
-		msg.KindTable:  {Kind: msg.KindTable},
-		msg.KindHas:    {Kind: msg.KindHas, Name: "seed"},
-		msg.KindDelete: {Kind: msg.KindDelete, Name: "k/store"},
-		msg.KindBatch:  {Kind: msg.KindBatch, Data: emptyBatch},
-		msg.KindLocate: {Kind: msg.KindLocate, Name: "seed"},
-		msg.KindDigest: {Kind: msg.KindDigest, Origin: 1, Data: emptyDigest},
-		msg.KindTraces: {Kind: msg.KindTraces},
+		msg.KindTable:     {Kind: msg.KindTable},
+		msg.KindHas:       {Kind: msg.KindHas, Name: "seed"},
+		msg.KindDelete:    {Kind: msg.KindDelete, Name: "k/store"},
+		msg.KindBatch:     {Kind: msg.KindBatch, Data: emptyBatch},
+		msg.KindLocate:    {Kind: msg.KindLocate, Name: "seed"},
+		msg.KindDigest:    {Kind: msg.KindDigest, Origin: 1, Data: emptyDigest},
+		msg.KindTraces:    {Kind: msg.KindTraces},
+		msg.KindFetch:     {Kind: msg.KindFetch, Name: "seed", Data: headRange},
+		msg.KindLocateSet: {Kind: msg.KindLocateSet, Name: "seed"},
 	}
 	for k := 1; k < msg.KindCount; k++ {
 		kind := msg.Kind(k)

@@ -10,6 +10,7 @@ import (
 
 	"lesslog/internal/msg"
 	"lesslog/internal/routehint"
+	"lesslog/internal/stream"
 	"lesslog/internal/tracering"
 	"lesslog/internal/transport"
 )
@@ -17,6 +18,12 @@ import (
 // ErrFault is returned by Client operations when no copy of the file could
 // be located — the paper's "fault".
 var ErrFault = errors.New("netnode: file not found (fault)")
+
+// ErrTooLarge rejects a write whose payload exceeds one wire frame's data
+// cap (msg.MaxData). Caught at the client edge so the caller gets a typed,
+// actionable error instead of a mid-stream frame-encoding failure after
+// the bytes already started moving.
+var ErrTooLarge = errors.New("netnode: payload exceeds msg.MaxData")
 
 // DefaultLocateRetryAfter is how long a locate-mode client stays
 // downgraded to the relay path after a peer answers locate with the
@@ -35,11 +42,17 @@ type Client struct {
 	// Locate mode (docs/ROUTING.md): gets resolve the holder through the
 	// hint cache or a locate RPC and fetch the payload in one direct hop;
 	// locateDown latches the relay fallback (unix-nanos until which locate
-	// is considered unsupported by the fabric).
+	// is considered unsupported by the fabric). The chunk plane stacks on
+	// top: fetcher stripes ranged chunk fetches across the hinted replica
+	// set, and chunkDown latches its own downgrade independently — a fabric
+	// that speaks locate but not chunked fetch degrades one level (to
+	// whole-frame direct fetches), not two (to relays).
 	locate     bool
 	hints      *routehint.Cache
 	retryAfter time.Duration
 	locateDown atomic.Int64
+	fetcher    *stream.Fetcher
+	chunkDown  atomic.Int64
 	lstats     LocateStats
 }
 
@@ -50,6 +63,10 @@ type LocateStats struct {
 	Locates    atomic.Uint64 // locate RPCs issued
 	Relays     atomic.Uint64 // gets that fell back to the relay path
 	Downgrades atomic.Uint64 // unknown-kind answers that latched locate off
+
+	ChunkedGets     atomic.Uint64 // gets served by the striped chunk plane
+	ChunkDowngrades atomic.Uint64 // unknown-kind answers that latched chunking off
+	OversizeRejects atomic.Uint64 // writes rejected at the edge for exceeding msg.MaxData
 }
 
 // LocateOptions configure a locate-mode client.
@@ -59,8 +76,17 @@ type LocateOptions struct {
 	// clients of the same fabric.
 	Hints *routehint.Cache
 	// RetryAfter bounds how long the client stays downgraded after an
-	// unknown-kind answer; <= 0 selects DefaultLocateRetryAfter.
+	// unknown-kind answer; <= 0 selects DefaultLocateRetryAfter. Covers
+	// both latches: locate→relay and chunked→whole-frame.
 	RetryAfter time.Duration
+	// ChunkSize and ChunkWindow tune the striped chunk plane (bytes per
+	// ranged fetch, in-flight chunks per transfer); <= 0 selects the
+	// stream package defaults.
+	ChunkSize   int
+	ChunkWindow int
+	// DisableChunks turns the chunk plane off entirely: every get uses
+	// single-holder whole-frame fetches, as before PR 9.
+	DisableChunks bool
 }
 
 // NewClient returns a client that contacts the peer at addr through the
@@ -93,15 +119,44 @@ func NewLocateClientWith(addr string, tr *transport.Transport, opts LocateOption
 	if retry <= 0 {
 		retry = DefaultLocateRetryAfter
 	}
-	return &Client{addr: addr, tr: tr, locate: true, hints: hints, retryAfter: retry}
+	c := &Client{addr: addr, tr: tr, locate: true, hints: hints, retryAfter: retry}
+	if !opts.DisableChunks {
+		c.fetcher = stream.New(tr, stream.Config{
+			ChunkSize: opts.ChunkSize,
+			Window:    opts.ChunkWindow,
+			// A transport-dead holder loses every hint it appears in; a
+			// not-holder refusal only loses this name's hint there.
+			Evict: func(name, addr string, hard bool) {
+				if hard {
+					hints.PurgeHolder(addr)
+				} else {
+					hints.PurgeFrom(name, addr)
+				}
+			},
+		})
+	}
+	return c
 }
 
 // LocateStats returns the client's data-plane counters; zero-valued (and
 // static) unless the client is in locate mode.
 func (c *Client) LocateStats() *LocateStats { return &c.lstats }
 
+// StreamStats exposes the chunk plane's transfer counters; nil when the
+// client is not in locate mode or chunking is disabled.
+func (c *Client) StreamStats() *stream.Stats {
+	if c.fetcher == nil {
+		return nil
+	}
+	return c.fetcher.Stats()
+}
+
 // Insert stores a file in the system.
 func (c *Client) Insert(name string, data []byte) error {
+	if len(data) > msg.MaxData {
+		c.lstats.OversizeRejects.Add(1)
+		return fmt.Errorf("%w: insert %q is %d bytes, cap %d", ErrTooLarge, name, len(data), msg.MaxData)
+	}
 	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindInsert, Name: name, Data: data})
 	c.purgeHint(name)
 	if err != nil {
@@ -182,10 +237,25 @@ func (c *Client) get(req *msg.Request) (GetResult, error) {
 }
 
 // getLocate is the locate-then-fetch get: warm hints go straight to the
-// holder; cold names pay one locate walk, then fetch directly; fabrics
-// that do not speak locate downgrade to the relay path.
+// holder(s); cold names pay one locate walk, then fetch directly; fabrics
+// that do not speak locate downgrade to the relay path. When the chunk
+// plane is up, fetches are ranged and striped across the hinted replica
+// set (getLocateChunked); traced gets stay on the whole-frame plane so the
+// hop path remains a single coherent walk.
 func (c *Client) getLocate(req *msg.Request) (GetResult, error) {
-	if h, ok := c.hints.Get(req.Name); ok {
+	chunked := c.fetcher != nil && req.Flags&msg.FlagTrace == 0 &&
+		time.Now().UnixNano() >= c.chunkDown.Load()
+	if chunked {
+		if set, ok := c.hints.GetSet(req.Name); ok {
+			if res, err := c.chunkFetch(req, set); err == nil {
+				c.lstats.HintHits.Add(1)
+				return res, nil
+			}
+			c.lstats.HintStale.Add(1)
+			// A fully-legacy hint set latches the downgrade mid-flight.
+			chunked = time.Now().UnixNano() >= c.chunkDown.Load()
+		}
+	} else if h, ok := c.hints.Get(req.Name); ok {
 		if res, ok := c.directFetch(req, h); ok {
 			c.lstats.HintHits.Add(1)
 			return res, nil
@@ -195,6 +265,14 @@ func (c *Client) getLocate(req *msg.Request) (GetResult, error) {
 	if time.Now().UnixNano() < c.locateDown.Load() {
 		c.lstats.Relays.Add(1)
 		return c.get(req)
+	}
+	if chunked {
+		if res, handled, err := c.getLocateChunked(req); handled {
+			return res, err
+		}
+		// Not handled: the fabric answered unknown-kind for the chunk
+		// plane. The downgrade is latched; fall through to the
+		// single-holder locate below — one level down, not two.
 	}
 	c.lstats.Locates.Add(1)
 	resp, err := c.tr.Do(c.addr, &msg.Request{
@@ -264,6 +342,80 @@ func (c *Client) directFetch(req *msg.Request, h routehint.Hint) (GetResult, boo
 	}
 	c.hints.Put(req.Name, routehint.Hint{PID: h.PID, Addr: h.Addr, Version: resp.Version})
 	return res, true
+}
+
+// chunkFetch runs one striped chunked transfer across the hinted replica
+// set. An all-legacy set latches the chunk-plane downgrade; every other
+// failure is just reported (stale hints were already purged by the
+// fetcher's evict callback).
+func (c *Client) chunkFetch(req *msg.Request, set []routehint.Hint) (GetResult, error) {
+	srcs := make([]stream.Source, len(set))
+	for i, h := range set {
+		srcs[i] = stream.Source{PID: h.PID, Addr: h.Addr}
+	}
+	data, ver, err := c.fetcher.Fetch(req.Name, 0, srcs)
+	if err != nil {
+		if errors.Is(err, stream.ErrUnsupported) {
+			c.lstats.ChunkDowngrades.Add(1)
+			c.chunkDown.Store(time.Now().Add(c.retryAfter).UnixNano())
+		}
+		return GetResult{}, err
+	}
+	c.lstats.ChunkedGets.Add(1)
+	// A striped transfer has no single server; report the set's primary
+	// (the holder the locate walk reached) as the representative.
+	return GetResult{Data: data, Version: ver, ServedBy: set[0].PID}, nil
+}
+
+// getLocateChunked is the chunk plane's cold path: one locate-set walk
+// resolves the name to its replica set, the set is cached, and the payload
+// is fetched chunked and striped. handled=false means the entry peer
+// answered unknown-kind — the chunk downgrade is latched and the caller
+// should fall back to the single-holder locate plane. A transfer that
+// loses its pinned version to a concurrent write re-locates once (the new
+// version's set may differ) before giving up to the relay path.
+func (c *Client) getLocateChunked(req *msg.Request) (res GetResult, handled bool, err error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		c.lstats.Locates.Add(1)
+		resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindLocateSet, Name: req.Name})
+		if err != nil {
+			return GetResult{}, true, err
+		}
+		if !resp.OK {
+			if msg.IsUnknownKind(resp.Err) {
+				c.lstats.ChunkDowngrades.Add(1)
+				c.chunkDown.Store(time.Now().Add(c.retryAfter).UnixNano())
+				return GetResult{}, false, nil
+			}
+			return GetResult{Hops: int(resp.Hops)}, true,
+				fmt.Errorf("%w: %s", ErrFault, req.Name)
+		}
+		hs, derr := msg.DecodeHolders(resp.Data)
+		if derr != nil {
+			return GetResult{}, true, fmt.Errorf("netnode: locate-set %q: %v", req.Name, derr)
+		}
+		set := make([]routehint.Hint, len(hs))
+		for i, h := range hs {
+			set[i] = routehint.Hint{PID: h.PID, Addr: h.Addr, Version: h.Version}
+		}
+		c.hints.PutSet(req.Name, set)
+		res, ferr := c.chunkFetch(req, set)
+		if ferr == nil {
+			return res, true, nil
+		}
+		if errors.Is(ferr, stream.ErrVersionGone) && attempt == 0 {
+			continue
+		}
+		if errors.Is(ferr, stream.ErrUnsupported) {
+			return GetResult{}, false, nil
+		}
+		break
+	}
+	// The set resolved but no replica could serve the transfer (churn,
+	// faults mid-stripe): relay this get and let the next one re-locate.
+	c.lstats.Relays.Add(1)
+	res, err = c.get(req)
+	return res, true, err
 }
 
 // LocateResult reports where a file lives: the serving holder's identity
@@ -339,6 +491,10 @@ func (c *Client) DeleteTraced(name string) (int, []msg.Hop, error) {
 }
 
 func (c *Client) write(kind msg.Kind, name string, data []byte, traced bool) (int, []msg.Hop, error) {
+	if len(data) > msg.MaxData {
+		c.lstats.OversizeRejects.Add(1)
+		return 0, nil, fmt.Errorf("%w: %s %q is %d bytes, cap %d", ErrTooLarge, kind, name, len(data), msg.MaxData)
+	}
 	req := &msg.Request{Kind: kind, Name: name, Data: data}
 	if traced {
 		req.Flags = msg.FlagTrace

@@ -122,6 +122,51 @@ func TestTombstoneSurvivesRestartAndBlocksResurrection(t *testing.T) {
 	}
 }
 
+// A durable peer's graceful Leave retires its log with one barrier
+// record — not one delete per handed-off name (the write-amplification
+// fix) — and a restart from the same directory replays to empty instead
+// of re-announcing copies the fabric already re-homed.
+func TestLeaveRetiresDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	peers := startDurableSystem(t, 2, 0, 4, hashring.Fixed(0), dir)
+	cl := NewClient(peers[1].Addr())
+	for i := 0; i < 8; i++ {
+		if err := cl.Insert(fmt.Sprintf("ret/%d", i), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if peers[0].store.Len() != 8 {
+		t.Fatalf("setup: durable peer holds %d copies, want 8", peers[0].store.Len())
+	}
+	appends := peers[0].eng.Stats().Appends.Load()
+	if err := peers[0].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if peers[0].store.Len() != 0 || peers[0].store.TombstoneCount() != 0 {
+		t.Fatalf("leave kept local state: %s", peers[0].store.String())
+	}
+	if got := peers[0].eng.Stats().Appends.Load() - appends; got != 1 {
+		t.Fatalf("leave appended %d records, want the single retire barrier", got)
+	}
+	// The handed-off copies still serve from their new primaries.
+	if res, err := cl.Get("ret/3"); err != nil || res.ServedBy == 0 {
+		t.Fatalf("post-leave get = %+v, %v", res, err)
+	}
+	if err := peers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the same log: replay honors the barrier.
+	p0, err := Listen(peers[0].cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p0.Close()
+	if p0.store.Len() != 0 || p0.store.TombstoneCount() != 0 {
+		t.Fatalf("restart past the retire barrier recovered %s", p0.store.String())
+	}
+}
+
 // POST /checkpoint on a durable peer compacts its log to live state and
 // reports the resulting segment shape.
 func TestAdminCheckpointCompactsDurablePeer(t *testing.T) {

@@ -73,6 +73,10 @@ var peerFamilyJSON = map[string]string{
 	"lesslog_located_total":               "located",
 	"lesslog_direct_gets_total":           "direct_served",
 	"lesslog_relayed_payload_bytes_total": "relayed_bytes",
+	"lesslog_chunks_served_total":         "chunks_served",
+	"lesslog_chunk_payload_bytes_total":   "chunk_bytes",
+	"lesslog_chunk_refusals_total":        "chunk_refusals",
+	"lesslog_locate_sets_total":           "locate_sets",
 	"lesslog_repair_total":                "repaired",
 	"lesslog_repair_probes_total":         "repair_probes",
 	"lesslog_digest_bytes_total":          "digest_bytes",

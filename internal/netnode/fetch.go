@@ -1,0 +1,132 @@
+package netnode
+
+// The peer side of the chunked data plane (docs/ROUTING.md): ranged
+// KindFetch reads served straight from the sharded store, and KindLocateSet
+// answers that carry the name's whole replica set instead of the one holder
+// the lookup walk happened to reach. Both are serve-or-refuse on the data
+// hop — a fetch is never forwarded (the client already resolved the
+// holders) — while the locate-set control hop forwards along the lookup
+// tree exactly like a single-holder locate.
+
+import (
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"lesslog/internal/bitops"
+	"lesslog/internal/msg"
+	"lesslog/internal/store"
+)
+
+// castagnoli is the CRC-32C table shared by chunk and whole-file
+// checksums — the same polynomial the WAL's record checksums use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWrongVersion is the answer to a version-pinned fetch whose pin no
+// longer matches the held copy: the file moved on (or this replica lags)
+// between the transfer's head chunk and this range. The response carries
+// the version actually held, so the client can decide between retrying the
+// range on another replica and restarting the transfer at the new version.
+// Matching this string is how a striped transfer guarantees it never
+// splices bytes from two versions.
+const ErrWrongVersion = msg.WrongVersionError
+
+// handleFetch serves one ranged chunk of a local copy. Always local-only:
+// a fetch that misses answers ErrNotHolder exactly like a FlagLocalOnly
+// get, never forwards — the stale-hint miss must stay one cheap RPC. The
+// head chunk (offset 0) counts the §6 store access so a chunked transfer
+// weighs one serve, like a whole-frame get; later ranges peek.
+func (p *Peer) handleFetch(req *msg.Request) *msg.Response {
+	fr, err := msg.DecodeFetchReq(req.Data)
+	if err != nil {
+		return &msg.Response{Err: fmt.Sprintf("netnode: fetch decode: %v", err)}
+	}
+	var f store.File
+	var ok bool
+	if fr.Offset == 0 {
+		f, ok = p.store.Get(req.Name)
+	} else {
+		f, ok = p.store.Peek(req.Name)
+	}
+	if !ok {
+		p.stats.DirectMisses.Add(1)
+		return &msg.Response{Hops: req.Hops, Err: ErrNotHolder}
+	}
+	if req.Version != 0 && f.Version != req.Version {
+		p.stats.ChunkRefusals.Add(1)
+		return &msg.Response{ServedBy: uint32(p.cfg.PID), Version: f.Version, Err: ErrWrongVersion}
+	}
+	total := uint64(len(f.Data))
+	if fr.Offset > total || (fr.Offset == total && total != 0) {
+		return &msg.Response{ServedBy: uint32(p.cfg.PID), Version: f.Version,
+			Err: fmt.Sprintf("netnode: fetch range at %d past total %d", fr.Offset, total)}
+	}
+	end := fr.Offset + uint64(fr.Length)
+	if end > total {
+		end = total // final chunk truncates at EOF
+	}
+	chunk := f.Data[fr.Offset:end]
+	fresp := &msg.FetchResp{
+		TotalSize: total,
+		ChunkCRC:  crc32.Checksum(chunk, castagnoli),
+		Chunk:     chunk,
+	}
+	if fr.Offset == 0 {
+		// The whole-file CRC is O(total); computing it per chunk would make
+		// an N-chunk transfer O(N·total). Only the head chunk carries it,
+		// and the client always requests the head first to pin the shape.
+		fresp.FileCRC = crc32.Checksum(f.Data, castagnoli)
+	}
+	data, err := msg.AppendFetchResp(nil, fresp)
+	if err != nil {
+		return &msg.Response{Err: fmt.Sprintf("netnode: fetch encode: %v", err)}
+	}
+	p.stats.ChunksServed.Add(1)
+	p.stats.ChunkBytes.Add(uint64(len(chunk)))
+	p.stats.DirectServed.Add(1)
+	return &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Hops: req.Hops,
+		Version: f.Version, Data: data}
+}
+
+// handleLocateSet resolves a name to its replica set: the same lookup-tree
+// walk as a single-holder locate (forwardLookup carries misses onward with
+// identical §3/§4 semantics), but the serving holder answers with every
+// required holder it can name — itself first with the real version, then
+// the live primary holder of each subtree placement (§2.2 run in reverse,
+// exactly the set the repair plane probes), version 0 for the unprobed.
+// Clients stripe chunk fetches across the set; a listed holder that turns
+// out stale or missing just refuses its fetch and is purged client-side,
+// so the set is advisory like every route hint.
+func (p *Peer) handleLocateSet(req *msg.Request) *msg.Response {
+	start := time.Now()
+	f, ok := p.store.Peek(req.Name)
+	if !ok {
+		return p.forwardLookup(req, start)
+	}
+	p.stats.Located.Add(1)
+	p.stats.LocateSets.Add(1)
+	rt := p.rt()
+	v := p.view(p.hasher.Target(req.Name, p.cfg.M))
+	hs := []msg.Holder{{PID: uint32(p.cfg.PID), Addr: p.Addr(), Version: f.Version}}
+	for sid := bitops.VID(0); sid < bitops.VID(bitops.SubtreeCount(p.cfg.B)); sid++ {
+		h, live := v.PrimaryHolder(sid)
+		if !live || h == p.cfg.PID {
+			continue
+		}
+		addr, known := rt.addrs[h]
+		if !known || len(hs) >= msg.MaxHolders {
+			continue
+		}
+		hs = append(hs, msg.Holder{PID: uint32(h), Addr: addr})
+	}
+	data, err := msg.AppendHolders(nil, hs)
+	if err != nil {
+		return &msg.Response{Err: fmt.Sprintf("netnode: locate-set encode: %v", err)}
+	}
+	resp := &msg.Response{OK: true, ServedBy: uint32(p.cfg.PID), Hops: req.Hops,
+		Version: f.Version, Data: data}
+	if req.Flags&msg.FlagTrace != 0 {
+		resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopLocate, time.Since(start))
+	}
+	return resp
+}

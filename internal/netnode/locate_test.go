@@ -216,16 +216,18 @@ func TestLocateLegacyInterop(t *testing.T) {
 		t.Fatalf("get against legacy fabric = %+v", res)
 	}
 	st := cl.LocateStats()
-	if st.Locates.Load() != 1 || st.Downgrades.Load() != 1 || st.Relays.Load() != 1 {
-		t.Fatalf("downgrade counters: locates=%d downgrades=%d relays=%d, want 1/1/1",
-			st.Locates.Load(), st.Downgrades.Load(), st.Relays.Load())
+	// Two probe RPCs on the first cold get — locate-set for the chunk
+	// plane, then locate one level down — and both downgrades latch.
+	if st.Locates.Load() != 2 || st.Downgrades.Load() != 1 || st.ChunkDowngrades.Load() != 1 || st.Relays.Load() != 1 {
+		t.Fatalf("downgrade counters: locates=%d downgrades=%d chunk-downgrades=%d relays=%d, want 2/1/1/1",
+			st.Locates.Load(), st.Downgrades.Load(), st.ChunkDowngrades.Load(), st.Relays.Load())
 	}
-	// The latch holds: the next get relays without probing locate again.
+	// The latches hold: the next get relays without probing either plane.
 	if _, err := cl.Get("f"); err != nil {
 		t.Fatal(err)
 	}
-	if st.Locates.Load() != 1 || st.Relays.Load() != 2 {
-		t.Fatalf("latched counters: locates=%d relays=%d, want 1/2",
+	if st.Locates.Load() != 2 || st.Relays.Load() != 2 {
+		t.Fatalf("latched counters: locates=%d relays=%d, want 2/2",
 			st.Locates.Load(), st.Relays.Load())
 	}
 	// Peer-side: nothing located, nothing served directly — pure relay.

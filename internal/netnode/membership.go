@@ -131,7 +131,28 @@ func (p *Peer) Leave() error {
 		}
 	}
 	p.broadcastRegister(p.cfg.PID, nil, true)
-	p.log.Info("left system gracefully", "handed_off", len(files)-skipped, "skipped", skipped)
+	// Local state retires with the peer: replicas are discarded (§5.2) and
+	// every handed-off inserted copy now lives at its new primary. The
+	// discard is in-memory plus one durable barrier record — not one delete
+	// record per name, which is pure write amplification on a WAL-backed
+	// peer — so a later restart replays to empty instead of re-announcing
+	// copies the fabric already re-homed. A skipped copy keeps the whole
+	// store (and log) intact instead: the B > 0 siblings still serve it
+	// live, and a warm restart re-announces the stranded placement rather
+	// than losing the only authoritative record of it.
+	if skipped == 0 {
+		dropped := p.store.DiscardAll()
+		if p.eng != nil {
+			if err := p.eng.Retire(); err != nil {
+				p.log.Warn("leave: retire barrier not logged", "err", err)
+			}
+		}
+		p.log.Info("left system gracefully",
+			"handed_off", len(files), "retired", dropped)
+	} else {
+		p.log.Info("left system gracefully",
+			"handed_off", len(files)-skipped, "skipped", skipped)
+	}
 	return nil
 }
 

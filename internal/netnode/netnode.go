@@ -72,6 +72,11 @@ type Config struct {
 	// PipelineWorkers caps concurrently handled pipelined requests per
 	// accepted connection; <= 0 selects transport.DefaultPipelineWorkers.
 	PipelineWorkers int
+	// ServeDelay injects a fixed service time before handling each
+	// request this peer serves; zero serves at full speed. Benches pair
+	// it with PipelineWorkers=1 to model a holder of bounded capacity
+	// (see transport.ServeLoopOptions.ServeDelay).
+	ServeDelay time.Duration
 	// FanoutWorkers caps concurrent RPC legs per update/delete broadcast
 	// (each leg's subtree recursion runs on the remote peers, so the
 	// effective parallelism cascades); <= 0 selects DefaultFanoutWorkers.
@@ -124,6 +129,15 @@ type Stats struct {
 	Located      atomic.Uint64
 	DirectServed atomic.Uint64
 	DirectMisses atomic.Uint64
+	// Chunked data plane (docs/ROUTING.md). ChunksServed counts ranged
+	// KindFetch chunks served from the local store, ChunkBytes their
+	// payload bytes; ChunkRefusals counts version-pinned fetches refused
+	// because the held copy moved on (the splice guard doing its job);
+	// LocateSets counts replica-set locates answered as the holder.
+	ChunksServed  atomic.Uint64
+	ChunkBytes    atomic.Uint64
+	ChunkRefusals atomic.Uint64
+	LocateSets    atomic.Uint64
 	// RelayedBytes counts file-payload bytes this peer relayed back through
 	// a forwarded get — the wire cost the locate path exists to remove. A
 	// multi-hop relay get of size S adds S at every intermediate peer; a
@@ -358,6 +372,15 @@ func (p *Peer) peerUp(pid uint32) {
 // Addr returns the peer's bound address.
 func (p *Peer) Addr() string { return p.ln.Addr().String() }
 
+// SeedLocal places a copy directly into this peer's store, bypassing the
+// wire — whose frames cap payloads at msg.MaxData, below the chunk
+// plane's msg.MaxFileSize read ceiling. Tooling/test hook for building
+// over-frame replica layouts; production writes go through the insert
+// plane and are frame-capped at the edge.
+func (p *Peer) SeedLocal(name string, data []byte, version uint64) {
+	p.store.Put(store.File{Name: name, Data: data, Version: version}, store.Inserted)
+}
+
 // PID returns the peer's identifier.
 func (p *Peer) PID() bitops.PID { return p.cfg.PID }
 
@@ -472,8 +495,9 @@ func (p *Peer) serveConn(conn net.Conn) {
 		p.stats.Requests.Add(1)
 		return p.handle(req)
 	}, transport.ServeLoopOptions{
-		Workers: p.pipelineWorkers,
-		Depth:   &p.stats.PipelineDepth,
+		Workers:    p.pipelineWorkers,
+		ServeDelay: p.cfg.ServeDelay,
+		Depth:      &p.stats.PipelineDepth,
 		OnProtoError: func(err error) {
 			p.stats.ProtoErrors.Add(1)
 			p.log.Debug("connection protocol error", "err", err)
@@ -562,6 +586,16 @@ func (p *Peer) dispatch(req *msg.Request) *msg.Response {
 			break // legacy emulation: a pre-trace-plane build answers unknown-kind
 		}
 		return p.handleTraces()
+	case msg.KindFetch:
+		if p.cfg.DisableLocate {
+			break // legacy emulation: a pre-chunking build answers unknown-kind
+		}
+		return p.handleFetch(req)
+	case msg.KindLocateSet:
+		if p.cfg.DisableLocate {
+			break // legacy emulation: a pre-chunking build answers unknown-kind
+		}
+		return p.handleLocateSet(req)
 	}
 	return &msg.Response{Err: msg.UnknownKindError(req.Kind)}
 }
@@ -728,7 +762,7 @@ func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
 // ErrNotHolder is the answer to a local-only get at a peer that does not
 // hold the file — the direct-fetch path's "your route hint is stale"
 // signal. Clients match it to purge the hint and fall back to a locate.
-const ErrNotHolder = "netnode: not holding requested file"
+const ErrNotHolder = msg.NotHolderError
 
 func (p *Peer) handleGet(req *msg.Request) *msg.Response {
 	start := time.Now()

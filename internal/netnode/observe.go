@@ -106,6 +106,14 @@ type StatSnapshot struct {
 	DirectMisses uint64 `json:"direct_misses"`
 	RelayedBytes uint64 `json:"relayed_bytes"`
 
+	// Chunked data plane (docs/ROUTING.md): ranged chunks served and their
+	// payload bytes, version-pinned fetches refused (splice guard), and
+	// replica-set locates answered as holder.
+	ChunksServed  uint64 `json:"chunks_served"`
+	ChunkBytes    uint64 `json:"chunk_bytes"`
+	ChunkRefusals uint64 `json:"chunk_refusals"`
+	LocateSets    uint64 `json:"locate_sets"`
+
 	// PipelineDepth is the number of pipelined requests currently being
 	// handled across this peer's connections; FanoutActive is the number of
 	// broadcast RPC legs currently in flight. Both are instantaneous gauges.
@@ -201,6 +209,10 @@ func (p *Peer) statSnapshot(withInventory bool) StatSnapshot {
 		DirectServed:  p.stats.DirectServed.Load(),
 		DirectMisses:  p.stats.DirectMisses.Load(),
 		RelayedBytes:  p.stats.RelayedBytes.Load(),
+		ChunksServed:  p.stats.ChunksServed.Load(),
+		ChunkBytes:    p.stats.ChunkBytes.Load(),
+		ChunkRefusals: p.stats.ChunkRefusals.Load(),
+		LocateSets:    p.stats.LocateSets.Load(),
 		PipelineDepth: p.stats.PipelineDepth.Load(),
 		FanoutActive:  p.stats.FanoutActive.Load(),
 		RepairProbes:  p.stats.RepairProbes.Load(),
@@ -296,6 +308,14 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="miss"`), Value: float64(s.DirectMisses)})
 	metrics.PrometheusFamily(w, "lesslog_relayed_payload_bytes_total", "counter",
 		metrics.LabeledValue{Labels: self, Value: float64(s.RelayedBytes)})
+	metrics.PrometheusFamily(w, "lesslog_chunks_served_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.ChunksServed)})
+	metrics.PrometheusFamily(w, "lesslog_chunk_payload_bytes_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.ChunkBytes)})
+	metrics.PrometheusFamily(w, "lesslog_chunk_refusals_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.ChunkRefusals)})
+	metrics.PrometheusFamily(w, "lesslog_locate_sets_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.LocateSets)})
 	metrics.PrometheusFamily(w, "lesslog_repair_total", "counter",
 		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="pushed"`), Value: float64(s.Repaired)},
 		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="pulled"`), Value: float64(s.RepairPulled)},

@@ -1,8 +1,10 @@
 // Package routehint caches name → holder locations for the
-// locate-then-fetch data plane (docs/ROUTING.md). A hint remembers which
-// peer served a name's location — holder PID, listen address and the copy
+// locate-then-fetch data plane (docs/ROUTING.md). A hint set remembers
+// which peers hold a name — holder PID, listen address and the copy
 // version observed — so a warm client turns an O(log N) tree resolution
-// into one direct RPC at the holder.
+// into one direct RPC, and a hot name's fetches rotate across its whole
+// replica set instead of re-hammering the one holder a lookup walk
+// happened to reach.
 //
 // Hints are advisory, never authoritative: the data plane tolerates a
 // wrong hint (the holder answers not-found and the client re-resolves), so
@@ -15,10 +17,12 @@
 //     writes that move a name's version or holder set);
 //   - per-holder purges (PurgeHolder) when a failure detector — or a
 //     failed direct fetch, which is the same evidence one deadline
-//     earlier — declares the holder dead, so every name hinted at a dead
-//     peer reroutes at once instead of each paying its own timeout.
+//     earlier — declares the holder dead. The holder is removed from every
+//     set it appears in; a name keeps its surviving holders, so one dead
+//     replica no longer evicts the hint for the live ones.
 //
-// Capacity is LRU-bounded. All methods are safe for concurrent use.
+// Capacity is LRU-bounded per name. All methods are safe for concurrent
+// use.
 package routehint
 
 import (
@@ -33,21 +37,26 @@ const (
 	DefaultTTL      = 10 * time.Second
 )
 
-// Hint locates one name's serving holder.
+// MaxHolders bounds one name's hint set; mirrors msg.MaxHolders without
+// importing it (the cache is wire-agnostic).
+const MaxHolders = 64
+
+// Hint locates one holder of a name.
 type Hint struct {
 	PID     uint32 // holder's peer identifier
 	Addr    string // holder's listen address — where the direct fetch goes
-	Version uint64 // copy version observed at locate time
+	Version uint64 // copy version observed at locate time (0 = unprobed)
 }
 
-// entry is one cached hint plus its bookkeeping.
+// entry is one cached hint set plus its bookkeeping.
 type entry struct {
 	name    string
-	hint    Hint
+	hints   []Hint
+	next    int // rotation cursor: index of the holder Get serves next
 	expires time.Time
 }
 
-// Cache maps names to holder hints, bounded by TTL and LRU capacity.
+// Cache maps names to holder hint sets, bounded by TTL and LRU capacity.
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
@@ -57,9 +66,9 @@ type Cache struct {
 	byAddr  map[string]map[string]struct{} // holder addr → names hinted there
 }
 
-// New returns a cache holding at most capacity hints, each valid for ttl
-// after its Put. capacity <= 0 selects DefaultCapacity; ttl <= 0 selects
-// DefaultTTL.
+// New returns a cache holding at most capacity hint sets, each valid for
+// ttl after its Put. capacity <= 0 selects DefaultCapacity; ttl <= 0
+// selects DefaultTTL.
 func New(capacity int, ttl time.Duration) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
@@ -76,47 +85,114 @@ func New(capacity int, ttl time.Duration) *Cache {
 	}
 }
 
-// Get returns the live hint for name. An expired hint is removed and
-// reported as a miss.
+// Get returns one live hint for name, rotating through the cached holder
+// set call by call so repeated fetches of a hot name spread across its
+// replicas. An expired set is removed and reported as a miss.
 func (c *Cache) Get(name string) (Hint, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	e := c.liveLocked(name)
+	if e == nil {
+		return Hint{}, false
+	}
+	h := e.hints[e.next%len(e.hints)]
+	e.next = (e.next + 1) % len(e.hints)
+	return h, true
+}
+
+// GetSet returns a copy of name's live hint set, first holder to try
+// first (rotation applies: consecutive calls start at successive
+// holders).
+func (c *Cache) GetSet(name string) ([]Hint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.liveLocked(name)
+	if e == nil {
+		return nil, false
+	}
+	n := len(e.hints)
+	out := make([]Hint, n)
+	for i := 0; i < n; i++ {
+		out[i] = e.hints[(e.next+i)%n]
+	}
+	e.next = (e.next + 1) % n
+	return out, true
+}
+
+// liveLocked returns name's entry if present and unexpired, bumping its
+// LRU position; an expired entry is removed.
+func (c *Cache) liveLocked(name string) *entry {
 	el, ok := c.entries[name]
 	if !ok {
-		return Hint{}, false
+		return nil
 	}
 	e := el.Value.(*entry)
 	if !time.Now().Before(e.expires) {
 		c.removeLocked(el)
-		return Hint{}, false
+		return nil
 	}
 	c.lru.MoveToFront(el)
-	return e.hint, true
+	return e
 }
 
-// Put records (or refreshes) the hint for name and restarts its TTL.
+// Put records (or merges) a single-holder hint for name and restarts the
+// set's TTL: a holder already in the set gets its version refreshed, a
+// new holder joins the set — so the fetch path's post-success refresh
+// enriches a locate-set hint instead of collapsing it to one holder.
 func (c *Cache) Put(name string, h Hint) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[name]; ok {
 		e := el.Value.(*entry)
-		c.unindexLocked(e)
-		e.hint = h
 		e.expires = time.Now().Add(c.ttl)
-		c.indexLocked(name, h.Addr)
 		c.lru.MoveToFront(el)
+		for i := range e.hints {
+			if e.hints[i].Addr == h.Addr {
+				e.hints[i] = h
+				return
+			}
+		}
+		if len(e.hints) < MaxHolders {
+			e.hints = append(e.hints, h)
+			c.indexLocked(name, h.Addr)
+		}
 		return
 	}
-	el := c.lru.PushFront(&entry{name: name, hint: h, expires: time.Now().Add(c.ttl)})
+	c.insertLocked(name, []Hint{h})
+}
+
+// PutSet replaces name's hint set wholesale — the locate-set answer path.
+// An empty set is a no-op; sets beyond MaxHolders are truncated.
+func (c *Cache) PutSet(name string, hs []Hint) {
+	if len(hs) == 0 {
+		return
+	}
+	if len(hs) > MaxHolders {
+		hs = hs[:MaxHolders]
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[name]; ok {
+		c.removeLocked(el)
+	}
+	c.insertLocked(name, append([]Hint(nil), hs...))
+}
+
+// insertLocked installs a fresh entry for name, evicting from the LRU
+// tail past capacity.
+func (c *Cache) insertLocked(name string, hs []Hint) {
+	el := c.lru.PushFront(&entry{name: name, hints: hs, expires: time.Now().Add(c.ttl)})
 	c.entries[name] = el
-	c.indexLocked(name, h.Addr)
+	for _, h := range hs {
+		c.indexLocked(name, h.Addr)
+	}
 	for c.lru.Len() > c.cap {
 		c.removeLocked(c.lru.Back())
 	}
 }
 
-// Purge drops the hint for name, reporting whether one existed — called on
-// acknowledged writes, stale direct fetches and holder misses.
+// Purge drops the hint set for name, reporting whether one existed —
+// called on acknowledged writes, stale direct fetches and holder misses.
 func (c *Cache) Purge(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -128,30 +204,76 @@ func (c *Cache) Purge(name string) bool {
 	return true
 }
 
-// PurgeHolder drops every hint pointing at addr and returns how many went —
-// the peer-down path: one detector event reroutes all of a dead holder's
-// names instead of each waiting out its own failed fetch.
+// PurgeFrom removes one holder from one name's set — the targeted
+// invalidation for a replica that refused a fetch while its siblings keep
+// serving. Dropping the last holder drops the entry. Reports whether the
+// holder was present.
+func (c *Cache) PurgeFrom(name, addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[name]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry)
+	for i := range e.hints {
+		if e.hints[i].Addr == addr {
+			e.hints = append(e.hints[:i], e.hints[i+1:]...)
+			if e.next >= len(e.hints) {
+				e.next = 0
+			}
+			c.unindexOneLocked(name, addr)
+			if len(e.hints) == 0 {
+				c.lru.Remove(el)
+				delete(c.entries, name)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// PurgeHolder removes addr from every hint set it appears in and returns
+// how many names were affected — the peer-down path: one detector event
+// reroutes all of a dead holder's names at once. Names with surviving
+// holders keep them; a set emptied by the purge is dropped.
 func (c *Cache) PurgeHolder(addr string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	names := c.byAddr[addr]
 	n := len(names)
 	for name := range names {
-		if el, ok := c.entries[name]; ok {
-			c.removeLocked(el)
+		el, ok := c.entries[name]
+		if !ok {
+			continue
+		}
+		e := el.Value.(*entry)
+		for i := 0; i < len(e.hints); i++ {
+			if e.hints[i].Addr == addr {
+				e.hints = append(e.hints[:i], e.hints[i+1:]...)
+				i--
+			}
+		}
+		if e.next >= len(e.hints) {
+			e.next = 0
+		}
+		if len(e.hints) == 0 {
+			c.lru.Remove(el)
+			delete(c.entries, name)
 		}
 	}
+	delete(c.byAddr, addr)
 	return n
 }
 
-// Len returns the number of cached hints.
+// Len returns the number of cached names.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
 }
 
-// indexLocked records name under its holder address.
+// indexLocked records name under one holder address.
 func (c *Cache) indexLocked(name, addr string) {
 	set, ok := c.byAddr[addr]
 	if !ok {
@@ -161,12 +283,12 @@ func (c *Cache) indexLocked(name, addr string) {
 	set[name] = struct{}{}
 }
 
-// unindexLocked removes e's name from its holder's set.
-func (c *Cache) unindexLocked(e *entry) {
-	set := c.byAddr[e.hint.Addr]
-	delete(set, e.name)
+// unindexOneLocked removes name from one holder's reverse index.
+func (c *Cache) unindexOneLocked(name, addr string) {
+	set := c.byAddr[addr]
+	delete(set, name)
 	if len(set) == 0 {
-		delete(c.byAddr, e.hint.Addr)
+		delete(c.byAddr, addr)
 	}
 }
 
@@ -175,5 +297,7 @@ func (c *Cache) removeLocked(el *list.Element) {
 	e := el.Value.(*entry)
 	c.lru.Remove(el)
 	delete(c.entries, e.name)
-	c.unindexLocked(e)
+	for _, h := range e.hints {
+		c.unindexOneLocked(e.name, h.Addr)
+	}
 }

@@ -69,21 +69,102 @@ func TestPurgeHolder(t *testing.T) {
 	c.Put("a", Hint{PID: 1, Addr: "dead:1"})
 	c.Put("b", Hint{PID: 1, Addr: "dead:1"})
 	c.Put("c", Hint{PID: 2, Addr: "live:2"})
-	// A re-Put moving a name to another holder must re-index it.
+	// A re-Put at another holder merges into the set: b is now hinted at
+	// both, and must survive the dead holder's purge on its live one.
 	c.Put("b", Hint{PID: 2, Addr: "live:2"})
-	if n := c.PurgeHolder("dead:1"); n != 1 {
-		t.Fatalf("PurgeHolder = %d, want 1", n)
+	if n := c.PurgeHolder("dead:1"); n != 2 {
+		t.Fatalf("PurgeHolder = %d, want 2 (a and b were hinted there)", n)
 	}
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("hint at dead holder served")
 	}
 	for _, name := range []string{"b", "c"} {
-		if _, ok := c.Get(name); !ok {
+		h, ok := c.Get(name)
+		if !ok {
 			t.Fatalf("%s purged, want kept", name)
+		}
+		if h.Addr != "live:2" {
+			t.Fatalf("%s still hinted at %s", name, h.Addr)
 		}
 	}
 	if n := c.PurgeHolder("dead:1"); n != 0 {
 		t.Fatalf("second PurgeHolder = %d, want 0", n)
+	}
+}
+
+func TestRotationAcrossSet(t *testing.T) {
+	c := New(16, time.Minute)
+	set := []Hint{
+		{PID: 1, Addr: "h:1", Version: 5},
+		{PID: 2, Addr: "h:2", Version: 5},
+		{PID: 3, Addr: "h:3"},
+	}
+	c.PutSet("a", set)
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		h, ok := c.Get("a")
+		if !ok {
+			t.Fatal("set missed")
+		}
+		seen[h.Addr]++
+	}
+	for _, h := range set {
+		if seen[h.Addr] != 2 {
+			t.Fatalf("rotation uneven: %v", seen)
+		}
+	}
+}
+
+func TestGetSetRotatesStart(t *testing.T) {
+	c := New(16, time.Minute)
+	c.PutSet("a", []Hint{{PID: 1, Addr: "h:1"}, {PID: 2, Addr: "h:2"}})
+	s1, ok := c.GetSet("a")
+	if !ok || len(s1) != 2 {
+		t.Fatalf("GetSet = %v, %v", s1, ok)
+	}
+	s2, _ := c.GetSet("a")
+	if s1[0].Addr == s2[0].Addr {
+		t.Fatal("consecutive GetSet calls start at the same holder")
+	}
+	if s1[0].Addr != s2[1].Addr || s1[1].Addr != s2[0].Addr {
+		t.Fatalf("rotation lost a holder: %v then %v", s1, s2)
+	}
+}
+
+func TestPurgeFrom(t *testing.T) {
+	c := New(16, time.Minute)
+	c.PutSet("a", []Hint{{PID: 1, Addr: "h:1"}, {PID: 2, Addr: "h:2"}})
+	if !c.PurgeFrom("a", "h:1") {
+		t.Fatal("PurgeFrom missed a present holder")
+	}
+	h, ok := c.Get("a")
+	if !ok || h.Addr != "h:2" {
+		t.Fatalf("surviving holder = %+v, %v", h, ok)
+	}
+	if c.PurgeFrom("a", "h:1") {
+		t.Fatal("PurgeFrom found an already-removed holder")
+	}
+	if !c.PurgeFrom("a", "h:2") {
+		t.Fatal("PurgeFrom missed the last holder")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty set served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("emptied entry retained, len=%d", c.Len())
+	}
+}
+
+func TestPutSetReplaces(t *testing.T) {
+	c := New(16, time.Minute)
+	c.PutSet("a", []Hint{{PID: 1, Addr: "h:1"}})
+	c.PutSet("a", []Hint{{PID: 2, Addr: "h:2"}})
+	if n := c.PurgeHolder("h:1"); n != 0 {
+		t.Fatalf("stale holder still indexed after PutSet replace: %d", n)
+	}
+	h, ok := c.Get("a")
+	if !ok || h.Addr != "h:2" {
+		t.Fatalf("Get = %+v, %v", h, ok)
 	}
 }
 
@@ -99,7 +180,7 @@ func TestConcurrentMix(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				name := fmt.Sprintf("n%d", i%100)
 				addr := fmt.Sprintf("h%d", i%7)
-				switch i % 5 {
+				switch i % 8 {
 				case 0:
 					c.Put(name, Hint{PID: uint32(i), Addr: addr, Version: uint64(i)})
 				case 1:
@@ -108,6 +189,12 @@ func TestConcurrentMix(t *testing.T) {
 					c.Purge(name)
 				case 3:
 					c.PurgeHolder(addr)
+				case 4:
+					c.PutSet(name, []Hint{{PID: uint32(i), Addr: addr}, {PID: uint32(i + 1), Addr: addr + "b"}})
+				case 5:
+					c.GetSet(name)
+				case 6:
+					c.PurgeFrom(name, addr)
 				default:
 					c.Len()
 				}

@@ -197,6 +197,20 @@ func (s *Sharded) Tombstones() []TombRecord {
 	return out
 }
 
+// DiscardAll drops every copy and tombstone across shards without
+// informing the persister; see Store.DiscardAll. Per-shard atomicity
+// only — callers (Leave) hold their own serialization.
+func (s *Sharded) DiscardAll() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.s.DiscardAll()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // TombVersion returns the tombstone version of name, if tombstoned.
 func (s *Sharded) TombVersion(name string) (uint64, bool) {
 	sh := s.shardFor(name)

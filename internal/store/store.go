@@ -261,6 +261,18 @@ func (s *Store) RestoreTombstone(name string, version uint64, at time.Time) {
 	s.tombs[name] = tomb{version: version, at: at}
 }
 
+// DiscardAll drops every copy and tombstone without informing the
+// persister, and returns how many copies were dropped. This is the
+// in-memory half of a graceful departure (netnode Leave): the durable
+// half is a single retire barrier record (wal.Engine.Retire), not one
+// delete record per name, so the persister must not see the discard.
+func (s *Store) DiscardAll() int {
+	n := len(s.files)
+	s.files = make(map[string]*entry)
+	s.tombs = make(map[string]tomb)
+	return n
+}
+
 // TombVersion returns the tombstone version of name and whether name is
 // currently tombstoned.
 func (s *Store) TombVersion(name string) (uint64, bool) {

@@ -1,0 +1,402 @@
+// Package stream is the client half of the chunked data plane
+// (docs/ROUTING.md): it splits one large transfer into ranged KindFetch
+// requests on the direct client↔holder hop, stripes the ranges round-robin
+// across the file's replica set, and reassembles + checksum-verifies the
+// result. Each in-flight chunk is an independent request-ID frame over the
+// shared pipelined streams, so a 64 MiB transfer occupies a holder's
+// pipeline workers one bounded chunk at a time instead of pinning one
+// worker for the whole file, and a hot file's read bandwidth scales with
+// its copy count instead of re-hammering one holder.
+//
+// Correctness under concurrent writes rests on the version pin: the head
+// chunk (offset 0) fixes the transfer's version, every later range carries
+// it, and a holder whose copy moved on refuses with msg.WrongVersionError
+// rather than serve bytes from another version — so a reassembled payload
+// can never splice two versions. A refused range retries on the other
+// replicas; when the pinned version is gone everywhere, the transfer fails
+// with ErrVersionGone and the caller re-locates and restarts.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+
+	"lesslog/internal/msg"
+)
+
+// Defaults for consumers that do not care.
+const (
+	// DefaultChunkSize is the range length per fetch: 1 MiB balances
+	// per-chunk RPC overhead against pipeline-worker hold time and stripe
+	// granularity.
+	DefaultChunkSize = 1 << 20
+	// DefaultWindow bounds in-flight chunk requests per transfer.
+	DefaultWindow = 8
+)
+
+// Sentinel errors the fetch path classifies on.
+var (
+	// ErrUnsupported: every listed holder answered unknown-kind — a
+	// pre-chunking fleet. The caller latches its downgrade timestamp and
+	// falls back to whole-frame fetches.
+	ErrUnsupported = errors.New("stream: holders do not speak chunked fetch")
+	// ErrNotFound: every listed holder refused the head chunk as a
+	// non-holder — the whole hint set was stale. The caller re-locates.
+	ErrNotFound = errors.New("stream: no listed holder holds the file")
+	// ErrVersionGone: the pinned version vanished from every replica
+	// mid-transfer (a concurrent update or delete landed). The caller
+	// restarts the transfer; the partial buffer is discarded, never served.
+	ErrVersionGone = errors.New("stream: pinned version no longer held by any replica")
+	// ErrChecksum: reassembly completed but the whole-file CRC-32C did not
+	// match the holder-declared one. Never served; the caller refetches.
+	ErrChecksum = errors.New("stream: reassembled payload failed checksum")
+)
+
+// castagnoli matches the holder side's chunk and whole-file checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Source is one replica-set member a transfer may fetch from.
+type Source struct {
+	PID  uint32
+	Addr string
+}
+
+// Doer is the transport dependency: one request/response exchange.
+// Satisfied by *transport.Transport; concurrent calls to the same address
+// ride the pooled pipelined connections as independent request-ID frames.
+type Doer interface {
+	Do(addr string, req *msg.Request) (*msg.Response, error)
+}
+
+// Config tunes a Fetcher.
+type Config struct {
+	ChunkSize int // bytes per ranged request; <= 0 selects DefaultChunkSize
+	Window    int // in-flight chunks per transfer; <= 0 selects DefaultWindow
+	// Evict, when set, reports a holder the transfer gave up on: hard means
+	// a transport failure (purge every hint at that address), soft a
+	// not-holder refusal (purge just this name's hint there).
+	Evict func(name, addr string, hard bool)
+}
+
+// Stats counts a fetcher's traffic with atomic counters.
+type Stats struct {
+	// Transfers counts completed chunked fetches; ChunksFetched the ranged
+	// requests that returned a verified chunk; ChunkRetries ranges that had
+	// to move to another replica after a failure or refusal.
+	Transfers     atomic.Uint64
+	ChunksFetched atomic.Uint64
+	ChunkRetries  atomic.Uint64
+	// InFlight gauges transfers currently being assembled; StripeWidth is
+	// the number of distinct replicas the most recent transfer actually
+	// fetched from.
+	InFlight    atomic.Int64
+	StripeWidth atomic.Int64
+}
+
+// Fetcher runs chunked striped fetches over one transport. Safe for
+// concurrent use.
+type Fetcher struct {
+	tr    Doer
+	cfg   Config
+	stats Stats
+}
+
+// New returns a Fetcher issuing requests through tr.
+func New(tr Doer, cfg Config) *Fetcher {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.ChunkSize > msg.MaxChunkBytes {
+		cfg.ChunkSize = msg.MaxChunkBytes
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	return &Fetcher{tr: tr, cfg: cfg}
+}
+
+// Stats exposes the fetcher's counters.
+func (f *Fetcher) Stats() *Stats { return &f.stats }
+
+// transfer is the per-fetch state shared by the chunk workers.
+type transfer struct {
+	f       *Fetcher
+	name    string
+	version uint64 // pinned after the head chunk
+	sources []Source
+	dead    []atomic.Bool // per-source: hard-failed or refused this transfer
+	used    []atomic.Bool // per-source: served at least one chunk
+	next    atomic.Uint64 // round-robin stripe cursor
+	gone    atomic.Bool   // a holder reported the pinned version superseded
+}
+
+// evict reports a holder the transfer dropped, if the caller cares.
+func (t *transfer) evict(i int, hard bool) {
+	t.dead[i].Store(true)
+	if t.f.cfg.Evict != nil {
+		t.f.cfg.Evict(t.name, t.sources[i].Addr, hard)
+	}
+}
+
+// fetchRange performs one ranged request against source i, returning the
+// decoded chunk and the version the holder served it at.
+func (t *transfer) fetchRange(i int, offset uint64, length uint32) (*msg.FetchResp, uint64, error) {
+	data, err := msg.AppendFetchReq(nil, msg.FetchReq{Offset: offset, Length: length})
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := t.f.tr.Do(t.sources[i].Addr, &msg.Request{
+		Kind: msg.KindFetch, Name: t.name, Version: t.version, Data: data,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if !resp.OK {
+		return nil, 0, errors.New(resp.Err)
+	}
+	fr, err := msg.DecodeFetchResp(resp.Data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if crc32.Checksum(fr.Chunk, castagnoli) != fr.ChunkCRC {
+		return nil, 0, fmt.Errorf("stream: chunk at %d failed CRC", offset)
+	}
+	return fr, resp.Version, nil
+}
+
+// runRange fetches one range with retry-on-other-replica: starting at the
+// stripe cursor's replica, every live source is tried at most once. A
+// wrong-version refusal poisons the whole transfer (the pin is gone there;
+// if it is gone everywhere the transfer fails version-gone) but still
+// retries elsewhere — a lagging replica may simply not have caught up.
+func (t *transfer) runRange(offset uint64, length uint32) (*msg.FetchResp, error) {
+	n := len(t.sources)
+	start := int(t.next.Add(1)-1) % n
+	var lastErr error
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if t.dead[i].Load() {
+			continue
+		}
+		if k > 0 {
+			t.f.stats.ChunkRetries.Add(1)
+		}
+		fr, _, err := t.fetchRange(i, offset, length)
+		if err == nil {
+			t.used[i].Store(true)
+			t.f.stats.ChunksFetched.Add(1)
+			return fr, nil
+		}
+		lastErr = err
+		switch {
+		case msg.IsUnknownKind(err.Error()):
+			t.dead[i].Store(true) // legacy holder; never retry chunks there
+		case err.Error() == msg.WrongVersionError:
+			t.gone.Store(true)
+			t.dead[i].Store(true)
+		case err.Error() == msg.NotHolderError:
+			t.evict(i, false)
+		default:
+			t.evict(i, true)
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrVersionGone
+	}
+	return nil, lastErr
+}
+
+// Fetch retrieves name from the replica set in sources, chunking and
+// striping as needed, and returns the reassembled payload with the version
+// served. pin 0 accepts whatever version the head chunk answers (the usual
+// read); a non-zero pin demands exactly that version.
+//
+// The error classifies the failure: ErrUnsupported (downgrade to
+// whole-frame fetches), ErrNotFound (stale hint set; re-locate),
+// ErrVersionGone (concurrent write; re-locate and retry), ErrChecksum, or
+// the last transport error when every replica failed.
+func (f *Fetcher) Fetch(name string, pin uint64, sources []Source) ([]byte, uint64, error) {
+	if len(sources) == 0 {
+		return nil, 0, ErrNotFound
+	}
+	f.stats.InFlight.Add(1)
+	defer f.stats.InFlight.Add(-1)
+	t := &transfer{
+		f: f, name: name, version: pin, sources: sources,
+		dead: make([]atomic.Bool, len(sources)),
+		used: make([]atomic.Bool, len(sources)),
+	}
+
+	// Head chunk first, alone: it pins the version, total size and
+	// whole-file CRC the rest of the transfer is verified against.
+	head, err := t.headChunk()
+	if err != nil {
+		return nil, 0, err
+	}
+	total := head.TotalSize
+	if uint64(len(head.Chunk)) == total {
+		// Single-chunk transfer: the chunk CRC already covered every byte;
+		// the file CRC re-checks the same range.
+		if crc32.Checksum(head.Chunk, castagnoli) != head.FileCRC {
+			return nil, 0, ErrChecksum
+		}
+		f.noteDone(t)
+		return head.Chunk, t.version, nil
+	}
+
+	buf := make([]byte, total)
+	copy(buf, head.Chunk)
+	chunk := uint64(f.cfg.ChunkSize)
+	type rng struct {
+		off uint64
+		ln  uint32
+	}
+	var ranges []rng
+	for off := uint64(len(head.Chunk)); off < total; off += chunk {
+		ln := chunk
+		if off+ln > total {
+			ln = total - off
+		}
+		ranges = append(ranges, rng{off, uint32(ln)})
+	}
+
+	// Bounded in-flight window: Window workers drain the range list, each
+	// chunk an independent pipelined frame striped across the live sources.
+	workers := f.cfg.Window
+	if len(ranges) < workers {
+		workers = len(ranges)
+	}
+	var (
+		wg      sync.WaitGroup
+		cursor  atomic.Uint64
+		failErr error
+		failMu  sync.Mutex
+		failed  atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(cursor.Add(1) - 1)
+				if i >= len(ranges) {
+					return
+				}
+				fr, err := t.runRange(ranges[i].off, ranges[i].ln)
+				if err != nil {
+					failMu.Lock()
+					if failErr == nil {
+						failErr = err
+					}
+					failMu.Unlock()
+					failed.Store(true)
+					return
+				}
+				if fr.TotalSize != total || uint64(len(fr.Chunk)) != uint64(ranges[i].ln) {
+					failMu.Lock()
+					if failErr == nil {
+						failErr = fmt.Errorf("stream: range at %d answered %d bytes of total %d, want %d of %d",
+							ranges[i].off, len(fr.Chunk), fr.TotalSize, ranges[i].ln, total)
+					}
+					failMu.Unlock()
+					failed.Store(true)
+					return
+				}
+				copy(buf[ranges[i].off:], fr.Chunk)
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		if t.gone.Load() && (failErr.Error() == msg.WrongVersionError || allDead(t)) {
+			return nil, 0, ErrVersionGone
+		}
+		return nil, 0, failErr
+	}
+	if crc32.Checksum(buf, castagnoli) != head.FileCRC {
+		return nil, 0, ErrChecksum
+	}
+	f.noteDone(t)
+	return buf, t.version, nil
+}
+
+// headChunk fetches offset 0 from the first willing source, pinning the
+// transfer's version. Classification differs from body ranges: a fleet
+// that is entirely unknown-kind is ErrUnsupported (downgrade), entirely
+// not-holder is ErrNotFound (re-locate); a wrong-version refusal under a
+// caller pin is ErrVersionGone.
+func (t *transfer) headChunk() (*msg.FetchResp, error) {
+	n := len(t.sources)
+	start := int(t.next.Add(1)-1) % n
+	var sawHolderErr, sawMiss bool
+	var lastErr error
+	legacy := 0
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		fr, ver, err := t.fetchRange(i, 0, uint32(t.f.cfg.ChunkSize))
+		if err == nil {
+			// Pin: zero-pin callers adopt the head's version; every body
+			// range (and head retries against other replicas under a caller
+			// pin) must match it exactly.
+			if t.version == 0 {
+				t.version = ver
+			}
+			t.used[i].Store(true)
+			t.f.stats.ChunksFetched.Add(1)
+			return fr, nil
+		}
+		if k > 0 {
+			t.f.stats.ChunkRetries.Add(1)
+		}
+		lastErr = err
+		switch {
+		case msg.IsUnknownKind(err.Error()):
+			legacy++
+			t.dead[i].Store(true)
+		case err.Error() == msg.WrongVersionError:
+			t.gone.Store(true)
+			sawHolderErr = true
+			t.dead[i].Store(true)
+		case err.Error() == msg.NotHolderError:
+			sawMiss = true
+			t.evict(i, false)
+		default:
+			sawHolderErr = true
+			t.evict(i, true)
+		}
+	}
+	switch {
+	case legacy == n:
+		return nil, ErrUnsupported
+	case t.gone.Load():
+		return nil, ErrVersionGone
+	case sawMiss && !sawHolderErr:
+		return nil, ErrNotFound
+	}
+	return nil, fmt.Errorf("stream: head chunk failed at every replica: %w", lastErr)
+}
+
+// allDead reports whether every source was marked dead this transfer.
+func allDead(t *transfer) bool {
+	for i := range t.dead {
+		if !t.dead[i].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// noteDone finalizes a successful transfer's stats.
+func (f *Fetcher) noteDone(t *transfer) {
+	f.stats.Transfers.Add(1)
+	width := 0
+	for i := range t.used {
+		if t.used[i].Load() {
+			width++
+		}
+	}
+	f.stats.StripeWidth.Store(int64(width))
+}

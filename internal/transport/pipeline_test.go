@@ -189,3 +189,42 @@ func TestServeLoopDepthGauge(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestServeDelayModelsSerialServer checks the service-time model: with
+// one worker and a ServeDelay of S, n pipelined requests take at least
+// n*S (a serial server of capacity 1/S), while with enough workers the
+// same delays overlap and the batch finishes in a fraction of that.
+func TestServeDelayModelsSerialServer(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	run := func(workers int) time.Duration {
+		addr := pipelinedServer(t, func(req *msg.Request) *msg.Response {
+			return &msg.Response{OK: true}
+		}, ServeLoopOptions{Workers: workers, ServeDelay: delay})
+		tr := New(Config{PoolSize: 1}, nil)
+		defer tr.Close()
+		// Establish the single pooled stream before the concurrent batch:
+		// cold concurrent callers would each dial their own connection.
+		if _, err := tr.Do(addr, &msg.Request{Kind: msg.KindGet, Name: "warm"}); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := tr.Do(addr, &msg.Request{Kind: msg.KindGet, Name: "f"}); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	if serial := run(1); serial < 4*delay {
+		t.Fatalf("serial server finished 4 requests in %v, want >= %v", serial, 4*delay)
+	}
+	if wide := run(4); wide >= 4*delay {
+		t.Fatalf("4 workers took %v for 4 requests, want the delays to overlap (< %v)", wide, 4*delay)
+	}
+}

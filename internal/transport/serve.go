@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lesslog/internal/msg"
 )
@@ -28,6 +29,13 @@ type ServeLoopOptions struct {
 	// OnProtoError, when non-nil, observes decode and write failures on
 	// the connection (a clean EOF is not reported).
 	OnProtoError func(error)
+	// ServeDelay, when positive, sleeps that long before handling each
+	// request. It is a service-time model for benches and fault
+	// harnesses: the sleep occupies a worker slot, so a connection with
+	// Workers=1 and ServeDelay=S serves at most one request per S — a
+	// serial server with bounded capacity — without burning CPU the way
+	// real work would.
+	ServeDelay time.Duration
 }
 
 // ServeLoop serves one accepted connection with per-connection request
@@ -45,6 +53,13 @@ func ServeLoop(conn net.Conn, handle func(*msg.Request) *msg.Response, opts Serv
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = DefaultPipelineWorkers
+	}
+	if opts.ServeDelay > 0 {
+		inner := handle
+		handle = func(req *msg.Request) *msg.Response {
+			time.Sleep(opts.ServeDelay)
+			return inner(req)
+		}
 	}
 	protoErr := func(err error) {
 		if opts.OnProtoError != nil {

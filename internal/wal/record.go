@@ -5,7 +5,7 @@
 //	length  uint32  body length in bytes (big endian, like the wire codec)
 //	crc     uint32  CRC32C (Castagnoli) of the body
 //	body:
-//	  op      uint8   opPut / opTombstone / opDelete
+//	  op      uint8   opPut / opTombstone / opDelete / opRetire
 //	  kind    uint8   store.Inserted / store.Replica (put only, else 0)
 //	  version uint64  copy or tombstone version (delete: 0)
 //	  at      int64   tombstone record time, unix nanoseconds (else 0)
@@ -40,6 +40,14 @@ const (
 	// opDelete removes a copy locally with no tombstone — the replica
 	// eviction / post-handoff cleanup path (store.Delete semantics).
 	opDelete op = 3
+	// opRetire is the departure barrier (§5.2 Leave): everything logged
+	// before it — copies and tombstones alike — is retired. One record
+	// replaces the per-name opDelete flood a graceful leave would
+	// otherwise append, and replay honors it by clearing the rebuilt
+	// store, so a retired peer restarts empty instead of re-announcing
+	// copies the fabric already re-homed. It carries no name or data,
+	// just the departure time.
+	opRetire op = 4
 )
 
 // Size limits mirror the wire protocol's (internal/msg): nothing larger
@@ -145,6 +153,10 @@ func decodeBody(body []byte) (record, error) {
 		if len(rest) != 0 {
 			return record{}, errCorrupt
 		}
+	case opRetire:
+		if nameLen != 0 || len(rest) != 0 {
+			return record{}, errCorrupt
+		}
 	default:
 		return record{}, errCorrupt
 	}
@@ -164,5 +176,7 @@ func (r record) apply(st *store.Store) {
 		st.RestoreTombstone(r.name, r.version, time.Unix(0, r.at))
 	case opDelete:
 		st.Delete(r.name)
+	case opRetire:
+		st.DiscardAll()
 	}
 }

@@ -1,0 +1,107 @@
+package wal
+
+// The departure barrier (opRetire): one record retires everything logged
+// before it, replacing the per-name delete flood a graceful Leave would
+// otherwise append — replay honors it, compaction absorbs it.
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"lesslog/internal/store"
+)
+
+// A retire barrier replays to an empty store: copies and tombstones
+// logged before it are gone, records after it survive.
+func TestRetireBarrierReplaysToEmpty(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := openT(t, Options{Dir: dir})
+	live := store.New()
+	live.SetPersister(e)
+	for _, n := range []string{"r/a", "r/b", "r/c"} {
+		live.Put(store.File{Name: n, Data: []byte(n), Version: 1}, store.Inserted)
+	}
+	live.Put(store.File{Name: "r/dead", Data: []byte("x"), Version: 1}, store.Replica)
+	live.Tombstone("r/dead", 2, time.Unix(50, 0))
+	appends := e.Stats().Appends.Load()
+	if err := e.Retire(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Appends.Load() - appends; got != 1 {
+		t.Fatalf("retire appended %d records, want exactly 1", got)
+	}
+	// Life after the barrier: a rejoining peer's fresh state replays on top.
+	live.DiscardAll()
+	live.Put(store.File{Name: "r/new", Data: []byte("fresh"), Version: 7}, store.Inserted)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, recovered := openT(t, Options{Dir: dir})
+	defer e2.Close()
+	sameState(t, recovered, live)
+	if recovered.TombstoneCount() != 0 {
+		t.Fatalf("tombstones crossed the retire barrier: %v", recovered.Tombstones())
+	}
+}
+
+// Checkpoint compaction absorbs the barrier: replaying it empties the
+// scratch store, so the checkpoint holds only post-barrier state and no
+// retire record itself.
+func TestCheckpointAbsorbsRetireBarrier(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := openT(t, Options{Dir: dir})
+	live := store.New()
+	live.SetPersister(e)
+	for i := 0; i < 20; i++ {
+		live.Put(store.File{Name: "bulk", Data: make([]byte, 256), Version: uint64(i + 1)}, store.Inserted)
+	}
+	if err := e.Retire(); err != nil {
+		t.Fatal(err)
+	}
+	live.DiscardAll()
+	live.Put(store.File{Name: "after", Data: []byte("kept"), Version: 1}, store.Inserted)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, recovered := openT(t, Options{Dir: dir})
+	defer e2.Close()
+	sameState(t, recovered, live)
+	// The compacted log is exactly the live state: one put record, with
+	// the barrier and the 20 retired versions dropped, not rewritten.
+	if got := e2.Stats().Recovered.Load(); got != 1 {
+		t.Fatalf("compacted log replays %d records, want 1", got)
+	}
+}
+
+// The barrier's codec: carries no name or data, round-trips, and rejects
+// trailing bytes or a name like any other malformed body.
+func TestRetireRecordCodec(t *testing.T) {
+	buf, err := appendRecord(nil, record{op: opRetire, at: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != recHeader+bodyHeader {
+		t.Fatalf("barrier record is %d bytes, want %d", len(buf), recHeader+bodyHeader)
+	}
+	r, err := decodeBody(buf[recHeader:])
+	if err != nil || r.op != opRetire || r.at != 12345 || r.name != "" || r.data != nil {
+		t.Fatalf("round trip = %+v, %v", r, err)
+	}
+	// Trailing bytes after the fixed header are corruption.
+	if _, err := decodeBody(append(buf[recHeader:len(buf):len(buf)], 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// A named barrier is corruption too.
+	bad := append([]byte(nil), buf[recHeader:]...)
+	binary.BigEndian.PutUint16(bad[18:20], 1)
+	bad = append(bad, 'x')
+	if _, err := decodeBody(bad); err == nil {
+		t.Fatal("named barrier accepted")
+	}
+}

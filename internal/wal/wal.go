@@ -852,3 +852,15 @@ func (e *Engine) PersistTombstone(name string, version uint64, at time.Time) {
 func (e *Engine) PersistDelete(name string) {
 	_ = e.append(record{op: opDelete, name: name})
 }
+
+// Retire appends the departure barrier (§5.2): one record marking every
+// copy and tombstone logged before it as retired. A graceful Leave calls
+// this instead of logging one delete per migrated name — the write-
+// amplification fix — after discarding its store in memory, so replay
+// rebuilds an empty store and a restarted peer does not re-announce
+// copies the fabric already re-homed. Compaction absorbs the barrier
+// naturally: replaying it empties the scratch store, and the checkpoint
+// writes only what is live after it.
+func (e *Engine) Retire() error {
+	return e.append(record{op: opRetire, at: time.Now().UnixNano()})
+}
