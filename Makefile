@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench obs-cluster-bench gw-bench peer-bench locate-bench repair-bench storage-bench stream-bench figures examples cover clean
+.PHONY: all build vet test race bench bench-smoke transport-bench obs-bench obs-cluster-bench gw-bench peer-bench locate-bench repair-bench storage-bench stream-bench write-bench figures examples cover clean
 
 all: build vet test
 
@@ -85,6 +85,14 @@ storage-bench:
 # results/BENCH_stream.json (docs/ROUTING.md).
 stream-bench:
 	LESSLOG_STREAM_BENCH=1 BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run 'TestStreamBenchReport' -count 1 -v -timeout 600s ./internal/netnode/ | tee results/stream_bench.txt
+
+# Chunked write plane: whole-frame vs staged chunked put latency at
+# 1-64 MiB (above one frame only the chunked plane can write at all) and
+# broadcast-tree payload bytes against replica count — push repeats the
+# payload per copy, notify/pull keeps the tree payload-free — recorded to
+# results/BENCH_write.json (docs/ROUTING.md "The write plane").
+write-bench:
+	LESSLOG_WRITE_BENCH=1 BENCH_JSON_DIR=$(CURDIR)/results $(GO) test -run 'TestWriteBenchReport' -count 1 -v -timeout 600s ./internal/netnode/ | tee results/write_bench.txt
 
 # Regenerate every reproduced figure and extension table into results/.
 figures: build

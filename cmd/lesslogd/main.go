@@ -47,6 +47,11 @@
 // locate client that hits a pre-locate fabric downgrades to the relay
 // path for -downgrade-ttl before probing again.
 //
+// Update broadcasts past -notify-threshold bytes propagate payload-free:
+// the tree carries a notify (name, version, checksum, sources) and each
+// replica pulls the body in chunks from a converged copy, so tree bytes
+// stop scaling with replica count (docs/ROUTING.md "The write plane").
+//
 // Durable storage (docs/STORAGE.md): `-data-dir` gives the peer a
 // segmented write-ahead log — every mutation is appended there, a
 // restart replays it (truncating any torn tail) and re-announces the
@@ -105,6 +110,7 @@ func main() {
 		admin     = flag.String("admin", "", "server: admin HTTP address for /metrics, /healthz, /trees, /debug/pprof ('' disables)")
 		logLevel  = flag.String("log-level", "info", "server: structured log threshold: debug, info, warn or error")
 		srvLocate = flag.Bool("serve-locate", true, "server: answer locate and local-only gets (false emulates a pre-locate build)")
+		notifyTh  = flag.Int("notify-threshold", 0, "server: update size in bytes past which broadcasts propagate by notify/pull instead of carrying the payload (0 selects the default, -1 disables)")
 		trEvery   = flag.Int("trace-every", 0, "server: head-sample 1-in-N entry requests into the trace ring (0 selects the default, -1 disables tracing)")
 		trSlow    = flag.Duration("trace-slow", 0, "server: latency past which unsampled requests are tail-retained anyway (0 selects the default)")
 		trRing    = flag.Int("trace-ring", 0, "server: retained trace capacity (0 selects the default)")
@@ -138,6 +144,7 @@ func main() {
 		SegmentSize: *segSize, Fsync: policy, FsyncEvery: *fsyncIv,
 		PipelineWorkers: *pipeWk, FanoutWorkers: *fanWk,
 		DisableLocate:    !*srvLocate,
+		NotifyThreshold:  *notifyTh,
 		TraceSampleEvery: *trEvery, TraceSlow: *trSlow, TraceRingSize: *trRing,
 		Logger: logger,
 		Transport: transport.Config{

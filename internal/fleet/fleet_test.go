@@ -39,6 +39,9 @@ func TestAggregateMergesHistograms(t *testing.T) {
 			ChunksServed:       3,
 			ChunkBytes:         3 << 20,
 			LocateSets:         2,
+			WriteChunks:        2,
+			NotifyPulls:        1,
+			FanoutBytes:        1 << 20,
 			HandlerLatencyHist: map[string]metrics.HistogramSnapshot{"get": snapOf(a...)},
 		}},
 		{Addr: "b", Stat: netnode.StatSnapshot{
@@ -47,6 +50,9 @@ func TestAggregateMergesHistograms(t *testing.T) {
 			ChunkBytes:         5 << 20,
 			ChunkRefusals:      1,
 			LocateSets:         1,
+			WriteChunks:        4,
+			NotifyPulls:        2,
+			FanoutBytes:        2 << 20,
 			HandlerLatencyHist: map[string]metrics.HistogramSnapshot{"get": snapOf(b...)},
 		}},
 		{Addr: "down", Err: errors.New("connection refused")},
@@ -62,6 +68,10 @@ func TestAggregateMergesHistograms(t *testing.T) {
 	if c.ChunksServed != 8 || c.ChunkBytes != 8<<20 || c.ChunkRefusals != 1 || c.LocateSets != 3 {
 		t.Fatalf("chunk plane merge = served %d bytes %d refused %d locate-sets %d, want 8/%d/1/3",
 			c.ChunksServed, c.ChunkBytes, c.ChunkRefusals, c.LocateSets, 8<<20)
+	}
+	if c.WriteChunks != 6 || c.NotifyPulls != 3 || c.FanoutBytes != 3<<20 {
+		t.Fatalf("write plane merge = chunks %d pulls %d fanout %d, want 6/3/%d",
+			c.WriteChunks, c.NotifyPulls, c.FanoutBytes, 3<<20)
 	}
 
 	want := snapOf(append(append([]uint64{}, a...), b...)...)

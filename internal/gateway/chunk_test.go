@@ -6,6 +6,7 @@ package gateway
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"errors"
 	"math/rand"
 	"testing"
@@ -59,8 +60,8 @@ func TestGatewayChunkedMiss(t *testing.T) {
 
 // TestGatewayOverFrameRead proves the edge read ceiling is msg.MaxFileSize,
 // not one frame: a copy larger than msg.MaxData (seeded directly into the
-// holder stores; the write plane caps at one frame) is served through the
-// gateway by chunked reassembly.
+// holder stores, bypassing the write plane) is served through the gateway
+// by chunked reassembly.
 func TestGatewayOverFrameRead(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seeds a >16 MiB payload per holder")
@@ -69,8 +70,7 @@ func TestGatewayOverFrameRead(t *testing.T) {
 	g := newGateway(t, Config{Peers: addrs[:2], CacheSize: -1})
 	data := chunkPayload(msg.MaxData+(1<<20), 22) // 17 MiB
 	// Seed every peer: the lookup walk routes by name hash, so wherever it
-	// lands, a holder answers. (Write-plane inserts are frame-capped; only
-	// direct seeding can build an over-frame layout.)
+	// lands, a holder answers.
 	for _, p := range peers {
 		p.SeedLocal("g/huge", data, 1)
 	}
@@ -83,12 +83,48 @@ func TestGatewayOverFrameRead(t *testing.T) {
 	}
 }
 
-// TestGatewayOversizeWriteRejected: the edge refuses over-frame writes
-// with the typed error and counter before any bytes reach the fabric.
+// TestGatewayChunkedPutEndToEnd is the write half of the acceptance
+// path: a payload at the full file-size cap — four times the frame cap —
+// inserts through the gateway's streaming upload plane and reads back
+// byte-identical through the chunked fetch plane. The ChunkedPuts
+// counter proves the staged path carried it, not a whole-frame write.
+func TestGatewayChunkedPutEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams a 64 MiB payload through the edge")
+	}
+	addrs, _ := startLocateFabric(t, 3, 0, 4, false)
+	g := newGateway(t, Config{Peers: addrs[:2], CacheSize: -1})
+	data := chunkPayload(msg.MaxFileSize, 25)
+	want := sha256.Sum256(data)
+	wr, err := g.Insert("g/colossal", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Counters()
+	if c.ChunkedPuts.Value() != 1 || c.Inserts.Value() != 1 {
+		t.Fatalf("chunked puts = %d inserts = %d, want 1/1",
+			c.ChunkedPuts.Value(), c.Inserts.Value())
+	}
+	res, err := g.Get("g/colossal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version < wr.Version {
+		t.Fatalf("readback version %d below acknowledged %d", res.Version, wr.Version)
+	}
+	if got := sha256.Sum256(res.Data); got != want {
+		t.Fatalf("readback of %d bytes is not byte-identical to the upload", len(res.Data))
+	}
+}
+
+// TestGatewayOversizeWriteRejected: the edge refuses writes past the
+// file size cap with the typed error and counter before any bytes reach
+// the fabric. (Writes between one frame and the cap stream through the
+// chunked put plane instead of being refused.)
 func TestGatewayOversizeWriteRejected(t *testing.T) {
 	addrs, _ := startLocateFabric(t, 3, 0, 4, false)
 	g := newGateway(t, Config{Peers: addrs[:1]})
-	big := make([]byte, msg.MaxData+1)
+	big := make([]byte, msg.MaxFileSize+1)
 	if _, err := g.Insert("g/big", big); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("oversize insert err = %v, want ErrTooLarge", err)
 	}

@@ -66,6 +66,7 @@ var gatewayFamilyJSON = map[string]string{
 	"lesslog_gateway_locate_events_total":     "counters.locates",
 	"lesslog_gateway_chunk_events_total":      "counters.chunked_fills",
 	"lesslog_gateway_oversize_rejected_total": "counters.oversize_rejected",
+	"lesslog_gateway_write_plane_total":       "counters.chunked_puts",
 	"lesslog_gateway_transfers_in_flight":     "transfers_in_flight",
 	"lesslog_gateway_stripe_width":            "stripe_width",
 	"lesslog_gateway_cache_entries":           "cache_len",

@@ -66,10 +66,12 @@ var (
 	// than a write this gateway already acknowledged and no cached copy
 	// could bridge the gap.
 	ErrStaleRead = errors.New("gateway: fabric behind acknowledged writes")
-	// ErrTooLarge rejects a write whose payload exceeds one wire frame's
-	// data cap (msg.MaxData), at the edge, before any bytes move — a typed
-	// answer instead of a mid-stream frame-encoding failure.
-	ErrTooLarge = errors.New("gateway: payload exceeds msg.MaxData")
+	// ErrTooLarge rejects a write whose payload exceeds the fabric's file
+	// size cap (msg.MaxFileSize), at the edge, before any bytes move — a
+	// typed answer instead of a mid-stream failure. Payloads between
+	// msg.MaxData and the cap stream through the staged put plane; only a
+	// fabric predating chunked writes still bounds them at one frame.
+	ErrTooLarge = errors.New("gateway: payload exceeds the write size cap")
 	// errNoPeers reports an empty or fully-failed entry-peer set.
 	errNoPeers = errors.New("gateway: no entry peer reachable")
 )
@@ -238,6 +240,12 @@ type Gateway struct {
 	fetcher    *stream.Fetcher
 	chunkDown  atomic.Int64
 
+	// uploader streams over-frame writes to a peer in staged chunks;
+	// putDown latches that path off (relaying ErrTooLarge at one frame's
+	// cap) after the fabric answers put with unknown-kind.
+	uploader *stream.Uploader
+	putDown  atomic.Int64
+
 	counters Counters
 	obs      gwObs
 	log      *slog.Logger
@@ -292,6 +300,10 @@ func New(cfg Config) (*Gateway, error) {
 			})
 		}
 	}
+	g.uploader = stream.NewUploader(g.tr, stream.Config{
+		ChunkSize: cfg.ChunkSize,
+		Window:    cfg.ChunkWindow,
+	})
 	if cfg.TraceSampleEvery >= 0 {
 		slow := cfg.TraceSlow
 		if slow <= 0 {
@@ -792,12 +804,15 @@ func (g *Gateway) write(kind msg.Kind, name string, data []byte) (WriteResult, e
 // assembled comes back as hops. The floor bookkeeping is identical —
 // tracing is additive, never a separate write path.
 func (g *Gateway) writeTraced(kind msg.Kind, name string, data []byte, traceID uint64, path []msg.Hop) (WriteResult, []msg.Hop, error) {
-	if len(data) > msg.MaxData {
+	if len(data) > msg.MaxFileSize {
 		// Refused before admission: no slot, no fabric round-trip, no
-		// partially-encoded frame on the wire.
+		// partially-staged upload on the wire.
 		g.counters.OversizeRejected.Inc()
 		return WriteResult{}, nil, fmt.Errorf("%w: %v %q is %d bytes, cap %d",
-			ErrTooLarge, kind, name, len(data), msg.MaxData)
+			ErrTooLarge, kind, name, len(data), msg.MaxFileSize)
+	}
+	if len(data) > msg.MaxData {
+		return g.chunkedWrite(kind, name, data)
 	}
 	release, err := g.admit()
 	if err != nil {
@@ -813,16 +828,160 @@ func (g *Gateway) writeTraced(kind msg.Kind, name string, data []byte, traceID u
 		req.TraceID = traceID
 		req.Path = path
 	}
-	idx := g.pickPeer()
-	resp, err := g.tr.Do(g.peers[idx], req)
+	addr, idx, hint := g.writeEntry(kind, name)
+	resp, err := g.tr.Do(addr, req)
+	if err != nil && hint != nil {
+		// The hinted holder is unreachable — reroute every hint pointing
+		// there and give the mutation its one entry-peer attempt.
+		g.hints.PurgeHolder(addr)
+		hint = nil
+		idx = g.pickPeer()
+		addr = g.peers[idx]
+		resp, err = g.tr.Do(addr, req)
+	}
 	if err != nil {
-		g.det.Fail(uint32(idx))
+		if idx >= 0 {
+			g.det.Fail(uint32(idx))
+		}
 		return WriteResult{}, nil, fmt.Errorf("gateway: %v %q: %w", kind, name, err)
 	}
-	g.det.Ok(uint32(idx))
+	if idx >= 0 {
+		g.det.Ok(uint32(idx))
+	}
 	if !resp.OK {
+		if hint != nil {
+			g.hints.Purge(name)
+		}
 		return WriteResult{}, resp.Path, fmt.Errorf("gateway: %v %q: %s", kind, name, resp.Err)
 	}
+	g.ackWrite(kind, name, data, resp, hint)
+	return WriteResult{Copies: int(resp.Hops), Version: resp.Version}, resp.Path, nil
+}
+
+// chunkedWrite moves an over-frame mutation through the staged put
+// plane: the payload streams to one peer in ranged chunks, commits
+// atomically there, and enters the fabric as a normal insert or update.
+// A fabric that answers put with unknown-kind latches the path off for
+// DowngradeTTL; while latched, over-frame writes fail fast with the
+// one-frame cap spelled out.
+func (g *Gateway) chunkedWrite(kind msg.Kind, name string, data []byte) (WriteResult, []msg.Hop, error) {
+	op := msg.PutInsert
+	if kind == msg.KindUpdate {
+		op = msg.PutUpdate
+	}
+	if time.Now().UnixNano() < g.putDown.Load() {
+		g.counters.OversizeRejected.Inc()
+		return WriteResult{}, nil, fmt.Errorf("%w: %v %q is %d bytes, frame cap %d on a fabric predating chunked writes",
+			ErrTooLarge, kind, name, len(data), msg.MaxData)
+	}
+	release, err := g.admit()
+	if err != nil {
+		return WriteResult{}, nil, err
+	}
+	defer release()
+	start := time.Now()
+	defer func() { g.obs.write.ObserveDuration(time.Since(start)) }()
+
+	addr, idx, hint := g.writeEntry(kind, name)
+	resp, err := g.uploader.Put(addr, name, data, op)
+	if err != nil && hint != nil && !errors.Is(err, stream.ErrUnsupported) {
+		// The hinted holder failed mid-upload; its staged session times out
+		// server-side. Reroute and restart the upload at an entry peer.
+		g.hints.PurgeHolder(addr)
+		hint = nil
+		idx = g.pickPeer()
+		addr = g.peers[idx]
+		resp, err = g.uploader.Put(addr, name, data, op)
+	}
+	if err != nil {
+		if errors.Is(err, stream.ErrUnsupported) {
+			g.counters.PutDowngrades.Inc()
+			g.counters.OversizeRejected.Inc()
+			g.putDown.Store(time.Now().Add(g.cfg.DowngradeTTL).UnixNano())
+			g.log.Info("fabric does not speak chunked put; rejecting over-frame writes",
+				"retry_after", g.cfg.DowngradeTTL)
+			return WriteResult{}, nil, fmt.Errorf("%w: %v %q is %d bytes, frame cap %d on a fabric predating chunked writes",
+				ErrTooLarge, kind, name, len(data), msg.MaxData)
+		}
+		if idx >= 0 {
+			g.det.Fail(uint32(idx))
+		}
+		return WriteResult{}, nil, fmt.Errorf("gateway: %v %q: %w", kind, name, err)
+	}
+	if idx >= 0 {
+		g.det.Ok(uint32(idx))
+	}
+	g.counters.ChunkedPuts.Inc()
+	g.ackWrite(kind, name, data, resp, hint)
+	return WriteResult{Copies: int(resp.Hops), Version: resp.Version}, resp.Path, nil
+}
+
+// writeEntry resolves where a mutation enters the fabric. Updates and
+// deletes start at a copy when one is known — the cached route hint
+// first, then one locate walk — so the fabric's broadcast begins at a
+// holder instead of paying the entry walk. Inserts (and hint misses)
+// round-robin over the entry peers. idx is -1 when addr is not an entry
+// peer; detector bookkeeping only applies otherwise.
+func (g *Gateway) writeEntry(kind msg.Kind, name string) (addr string, idx int, hint *routehint.Hint) {
+	if g.hints != nil && kind != msg.KindInsert {
+		if h, ok := g.hints.Get(name); ok {
+			return h.Addr, -1, &h
+		}
+		if h, ok := g.resolveHolder(name); ok {
+			return h.Addr, -1, &h
+		}
+	}
+	idx = g.pickPeer()
+	return g.peers[idx], idx, nil
+}
+
+// resolveHolder runs one locate walk to find a write's entry holder,
+// caching the answer. ok=false — the fabric cannot locate (latching the
+// downgrade), the walk failed, or the name is unknown — sends the write
+// through an entry peer instead.
+func (g *Gateway) resolveHolder(name string) (routehint.Hint, bool) {
+	if time.Now().UnixNano() < g.locateDown.Load() {
+		return routehint.Hint{}, false
+	}
+	attempts := len(g.peers)
+	if attempts > maxFetchAttempts {
+		attempts = maxFetchAttempts
+	}
+	for i := 0; i < attempts; i++ {
+		idx := g.pickPeer()
+		g.counters.Locates.Inc()
+		resp, err := g.tr.Do(g.peers[idx], &msg.Request{Kind: msg.KindLocate, Name: name})
+		if err != nil {
+			g.det.Fail(uint32(idx))
+			g.counters.FetchErrors.Inc()
+			continue
+		}
+		g.det.Ok(uint32(idx))
+		if !resp.OK {
+			if msg.IsUnknownKind(resp.Err) {
+				g.counters.LocateFallbacks.Inc()
+				g.locateDown.Store(time.Now().Add(g.cfg.DowngradeTTL).UnixNano())
+				g.log.Info("fabric does not speak locate; writes enter at entry peers",
+					"peer", g.peers[idx], "retry_after", g.cfg.DowngradeTTL)
+			}
+			// A clean locate fault: the name has no copy to start at. The
+			// entry walk answers authoritatively either way.
+			return routehint.Hint{}, false
+		}
+		h := routehint.Hint{PID: resp.ServedBy, Addr: string(resp.Data), Version: resp.Version}
+		g.hints.Put(name, h)
+		return h, true
+	}
+	return routehint.Hint{}, false
+}
+
+// ackWrite applies one acknowledged mutation's edge bookkeeping: the
+// write-through cache and floor, the per-kind counter, and the route
+// hint. An acked update that entered at a hinted holder proves the
+// holder still carries the name — now at the stamped version — so the
+// hint is refreshed rather than dropped; inserts place fresh copies and
+// deletes tombstone them, so their hints are purged.
+func (g *Gateway) ackWrite(kind msg.Kind, name string, data []byte, resp *msg.Response, hint *routehint.Hint) {
 	switch kind {
 	case msg.KindInsert:
 		g.cache.ackInsert(name, data, resp.Version)
@@ -834,13 +993,15 @@ func (g *Gateway) writeTraced(kind msg.Kind, name string, data []byte, traceID u
 		g.cache.ackDelete(name)
 		g.counters.Deletes.Inc()
 	}
-	if g.hints != nil {
-		// The write moved the name's version (or holder set); a later
-		// direct fetch off the old hint must re-prove itself against the
-		// raised floor, so drop the hint rather than risk the round-trip.
-		g.hints.Purge(name)
+	if g.hints == nil {
+		return
 	}
-	return WriteResult{Copies: int(resp.Hops), Version: resp.Version}, resp.Path, nil
+	if kind == msg.KindUpdate && hint != nil {
+		g.hints.Put(name, routehint.Hint{PID: hint.PID, Addr: hint.Addr, Version: resp.Version})
+		g.counters.HintRefreshes.Inc()
+		return
+	}
+	g.hints.Purge(name)
 }
 
 // Forward passes an arbitrary request through to an entry peer, bypassing

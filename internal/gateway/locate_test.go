@@ -78,14 +78,16 @@ func TestGatewayLocateDataPlane(t *testing.T) {
 			c.Locates.Value(), c.HintHits.Value())
 	}
 
-	// An acknowledged write purges the hint: the next read re-locates and
-	// must observe the new version.
+	// An acknowledged update entered at the hinted holder refreshes the
+	// hint in place (the ack proves the holder still carries the name, now
+	// at the stamped version); the next read rides it without re-locating.
 	wr, err := g.Update("g/l", []byte("v2"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.HintLen() != 0 {
-		t.Fatalf("hint survived the acknowledged update (len=%d)", g.HintLen())
+	if g.HintLen() != 1 || c.HintRefreshes.Value() != 1 {
+		t.Fatalf("post-update hint state: len=%d refreshes=%d, want 1/1",
+			g.HintLen(), c.HintRefreshes.Value())
 	}
 	res, err = g.Get("g/l")
 	if err != nil {
@@ -94,8 +96,16 @@ func TestGatewayLocateDataPlane(t *testing.T) {
 	if !bytes.Equal(res.Data, []byte("v2")) || res.Version < wr.Version {
 		t.Fatalf("post-update get = %+v, want v2 at version ≥ %d", res, wr.Version)
 	}
-	if c.Locates.Value() != 2 {
-		t.Fatalf("post-update locates = %d, want 2", c.Locates.Value())
+	if c.Locates.Value() != 1 {
+		t.Fatalf("post-update get re-located despite the refreshed hint (locates=%d)", c.Locates.Value())
+	}
+
+	// A delete still purges: the tombstoned copy proves nothing.
+	if _, err := g.Delete("g/l"); err != nil {
+		t.Fatal(err)
+	}
+	if g.HintLen() != 0 {
+		t.Fatalf("hint survived the acknowledged delete (len=%d)", g.HintLen())
 	}
 }
 

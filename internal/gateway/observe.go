@@ -46,7 +46,12 @@ type Counters struct {
 	// Chunked data plane (docs/ROUTING.md).
 	ChunkedFills     metrics.AtomicCounter // misses filled by a striped chunked transfer
 	ChunkDowngrades  metrics.AtomicCounter // unknown-kind answers that latched chunking off
-	OversizeRejected metrics.AtomicCounter // writes refused at the edge for exceeding msg.MaxData
+	OversizeRejected metrics.AtomicCounter // writes refused at the edge for exceeding the size cap
+
+	// Chunked write plane (docs/ROUTING.md "The write plane").
+	ChunkedPuts   metrics.AtomicCounter // over-frame writes committed through staged puts
+	PutDowngrades metrics.AtomicCounter // unknown-kind put answers that latched chunked writes off
+	HintRefreshes metrics.AtomicCounter // update acks that refreshed the entry hint in place
 }
 
 // CountersSnapshot is the plain-value copy of Counters plus the cache's
@@ -80,6 +85,12 @@ type CountersSnapshot struct {
 	OversizeRejected uint64 `json:"oversize_rejected"`
 	ChunksFetched    uint64 `json:"chunks_fetched"`
 	ChunkRetries     uint64 `json:"chunk_retries"`
+
+	ChunkedPuts   uint64 `json:"chunked_puts"`
+	PutDowngrades uint64 `json:"put_downgrades"`
+	HintRefreshes uint64 `json:"hint_refreshes"`
+	ChunksPut     uint64 `json:"chunks_put"`
+	PutAborts     uint64 `json:"put_aborts"`
 }
 
 // StatSnapshot is the gateway's structured status, the edge counterpart
@@ -177,6 +188,12 @@ func (g *Gateway) countersSnapshot() CountersSnapshot {
 		OversizeRejected: g.counters.OversizeRejected.Value(),
 		ChunksFetched:    g.streamStat(func(s *stream.Stats) uint64 { return s.ChunksFetched.Load() }),
 		ChunkRetries:     g.streamStat(func(s *stream.Stats) uint64 { return s.ChunkRetries.Load() }),
+
+		ChunkedPuts:   g.counters.ChunkedPuts.Value(),
+		PutDowngrades: g.counters.PutDowngrades.Value(),
+		HintRefreshes: g.counters.HintRefreshes.Value(),
+		ChunksPut:     g.uploader.Stats().ChunksSent.Load(),
+		PutAborts:     g.uploader.Stats().Aborts.Load(),
 	}
 }
 
@@ -281,6 +298,12 @@ func (g *Gateway) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: `event="downgrade"`, Value: float64(c.ChunkDowngrades)})
 	metrics.PrometheusFamily(w, "lesslog_gateway_oversize_rejected_total", "counter",
 		metrics.LabeledValue{Value: float64(c.OversizeRejected)})
+	metrics.PrometheusFamily(w, "lesslog_gateway_write_plane_total", "counter",
+		metrics.LabeledValue{Labels: `event="chunked_put"`, Value: float64(c.ChunkedPuts)},
+		metrics.LabeledValue{Labels: `event="chunk"`, Value: float64(c.ChunksPut)},
+		metrics.LabeledValue{Labels: `event="abort"`, Value: float64(c.PutAborts)},
+		metrics.LabeledValue{Labels: `event="downgrade"`, Value: float64(c.PutDowngrades)},
+		metrics.LabeledValue{Labels: `event="hint_refresh"`, Value: float64(c.HintRefreshes)})
 
 	metrics.PrometheusFamily(w, "lesslog_gateway_cache_entries", "gauge",
 		metrics.LabeledValue{Value: float64(g.cache.len())})

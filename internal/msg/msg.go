@@ -109,11 +109,35 @@ const (
 	// stripe chunk fetches round-robin across the set and cache it as a
 	// multi-holder route hint. Version-gated like KindLocate.
 	KindLocateSet
+	// KindPut is the ranged write of the chunked data plane — the upload
+	// twin of KindFetch (docs/ROUTING.md "write plane"). A direct
+	// client↔peer request whose Data carries one staged chunk or a commit/
+	// abort control frame (AppendPutReq): the opening chunk declares the
+	// transfer shape (total size, whole-file CRC-32C) and the response
+	// returns a staging token; further chunks ride the token; an explicit
+	// commit restates the shape and applies the assembled payload through
+	// the normal write path (insert placement or update broadcast), so a
+	// partial upload is never visible or durable. Never forwarded; bounds-
+	// checked per chunk. Version-gated like KindLocate: a pre-chunking peer
+	// answers unknown-kind and the caller falls back to whole-frame writes.
+	KindPut
+	// KindNotify is the pull-based propagation leg of an over-threshold
+	// update broadcast: a payload-free KindUpdate twin carrying only the
+	// transfer facts — total size, whole-file CRC-32C, and the pull sources
+	// already holding the new version (AppendNotifyReq) — with the stamped
+	// version in the request's Version. It fans down the children-list
+	// broadcast tree exactly like a FlagPropagate update, but each holder
+	// pulls the body via KindFetch from a listed source instead of
+	// receiving it on the tree, so tree bytes stay O(copies), not
+	// O(copies × size). Version-gated like KindLocate: a pre-chunking child
+	// answers unknown-kind and the deliverer falls back to a whole-frame
+	// update leg.
+	KindNotify
 )
 
 // KindCount sizes per-kind metric arrays: valid kinds index 1..KindCount-1,
 // slot 0 collects unknown kinds.
-const KindCount = int(KindLocateSet) + 1
+const KindCount = int(KindNotify) + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -148,6 +172,10 @@ func (k Kind) String() string {
 		return "fetch"
 	case KindLocateSet:
 		return "locate-set"
+	case KindPut:
+		return "put"
+	case KindNotify:
+		return "notify"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -201,11 +229,12 @@ const (
 	MaxDigestBuckets = 4096
 	MaxDigestEntries = 1024
 
-	// MaxFileSize bounds the total size a chunked transfer (KindFetch) may
-	// declare: 64 MiB — four single-frame payloads — keeps client
-	// reassembly buffers bounded while raising the effective file-size
-	// ceiling well past one frame. Chunked *writes* have not landed, so
-	// single-frame inserts remain capped at MaxData.
+	// MaxFileSize bounds the total size a chunked transfer (KindFetch or
+	// KindPut) may declare: 64 MiB — four single-frame payloads — keeps
+	// client reassembly and upload staging buffers bounded while raising
+	// the effective file-size ceiling well past one frame. Both planes
+	// share the ceiling: anything a chunked write can store, a chunked
+	// read can serve back.
 	MaxFileSize = 64 << 20
 	// MaxHolders bounds the replica set a KindLocateSet answer may carry.
 	MaxHolders = 64

@@ -3,6 +3,7 @@ package netnode
 import (
 	"bytes"
 	"fmt"
+	"hash/crc32"
 	"strings"
 	"testing"
 
@@ -93,6 +94,22 @@ func TestEveryKindHasHandler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	putOpen, err := msg.AppendPutReq(nil, &msg.PutReq{
+		Op: msg.PutData, TotalSize: 1, FileCRC: crc32.Checksum([]byte("p"), castagnoli),
+		ChunkCRC: crc32.Checksum([]byte("p"), castagnoli), Chunk: []byte("p"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A direct notify for a name already held at least as new: the fast
+	// path answers OK without pulling anything.
+	notifyHeld, err := msg.AppendNotifyReq(nil, &msg.NotifyReq{
+		TotalSize: 1, FileCRC: 1,
+		Sources: []msg.Holder{{PID: 1, Addr: peers[1].Addr(), Version: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	reqs := map[msg.Kind]*msg.Request{
 		msg.KindInsert: {Kind: msg.KindInsert, Name: "k/insert", Data: []byte("v")},
 		msg.KindGet:    {Kind: msg.KindGet, Name: "seed"},
@@ -112,6 +129,8 @@ func TestEveryKindHasHandler(t *testing.T) {
 		msg.KindTraces:    {Kind: msg.KindTraces},
 		msg.KindFetch:     {Kind: msg.KindFetch, Name: "seed", Data: headRange},
 		msg.KindLocateSet: {Kind: msg.KindLocateSet, Name: "seed"},
+		msg.KindPut:       {Kind: msg.KindPut, Name: "k/put", Data: putOpen},
+		msg.KindNotify:    {Kind: msg.KindNotify, Name: "seed", Version: 1, Data: notifyHeld},
 	}
 	for k := 1; k < msg.KindCount; k++ {
 		kind := msg.Kind(k)

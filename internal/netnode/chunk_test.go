@@ -107,8 +107,8 @@ func TestChunkedGetStripesAcrossReplicas(t *testing.T) {
 
 // TestChunkedReadCeiling proves the read path's ceiling is msg.MaxFileSize,
 // not one frame: a copy larger than msg.MaxData (placed directly into the
-// holder stores — the write plane caps inserts at one frame) is readable
-// via the chunk plane, checksum intact.
+// holder stores, bypassing the write plane) is readable via the chunk
+// plane, checksum intact.
 func TestChunkedReadCeiling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seeds a >16 MiB payload per holder")
@@ -129,12 +129,13 @@ func TestChunkedReadCeiling(t *testing.T) {
 }
 
 // TestOversizeInsertRejected is the write-plane edge guard: an insert (or
-// update) larger than one frame fails fast with the typed error and bumps
-// the counter — no bytes move.
+// update) larger than the system-wide file cap (msg.MaxFileSize — one
+// wire frame stopped being the ceiling when writes went chunked) fails
+// fast with the typed error and bumps the counter — no bytes move.
 func TestOversizeInsertRejected(t *testing.T) {
 	peers := startSystem(t, 3, 0, allPIDs(4), hashring.Fixed(2))
 	cl := NewLocateClientWith(peers[0].Addr(), peers[0].Transport(), LocateOptions{})
-	big := make([]byte, msg.MaxData+1)
+	big := make([]byte, msg.MaxFileSize+1)
 	if err := cl.Insert("big", big); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("oversize insert err = %v, want ErrTooLarge", err)
 	}

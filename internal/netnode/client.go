@@ -19,11 +19,12 @@ import (
 // be located — the paper's "fault".
 var ErrFault = errors.New("netnode: file not found (fault)")
 
-// ErrTooLarge rejects a write whose payload exceeds one wire frame's data
-// cap (msg.MaxData). Caught at the client edge so the caller gets a typed,
-// actionable error instead of a mid-stream frame-encoding failure after
-// the bytes already started moving.
-var ErrTooLarge = errors.New("netnode: payload exceeds msg.MaxData")
+// ErrTooLarge rejects a write whose payload exceeds the system-wide file
+// size cap (msg.MaxFileSize, 64 MiB) — or, against a fabric that predates
+// the chunked write plane, the single wire frame's data cap (msg.MaxData).
+// Caught at the client edge so the caller gets a typed, actionable error
+// instead of a mid-stream failure after the bytes already started moving.
+var ErrTooLarge = errors.New("netnode: payload exceeds the write size cap")
 
 // DefaultLocateRetryAfter is how long a locate-mode client stays
 // downgraded to the relay path after a peer answers locate with the
@@ -54,6 +55,15 @@ type Client struct {
 	fetcher    *stream.Fetcher
 	chunkDown  atomic.Int64
 	lstats     LocateStats
+
+	// Chunked write plane (docs/ROUTING.md "write plane"): payloads over
+	// one frame stream to the entry peer as a staged upload and commit
+	// into the normal insert/update path there. Every client carries an
+	// uploader — unlike the read-side chunk plane it needs no locate
+	// support, just a put-speaking entry peer; putDown latches the
+	// whole-frame fallback when the fabric answers unknown-kind.
+	uploader *stream.Uploader
+	putDown  atomic.Int64
 }
 
 // LocateStats counts a locate-mode client's data-plane outcomes.
@@ -66,7 +76,11 @@ type LocateStats struct {
 
 	ChunkedGets     atomic.Uint64 // gets served by the striped chunk plane
 	ChunkDowngrades atomic.Uint64 // unknown-kind answers that latched chunking off
-	OversizeRejects atomic.Uint64 // writes rejected at the edge for exceeding msg.MaxData
+	OversizeRejects atomic.Uint64 // writes rejected at the edge for exceeding the size cap
+
+	HintRefreshes atomic.Uint64 // write acks that refreshed the entry hint in place
+	ChunkedPuts   atomic.Uint64 // writes streamed through the staged put plane
+	PutDowngrades atomic.Uint64 // unknown-kind answers that latched chunked puts off
 }
 
 // LocateOptions configure a locate-mode client.
@@ -91,13 +105,13 @@ type LocateOptions struct {
 
 // NewClient returns a client that contacts the peer at addr through the
 // package default transport: deadlines and idempotent retries, no pooling.
-func NewClient(addr string) *Client { return &Client{addr: addr, tr: defaultTransport()} }
+func NewClient(addr string) *Client { return NewClientWith(addr, defaultTransport()) }
 
 // NewClientWith returns a client that contacts the peer at addr through
 // tr — e.g. a pooled transport shared across many clients, or one with a
 // fault-injection table for tests.
 func NewClientWith(addr string, tr *transport.Transport) *Client {
-	return &Client{addr: addr, tr: tr}
+	return &Client{addr: addr, tr: tr, uploader: stream.NewUploader(tr, stream.Config{})}
 }
 
 // NewLocateClient returns a client whose gets use the locate-then-fetch
@@ -120,6 +134,10 @@ func NewLocateClientWith(addr string, tr *transport.Transport, opts LocateOption
 		retry = DefaultLocateRetryAfter
 	}
 	c := &Client{addr: addr, tr: tr, locate: true, hints: hints, retryAfter: retry}
+	c.uploader = stream.NewUploader(tr, stream.Config{
+		ChunkSize: opts.ChunkSize,
+		Window:    opts.ChunkWindow,
+	})
 	if !opts.DisableChunks {
 		c.fetcher = stream.New(tr, stream.Config{
 			ChunkSize: opts.ChunkSize,
@@ -151,11 +169,18 @@ func (c *Client) StreamStats() *stream.Stats {
 	return c.fetcher.Stats()
 }
 
-// Insert stores a file in the system.
+// Insert stores a file in the system. Payloads over one wire frame
+// (msg.MaxData) stream to the entry peer as a staged chunked upload and
+// commit into the normal insert path there; the hard cap is
+// msg.MaxFileSize.
 func (c *Client) Insert(name string, data []byte) error {
-	if len(data) > msg.MaxData {
+	if len(data) > msg.MaxFileSize {
 		c.lstats.OversizeRejects.Add(1)
-		return fmt.Errorf("%w: insert %q is %d bytes, cap %d", ErrTooLarge, name, len(data), msg.MaxData)
+		return fmt.Errorf("%w: insert %q is %d bytes, cap %d", ErrTooLarge, name, len(data), msg.MaxFileSize)
+	}
+	if len(data) > msg.MaxData {
+		_, _, err := c.chunkedWrite(msg.KindInsert, name, data)
+		return err
 	}
 	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindInsert, Name: name, Data: data})
 	c.purgeHint(name)
@@ -491,23 +516,127 @@ func (c *Client) DeleteTraced(name string) (int, []msg.Hop, error) {
 }
 
 func (c *Client) write(kind msg.Kind, name string, data []byte, traced bool) (int, []msg.Hop, error) {
-	if len(data) > msg.MaxData {
+	if len(data) > msg.MaxFileSize {
 		c.lstats.OversizeRejects.Add(1)
-		return 0, nil, fmt.Errorf("%w: %s %q is %d bytes, cap %d", ErrTooLarge, kind, name, len(data), msg.MaxData)
+		return 0, nil, fmt.Errorf("%w: %s %q is %d bytes, cap %d", ErrTooLarge, kind, name, len(data), msg.MaxFileSize)
 	}
+	if len(data) > msg.MaxData {
+		return c.chunkedWrite(kind, name, data)
+	}
+	// Hint-guided entry: start the broadcast at a holder when the hint
+	// cache (or one locate walk) can name one, so initiation skips the
+	// lookup hops the read path already eliminated.
+	addr, hint := c.writeEntry(name)
 	req := &msg.Request{Kind: kind, Name: name, Data: data}
 	if traced {
 		req.Flags = msg.FlagTrace
 		req.TraceID = rand.Uint64()
 	}
-	resp, err := c.tr.Do(c.addr, req)
-	c.purgeHint(name)
+	resp, err := c.tr.Do(addr, req)
+	if err != nil && hint != nil {
+		// The hinted holder is unreachable: purge everything it hinted at
+		// and retry once at the home peer, like a stale-hint read.
+		c.hints.PurgeHolder(addr)
+		hint = nil
+		resp, err = c.tr.Do(c.addr, req)
+	}
 	if err != nil {
+		c.purgeHint(name)
 		return 0, nil, err
 	}
 	if !resp.OK {
+		c.purgeHint(name)
 		return 0, resp.Path, fmt.Errorf("netnode: %s %q: %s", kind, name, resp.Err)
 	}
+	c.noteWriteAck(kind, name, hint, resp.Version)
+	return int(resp.Hops), resp.Path, nil
+}
+
+// writeEntry resolves where a broadcast write should enter the fabric: the
+// hinted holder when the cache has one, else one locate walk (cached for
+// the next write or read), else the home peer. Outside locate mode — or
+// while the locate downgrade latch is set — writes enter at the home peer
+// exactly as before the write plane.
+func (c *Client) writeEntry(name string) (string, *routehint.Hint) {
+	if !c.locate || time.Now().UnixNano() < c.locateDown.Load() {
+		return c.addr, nil
+	}
+	if h, ok := c.hints.Get(name); ok {
+		return h.Addr, &h
+	}
+	c.lstats.Locates.Add(1)
+	resp, err := c.tr.Do(c.addr, &msg.Request{Kind: msg.KindLocate, Name: name})
+	if err != nil || !resp.OK {
+		if err == nil && msg.IsUnknownKind(resp.Err) {
+			c.lstats.Downgrades.Add(1)
+			c.locateDown.Store(time.Now().Add(c.retryAfter).UnixNano())
+		}
+		// Unlocatable (e.g. a first write racing the insert): enter at the
+		// home peer; the write path handles the miss like it always has.
+		return c.addr, nil
+	}
+	h := routehint.Hint{PID: resp.ServedBy, Addr: string(resp.Data), Version: resp.Version}
+	c.hints.Put(name, h)
+	return h.Addr, &h
+}
+
+// noteWriteAck settles the hint state after an acknowledged write. An
+// update that entered at a hinted holder refreshes that entry in place
+// with the acked version — the holder just applied the broadcast, so the
+// read-after-write path skips a locate instead of paying one to
+// rediscover the same holder. Every other ack invalidates, as before:
+// the holder set or version moved in a way the client cannot name.
+func (c *Client) noteWriteAck(kind msg.Kind, name string, hint *routehint.Hint, version uint64) {
+	if c.hints == nil {
+		return
+	}
+	if kind != msg.KindUpdate || hint == nil {
+		c.hints.Purge(name)
+		return
+	}
+	c.hints.Put(name, routehint.Hint{PID: hint.PID, Addr: hint.Addr, Version: version})
+	c.lstats.HintRefreshes.Add(1)
+}
+
+// chunkedWrite streams an over-frame payload to the entry peer as a
+// staged upload committing into kind's write path. A fabric that answers
+// the opening frame unknown-kind predates the put plane: the downgrade
+// latch pins later over-frame writes to the typed edge rejection (the
+// pre-chunking behavior) until RetryAfter expires.
+func (c *Client) chunkedWrite(kind msg.Kind, name string, data []byte) (int, []msg.Hop, error) {
+	op := msg.PutInsert
+	if kind == msg.KindUpdate {
+		op = msg.PutUpdate
+	}
+	if time.Now().UnixNano() < c.putDown.Load() {
+		c.lstats.OversizeRejects.Add(1)
+		return 0, nil, fmt.Errorf("%w: %s %q is %d bytes, frame cap %d on a fabric predating chunked writes",
+			ErrTooLarge, kind, name, len(data), msg.MaxData)
+	}
+	addr := c.addr
+	var hint *routehint.Hint
+	if kind == msg.KindUpdate {
+		addr, hint = c.writeEntry(name)
+	}
+	resp, err := c.uploader.Put(addr, name, data, op)
+	if err != nil && hint != nil && !errors.Is(err, stream.ErrUnsupported) {
+		c.hints.PurgeHolder(addr)
+		hint = nil
+		resp, err = c.uploader.Put(c.addr, name, data, op)
+	}
+	if err != nil {
+		c.purgeHint(name)
+		if errors.Is(err, stream.ErrUnsupported) {
+			c.lstats.PutDowngrades.Add(1)
+			c.lstats.OversizeRejects.Add(1)
+			c.putDown.Store(time.Now().Add(c.retryAfter).UnixNano())
+			return 0, nil, fmt.Errorf("%w: %s %q is %d bytes, frame cap %d on a fabric predating chunked writes",
+				ErrTooLarge, kind, name, len(data), msg.MaxData)
+		}
+		return 0, nil, err
+	}
+	c.lstats.ChunkedPuts.Add(1)
+	c.noteWriteAck(kind, name, hint, resp.Version)
 	return int(resp.Hops), resp.Path, nil
 }
 

@@ -77,6 +77,12 @@ var peerFamilyJSON = map[string]string{
 	"lesslog_chunk_payload_bytes_total":   "chunk_bytes",
 	"lesslog_chunk_refusals_total":        "chunk_refusals",
 	"lesslog_locate_sets_total":           "locate_sets",
+	"lesslog_write_chunks_total":          "write_chunks",
+	"lesslog_write_payload_bytes_total":   "write_bytes",
+	"lesslog_staged_aborts_total":         "staged_aborts",
+	"lesslog_notify_propagation_total":    "notify_pulls",
+	"lesslog_write_entries_total":         "writes_at_holder",
+	"lesslog_fanout_payload_bytes_total":  "fanout_bytes",
 	"lesslog_repair_total":                "repaired",
 	"lesslog_repair_probes_total":         "repair_probes",
 	"lesslog_digest_bytes_total":          "digest_bytes",

@@ -35,18 +35,37 @@ const ErrWrongVersion = msg.WrongVersionError
 // a fetch that misses answers ErrNotHolder exactly like a FlagLocalOnly
 // get, never forwards — the stale-hint miss must stay one cheap RPC. The
 // head chunk (offset 0) counts the §6 store access so a chunked transfer
-// weighs one serve, like a whole-frame get; later ranges peek.
+// weighs one serve, like a whole-frame get; later ranges peek. A
+// FlagReplica fetch is a peer pulling a body for placement or notify
+// propagation: it peeks even at offset 0 (replication is not popularity),
+// and on a store miss or pin mismatch it may be served from the write
+// outbox — the origin of a pull-based broadcast keeps the new version
+// there until the tree has had time to pull, even if its own store copy
+// is superseded again meanwhile.
 func (p *Peer) handleFetch(req *msg.Request) *msg.Response {
 	fr, err := msg.DecodeFetchReq(req.Data)
 	if err != nil {
 		return &msg.Response{Err: fmt.Sprintf("netnode: fetch decode: %v", err)}
 	}
+	replica := req.Flags&msg.FlagReplica != 0
 	var f store.File
 	var ok bool
-	if fr.Offset == 0 {
+	if fr.Offset == 0 && !replica {
 		f, ok = p.store.Get(req.Name)
 	} else {
 		f, ok = p.store.Peek(req.Name)
+	}
+	if ok && req.Version != 0 && f.Version != req.Version && replica {
+		// The store moved past the pin, but the pinned body may still sit
+		// in the outbox for exactly this pull.
+		if data, ver, boxed := p.outbox.get(req.Name, req.Version); boxed {
+			f, ok = store.File{Name: req.Name, Data: data, Version: ver}, true
+		}
+	}
+	if !ok && replica {
+		if data, ver, boxed := p.outbox.get(req.Name, req.Version); boxed {
+			f, ok = store.File{Name: req.Name, Data: data, Version: ver}, true
+		}
 	}
 	if !ok {
 		p.stats.DirectMisses.Add(1)

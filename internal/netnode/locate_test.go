@@ -177,8 +177,12 @@ func TestHintInvalidatedByWrites(t *testing.T) {
 	if _, err := cl.Update("f", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	// The update purged the hint; the next get re-locates and must see
-	// the acknowledged write.
+	// The update entered at the hinted holder and its ack refreshed the
+	// hint in place — the read-after-write get serves directly off it, no
+	// re-locate, and still must see the acknowledged write.
+	if cl.LocateStats().HintRefreshes.Load() != 1 {
+		t.Fatalf("HintRefreshes = %d, want 1", cl.LocateStats().HintRefreshes.Load())
+	}
 	locates0 := cl.LocateStats().Locates.Load()
 	res, err := cl.Get("f")
 	if err != nil {
@@ -187,8 +191,8 @@ func TestHintInvalidatedByWrites(t *testing.T) {
 	if !bytes.Equal(res.Data, []byte("v2")) {
 		t.Fatalf("post-update get = %q, want v2", res.Data)
 	}
-	if cl.LocateStats().Locates.Load() != locates0+1 {
-		t.Fatal("update did not invalidate the route hint")
+	if cl.LocateStats().Locates.Load() != locates0 {
+		t.Fatal("post-update get re-located despite the refreshed hint")
 	}
 	// Delete purges too: the re-located get faults.
 	if _, err := cl.Delete("f"); err != nil {

@@ -31,6 +31,7 @@ import (
 	"lesslog/internal/ptree"
 	"lesslog/internal/repair"
 	"lesslog/internal/store"
+	"lesslog/internal/stream"
 	"lesslog/internal/tracering"
 	"lesslog/internal/transport"
 	"lesslog/internal/wal"
@@ -87,6 +88,14 @@ type Config struct {
 	// forwards as an ordinary relay get). The version gate for rolling
 	// upgrades, and the legacy end of the interop tests; see docs/ROUTING.md.
 	DisableLocate bool
+	// NotifyThreshold switches update broadcasts at or above this payload
+	// size to pull-based propagation: the tree carries a payload-free
+	// KindNotify and each holder pulls the body off the origin (or an
+	// already-converged sibling), so tree bytes stay O(copies) instead of
+	// O(copies × size). 0 selects DefaultNotifyThreshold; negative keeps
+	// every update whole-frame on the tree (payloads over one frame still
+	// propagate by notify — nothing else can carry them).
+	NotifyThreshold int
 	// TraceSampleEvery head-samples 1 in N entry requests (and repair
 	// rounds) into the trace ring; 0 selects tracering.DefaultSampleEvery,
 	// 1 traces everything, negative disables the trace plane entirely.
@@ -104,6 +113,12 @@ type Config struct {
 // when Config.FanoutWorkers is unset; each broadcast's semaphore is sized
 // min(FanoutWorkers, legs).
 const DefaultFanoutWorkers = 8
+
+// DefaultNotifyThreshold is the payload size at which update broadcasts
+// switch to pull-based propagation when Config.NotifyThreshold is unset:
+// 256 KiB keeps small updates on the one-RPC-per-leg fast path while
+// moving bulk bytes off the tree well before they dominate fan-out cost.
+const DefaultNotifyThreshold = 256 << 10
 
 // Stats counts a peer's traffic with atomic counters.
 type Stats struct {
@@ -143,6 +158,30 @@ type Stats struct {
 	// multi-hop relay get of size S adds S at every intermediate peer; a
 	// locate-then-fetch get adds zero.
 	RelayedBytes atomic.Uint64
+	// Chunked write plane (docs/ROUTING.md "write plane"). WriteChunks
+	// counts staged KindPut chunks accepted, WriteBytes their payload
+	// bytes; StagedAborts counts staging sessions discarded without a
+	// commit (explicit abort, TTL expiry, or a failed commit check — every
+	// path where staged bytes die unseen); NotifyPulls counts bodies this
+	// peer pulled in response to a propagation notify; NotifyFallbacks
+	// counts notify legs downgraded to a whole-frame update for a child
+	// that predates the notify plane.
+	WriteChunks     atomic.Uint64
+	WriteBytes      atomic.Uint64
+	StagedAborts    atomic.Uint64
+	NotifyPulls     atomic.Uint64
+	NotifyFallbacks atomic.Uint64
+	// WritesAtHolder / WritesRemote split update and delete initiations by
+	// whether the initiating peer already held a copy — the hint-guided
+	// write entry's success measure: an initiation at a holder probes the
+	// current version for free instead of paying a lookup walk.
+	WritesAtHolder atomic.Uint64
+	WritesRemote   atomic.Uint64
+	// FanoutBytes counts request-payload bytes this peer pushed onto
+	// broadcast-tree legs (update/delete/notify propagations). Whole-frame
+	// propagation grows this O(copies × size); notify propagation keeps it
+	// O(copies) — the write bench's bytes-on-tree measure.
+	FanoutBytes atomic.Uint64
 	// PipelineDepth gauges pipelined requests currently being handled
 	// across this peer's served connections; FanoutActive gauges broadcast
 	// RPC legs currently in flight. Both are instantaneous, not monotonic.
@@ -226,6 +265,13 @@ type Peer struct {
 
 	// ttfr tracks time-to-full-replication across repair rounds.
 	ttfr repair.TTFR
+
+	// Write plane (docs/ROUTING.md "write plane"): staged chunked uploads,
+	// the commit outbox propagation pulls are served from, and the puller
+	// that fetches notify bodies off converged siblings.
+	uploads uploadTable
+	outbox  outbox
+	puller  *stream.Fetcher
 }
 
 // rt loads the current routing snapshot; never nil after Listen.
@@ -331,6 +377,9 @@ func Listen(cfg Config) (*Peer, error) {
 	}
 	p.log = logger.With("component", "netnode", "pid", uint32(cfg.PID))
 	p.tr = transport.New(cfg.Transport, cfg.Faults)
+	// The notify puller fetches propagation bodies as replica transfers:
+	// FlagReplica keeps a pull from counting a §6 access at its source.
+	p.puller = stream.New(p.tr, stream.Config{Replica: true})
 	p.det = transport.NewDetector(p.tr.Config().FailThreshold, p.peerDown, p.peerUp)
 	p.wg.Add(1)
 	go p.acceptLoop()
@@ -596,6 +645,16 @@ func (p *Peer) dispatch(req *msg.Request) *msg.Response {
 			break // legacy emulation: a pre-chunking build answers unknown-kind
 		}
 		return p.handleLocateSet(req)
+	case msg.KindPut:
+		if p.cfg.DisableLocate {
+			break // legacy emulation: a pre-chunking build answers unknown-kind
+		}
+		return p.handlePut(req)
+	case msg.KindNotify:
+		if p.cfg.DisableLocate {
+			break // legacy emulation: a pre-chunking build answers unknown-kind
+		}
+		return p.handleNotify(req)
 	}
 	return &msg.Response{Err: msg.UnknownKindError(req.Kind)}
 }
@@ -764,9 +823,24 @@ func (p *Peer) handleInsert(req *msg.Request) *msg.Response {
 // signal. Clients match it to purge the hint and fall back to a locate.
 const ErrNotHolder = msg.NotHolderError
 
+// ErrOverFrame is the answer to a whole-frame get of a body larger than
+// one wire frame (msg.MaxData): framing it would fail response encoding
+// and tear down the pipelined connection under every other request in
+// flight on it. Chunk-capable readers never see this — they fetch ranged
+// — so it reaches only plain/relay gets and the repair pull, which
+// retries through the chunk plane.
+const ErrOverFrame = "netnode: body exceeds one frame; fetch it through the chunked plane"
+
 func (p *Peer) handleGet(req *msg.Request) *msg.Response {
 	start := time.Now()
 	f, ok := p.store.Get(req.Name)
+	if ok && len(f.Data) > msg.MaxData {
+		resp := &msg.Response{Hops: req.Hops, Version: f.Version, Err: ErrOverFrame}
+		if req.Flags&msg.FlagTrace != 0 {
+			resp.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFault, time.Since(start))
+		}
+		return resp
+	}
 	if ok {
 		p.stats.Served.Add(1)
 		if req.Flags&msg.FlagLocalOnly != 0 && !p.cfg.DisableLocate {
@@ -948,7 +1022,17 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 	// at each subtree's root position (or its expanded children when
 	// dead). A traced initiation roots the fan-out tree here: the HopFanout
 	// record travels in prop.Path so every delivery parents correctly, and
-	// the response carries the whole assembled tree.
+	// the response carries the whole assembled tree. A holder initiating
+	// its own broadcast reads the current version for free; the at-holder /
+	// remote split is what the hint-guided write entry optimizes.
+	if p.store.Has(req.Name) {
+		p.stats.WritesAtHolder.Add(1)
+	} else {
+		p.stats.WritesRemote.Add(1)
+	}
+	if p.notifyEligible(len(req.Data)) {
+		return p.initNotifyUpdate(req, v, start, target)
+	}
 	if version, ok := p.probeVersion(req.Name); ok {
 		p.mergeClock(version)
 	}
@@ -960,7 +1044,7 @@ func (p *Peer) handleUpdate(req *msg.Request) *msg.Response {
 	if col != nil {
 		prop.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFanout, 0)
 	}
-	updated := p.broadcast(v, &prop, col)
+	updated := p.broadcast(v, &prop, nil, col)
 	if updated == 0 {
 		p.stats.Faults.Add(1)
 		resp := &msg.Response{Err: "netnode: update found no copy"}
@@ -1012,14 +1096,17 @@ func (p *Peer) fanoutSem(legs int) chan struct{} {
 }
 
 // broadcast starts the top-down children-list broadcast of a propagation
-// request (update or delete) at each subtree's root position — or at the
-// root's expanded children when it is dead — and returns copies touched.
-// The per-subtree legs run concurrently through a bounded semaphore, and
-// each remote delivery recurses in parallel on its own peer, so broadcast
-// latency tracks the tree depth instead of the copy count. Update and
-// delete share this path exactly, so neither can loop by delivering to
-// itself over the wire where the other would not.
-func (p *Peer) broadcast(v ptree.View, prop *msg.Request, col *hopCollector) int {
+// request (update, delete, or notify) at each subtree's root position —
+// or at the root's expanded children when it is dead — and returns copies
+// touched. The per-subtree legs run concurrently through a bounded
+// semaphore, and each remote delivery recurses in parallel on its own
+// peer, so broadcast latency tracks the tree depth instead of the copy
+// count. Update and delete share this path exactly, so neither can loop
+// by delivering to itself over the wire where the other would not. fb is
+// the optional whole-frame fallback leg for children that predate the
+// notify plane (nil for whole-frame propagations, or when the payload is
+// over one frame and no fallback exists).
+func (p *Peer) broadcast(v ptree.View, prop *msg.Request, fb *msg.Request, col *hopCollector) int {
 	// One immutable liveness snapshot covers every subtree-root check.
 	live := p.rt().live
 	var starts []bitops.PID
@@ -1032,18 +1119,18 @@ func (p *Peer) broadcast(v ptree.View, prop *msg.Request, col *hopCollector) int
 		}
 	}
 	p.obs.fanout.Observe(uint64(len(starts)))
-	return p.deliverAll(v, starts, prop, p.fanoutSem(len(starts)), col)
+	return p.deliverAll(v, starts, prop, fb, p.fanoutSem(len(starts)), col)
 }
 
 // deliverAll delivers a propagation message to every target concurrently
 // and returns the exact sum of copies touched. A single target is
 // delivered inline — no goroutine for the common narrow case.
-func (p *Peer) deliverAll(v ptree.View, targets []bitops.PID, prop *msg.Request, sem chan struct{}, col *hopCollector) int {
+func (p *Peer) deliverAll(v ptree.View, targets []bitops.PID, prop *msg.Request, fb *msg.Request, sem chan struct{}, col *hopCollector) int {
 	switch len(targets) {
 	case 0:
 		return 0
 	case 1:
-		return p.deliver(v, targets[0], prop, sem, col)
+		return p.deliver(v, targets[0], prop, fb, sem, col)
 	}
 	var total atomic.Int64
 	var wg sync.WaitGroup
@@ -1051,7 +1138,7 @@ func (p *Peer) deliverAll(v ptree.View, targets []bitops.PID, prop *msg.Request,
 		wg.Add(1)
 		go func(t bitops.PID) {
 			defer wg.Done()
-			total.Add(int64(p.deliver(v, t, prop, sem, col)))
+			total.Add(int64(p.deliver(v, t, prop, fb, sem, col)))
 		}(t)
 	}
 	wg.Wait()
@@ -1064,17 +1151,31 @@ func (p *Peer) deliverAll(v ptree.View, targets []bitops.PID, prop *msg.Request,
 // outright — the peer crashed without a register-dead — the broadcast
 // would silently lose pid's whole branch, so it degrades by routing
 // through pid's expanded children list (§3) instead; the failed call has
-// already fed the detector, so the liveness bit catches up.
-func (p *Peer) deliver(v ptree.View, pid bitops.PID, prop *msg.Request, sem chan struct{}, col *hopCollector) int {
+// already fed the detector, so the liveness bit catches up. A child that
+// answers a notify leg with unknown-kind predates the notify plane; when
+// fb carries the whole-frame form of the same propagation, the leg
+// retries with it, so a mixed-version fabric converges on the broadcast
+// instead of waiting for repair.
+func (p *Peer) deliver(v ptree.View, pid bitops.PID, prop *msg.Request, fb *msg.Request, sem chan struct{}, col *hopCollector) int {
 	if pid == p.cfg.PID {
 		return p.propagateLocal(v, prop, sem, col)
 	}
 	p.stats.Broadcast.Add(1)
+	p.stats.FanoutBytes.Add(uint64(len(prop.Data)))
 	sem <- struct{}{}
 	p.stats.FanoutActive.Add(1)
-	resp, err := p.call(pid, prop)
+	resp, err := p.callTimeout(pid, prop, notifyDeadline(prop))
 	p.stats.FanoutActive.Add(-1)
 	<-sem
+	if err == nil && !resp.OK && fb != nil && msg.IsUnknownKind(resp.Err) {
+		p.stats.NotifyFallbacks.Add(1)
+		p.stats.FanoutBytes.Add(uint64(len(fb.Data)))
+		sem <- struct{}{}
+		p.stats.FanoutActive.Add(1)
+		resp, err = p.call(pid, fb)
+		p.stats.FanoutActive.Add(-1)
+		<-sem
+	}
 	if err == nil {
 		if !resp.OK {
 			return 0
@@ -1090,13 +1191,20 @@ func (p *Peer) deliver(v ptree.View, pid bitops.PID, prop *msg.Request, sem chan
 			kids = append(kids, c)
 		}
 	}
-	return p.deliverAll(v, kids, prop, sem, col)
+	return p.deliverAll(v, kids, prop, fb, sem, col)
 }
 
 // propagateLocal applies a propagation message at this peer.
 func (p *Peer) propagateLocal(v ptree.View, prop *msg.Request, sem chan struct{}, col *hopCollector) int {
-	if prop.Kind == msg.KindDelete {
+	switch prop.Kind {
+	case msg.KindDelete:
 		return p.propagateDelete(v, prop, sem, col)
+	case msg.KindNotify:
+		nr, err := msg.DecodeNotifyReq(prop.Data)
+		if err != nil {
+			return 0
+		}
+		return p.propagateNotify(v, prop, nr, sem, col)
 	}
 	return p.propagateUpdate(v, prop, sem, col)
 }
@@ -1144,7 +1252,7 @@ func (p *Peer) propagateUpdate(v ptree.View, req *msg.Request, sem chan struct{}
 	if applied {
 		n = 1
 	}
-	return n + p.deliverAll(v, kids, req, sem, col)
+	return n + p.deliverAll(v, kids, req, nil, sem, col)
 }
 
 // childTargets is this peer's expanded children list minus itself — the
@@ -1175,6 +1283,11 @@ func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
 	// against before re-propagating a copy a partitioned peer brings back
 	// (docs/REPAIR.md). Legacy initiators send Version 0; propagateDelete
 	// then tombstones at the erased copy's own version instead.
+	if p.store.Has(req.Name) {
+		p.stats.WritesAtHolder.Add(1)
+	} else {
+		p.stats.WritesRemote.Add(1)
+	}
 	if version, ok := p.probeVersion(req.Name); ok {
 		p.mergeClock(version)
 	}
@@ -1185,7 +1298,7 @@ func (p *Peer) handleDelete(req *msg.Request) *msg.Response {
 	if col != nil {
 		prop.Path = appendHop(req.Path, uint32(p.cfg.PID), msg.HopFanout, 0)
 	}
-	removed := p.broadcast(v, &prop, col)
+	removed := p.broadcast(v, &prop, nil, col)
 	if removed == 0 {
 		p.stats.Faults.Add(1)
 		resp := &msg.Response{Err: "netnode: delete found no copy"}
@@ -1231,7 +1344,7 @@ func (p *Peer) propagateDelete(v ptree.View, req *msg.Request, sem chan struct{}
 		}
 		req = &fwd
 	}
-	return 1 + p.deliverAll(v, kids, req, sem, col)
+	return 1 + p.deliverAll(v, kids, req, nil, sem, col)
 }
 
 // handleStat serves the status snapshot: the legacy one-line "k=v" text by
@@ -1258,11 +1371,20 @@ func (p *Peer) handleStat(req *msg.Request) *msg.Response {
 // failure detector: enough consecutive failures clear pid's liveness bit,
 // and a later success restores it.
 func (p *Peer) call(pid bitops.PID, req *msg.Request) (*msg.Response, error) {
+	return p.callTimeout(pid, req, 0)
+}
+
+// callTimeout is call with a per-exchange deadline floor (see
+// transport.DoTimeout): notify deliveries block on the receiving holder
+// pulling the whole body, so their deadline scales with the payload the
+// notify describes instead of the flat RPC bound sized for control
+// frames. rpcTO 0 keeps the transport's configured deadline.
+func (p *Peer) callTimeout(pid bitops.PID, req *msg.Request, rpcTO time.Duration) (*msg.Response, error) {
 	addr, ok := p.rt().addrs[pid]
 	if !ok {
 		return nil, fmt.Errorf("netnode: no address for P(%d)", pid)
 	}
-	resp, err := p.tr.Do(addr, req)
+	resp, err := p.tr.DoTimeout(addr, req, rpcTO)
 	if err != nil {
 		p.det.Fail(uint32(pid))
 		return nil, err

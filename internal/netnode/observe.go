@@ -114,6 +114,23 @@ type StatSnapshot struct {
 	ChunkRefusals uint64 `json:"chunk_refusals"`
 	LocateSets    uint64 `json:"locate_sets"`
 
+	// Chunked write plane (docs/ROUTING.md "write plane"): upload chunks
+	// staged and their payload bytes, staging sessions aborted (client
+	// abort, TTL expiry, or a failed commit check), bodies pulled for a
+	// notify delivery, notify legs retried whole-frame for pre-notify
+	// children, broadcast initiations split by whether this peer already
+	// held the name (the hint-guided entry measure), and request payload
+	// bytes this peer pushed onto broadcast-tree legs (the bytes-on-tree
+	// measure pull propagation keeps flat as copies grow).
+	WriteChunks     uint64 `json:"write_chunks"`
+	WriteBytes      uint64 `json:"write_bytes"`
+	StagedAborts    uint64 `json:"staged_aborts"`
+	NotifyPulls     uint64 `json:"notify_pulls"`
+	NotifyFallbacks uint64 `json:"notify_fallbacks"`
+	WritesAtHolder  uint64 `json:"writes_at_holder"`
+	WritesRemote    uint64 `json:"writes_remote"`
+	FanoutBytes     uint64 `json:"fanout_bytes"`
+
 	// PipelineDepth is the number of pipelined requests currently being
 	// handled across this peer's connections; FanoutActive is the number of
 	// broadcast RPC legs currently in flight. Both are instantaneous gauges.
@@ -213,6 +230,16 @@ func (p *Peer) statSnapshot(withInventory bool) StatSnapshot {
 		ChunkBytes:    p.stats.ChunkBytes.Load(),
 		ChunkRefusals: p.stats.ChunkRefusals.Load(),
 		LocateSets:    p.stats.LocateSets.Load(),
+
+		WriteChunks:     p.stats.WriteChunks.Load(),
+		WriteBytes:      p.stats.WriteBytes.Load(),
+		StagedAborts:    p.stats.StagedAborts.Load(),
+		NotifyPulls:     p.stats.NotifyPulls.Load(),
+		NotifyFallbacks: p.stats.NotifyFallbacks.Load(),
+		WritesAtHolder:  p.stats.WritesAtHolder.Load(),
+		WritesRemote:    p.stats.WritesRemote.Load(),
+		FanoutBytes:     p.stats.FanoutBytes.Load(),
+
 		PipelineDepth: p.stats.PipelineDepth.Load(),
 		FanoutActive:  p.stats.FanoutActive.Load(),
 		RepairProbes:  p.stats.RepairProbes.Load(),
@@ -316,6 +343,20 @@ func (p *Peer) WritePrometheus(w io.Writer) {
 		metrics.LabeledValue{Labels: self, Value: float64(s.ChunkRefusals)})
 	metrics.PrometheusFamily(w, "lesslog_locate_sets_total", "counter",
 		metrics.LabeledValue{Labels: self, Value: float64(s.LocateSets)})
+	metrics.PrometheusFamily(w, "lesslog_write_chunks_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.WriteChunks)})
+	metrics.PrometheusFamily(w, "lesslog_write_payload_bytes_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.WriteBytes)})
+	metrics.PrometheusFamily(w, "lesslog_staged_aborts_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.StagedAborts)})
+	metrics.PrometheusFamily(w, "lesslog_notify_propagation_total", "counter",
+		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="pulled"`), Value: float64(s.NotifyPulls)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="fallback"`), Value: float64(s.NotifyFallbacks)})
+	metrics.PrometheusFamily(w, "lesslog_write_entries_total", "counter",
+		metrics.LabeledValue{Labels: mergePromLabels(self, `entry="holder"`), Value: float64(s.WritesAtHolder)},
+		metrics.LabeledValue{Labels: mergePromLabels(self, `entry="remote"`), Value: float64(s.WritesRemote)})
+	metrics.PrometheusFamily(w, "lesslog_fanout_payload_bytes_total", "counter",
+		metrics.LabeledValue{Labels: self, Value: float64(s.FanoutBytes)})
 	metrics.PrometheusFamily(w, "lesslog_repair_total", "counter",
 		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="pushed"`), Value: float64(s.Repaired)},
 		metrics.LabeledValue{Labels: mergePromLabels(self, `outcome="pulled"`), Value: float64(s.RepairPulled)},

@@ -15,6 +15,7 @@ package netnode
 // per-name probes to find every hole.
 
 import (
+	"hash/crc32"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"lesslog/internal/ptree"
 	"lesslog/internal/repair"
 	"lesslog/internal/store"
+	"lesslog/internal/stream"
 )
 
 // requiredHolder reports whether q is a required placement under view v
@@ -98,9 +100,12 @@ func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample
 					p.stats.RepairSkipped.Add(1)
 					continue
 				}
-				sreq := &msg.Request{Kind: msg.KindStore, Name: f.Name, Data: f.Data, Version: f.Version}
+				sreq, serr := p.pushFrame(f)
+				if serr != nil {
+					continue
+				}
 				tr.stamp(sreq)
-				if r, err := p.call(h, sreq); err == nil {
+				if r, err := p.callTimeout(h, sreq, notifyDeadline(sreq)); err == nil {
 					tr.collect(r)
 					if r.OK && r.Version == f.Version {
 						p.stats.Repaired.Add(1)
@@ -129,6 +134,29 @@ func (p *Peer) RepairOnce(sampler *repair.Sampler, budget *repair.Budget, sample
 	p.ttfr.Note(repaired > 0, time.Now())
 	tr.record(p, "repair", "")
 	return repaired
+}
+
+// pushFrame shapes one repair push. A whole-frame body rides a KindStore
+// carrying the copy directly. A body over the frame cap cannot — so it
+// rides the write plane's direct-notify form instead: a payload-free
+// KindNotify naming this peer as the only source, which the holder
+// answers by pulling the body in chunks and applying it under the same
+// version/tombstone gating as a store (notifyStore). A holder predating
+// the notify plane refuses unknown-kind, exactly like a pre-repair
+// holder refuses a probe — the copy stays deferred, never corrupted.
+func (p *Peer) pushFrame(f store.File) (*msg.Request, error) {
+	if len(f.Data) <= msg.MaxData {
+		return &msg.Request{Kind: msg.KindStore, Name: f.Name, Data: f.Data, Version: f.Version}, nil
+	}
+	body, err := msg.AppendNotifyReq(nil, &msg.NotifyReq{
+		TotalSize: uint64(len(f.Data)),
+		FileCRC:   crc32.Checksum(f.Data, castagnoli),
+		Sources:   []msg.Holder{{PID: uint32(p.cfg.PID), Addr: p.Addr(), Version: f.Version}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &msg.Request{Kind: msg.KindNotify, Name: f.Name, Version: f.Version, Data: body}, nil
 }
 
 // applyTombstone erases the local copy of name because a required holder
@@ -164,8 +192,27 @@ func (p *Peer) pullCopy(name string, h bitops.PID, budget *repair.Budget) bool {
 		return false
 	}
 	resp, err := p.call(h, &msg.Request{Kind: msg.KindGet, Flags: msg.FlagLocalOnly, Name: name})
-	if err != nil || !resp.OK {
+	if err != nil {
 		return false
+	}
+	if !resp.OK {
+		// A body over the frame cap cannot ride a whole-frame get
+		// (ErrOverFrame): pull it through the chunk plane instead, pinned
+		// to the version the refusal reported so a mid-pull update cannot
+		// splice.
+		if resp.Err != ErrOverFrame {
+			return false
+		}
+		addr, ok := p.rt().addrs[h]
+		if !ok {
+			return false
+		}
+		data, ver, ferr := p.puller.Fetch(name, resp.Version,
+			[]stream.Source{{PID: uint32(h), Addr: addr}})
+		if ferr != nil {
+			return false
+		}
+		resp = &msg.Response{OK: true, Version: ver, Data: data}
 	}
 	budget.Spend(len(resp.Data))
 	p.propMu.RLock() // local apply serializes against Leave, as on broadcast paths

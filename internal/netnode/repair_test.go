@@ -126,6 +126,68 @@ func TestRepairOnceHealsStaleCopy(t *testing.T) {
 	}
 }
 
+// Over-frame bodies cannot ride a whole-frame KindStore push or a
+// whole-frame get pull — both would fail response framing. Repair moves
+// them through the write plane instead: pushes as a direct payload-free
+// KindNotify the holder answers by pulling chunks, pulls through the
+// chunk fetcher after the whole-frame get's typed ErrOverFrame refusal.
+func TestRepairMovesOverFrameBodies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("over-frame payloads in -short")
+	}
+	peers := startSystem(t, 4, 1, allPIDs(16), hashring.FNV{})
+	payload := make([]byte, msg.MaxData+3)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := NewClient(peers[0].Addr()).Insert("huge", payload); err != nil {
+		t.Fatal(err)
+	}
+	holders := holdersOf(peers, "huge")
+	if len(holders) != 2 {
+		t.Fatalf("holders = %v, want 2", holders)
+	}
+	lost, intact := holders[0], holders[1]
+
+	// A whole-frame get of the body is refused with the typed error — not
+	// served into a response the framing layer would reject.
+	resp, err := Call(peers[intact].Addr(), &msg.Request{Kind: msg.KindGet, Name: "huge"})
+	if err != nil {
+		t.Fatalf("over-frame get: transport error %v (connection torn down?)", err)
+	}
+	if resp.OK || resp.Err != ErrOverFrame {
+		t.Fatalf("over-frame get answered %+v, want ErrOverFrame refusal", resp)
+	}
+
+	// Push direction: the copy silently lost at one holder comes back via
+	// the direct-notify push (the holder pulls the chunks from the pusher).
+	peers[lost].store.Delete("huge")
+	var sampler repair.Sampler
+	if n := peers[intact].RepairOnce(&sampler, nil, -1); n != 1 {
+		t.Fatalf("RepairOnce repaired %d copies, want 1", n)
+	}
+	f, ok := peers[lost].store.Peek("huge")
+	if !ok || !bytes.Equal(f.Data, payload) {
+		t.Fatalf("over-frame copy not restored at P(%d) (held=%v, %d bytes)", lost, ok, len(f.Data))
+	}
+
+	// Pull direction: one holder misses an over-frame update; its probe
+	// sees the newer sibling and pulls through the chunk plane.
+	upd := make([]byte, msg.MaxData+7)
+	for i := range upd {
+		upd[i] = byte(i*13 + 1)
+	}
+	peers[intact].store.Update("huge", upd, f.Version+1)
+	var sampler2 repair.Sampler
+	if n := peers[lost].RepairOnce(&sampler2, nil, -1); n != 1 {
+		t.Fatalf("stale holder pulled %d, want 1", n)
+	}
+	got, _ := peers[lost].store.Peek("huge")
+	if !bytes.Equal(got.Data, upd) || got.Version != f.Version+1 {
+		t.Fatalf("over-frame pull did not heal: version %d, %d bytes", got.Version, len(got.Data))
+	}
+}
+
 func TestRepairBudgetDefersWork(t *testing.T) {
 	peers := startSystem(t, 4, 1, allPIDs(16), hashring.FNV{})
 	if err := NewClient(peers[0].Addr()).Insert("f", []byte("x")); err != nil {

@@ -131,11 +131,9 @@ func streamLatencyReport(t *testing.T) {
 		name := "bench/" + size.label
 		payload := benchPayload(size.n)
 		overFrame := size.n > msg.MaxData
-		if overFrame {
-			// The write plane caps at one frame; only direct seeding can
-			// build the over-frame layout the read plane must then serve.
-			peers[4].SeedLocal(name, payload, 1)
-		} else if err := NewClient(entry).Insert(name, payload); err != nil {
+		// Over-frame payloads insert through the chunked write plane like
+		// everything else — the write ceiling is msg.MaxFileSize too.
+		if err := NewClient(entry).Insert(name, payload); err != nil {
 			t.Fatal(err)
 		}
 

@@ -110,6 +110,14 @@ func NewBudget(bytesPerSec, burst int) *Budget {
 // Allow spends n bytes if the bucket holds them and reports whether it
 // did. A denial records the shortfall, readable via Deficit until the
 // next grant.
+//
+// A job larger than the bucket's own capacity can never save up for
+// itself, so requiring n tokens would starve it forever — a copy bigger
+// than one second of budget would simply never be repaired. Such a job
+// is instead granted as an overdraft from any non-negative bucket: the
+// tokens go deep negative and refill repays them before anything else is
+// granted (the Spend discipline), so oversized copies move at the
+// configured average rate instead of not at all.
 func (b *Budget) Allow(n int) bool {
 	if b == nil || b.rate <= 0 {
 		return true
@@ -122,7 +130,7 @@ func (b *Budget) Allow(n int) bool {
 		b.tokens = b.burst
 	}
 	b.last = now
-	if float64(n) > b.tokens {
+	if float64(n) > b.tokens && !(float64(n) > b.burst && b.tokens >= 0) {
 		b.deficit = int64(float64(n) - b.tokens)
 		return false
 	}

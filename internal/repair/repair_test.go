@@ -54,6 +54,27 @@ func TestBudgetSpendOverdrafts(t *testing.T) {
 	}
 }
 
+func TestBudgetOversizeOverdrafts(t *testing.T) {
+	b := NewBudget(1000, 100)
+	// A job larger than the bucket's capacity could never save up for
+	// itself; it must be granted as an overdraft from a non-negative
+	// bucket instead of being starved forever.
+	if !b.Allow(50_000) {
+		t.Fatal("oversize job denied by a full bucket")
+	}
+	// The overdraft gates everything — small or oversize — until refill
+	// repays it, so the long-run rate stays at the configured budget.
+	if b.Allow(1) {
+		t.Fatal("overdrafted bucket granted a small spend")
+	}
+	if b.Allow(50_000) {
+		t.Fatal("overdrafted bucket granted a second oversize job")
+	}
+	if d := b.Deficit(); d <= 0 {
+		t.Fatalf("deficit after overdraft denial = %d, want > 0", d)
+	}
+}
+
 func TestBudgetSpendUnlimited(t *testing.T) {
 	for _, b := range []*Budget{nil, NewBudget(-1, 0)} {
 		b.Spend(1 << 30) // must be a no-op, not a panic or an overdraft

@@ -23,6 +23,7 @@ import (
 	"hash/crc32"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lesslog/internal/msg"
 )
@@ -71,6 +72,28 @@ type Doer interface {
 	Do(addr string, req *msg.Request) (*msg.Response, error)
 }
 
+// TimeoutDoer is the optional deadline-bearing side of a Doer. The
+// uploader stretches each exchange's deadline with PullDeadline — the
+// commit frame's handler moves the whole payload to every subtree holder
+// before it answers; data frames scale with their chunk — while a Doer
+// without the method just runs under its flat configured deadline.
+type TimeoutDoer interface {
+	DoTimeout(addr string, req *msg.Request, rpcTO time.Duration) (*msg.Response, error)
+}
+
+// PullDeadline sizes the RPC deadline for an exchange whose handler must
+// move total payload bytes before it can answer: a staged data frame
+// (one chunk buffered), a chunked-put commit (the entry peer drives
+// every subtree holder's pull of the assembled body), or a notify
+// delivery (the holder pulls the body once). The rate
+// floor is deliberately pessimistic — 2 MiB/s plus a flat base — because
+// this deadline is a stuck-peer bound, not a latency target: a healthy
+// transfer finishes orders of magnitude sooner, and transports configured
+// with a longer flat RPCTimeout keep it (DoTimeout floors at the config).
+func PullDeadline(total uint64) time.Duration {
+	return 10*time.Second + time.Duration(total>>20)*500*time.Millisecond
+}
+
 // Config tunes a Fetcher.
 type Config struct {
 	ChunkSize int // bytes per ranged request; <= 0 selects DefaultChunkSize
@@ -79,6 +102,12 @@ type Config struct {
 	// a transport failure (purge every hint at that address), soft a
 	// not-holder refusal (purge just this name's hint there).
 	Evict func(name, addr string, hard bool)
+	// Replica marks every ranged fetch as a replication transfer
+	// (msg.FlagReplica): the serving holder answers from Peek instead of
+	// Get, so a peer pulling a body for placement or notify propagation
+	// does not inflate the file's §6 access count the way a client read
+	// would. Legacy holders ignore the flag bit.
+	Replica bool
 }
 
 // Stats counts a fetcher's traffic with atomic counters.
@@ -148,8 +177,12 @@ func (t *transfer) fetchRange(i int, offset uint64, length uint32) (*msg.FetchRe
 	if err != nil {
 		return nil, 0, err
 	}
+	var flags uint8
+	if t.f.cfg.Replica {
+		flags = msg.FlagReplica
+	}
 	resp, err := t.f.tr.Do(t.sources[i].Addr, &msg.Request{
-		Kind: msg.KindFetch, Name: t.name, Version: t.version, Data: data,
+		Kind: msg.KindFetch, Name: t.name, Version: t.version, Flags: flags, Data: data,
 	})
 	if err != nil {
 		return nil, 0, err

@@ -245,6 +245,21 @@ func Idempotent(k msg.Kind) bool {
 // cfg.Retries times with capped exponential backoff and jitter. Injected
 // faults for (addr, kind) apply to every attempt.
 func (t *Transport) Do(addr string, req *msg.Request) (*msg.Response, error) {
+	return t.DoTimeout(addr, req, 0)
+}
+
+// DoTimeout is Do with a per-exchange deadline floor: each attempt runs
+// under max(rpcTO, Config.RPCTimeout). It exists for exchanges whose
+// handler must move payload bytes before it can answer — a chunked-put
+// commit pulls the whole body to every subtree holder, a notify delivery
+// pulls it once — where a flat RPC deadline sized for control traffic
+// would declare a healthy transfer dead (docs/ROUTING.md "The write
+// plane"). rpcTO <= Config.RPCTimeout (including 0) selects the
+// configured deadline unchanged.
+func (t *Transport) DoTimeout(addr string, req *msg.Request, rpcTO time.Duration) (*msg.Response, error) {
+	if rpcTO < t.cfg.RPCTimeout {
+		rpcTO = t.cfg.RPCTimeout
+	}
 	start := time.Now()
 	defer func() { t.latency[kindIndex(req.Kind)].ObserveDuration(time.Since(start)) }()
 	attempts := 1
@@ -257,7 +272,7 @@ func (t *Transport) Do(addr string, req *msg.Request) (*msg.Response, error) {
 			t.counters.Retries.Inc()
 			time.Sleep(t.backoff(attempt))
 		}
-		resp, err := t.exchange(addr, req)
+		resp, err := t.exchange(addr, req, rpcTO)
 		if err == nil {
 			return resp, nil
 		}
@@ -274,19 +289,19 @@ func (t *Transport) Do(addr string, req *msg.Request) (*msg.Response, error) {
 // multiplexed write+read under the RPC deadline. A reused stream that
 // fails is replaced by a fresh dial once — a pooled stream may have been
 // closed by the peer between exchanges, which is not the peer's failure.
-func (t *Transport) exchange(addr string, req *msg.Request) (*msg.Response, error) {
-	if err := t.faults.apply(addr, req.Kind, t.cfg.RPCTimeout); err != nil {
+func (t *Transport) exchange(addr string, req *msg.Request, rpcTO time.Duration) (*msg.Response, error) {
+	if err := t.faults.apply(addr, req.Kind, rpcTO); err != nil {
 		t.counters.Faults.Inc()
 		return nil, err
 	}
 	if t.cfg.PoolSize < 0 {
-		return t.exchangeDirect(addr, req)
+		return t.exchangeDirect(addr, req, rpcTO)
 	}
 	m, reused, err := t.acquireMux(addr)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := m.do(req, t.cfg.RPCTimeout)
+	resp, err := m.do(req, rpcTO)
 	if err == nil {
 		t.releaseMux(m)
 		return resp, nil
@@ -301,7 +316,7 @@ func (t *Transport) exchange(addr string, req *msg.Request) (*msg.Response, erro
 	if err2 != nil {
 		return nil, err2
 	}
-	resp, err = m.do(req, t.cfg.RPCTimeout)
+	resp, err = m.do(req, rpcTO)
 	if err != nil {
 		t.discardMux(addr, m)
 		return nil, err
@@ -312,19 +327,19 @@ func (t *Transport) exchange(addr string, req *msg.Request) (*msg.Response, erro
 
 // exchangeDirect is the unpooled path (PoolSize < 0, as the seed did, but
 // still with deadlines): dial, one legacy-framed write+read, close.
-func (t *Transport) exchangeDirect(addr string, req *msg.Request) (*msg.Response, error) {
+func (t *Transport) exchangeDirect(addr string, req *msg.Request, rpcTO time.Duration) (*msg.Response, error) {
 	conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	t.counters.Dials.Inc()
 	defer conn.Close()
-	return t.roundTrip(conn, req)
+	return t.roundTrip(conn, req, rpcTO)
 }
 
 // roundTrip performs one framed write+read on conn under the RPC deadline.
-func (t *Transport) roundTrip(conn net.Conn, req *msg.Request) (*msg.Response, error) {
-	if err := conn.SetDeadline(time.Now().Add(t.cfg.RPCTimeout)); err != nil {
+func (t *Transport) roundTrip(conn net.Conn, req *msg.Request, rpcTO time.Duration) (*msg.Response, error) {
+	if err := conn.SetDeadline(time.Now().Add(rpcTO)); err != nil {
 		return nil, err
 	}
 	if err := msg.WriteRequest(conn, req); err != nil {
